@@ -1,0 +1,86 @@
+"""Ablation D — the path-interning design choice.
+
+DESIGN.md: "π(o) look-ups are O(1) … prefix tests run on small
+interned tuples, never on the instance."  This ablation runs Fig. 3's
+steered walk twice — once steering on interned pids (the shipped
+``meet2``), once steering on raw :class:`Path` tuples
+(``meet2_pathcmp``) — over pair workloads on both stores.  Deep stores
+amplify the difference: every raw comparison touches O(depth) labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.path_steering import meet2_pathcmp
+from repro.bench.report import render_table
+from repro.bench.timing import measure
+from repro.core.meet_pair import meet2
+from repro.datasets.randomtree import random_oid_pairs
+
+from conftest import write_report
+
+PAIR_COUNT = 300
+
+
+@pytest.fixture(scope="module")
+def workloads(dblp_bench_store, multimedia_bench):
+    multimedia_store, _planted = multimedia_bench
+    return {
+        "dblp (shallow, wide)": (
+            dblp_bench_store,
+            random_oid_pairs(dblp_bench_store, PAIR_COUNT, seed=7),
+        ),
+        "multimedia (deep)": (
+            multimedia_store,
+            random_oid_pairs(multimedia_store, PAIR_COUNT, seed=7),
+        ),
+    }
+
+
+@pytest.mark.parametrize("dataset", ["dblp (shallow, wide)", "multimedia (deep)"])
+def test_interned_pids(benchmark, workloads, dataset):
+    store, pairs = workloads[dataset]
+    benchmark(lambda: [meet2(store, a, b) for a, b in pairs])
+
+
+@pytest.mark.parametrize("dataset", ["dblp (shallow, wide)", "multimedia (deep)"])
+def test_raw_path_comparison(benchmark, workloads, dataset):
+    store, pairs = workloads[dataset]
+    benchmark(lambda: [meet2_pathcmp(store, a, b) for a, b in pairs])
+
+
+def test_ablation_interning_report(benchmark, workloads):
+    def sweep():
+        rows = []
+        for name, (store, pairs) in workloads.items():
+            expected = [meet2(store, a, b) for a, b in pairs]
+            assert [meet2_pathcmp(store, a, b) for a, b in pairs] == expected
+            interned = measure(
+                lambda s=store, p=pairs: [meet2(s, a, b) for a, b in p],
+                repeats=3,
+            )
+            raw = measure(
+                lambda s=store, p=pairs: [meet2_pathcmp(s, a, b) for a, b in p],
+                repeats=3,
+            )
+            rows.append(
+                [
+                    name,
+                    f"{interned.median_ms:.2f}",
+                    f"{raw.median_ms:.2f}",
+                    f"{raw.median_ms / interned.median_ms:.2f}×",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["store", "interned pids ms", "raw paths ms", "slowdown"],
+        rows,
+        title=(
+            "Ablation D — steering on interned pids vs raw path tuples "
+            f"({PAIR_COUNT} pairs)"
+        ),
+    )
+    write_report("ablation_interning", table)

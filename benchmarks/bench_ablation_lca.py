@@ -1,0 +1,109 @@
+"""Ablation A — the design choice behind Fig. 3: path-steered walking.
+
+Compares the paper's ⪯-steered parent walk (meet₂) against:
+
+* ``naive_lca``     — materialize one full root path, probe the other;
+* ``lockstep_lca``  — depth-equalize, then climb in lock-step;
+* ``EulerTourLCA``  — O(1) queries after O(n log n) indexing;
+* ``tarjan_offline``— near-linear batch answering (needs all pairs
+  up front, which interactive querying does not have).
+
+The point the paper makes implicitly: the steered walk costs O(d) per
+query with *zero* preprocessing beyond the Monet transform, and d is
+exactly the ranking signal §4 wants anyway.  The index builds pay off
+only under enormous query volumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.euler_rmq import EulerTourLCA
+from repro.baselines.naive_lca import lockstep_lca, naive_lca
+from repro.baselines.tarjan import tarjan_offline_lca
+from repro.bench.report import render_table
+from repro.core.meet_pair import meet2
+from repro.datasets.randomtree import random_oid_pairs
+
+from conftest import write_report
+
+PAIR_COUNT = 400
+
+
+@pytest.fixture(scope="module")
+def workload(dblp_bench_store):
+    pairs = random_oid_pairs(dblp_bench_store, PAIR_COUNT, seed=42)
+    return dblp_bench_store, pairs
+
+
+def test_meet2_steered(benchmark, workload):
+    store, pairs = workload
+    benchmark(lambda: [meet2(store, a, b) for a, b in pairs])
+
+
+def test_naive_ancestor_set(benchmark, workload):
+    store, pairs = workload
+    benchmark(lambda: [naive_lca(store, a, b) for a, b in pairs])
+
+
+def test_lockstep(benchmark, workload):
+    store, pairs = workload
+    benchmark(lambda: [lockstep_lca(store, a, b) for a, b in pairs])
+
+
+def test_euler_rmq_queries_only(benchmark, workload):
+    store, pairs = workload
+    index = EulerTourLCA(store)
+    benchmark(lambda: [index.lca(a, b) for a, b in pairs])
+
+
+def test_euler_rmq_build(benchmark, workload):
+    store, _pairs = workload
+    benchmark.pedantic(lambda: EulerTourLCA(store), rounds=3, iterations=1)
+
+
+def test_tarjan_offline_batch(benchmark, workload):
+    store, pairs = workload
+    benchmark(lambda: tarjan_offline_lca(store, pairs))
+
+
+def test_ablation_lca_report(benchmark, workload):
+    """All strategies agree; summarize per-query and build costs."""
+    from repro.bench.timing import measure
+
+    store, pairs = workload
+    index = EulerTourLCA(store)
+
+    expected = [naive_lca(store, a, b) for a, b in pairs]
+    assert [meet2(store, a, b) for a, b in pairs] == expected
+    assert [lockstep_lca(store, a, b) for a, b in pairs] == expected
+    assert [index.lca(a, b) for a, b in pairs] == expected
+    assert tarjan_offline_lca(store, pairs) == expected
+
+    def row(name, fn, build_ms):
+        timing = measure(fn, repeats=3)
+        return [
+            name,
+            f"{timing.median_ms:.2f}",
+            f"{timing.median_ms / len(pairs) * 1000:.2f}",
+            build_ms,
+        ]
+
+    build = measure(lambda: EulerTourLCA(store), repeats=1)
+    rows = benchmark.pedantic(
+        lambda: [
+            row("meet2 (steered walk)", lambda: [meet2(store, a, b) for a, b in pairs], "0"),
+            row("naive ancestor-set", lambda: [naive_lca(store, a, b) for a, b in pairs], "0"),
+            row("lockstep", lambda: [lockstep_lca(store, a, b) for a, b in pairs], "0"),
+            row("euler+rmq (indexed)", lambda: [index.lca(a, b) for a, b in pairs], f"{build.median_ms:.0f}"),
+            row("tarjan (offline batch)", lambda: tarjan_offline_lca(store, pairs), "0"),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["strategy", f"{len(pairs)} queries ms", "µs/query", "index build ms"],
+        rows,
+        title="Ablation A — pairwise LCA strategies on the DBLP store",
+    )
+    write_report("ablation_lca", table)

@@ -1,0 +1,131 @@
+"""Ablation B — set-orientation: meet_S / meet vs pairwise loops.
+
+§5 claims "the set-oriented version of the operator scales well, i.e.,
+linear, with respect to the cardinality of the input sets".  The
+pairwise alternative computes |O₁| × |O₂| LCAs (and produces the
+combinatorially exploding un-minimal answer bag).  This ablation
+sweeps the input cardinality on the DBLP store: year hits vs "ICDE"
+hits, truncated to n elements per side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive_lca import naive_lca_pairs
+from repro.bench.report import Series, render_ascii_plot, render_table
+from repro.bench.timing import measure
+from repro.core.meet_general import group_by_pid, meet_general
+from repro.core.meet_sets import meet_sets
+
+from conftest import write_report
+
+CARDINALITIES = [25, 50, 100, 200, 400]
+
+
+@pytest.fixture(scope="module")
+def hit_sets(dblp_bench_store, dblp_bench_engine):
+    """Two large homogeneous hit sets: year cdata vs booktitle cdata."""
+    store = dblp_bench_store
+    years = []
+    for year in range(1984, 2000):
+        years.extend(dblp_bench_engine.term_hits(str(year)).oids())
+    icde = sorted(dblp_bench_engine.term_hits("ICDE").oids())
+    # restrict each side to its dominant path so meet_S applies
+    def dominant(oids):
+        groups = group_by_pid(store, oids)
+        best = max(groups.values(), key=len)
+        return sorted(best)
+
+    return store, dominant(years), dominant(icde)
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_meet_sets_scaling(benchmark, hit_sets, n):
+    store, years, icde = hit_sets
+    left, right = years[:n], icde[:n]
+    benchmark(lambda: meet_sets(store, left, right))
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_meet_general_scaling(benchmark, hit_sets, n):
+    store, years, icde = hit_sets
+    relations = group_by_pid(store, years[:n] + icde[:n])
+    benchmark(lambda: meet_general(store, relations))
+
+
+@pytest.mark.parametrize("n", [25, 50, 100])
+def test_pairwise_quadratic(benchmark, hit_sets, n):
+    """The strategy Fig. 4 replaces (kept to n ≤ 100: it is O(n²))."""
+    store, years, icde = hit_sets
+    left, right = years[:n], icde[:n]
+    benchmark(lambda: naive_lca_pairs(store, left, right))
+
+
+def test_ablation_setwise_report(benchmark, hit_sets):
+    store, years, icde = hit_sets
+
+    def sweep():
+        rows = []
+        set_series = Series("meet_S (set-at-a-time)")
+        pair_series = Series("pairwise LCA loop")
+        for n in CARDINALITIES:
+            left, right = years[:n], icde[:n]
+            set_timing = measure(lambda: meet_sets(store, left, right), repeats=3)
+            general_timing = measure(
+                lambda: meet_general(store, group_by_pid(store, left + right)),
+                repeats=3,
+            )
+            if n <= 100:
+                pair_timing = measure(
+                    lambda: naive_lca_pairs(store, left, right), repeats=1
+                )
+                pair_ms = f"{pair_timing.median_ms:.1f}"
+                pair_rows = len(naive_lca_pairs(store, left, right))
+                pair_series.add(n, pair_timing.median_ms)
+            else:
+                pair_ms, pair_rows = "—", "—"
+            set_series.add(n, set_timing.median_ms)
+            meets = len(meet_sets(store, left, right))
+            rows.append(
+                [
+                    n,
+                    f"{set_timing.median_ms:.2f}",
+                    f"{general_timing.median_ms:.2f}",
+                    pair_ms,
+                    meets,
+                    pair_rows,
+                ]
+            )
+        return rows, set_series, pair_series
+
+    rows, set_series, pair_series = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    table = render_table(
+        [
+            "n per side",
+            "meet_S ms",
+            "meet (Fig.5) ms",
+            "pairwise ms",
+            "meet_S results",
+            "pairwise rows",
+        ],
+        rows,
+        title="Ablation B — set-oriented meet vs pairwise loops (DBLP)",
+    )
+    plot = render_ascii_plot(
+        [set_series, pair_series],
+        title="set-at-a-time vs pairwise (elapsed ms vs input cardinality)",
+        x_label="n per side",
+        y_label="ms",
+    )
+    write_report("ablation_setwise", table + "\n\n" + plot)
+
+    # Shape: meet_S scales ~linearly (per-element cost roughly flat) …
+    per_element = [float(r[1]) / r[0] for r in rows]
+    assert max(per_element) <= 8 * min(per_element)
+    # … while the pairwise loop's result bag is the full cross product.
+    for r in rows:
+        if r[5] != "—":
+            assert r[5] == r[0] * r[0] or r[5] >= r[0]

@@ -1,0 +1,132 @@
+"""Figure 6: combining meet and full-text search, time vs distance.
+
+Paper setup: a multimedia feature-detector database; a typical
+two-term query; x-axis = distance (edges) between the two hits,
+y-axis = elapsed time; two lines: "fulltext only" and "fulltext and
+meet".  The finding: total time is dominated by the full-text search
+(1207 ms on their box) while the meet adds ~2 ms and "scales well with
+respect to distance" — two nearly parallel lines, a whisker apart.
+
+Here the two marker terms of each planted distance are searched with
+the scan path (the paper's full-text search is a string scan — that is
+what made it expensive) and the meet is computed pairwise.  The
+benchmark rows regenerate the figure's two series; the summary report
+prints them plus an ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import Series, render_ascii_plot, render_table
+from repro.bench.timing import measure
+from repro.core.meet_pair import meet2_traced
+
+from conftest import FIGURE6_DISTANCES, write_report
+
+
+def fulltext_hits(store, engine, term):
+    return sorted(engine.search.scan(term).oids())
+
+
+@pytest.mark.parametrize("distance", FIGURE6_DISTANCES)
+def test_fulltext_only(benchmark, multimedia_bench, multimedia_bench_engine, distance):
+    """One Figure 6 point of the 'fulltext only' line."""
+    store, planted = multimedia_bench
+    terma, termb = planted[distance]
+    engine = multimedia_bench_engine
+
+    def run():
+        fulltext_hits(store, engine, terma)
+        fulltext_hits(store, engine, termb)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("distance", FIGURE6_DISTANCES)
+def test_fulltext_and_meet(
+    benchmark, multimedia_bench, multimedia_bench_engine, distance
+):
+    """One Figure 6 point of the 'fulltext and meet' line."""
+    store, planted = multimedia_bench
+    terma, termb = planted[distance]
+    engine = multimedia_bench_engine
+
+    def run():
+        hits_a = fulltext_hits(store, engine, terma)
+        hits_b = fulltext_hits(store, engine, termb)
+        return meet2_traced(store, hits_a[0], hits_b[0])
+
+    result = benchmark(run)
+    assert result.joins == distance
+
+
+def test_figure6_report(benchmark, multimedia_bench, multimedia_bench_engine):
+    """Regenerate the full figure: both series over all distances."""
+    store, planted = multimedia_bench
+    engine = multimedia_bench_engine
+
+    def sweep():
+        rows = []
+        fulltext_series = Series("fulltext only")
+        combined_series = Series("fulltext and meet")
+        for distance in FIGURE6_DISTANCES:
+            terma, termb = planted[distance]
+            fulltext = measure(
+                lambda: (
+                    fulltext_hits(store, engine, terma),
+                    fulltext_hits(store, engine, termb),
+                ),
+                repeats=3,
+            )
+
+            def combined():
+                hits_a = fulltext_hits(store, engine, terma)
+                hits_b = fulltext_hits(store, engine, termb)
+                meet2_traced(store, hits_a[0], hits_b[0])
+
+            total = measure(combined, repeats=3)
+            meet_only = measure(
+                lambda ha=fulltext_hits(store, engine, terma),
+                hb=fulltext_hits(store, engine, termb): meet2_traced(
+                    store, ha[0], hb[0]
+                ),
+                repeats=5,
+            )
+            fulltext_series.add(distance, fulltext.median_ms)
+            combined_series.add(distance, total.median_ms)
+            rows.append(
+                [
+                    distance,
+                    f"{fulltext.median_ms:.3f}",
+                    f"{total.median_ms:.3f}",
+                    f"{meet_only.median_ms:.4f}",
+                ]
+            )
+        return rows, fulltext_series, combined_series
+
+    rows, fulltext_series, combined_series = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    table = render_table(
+        ["distance", "fulltext ms", "fulltext+meet ms", "meet alone ms"],
+        rows,
+        title="Figure 6 — combining meet and fulltext search",
+    )
+    plot = render_ascii_plot(
+        [fulltext_series, combined_series],
+        title="Figure 6 (elapsed ms vs distance in edges)",
+        x_label="distance (edges)",
+        y_label="elapsed ms",
+    )
+    write_report("figure6", table + "\n\n" + plot)
+
+    # Shape assertions (the paper's qualitative findings):
+    # 1. total time is dominated by the full-text search …
+    for (_d, ft, total, meet) in rows:
+        assert float(meet) < float(ft)
+    # 2. … and the meet stays cheap across the whole distance range.
+    meets = [float(r[3]) for r in rows]
+    fulltexts = [float(r[1]) for r in rows]
+    assert max(meets) < 0.25 * (sum(fulltexts) / len(fulltexts))

@@ -1,0 +1,67 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Datasets are bench-scale (larger than the unit-test fixtures, still
+laptop-friendly).  Every figure/table bench also renders its series to
+``benchmarks/out/<name>.txt`` so the regenerated experiment artefacts
+survive the run (EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import NearestConceptEngine
+from repro.datasets import (
+    DblpConfig,
+    MultimediaConfig,
+    dblp_document,
+    multimedia_with_markers,
+)
+from repro.monet import monet_transform
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Figure 6 sweep: the paper's x-axis is 0..20 edges.
+FIGURE6_DISTANCES = list(range(0, 21, 2))
+
+#: Figure 7 year intervals, widening 1999 back to 1984.
+FIGURE7_FIRST_YEARS = [1999, 1998, 1996, 1994, 1992, 1990, 1988, 1986, 1985, 1984]
+
+
+def write_report(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def dblp_bench_store():
+    """~75k-node synthetic DBLP: 75 papers per instalment, 16 years."""
+    config = DblpConfig(papers_per_proceedings=75, articles_per_year=10)
+    store = monet_transform(dblp_document(config))
+    return store
+
+
+@pytest.fixture(scope="session")
+def dblp_bench_engine(dblp_bench_store):
+    return NearestConceptEngine(dblp_bench_store, case_sensitive=True)
+
+
+@pytest.fixture(scope="session")
+def multimedia_bench():
+    """Multimedia corpus with marker pairs planted at 0..20 edges."""
+    doc, planted = multimedia_with_markers(
+        FIGURE6_DISTANCES, MultimediaConfig(items=120, seed=1999)
+    )
+    store = monet_transform(doc)
+    return store, planted
+
+
+@pytest.fixture(scope="session")
+def multimedia_bench_engine(multimedia_bench):
+    store, _planted = multimedia_bench
+    return NearestConceptEngine(store)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Tour of the implemented paper extensions (§4 outlook, §7 future work).
+
+* thesaurus broadening — rescue a search that "returned too few
+  answers";
+* IDREF graph meets — nearest concepts across reference edges, with
+  cycle-safe search;
+* IR ranking — idf-weighted re-ranking of nearest concepts;
+* keyword search as a meet special case (§6);
+* store statistics — quantifying the "large, unknown or implicit"
+  schema.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro import NearestConceptEngine, monet_transform, parse_document
+from repro.core import (
+    IRRanker,
+    ReferenceIndex,
+    graph_meet,
+    keyword_search,
+)
+from repro.fulltext import Thesaurus
+from repro.monet import collect_statistics
+
+XML = """
+<conference name="ICDE">
+  <people>
+    <researcher id="r1"><name>Albrecht Schmidt</name><affil>CWI</affil></researcher>
+    <researcher id="r2"><name>Martin Kersten</name><affil>CWI</affil></researcher>
+  </people>
+  <program>
+    <talk id="t1" speaker="r1">
+      <title>Nearest Concept Queries</title><slot>Tuesday 9:00</slot>
+    </talk>
+    <talk id="t2" speaker="r2">
+      <title>MIL Primitives for a Fragmented World</title><slot>Tuesday 10:00</slot>
+    </talk>
+  </program>
+</conference>
+"""
+
+
+def main() -> None:
+    store = monet_transform(parse_document(XML))
+
+    print("== store statistics (the opaque-schema argument, §1) ==")
+    print(collect_statistics(store).render(top=4))
+
+    print("\n== thesaurus broadening (§4) ==")
+    plain = NearestConceptEngine(store)
+    print(
+        "   plain search for 'Fragmented'+'Monet':",
+        len(plain.nearest_concepts("Fragmented", "Monet",
+                                   require_all_terms=True)),
+        "concepts ('Monet' matches nothing)",
+    )
+    thesaurus = Thesaurus().add_synonyms("Monet", "MIL")
+    broadened = NearestConceptEngine(store, thesaurus=thesaurus)
+    for concept in broadened.nearest_concepts(
+        "Fragmented", "Monet", require_all_terms=True
+    ):
+        print(
+            f"   broadened via Monet≈MIL → <{concept.tag}> oid={concept.oid}"
+        )
+
+    print("\n== IDREF graph meets (§7 future work) ==")
+    refs = ReferenceIndex(store, ref_attributes=("speaker",))
+    print(f"   {refs.id_count} ids, {refs.edge_count} reference edges")
+    engine = NearestConceptEngine(store)
+    (schmidt_hit,) = engine.term_hits("Albrecht").oids()
+    (title_hit,) = engine.term_hits("Nearest").oids()
+    tree_only = graph_meet(store, schmidt_hit, title_hit)
+    with_refs = graph_meet(store, schmidt_hit, title_hit, refs)
+    assert tree_only is not None and with_refs is not None
+    print(
+        f"   tree-only route: distance {tree_only.distance} "
+        f"(apex <{store.summary.label(store.pid_of(tree_only.oid))}>)"
+    )
+    print(
+        f"   with references: distance {with_refs.distance} via "
+        f"{with_refs.via_references} reference(s) — the talk↔speaker "
+        "link shortcuts the tree"
+    )
+
+    print("\n== keyword search as a meet special case (§6) ==")
+    for hit in keyword_search(engine, ["MIL", "10"], ["talk"]):
+        print(f"   <{hit.tag}> oid={hit.oid} via terms {hit.terms}")
+
+    print("\n== IR re-ranking (§4 outlook) ==")
+    concepts = engine.nearest_concepts("Tuesday", "CWI", require_all_terms=False)
+    ranker = IRRanker(engine.index)
+    for scored in ranker.rank(concepts)[:3]:
+        concept = scored.concept
+        print(
+            f"   score={scored.score:.3f} <{concept.tag}> "
+            f"(idf {scored.idf_score:.2f}, tightness {scored.tightness:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

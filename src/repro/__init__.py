@@ -1,0 +1,97 @@
+"""repro — Nearest Concept Queries over XML (the *meet* operator).
+
+A from-scratch reproduction of:
+
+    Albrecht Schmidt, Martin Kersten, Menzo Windhouwer.
+    "Querying XML Documents Made Easy: Nearest Concept Queries."
+    Proceedings of ICDE 2001.
+
+The library lets users query XML by *content* without knowing tags or
+hierarchy: keyword hits are combined with the ``meet`` operator — the
+lowest common ancestor interpreted as the *nearest concept* of the
+hits — over the Monet XML path-partitioned storage model.
+
+Quickstart::
+
+    from repro import parse_document, monet_transform, NearestConceptEngine
+
+    store = monet_transform(parse_document(xml_text))
+    engine = NearestConceptEngine(store)
+    for concept in engine.nearest_concepts("Bit", "1999"):
+        print(concept.tag, concept.oid, concept.joins)
+
+Packages:
+
+* :mod:`repro.datamodel` — conceptual model (Defs. 1–3, 5), parser.
+* :mod:`repro.monet`     — Monet transform, BAT engine, path summary.
+* :mod:`repro.fulltext`  — inverted index / ``contains`` search.
+* :mod:`repro.core`      — meet₂ / meet_S / meet, restrictions,
+  distance, ranking, the NearestConceptEngine pipeline.
+* :mod:`repro.query`     — the SQL-with-paths language with
+  ``meet(...)`` aggregation.
+* :mod:`repro.baselines` — naive/indexed/offline LCA, intro baseline,
+  proximity search.
+* :mod:`repro.datasets`  — Figure 1, synthetic DBLP and multimedia.
+"""
+
+from .core import (
+    GeneralMeet,
+    NearestConcept,
+    NearestConceptEngine,
+    PairMeet,
+    SetMeet,
+    bounded_meet2,
+    distance,
+    meet2,
+    meet2_traced,
+    meet_depthwise,
+    meet_excluding,
+    meet_general,
+    meet_sets,
+    meet_tagged,
+)
+from .datamodel import (
+    Document,
+    DocumentBuilder,
+    Node,
+    Path,
+    parse_document,
+    serialize,
+)
+from .fulltext import FullTextIndex, SearchEngine
+from .monet import MonetXML, PathSummary, monet_transform
+from .query import QueryProcessor, parse_query, run_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Document",
+    "DocumentBuilder",
+    "FullTextIndex",
+    "GeneralMeet",
+    "MonetXML",
+    "NearestConcept",
+    "NearestConceptEngine",
+    "Node",
+    "PairMeet",
+    "Path",
+    "PathSummary",
+    "QueryProcessor",
+    "SearchEngine",
+    "SetMeet",
+    "__version__",
+    "bounded_meet2",
+    "distance",
+    "meet2",
+    "meet2_traced",
+    "meet_depthwise",
+    "meet_excluding",
+    "meet_general",
+    "meet_sets",
+    "meet_tagged",
+    "monet_transform",
+    "parse_document",
+    "parse_query",
+    "run_query",
+    "serialize",
+]

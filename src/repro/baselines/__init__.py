@@ -1,0 +1,37 @@
+"""Baselines and comparators (paper §1 intro query, §6 related work).
+
+* :mod:`~repro.baselines.naive_lca` — unsteered pairwise LCA walks.
+* :class:`EulerTourLCA` — indexed O(1) LCA (classic refs. [4, 5]).
+* :func:`tarjan_offline_lca` — offline batch LCA.
+* :mod:`~repro.baselines.pathexpr_baseline` — the intro's inflated
+  regular-path-expression answers.
+* :mod:`~repro.baselines.proximity` — Goldman et al. [13] style
+  "Find … Near …" ranking.
+"""
+
+from .euler_rmq import EulerTourLCA
+from .naive_lca import lockstep_lca, naive_lca, naive_lca_pairs
+from .path_steering import meet2_pathcmp
+from .pathexpr_baseline import (
+    BaselineAnswer,
+    containment_answers,
+    witness_pair_answers,
+)
+from .proximity import ProximityHit, find_near, find_near_terms
+from .tarjan import DisjointSet, tarjan_offline_lca
+
+__all__ = [
+    "BaselineAnswer",
+    "DisjointSet",
+    "EulerTourLCA",
+    "ProximityHit",
+    "containment_answers",
+    "find_near",
+    "find_near_terms",
+    "lockstep_lca",
+    "meet2_pathcmp",
+    "naive_lca",
+    "naive_lca_pairs",
+    "tarjan_offline_lca",
+    "witness_pair_answers",
+]

@@ -1,0 +1,95 @@
+"""Naive LCA baselines — what Fig. 3's path steering is compared against.
+
+Two classic unsteered strategies:
+
+* :func:`naive_lca` — materialize the full root path of o₁ as a set,
+  then climb from o₂ until hitting it.  Always walks depth(o₁) +
+  depth(o₂→meet) edges, where the steered walk of Fig. 3 touches only
+  the d(o₁, o₂) edges between the nodes.
+* :func:`lockstep_lca` — equalize depths, then climb in lock-step.
+  Needs the depth column (which the Monet model provides for free) but
+  no path comparisons.
+
+Both also serve as independent oracles in the property tests of the
+meet operator.
+
+:func:`naive_lca_pairs` extends the pairwise loop to two OID sets —
+the quadratic strategy the set-at-a-time ``meet_S`` (Fig. 4) avoids;
+the ablation bench measures exactly this gap.  Note its result is the
+*unfiltered* bag of pairwise LCAs: without the minimality bookkeeping
+of Fig. 4 it exhibits the combinatorial explosion the paper warns
+about (|O₁| × |O₂| results).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..datamodel.errors import ModelError
+from ..monet.engine import MonetXML
+
+__all__ = ["naive_lca", "lockstep_lca", "naive_lca_pairs"]
+
+
+def naive_lca(store: MonetXML, oid1: int, oid2: int) -> int:
+    """Ancestor-set LCA: O(depth₁) space, no steering."""
+    ancestors: Set[int] = set()
+    current: Optional[int] = oid1
+    while current is not None:
+        ancestors.add(current)
+        current = store.parent_of(current)
+    current = oid2
+    while current is not None:
+        if current in ancestors:
+            return current
+        current = store.parent_of(current)
+    raise ModelError(f"OIDs {oid1} and {oid2} share no ancestor")
+
+
+def lockstep_lca(store: MonetXML, oid1: int, oid2: int) -> int:
+    """Depth-equalizing LCA: climb the deeper node, then both together."""
+    depth1 = store.depth_of(oid1)
+    depth2 = store.depth_of(oid2)
+    current1: Optional[int] = oid1
+    current2: Optional[int] = oid2
+    while depth1 > depth2:
+        assert current1 is not None
+        current1 = store.parent_of(current1)
+        depth1 -= 1
+    while depth2 > depth1:
+        assert current2 is not None
+        current2 = store.parent_of(current2)
+        depth2 -= 1
+    while current1 != current2:
+        if current1 is None or current2 is None:
+            raise ModelError(f"OIDs {oid1} and {oid2} share no ancestor")
+        current1 = store.parent_of(current1)
+        current2 = store.parent_of(current2)
+    assert current1 is not None
+    return current1
+
+
+def naive_lca_pairs(
+    store: MonetXML, left: Iterable[int], right: Iterable[int]
+) -> List[Tuple[int, int, int]]:
+    """All pairwise LCAs of two sets: (lca, o₁, o₂) per pair.
+
+    The |O₁| × |O₂| loop Fig. 4 replaces; returned in pair order.
+    """
+    right_list = list(right)
+    results: List[Tuple[int, int, int]] = []
+    for oid1 in left:
+        # Re-use one ancestor set per left element.
+        ancestors: Dict[int, None] = {}
+        current: Optional[int] = oid1
+        while current is not None:
+            ancestors.setdefault(current)
+            current = store.parent_of(current)
+        for oid2 in right_list:
+            probe: Optional[int] = oid2
+            while probe is not None and probe not in ancestors:
+                probe = store.parent_of(probe)
+            if probe is None:
+                raise ModelError(f"OIDs {oid1} and {oid2} share no ancestor")
+            results.append((probe, oid1, oid2))
+    return results

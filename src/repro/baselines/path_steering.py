@@ -1,0 +1,42 @@
+"""Ablation variant: meet₂ steering on raw paths instead of pids.
+
+DESIGN.md calls out the decision to intern paths ("π(o) look-ups are
+O(1) … prefix tests run on small interned tuples, never on the
+instance").  This variant implements Fig. 3 with the ⪯ tests executed
+directly on :class:`~repro.datamodel.paths.Path` tuples — semantically
+identical, but every comparison walks label sequences.  The ablation
+bench quantifies what the interning buys.
+"""
+
+from __future__ import annotations
+
+from ..datamodel.errors import ModelError
+from ..datamodel.paths import prefix_leq
+from ..monet.engine import MonetXML
+
+__all__ = ["meet2_pathcmp"]
+
+
+def meet2_pathcmp(store: MonetXML, oid1: int, oid2: int) -> int:
+    """Fig. 3 with raw-path prefix comparisons; same results as meet₂."""
+    if oid1 == oid2:
+        return oid1
+    current1, current2 = oid1, oid2
+    while current1 != current2:
+        if current1 is None or current2 is None:
+            raise ModelError(f"OIDs {oid1} and {oid2} have no common ancestor")
+        path1 = store.path_of(current1)
+        path2 = store.path_of(current2)
+        if path1 != path2 and prefix_leq(path1, path2):
+            current1 = store.parent_of(current1)  # type: ignore[assignment]
+        elif path1 != path2 and prefix_leq(path2, path1):
+            current2 = store.parent_of(current2)  # type: ignore[assignment]
+        elif len(path1) > len(path2):
+            current1 = store.parent_of(current1)  # type: ignore[assignment]
+        elif len(path2) > len(path1):
+            current2 = store.parent_of(current2)  # type: ignore[assignment]
+        else:
+            current1 = store.parent_of(current1)  # type: ignore[assignment]
+            current2 = store.parent_of(current2)  # type: ignore[assignment]
+    assert current1 is not None
+    return current1

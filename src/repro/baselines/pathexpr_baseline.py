@@ -1,0 +1,139 @@
+"""The intro's regular-path-expression baseline (paper §1).
+
+The paper motivates the meet operator with a query that binds a path
+variable to "the tag names of all nodes whose offspring contains as
+character data the string" and shows that its answer drowns the
+interesting result in rows *implied by ancestor paths*: for
+'Bit'/'1999' on the Figure 1 document the printed answer holds four
+rows (article, institute, bibliography, bibliography) where only the
+``article`` row carries information — "even worse, in larger databases
+the computation might cause a combinatorial explosion of the result
+size".
+
+Two faithful renderings of that baseline semantics:
+
+* :func:`containment_answers` — the distinct nodes whose offspring
+  contains *all* the terms (the T-binding set).  Every proper ancestor
+  of a real answer shows up again: the redundancy is structural.
+* :func:`witness_pair_answers` — one row per (witness₁, witness₂)
+  pair and common ancestor; the bag whose size explodes
+  combinatorially and that the meet operator's minimality rule prunes
+  to the nearest concepts only.
+
+Table I of EXPERIMENTS.md compares both counts against the meet
+query's single row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..fulltext.search import SearchEngine
+from ..monet.engine import MonetXML
+from ..query.pathexpr import PathPattern
+
+__all__ = ["BaselineAnswer", "containment_answers", "witness_pair_answers"]
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineAnswer:
+    """One baseline result row: a node plus the witnesses behind it."""
+
+    oid: int
+    tag: str
+    witnesses: Tuple[int, ...]
+
+
+def _closure(store: MonetXML, witnesses: Set[int]) -> Set[int]:
+    """The witnesses and all their ancestors (the 'implied' rows)."""
+    closure: Set[int] = set()
+    for oid in witnesses:
+        current: Optional[int] = oid
+        while current is not None and current not in closure:
+            closure.add(current)
+            current = store.parent_of(current)
+    return closure
+
+
+def containment_answers(
+    store: MonetXML,
+    search: SearchEngine,
+    terms: Sequence[str],
+    pattern: Optional[PathPattern] = None,
+) -> List[BaselineAnswer]:
+    """Nodes whose offspring contains every term, in document order.
+
+    ``pattern`` optionally restricts candidates the way the FROM-clause
+    path expression would.
+    """
+    if not terms:
+        return []
+    allowed: Optional[Set[int]] = None
+    if pattern is not None:
+        allowed = {
+            pid for pid, _ in pattern.matching_pids(store.summary)
+        }
+    candidates: Optional[Set[int]] = None
+    witness_sets: List[Set[int]] = []
+    for term in terms:
+        hits = search.find(term).oids()
+        witness_sets.append(hits)
+        closure = _closure(store, hits)
+        candidates = closure if candidates is None else candidates & closure
+    assert candidates is not None
+    answers: List[BaselineAnswer] = []
+    for oid in sorted(candidates):
+        if allowed is not None and store.pid_of(oid) not in allowed:
+            continue
+        relevant = tuple(
+            sorted(
+                witness
+                for hits in witness_sets
+                for witness in hits
+                if store.is_ancestor(oid, witness)
+            )
+        )
+        answers.append(
+            BaselineAnswer(
+                oid=oid,
+                tag=store.summary.label(store.pid_of(oid)),
+                witnesses=relevant,
+            )
+        )
+    return answers
+
+
+def witness_pair_answers(
+    store: MonetXML,
+    search: SearchEngine,
+    term1: str,
+    term2: str,
+) -> List[BaselineAnswer]:
+    """One row per witness pair and common ancestor — the full bag.
+
+    This renders the ancestor-implication redundancy explicitly: every
+    common ancestor of every (hit₁, hit₂) pair becomes a row, which is
+    the combinatorial explosion the meet's minimality criterion (3) of
+    Def. 6 exists to prevent.
+    """
+    hits1 = sorted(search.find(term1).oids())
+    hits2 = sorted(search.find(term2).oids())
+    answers: List[BaselineAnswer] = []
+    for oid1 in hits1:
+        ancestors1 = _closure(store, {oid1})
+        for oid2 in hits2:
+            current: Optional[int] = oid2
+            # Walk up from oid2; every ancestor shared with oid1 is
+            # a (redundant) answer row.
+            while current is not None:
+                if current in ancestors1:
+                    answers.append(
+                        BaselineAnswer(
+                            oid=current,
+                            tag=store.summary.label(store.pid_of(current)),
+                            witnesses=(oid1, oid2),
+                        )
+                    )
+                current = store.parent_of(current)
+    return answers

@@ -1,0 +1,13 @@
+"""Benchmark-harness utilities: timing statistics and text reports."""
+
+from .report import Series, render_ascii_plot, render_table
+from .timing import Timing, measure, time_once
+
+__all__ = [
+    "Series",
+    "Timing",
+    "measure",
+    "render_ascii_plot",
+    "render_table",
+    "time_once",
+]

@@ -1,0 +1,100 @@
+"""Plain-text series and table reports for the benchmark harness.
+
+The benches regenerate the paper's figures as aligned text tables and
+simple ASCII plots so the shape comparison (who wins, where the knees
+are) is readable straight from ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["Series", "render_table", "render_ascii_plot"]
+
+
+@dataclass(slots=True)
+class Series:
+    """One plotted line: (x, y) pairs with a name."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.rjust(widths[index]) for index, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    series_list: Sequence[Series],
+    width: int = 68,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A small ASCII scatter/line plot of one or more series."""
+    markers = "*o+x#@"
+    points = [
+        (x, y) for series in series_list for x, y in series.points
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, series in enumerate(series_list):
+        marker = markers[series_index % len(markers)]
+        for x, y in series.points:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{y_low:.3g} .. {y_high:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  [{x_low:.3g} .. {x_high:.3g}]")
+    for series_index, series in enumerate(series_list):
+        marker = markers[series_index % len(markers)]
+        lines.append(f"   {marker} = {series.name}")
+    return "\n".join(lines)

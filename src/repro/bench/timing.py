@@ -1,0 +1,59 @@
+"""Timing utilities for the benchmark harness.
+
+The paper's figures plot elapsed milliseconds; the helpers here run a
+callable repeatedly (with warm-up), return robust statistics and keep
+results deterministic apart from the clock itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import mean, median, stdev
+from typing import Any, Callable, List
+
+__all__ = ["Timing", "measure", "time_once"]
+
+
+@dataclass(frozen=True, slots=True)
+class Timing:
+    """Statistics of repeated timed runs, in milliseconds."""
+
+    repeats: int
+    mean_ms: float
+    median_ms: float
+    min_ms: float
+    max_ms: float
+    stdev_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.median_ms:8.3f} ms (median of {self.repeats}, "
+            f"min {self.min_ms:.3f}, mean {self.mean_ms:.3f})"
+        )
+
+
+def time_once(fn: Callable[[], Any]) -> float:
+    """One wall-clock measurement in milliseconds."""
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def measure(
+    fn: Callable[[], Any], repeats: int = 5, warmup: int = 1
+) -> Timing:
+    """Run ``fn`` ``warmup + repeats`` times; stats over the repeats."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = [time_once(fn) for _ in range(repeats)]
+    return Timing(
+        repeats=repeats,
+        mean_ms=mean(samples),
+        median_ms=median(samples),
+        min_ms=min(samples),
+        max_ms=max(samples),
+        stdev_ms=stdev(samples) if len(samples) > 1 else 0.0,
+    )

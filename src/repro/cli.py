@@ -1,0 +1,174 @@
+"""Command-line interface: load XML, inspect it, run nearest-concept
+queries — the "ad hoc user" workflow of the paper in one binary.
+
+Usage (also via ``python -m repro``)::
+
+    repro describe  doc.xml
+    repro search    doc.xml Bit 1999 --exclude-root --limit 5
+    repro query     doc.xml "select meet($a,$b) from # $a, # $b \\
+                             where $a contains 'Bit' and $b contains '1999'"
+    repro shred     doc.xml store.json      # persist the Monet image
+    repro search    store.json Bit 1999     # query the image directly
+
+Inputs ending in ``.json`` are treated as persisted Monet images;
+anything else is parsed as XML.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path as FsPath
+from typing import Optional, Sequence
+
+from .core.engine import NearestConceptEngine
+from .datamodel.errors import ReproError
+from .datamodel.parser import parse_document
+from .monet import storage
+from .monet.stats import collect_statistics
+from .monet.transform import monet_transform
+from .query.executor import QueryProcessor
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_store(path: str, case_sensitive: bool = False):
+    source = FsPath(path)
+    if not source.exists():
+        raise ReproError(f"no such file: {path}")
+    if source.suffix == ".json":
+        return storage.load(source)
+    text = source.read_text(encoding="utf-8")
+    return monet_transform(parse_document(text, first_oid=1))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nearest Concept Queries over XML (ICDE 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser(
+        "describe", help="print store statistics and the path summary"
+    )
+    describe.add_argument("source", help="XML file or .json Monet image")
+    describe.add_argument(
+        "--paths", action="store_true", help="also list every distinct path"
+    )
+
+    search = sub.add_parser(
+        "search", help="nearest-concept search for two or more terms"
+    )
+    search.add_argument("source", help="XML file or .json Monet image")
+    search.add_argument("terms", nargs="+", help="two or more search terms")
+    search.add_argument("--exclude-root", action="store_true")
+    search.add_argument(
+        "--all-terms",
+        action="store_true",
+        help="keep only concepts covering every term",
+    )
+    search.add_argument("--within", type=int, default=None, metavar="K")
+    search.add_argument("--limit", type=int, default=10)
+    search.add_argument("--case-sensitive", action="store_true")
+    search.add_argument(
+        "--xml", action="store_true", help="print each result subtree as XML"
+    )
+
+    query = sub.add_parser("query", help="run a select/from/where query")
+    query.add_argument("source", help="XML file or .json Monet image")
+    query.add_argument("text", help="the query string")
+    query.add_argument("--explain", action="store_true")
+    query.add_argument("--case-sensitive", action="store_true")
+
+    shred = sub.add_parser(
+        "shred", help="Monet-transform an XML file and save the JSON image"
+    )
+    shred.add_argument("source", help="XML file")
+    shred.add_argument("image", help="output .json path")
+    return parser
+
+
+def _command_describe(args) -> int:
+    store = _load_store(args.source)
+    statistics = collect_statistics(store)
+    print(statistics.render())
+    if args.paths:
+        print("\nall paths:")
+        for name in store.relation_names():
+            print(f"  {name}")
+    return 0
+
+
+def _command_search(args) -> int:
+    if len(args.terms) < 2:
+        print("search needs at least two terms", file=sys.stderr)
+        return 2
+    store = _load_store(args.source)
+    engine = NearestConceptEngine(store, case_sensitive=args.case_sensitive)
+    concepts = engine.nearest_concepts(
+        *args.terms,
+        exclude_root=args.exclude_root,
+        require_all_terms=args.all_terms,
+        within=args.within,
+        limit=args.limit,
+    )
+    if not concepts:
+        print("no nearest concepts found")
+        return 1
+    for rank, concept in enumerate(concepts, start=1):
+        print(
+            f"{rank:>3}. <{concept.tag}> oid={concept.oid} "
+            f"joins={concept.joins} path={concept.path}"
+        )
+        if args.xml:
+            print(engine.to_xml(concept))
+        else:
+            print(f"     {engine.snippet(concept)}")
+    return 0
+
+
+def _command_query(args) -> int:
+    from .fulltext.search import SearchEngine
+
+    store = _load_store(args.source)
+    processor = QueryProcessor(
+        store,
+        search=SearchEngine(store, case_sensitive=args.case_sensitive),
+    )
+    if args.explain:
+        print(processor.explain(args.text))
+        return 0
+    result = processor.execute(args.text)
+    print(result.render_answer(store))
+    return 0 if result.rows else 1
+
+
+def _command_shred(args) -> int:
+    store = _load_store(args.source)
+    storage.save(store, args.image)
+    print(f"wrote {args.image}: {store.node_count} nodes, "
+          f"{len(store.relation_names())} relations")
+    return 0
+
+
+_COMMANDS = {
+    "describe": _command_describe,
+    "search": _command_search,
+    "query": _command_query,
+    "shred": _command_shred,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Cross-bibliography lookup — the §4 application, packaged.
+
+"Staying in the bibliography domain, we may want to know whether a
+certain bibliographical item that we found in one bibliography also
+lives in another bibliography; however, we have no idea how the
+relevant information is marked up.  So a good approach is to combine
+the meet operator with fulltext search similar to the introductory
+example and use the results as a starting point for displaying and
+browsing."
+
+Workflow implemented here:
+
+1. find the item in the *source* store with a nearest-concept query;
+2. extract its most *distinctive* terms (rarest-first by the target
+   store's document frequencies — unseen terms are useless probes and
+   are skipped);
+3. run a nearest-concept query with those probes on the *target*
+   store, whatever its mark-up;
+4. return ranked candidates with their term coverage, ready for
+   "displaying and browsing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fulltext.tokenizer import tokenize
+from ..monet.reassembly import object_text
+from .engine import NearestConcept, NearestConceptEngine
+
+__all__ = ["CrossMatch", "distinctive_terms", "find_elsewhere"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrossMatch:
+    """A candidate occurrence of the item in the target store."""
+
+    concept: NearestConcept
+    probes: Tuple[str, ...]
+    matched_terms: Tuple[str, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of probe terms the candidate covers."""
+        if not self.probes:
+            return 0.0
+        return len(self.matched_terms) / len(self.probes)
+
+
+def distinctive_terms(
+    source_engine: NearestConceptEngine,
+    oid: int,
+    target_engine: NearestConceptEngine,
+    max_terms: int = 4,
+    min_length: int = 2,
+) -> List[str]:
+    """The item's rarest terms *in the target store*, rarest first.
+
+    Terms absent from the target are skipped (they cannot anchor a
+    search); frequency ties resolve by first appearance in the item's
+    text so the probe set is deterministic.
+    """
+    text = object_text(source_engine.store, oid)
+    seen: Dict[str, int] = {}
+    for position, token in enumerate(
+        tokenize(text, target_engine.index.case_sensitive)
+    ):
+        if len(token) >= min_length and token not in seen:
+            seen[token] = position
+    candidates: List[Tuple[int, int, str]] = []
+    for token, position in seen.items():
+        frequency = target_engine.index.document_frequency(token)
+        if frequency == 0:
+            continue
+        candidates.append((frequency, position, token))
+    candidates.sort()
+    return [token for _freq, _pos, token in candidates[:max_terms]]
+
+
+def find_elsewhere(
+    source_engine: NearestConceptEngine,
+    item_oid: int,
+    target_engine: NearestConceptEngine,
+    max_terms: int = 4,
+    limit: Optional[int] = 5,
+    require_all_terms: bool = False,
+) -> List[CrossMatch]:
+    """Locate the source item's counterpart(s) in the target store.
+
+    Returns ranked :class:`CrossMatch` candidates (possibly empty: the
+    item may genuinely not live in the other bibliography, or share no
+    vocabulary with it).
+    """
+    probes = distinctive_terms(
+        source_engine, item_oid, target_engine, max_terms=max_terms
+    )
+    if len(probes) < 2:
+        return []
+    concepts = target_engine.nearest_concepts(
+        *probes,
+        exclude_root=True,
+        require_all_terms=require_all_terms,
+        limit=limit,
+    )
+    matches = [
+        CrossMatch(
+            concept=concept,
+            probes=tuple(probes),
+            matched_terms=concept.terms,
+        )
+        for concept in concepts
+    ]
+    matches.sort(key=lambda m: (-m.coverage, m.concept.sort_key()))
+    return matches

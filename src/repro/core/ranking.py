@@ -1,0 +1,77 @@
+"""Ranking heuristics for meet results (paper §4).
+
+"The number of joins is … a simple yet effective heuristic for
+establishing a ranking between the result OIDs."  For a general meet
+the join count equals the total number of edges between the meet and
+the original inputs it covers — the tighter the cluster, the better
+the result.  §4 additionally suggests "distances in the source file";
+with pre-order OIDs that is the OID spread of the origin set.
+
+Scores are *lower-is-better*.  :func:`rank_meets` combines:
+
+1. join count (primary — tighter concepts first),
+2. origin spread in document order (secondary),
+3. depth, descending (deeper = more specific concepts first),
+4. OID (document order) as the deterministic tie-breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..datamodel.paths import Path
+from ..monet.engine import MonetXML
+from .meet_general import GeneralMeet
+
+__all__ = ["RankedMeet", "join_count", "origin_spread", "rank_meets"]
+
+
+@dataclass(frozen=True, slots=True)
+class RankedMeet:
+    """A general meet annotated with its ranking features."""
+
+    oid: int
+    path: Path
+    origins: Tuple[int, ...]
+    joins: int
+    spread: int
+    depth: int
+
+    def sort_key(self) -> Tuple[int, int, int, int]:
+        return (self.joins, self.spread, -self.depth, self.oid)
+
+
+def join_count(store: MonetXML, result: GeneralMeet) -> int:
+    """Edges between the meet and its origins = joins spent finding it.
+
+    Because the meet is a common ancestor, the edge count from origin
+    ``o`` is simply ``depth(o) − depth(meet)``; no walking needed.
+    """
+    meet_depth = store.depth_of(result.oid)
+    return sum(store.depth_of(oid) - meet_depth for oid in result.origins)
+
+
+def origin_spread(result: GeneralMeet) -> int:
+    """Document-order spread of the origins (§4 source-file distance)."""
+    origins = result.origins
+    return max(origins) - min(origins)
+
+
+def rank_meets(
+    store: MonetXML, results: Iterable[GeneralMeet]
+) -> List[RankedMeet]:
+    """Annotate and sort general meets, best first; deterministic."""
+    ranked = [
+        RankedMeet(
+            oid=result.oid,
+            path=store.path_of(result.oid),
+            origins=tuple(sorted(result.origins)),
+            joins=join_count(store, result),
+            spread=origin_spread(result),
+            depth=store.depth_of(result.oid),
+        )
+        for result in results
+    ]
+    ranked.sort(key=RankedMeet.sort_key)
+    return ranked

@@ -1,0 +1,115 @@
+"""IR-flavoured ranking of nearest concepts (paper §4 outlook).
+
+"We believe that it is worthwhile to apply … even more complicated
+information retrieval techniques to improve the ranking of the answer
+set."  This module adds the textbook ingredients on top of the join
+count:
+
+* **idf** term weighting from the full-text index's document
+  frequencies — concepts found through *rare* terms outrank concepts
+  found through ubiquitous ones;
+* **tightness** — the §4 join count, turned into a [0, 1] decay so it
+  can be combined;
+* **locality** — the source-file distance heuristic (OID spread),
+  likewise decayed.
+
+Scores are *higher-is-better* (IR convention), in contrast to the
+lower-is-better sort keys of :mod:`repro.core.ranking`; both orders
+agree when idf weights are uniform, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..fulltext.index import FullTextIndex
+from .engine import NearestConcept
+
+__all__ = ["IRWeights", "ScoredConcept", "IRRanker"]
+
+
+@dataclass(frozen=True, slots=True)
+class IRWeights:
+    """Mixing weights of the three signals (defaults favour rarity)."""
+
+    idf: float = 1.0
+    tightness: float = 1.0
+    locality: float = 0.25
+    #: joins at which tightness has decayed to 1/2.
+    half_joins: float = 6.0
+    #: OID spread at which locality has decayed to 1/2.
+    half_spread: float = 64.0
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredConcept:
+    """A nearest concept with its combined IR score (higher = better)."""
+
+    concept: NearestConcept
+    score: float
+    idf_score: float
+    tightness: float
+    locality: float
+
+
+class IRRanker:
+    """Score and re-rank concepts using index statistics.
+
+    Parameters
+    ----------
+    index:
+        The full-text index whose document frequencies drive idf.
+    weights:
+        Signal mix; see :class:`IRWeights`.
+    """
+
+    def __init__(self, index: FullTextIndex, weights: Optional[IRWeights] = None):
+        self.index = index
+        self.weights = weights or IRWeights()
+
+    # -- signals ---------------------------------------------------------
+    def idf(self, term: str) -> float:
+        """log-scaled inverse document frequency; 0 for unseen terms."""
+        df = self.index.document_frequency(term)
+        if df == 0:
+            return 0.0
+        n = max(self.index.indexed_associations, 1)
+        return math.log(1.0 + n / df)
+
+    def _idf_score(self, terms: Sequence[str]) -> float:
+        if not terms:
+            return 0.0
+        return sum(self.idf(term) for term in terms) / len(terms)
+
+    def _tightness(self, joins: int) -> float:
+        return 1.0 / (1.0 + joins / self.weights.half_joins)
+
+    def _locality(self, spread: int) -> float:
+        return 1.0 / (1.0 + spread / self.weights.half_spread)
+
+    # -- ranking -----------------------------------------------------------
+    def score(self, concept: NearestConcept) -> ScoredConcept:
+        idf_score = self._idf_score(concept.terms)
+        tightness = self._tightness(concept.joins)
+        locality = self._locality(concept.spread)
+        weights = self.weights
+        combined = (
+            weights.idf * idf_score
+            + weights.tightness * tightness
+            + weights.locality * locality
+        )
+        return ScoredConcept(
+            concept=concept,
+            score=combined,
+            idf_score=idf_score,
+            tightness=tightness,
+            locality=locality,
+        )
+
+    def rank(self, concepts: Iterable[NearestConcept]) -> List[ScoredConcept]:
+        """Best first; ties broken by document order for determinism."""
+        scored = [self.score(concept) for concept in concepts]
+        scored.sort(key=lambda s: (-s.score, s.concept.oid))
+        return scored

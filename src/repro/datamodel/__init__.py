@@ -1,0 +1,70 @@
+"""Conceptual XML data model (paper §2, Definitions 1–3 and 5).
+
+Public surface:
+
+* :class:`Node`, :class:`Document` — the rooted labelled tree with
+  depth-first OIDs, attributes, materialized ``cdata`` nodes and
+  sibling ranks.
+* :class:`Path`, :class:`Step` and the prefix order helpers
+  (:func:`prefix_leq`, :func:`longest_common_prefix`).
+* :func:`parse_document` / :func:`serialize` — XML text round-trip.
+* :class:`DocumentBuilder` — fluent programmatic construction.
+"""
+
+from .builder import DocumentBuilder, element
+from .document import CDATA_LABEL, STRING_ATTRIBUTE, Document
+from .errors import (
+    ModelError,
+    QueryError,
+    QueryPlanError,
+    QuerySyntaxError,
+    ReproError,
+    StorageError,
+    UnknownOIDError,
+    UnknownPathError,
+    XMLParseError,
+)
+from .node import CDATA_ATTRIBUTE, Node
+from .parser import parse_document, parse_fragment
+from .paths import (
+    ATTRIBUTE,
+    ELEMENT,
+    Path,
+    Step,
+    is_prefix,
+    longest_common_prefix,
+    prefix_leq,
+    relative_suffix,
+)
+from .serializer import serialize, serialize_node
+
+__all__ = [
+    "ATTRIBUTE",
+    "CDATA_ATTRIBUTE",
+    "CDATA_LABEL",
+    "Document",
+    "DocumentBuilder",
+    "ELEMENT",
+    "ModelError",
+    "Node",
+    "Path",
+    "QueryError",
+    "QueryPlanError",
+    "QuerySyntaxError",
+    "ReproError",
+    "STRING_ATTRIBUTE",
+    "Step",
+    "StorageError",
+    "UnknownOIDError",
+    "UnknownPathError",
+    "XMLParseError",
+    "element",
+    "is_prefix",
+    "longest_common_prefix",
+    "parse_document",
+    "parse_fragment",
+    "prefix_leq",
+    "relative_suffix",
+    "serialize",
+    "serialize_node",
+]

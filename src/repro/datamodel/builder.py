@@ -1,0 +1,88 @@
+"""A small fluent builder for constructing documents programmatically.
+
+The datasets package and many tests construct trees by hand; the
+builder keeps that readable::
+
+    doc = (DocumentBuilder("bibliography")
+           .down("article", key="BB99")
+           .leaf("author", "Ben Bit")
+           .leaf("year", "1999")
+           .up()
+           .build())
+
+``down`` descends into a fresh child, ``up`` returns to the parent,
+``leaf`` adds a child carrying character data without descending.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .document import Document
+from .node import Node
+
+__all__ = ["DocumentBuilder", "element"]
+
+
+def element(label: str, text: Optional[str] = None, **attributes: str) -> Node:
+    """Create a free-standing node; keyword arguments become attributes."""
+    node = Node(label, attributes=dict(attributes))
+    if text is not None:
+        node.text = text
+    return node
+
+
+class DocumentBuilder:
+    """Stack-based tree builder; see module docstring for the idiom."""
+
+    def __init__(self, root_label: str, **attributes: str):
+        self._root = element(root_label, **attributes)
+        self._stack: List[Node] = [self._root]
+        self._built = False
+
+    @property
+    def current(self) -> Node:
+        """The node new children are appended to."""
+        return self._stack[-1]
+
+    def down(self, label: str, text: Optional[str] = None, **attributes: str):
+        """Append a child and descend into it."""
+        child = element(label, text, **attributes)
+        self.current.append(child)
+        self._stack.append(child)
+        return self
+
+    def leaf(self, label: str, text: Optional[str] = None, **attributes: str):
+        """Append a child without descending."""
+        self.current.append(element(label, text, **attributes))
+        return self
+
+    def text(self, value: str):
+        """Set character data on the current node."""
+        self.current.text = value
+        return self
+
+    def attr(self, name: str, value: str):
+        """Set an attribute on the current node."""
+        self.current.attributes[name] = value
+        return self
+
+    def up(self, levels: int = 1):
+        """Ascend ``levels`` levels; never above the root."""
+        for _ in range(levels):
+            if len(self._stack) == 1:
+                raise ValueError("cannot ascend above the document root")
+            self._stack.pop()
+        return self
+
+    def subtree(self, node: Node):
+        """Graft a pre-built subtree under the current node."""
+        self.current.append(node)
+        return self
+
+    def build(self, first_oid: int = 0) -> Document:
+        """Freeze and return the document.  The builder is single-use."""
+        if self._built:
+            raise ValueError("builder already consumed by build()")
+        self._built = True
+        return Document(self._root, first_oid=first_oid)

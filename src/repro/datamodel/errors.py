@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` data model.
+
+All exceptions raised by the library derive from :class:`ReproError`
+so callers can catch a single base class.  Parsing problems carry the
+position in the source text; model problems carry the offending OID or
+path where available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class XMLParseError(ReproError):
+    """A syntactic problem in an XML source text.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the problem in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ModelError(ReproError):
+    """A structural violation of the conceptual data model (Def. 1)."""
+
+
+class UnknownOIDError(ModelError):
+    """An OID was used that does not denote a node of the document."""
+
+    def __init__(self, oid: int):
+        self.oid = oid
+        super().__init__(f"unknown OID: {oid!r}")
+
+
+class UnknownPathError(ModelError):
+    """A path was referenced that is absent from the path summary."""
+
+    def __init__(self, path):
+        self.path = path
+        super().__init__(f"unknown path: {path!r}")
+
+
+class QueryError(ReproError):
+    """Base class for query-language front-end errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class QueryPlanError(QueryError):
+    """The query is well-formed but cannot be planned against the store."""
+
+
+class StorageError(ReproError):
+    """Persisting or loading a database image failed."""

@@ -1,0 +1,145 @@
+"""Nodes of the conceptual syntax tree (Definition 1).
+
+A node carries the pieces Definition 1 assigns through the functions
+``label_E`` (element tag), ``label_A`` (attribute/value pairs) and
+``rank`` (sibling order).  Character data is modelled, as in the paper,
+as the special attribute ``cdata`` of a node — we expose it separately
+for convenience but it is stored alongside ordinary attributes in the
+Monet transform.
+
+Nodes are plain mutable objects while a document is being built; once a
+:class:`repro.datamodel.document.Document` freezes them they should be
+treated as read-only (the library never mutates a frozen node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Node", "CDATA_ATTRIBUTE"]
+
+#: The reserved attribute name under which character data is stored.
+CDATA_ATTRIBUTE = "cdata"
+
+
+class Node:
+    """One node of the XML syntax tree.
+
+    Parameters
+    ----------
+    label:
+        The element tag (``label_E`` of Def. 1).
+    attributes:
+        Attribute name → value mapping (``label_A``).  May include the
+        reserved ``cdata`` key; prefer the :attr:`text` property.
+    rank:
+        Position among siblings, 0-based (``rank`` of Def. 1).
+    """
+
+    __slots__ = ("oid", "label", "attributes", "rank", "parent", "children")
+
+    def __init__(
+        self,
+        label: str,
+        attributes: Optional[Dict[str, str]] = None,
+        rank: int = 0,
+    ):
+        if not label:
+            raise ValueError("node label must be non-empty")
+        self.oid: int = -1  # assigned by Document.freeze()
+        self.label = label
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.rank = rank
+        self.parent: Optional["Node"] = None
+        self.children: List["Node"] = []
+
+    # -- text ------------------------------------------------------------
+    @property
+    def text(self) -> Optional[str]:
+        """Character data of this node (the ``cdata`` attribute), if any."""
+        return self.attributes.get(CDATA_ATTRIBUTE)
+
+    @text.setter
+    def text(self, value: Optional[str]) -> None:
+        if value is None:
+            self.attributes.pop(CDATA_ATTRIBUTE, None)
+        else:
+            self.attributes[CDATA_ATTRIBUTE] = value
+
+    @property
+    def string_value(self) -> Optional[str]:
+        """Value of a materialized ``cdata`` node (its ``string`` attribute)."""
+        return self.attributes.get("string")
+
+    @property
+    def plain_attributes(self) -> Dict[str, str]:
+        """Attributes without the reserved ``cdata`` entry."""
+        return {
+            name: value
+            for name, value in self.attributes.items()
+            if name != CDATA_ATTRIBUTE
+        }
+
+    # -- tree construction -------------------------------------------------
+    def append(self, child: "Node") -> "Node":
+        """Attach ``child`` as the last child; returns the child."""
+        child.parent = self
+        child.rank = len(self.children)
+        self.children.append(child)
+        return child
+
+    def extend(self, children) -> None:
+        for child in children:
+            self.append(child)
+
+    # -- traversal -----------------------------------------------------
+    def iter_preorder(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_ancestors(self, include_self: bool = False) -> Iterator["Node"]:
+        """Yield ancestors walking towards the root."""
+        node = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """1-based depth: the root has depth 1 (matches ``len(path)``)."""
+        return sum(1 for _ in self.iter_ancestors(include_self=True))
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.iter_preorder())
+
+    # -- convenience ---------------------------------------------------
+    def find(self, label: str) -> Optional["Node"]:
+        """First child with the given label, or ``None``."""
+        for child in self.children:
+            if child.label == label:
+                return child
+        return None
+
+    def find_all(self, label: str) -> List["Node"]:
+        """All children with the given label, in document order."""
+        return [child for child in self.children if child.label == label]
+
+    def descendant_text(self) -> str:
+        """All character data in the subtree, in document order, joined."""
+        pieces = [
+            node.text for node in self.iter_preorder() if node.text is not None
+        ]
+        return " ".join(pieces)
+
+    def __repr__(self) -> str:
+        text = f" text={self.text!r}" if self.text is not None else ""
+        return (
+            f"<Node oid={self.oid} label={self.label!r} "
+            f"children={len(self.children)}{text}>"
+        )

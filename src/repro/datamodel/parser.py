@@ -1,0 +1,322 @@
+"""A from-scratch XML parser producing the conceptual data model.
+
+The parser handles the XML subset relevant to the paper's workloads:
+elements, attributes, character data (including mixed content), CDATA
+sections, comments, processing instructions, an (ignored) DOCTYPE, the
+five predefined entities and numeric character references.  Namespaces
+are treated textually (prefixes stay part of the tag name), matching
+the paper's purely label-based model.
+
+Character data chunks become explicit ``cdata`` nodes per Figure 1 of
+the paper (see :mod:`repro.datamodel.document`).  Whitespace-only text
+between elements is dropped by default (``keep_whitespace=False``)
+because the paper's bibliographic documents are data-centric.
+
+The implementation is a hand-written single-pass scanner — no external
+dependencies — with precise line/column error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .document import CDATA_LABEL, STRING_ATTRIBUTE, Document
+from .errors import XMLParseError
+from .node import Node
+
+__all__ = ["parse_document", "parse_fragment", "XMLScanner"]
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:-.")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class XMLScanner:
+    """Low-level cursor over the source text with position tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- position --------------------------------------------------------
+    def location(self, pos: Optional[int] = None) -> Tuple[int, int]:
+        """1-based (line, column) of a source offset."""
+        if pos is None:
+            pos = self.pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_newline = self.text.rfind("\n", 0, pos)
+        column = pos - last_newline
+        return line, column
+
+    def error(self, message: str, pos: Optional[int] = None) -> XMLParseError:
+        line, column = self.location(pos)
+        return XMLParseError(message, line=line, column=column)
+
+    # -- primitives -----------------------------------------------------
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def starts_with(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def expect(self, literal: str) -> None:
+        if not self.starts_with(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_until(self, terminator: str) -> str:
+        """Consume up to and including ``terminator``; return the body."""
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated construct, expected {terminator!r}")
+        body = self.text[self.pos:end]
+        self.pos = end + len(terminator)
+        return body
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.peek()):
+            raise self.error("expected an XML name")
+        self.advance()
+        while not self.at_end() and _is_name_char(self.peek()):
+            self.advance()
+        return self.text[start:self.pos]
+
+
+def _decode_entity(scanner: XMLScanner) -> str:
+    """Decode one ``&...;`` reference; the cursor sits on the ``&``."""
+    start = scanner.pos
+    scanner.expect("&")
+    body = scanner.read_until(";")
+    if not body:
+        raise scanner.error("empty entity reference", pos=start)
+    if body.startswith("#x") or body.startswith("#X"):
+        try:
+            return chr(int(body[2:], 16))
+        except ValueError:
+            raise scanner.error(f"bad character reference &{body};", pos=start)
+    if body.startswith("#"):
+        try:
+            return chr(int(body[1:], 10))
+        except ValueError:
+            raise scanner.error(f"bad character reference &{body};", pos=start)
+    try:
+        return _PREDEFINED_ENTITIES[body]
+    except KeyError:
+        raise scanner.error(f"unknown entity &{body};", pos=start)
+
+
+def _decode_text(raw: str, scanner: XMLScanner, base: int) -> str:
+    """Decode entity references inside a text or attribute-value slice."""
+    if "&" not in raw:
+        return raw
+    sub = XMLScanner(raw)
+    # Error positions inside the slice map back to the enclosing text.
+    out: List[str] = []
+    while not sub.at_end():
+        ch = sub.peek()
+        if ch == "&":
+            sub_start = sub.pos
+            try:
+                out.append(_decode_entity(sub))
+            except XMLParseError as exc:
+                raise scanner.error(str(exc).split(" (line")[0], pos=base + sub_start)
+        else:
+            out.append(ch)
+            sub.advance()
+    return "".join(out)
+
+
+class _Parser:
+    """Recursive-descent XML parser over an :class:`XMLScanner`."""
+
+    def __init__(self, text: str, keep_whitespace: bool):
+        self.scanner = XMLScanner(text)
+        self.keep_whitespace = keep_whitespace
+
+    # -- top level -------------------------------------------------------
+    def parse(self) -> Node:
+        """Iterative element parsing with an explicit open-tag stack.
+
+        Documents regularly out-depth Python's recursion limit, so the
+        element structure is driven by a loop, not by recursion.
+        """
+        scanner = self.scanner
+        self._skip_misc()
+        if scanner.at_end() or scanner.peek() != "<":
+            raise scanner.error("expected a root element")
+        root, closed = self._parse_start_tag()
+        stack: List[Node] = [] if closed else [root]
+        while stack:
+            current = stack[-1]
+            if scanner.at_end():
+                raise scanner.error(f"unterminated element <{current.label}>")
+            if scanner.starts_with("</"):
+                scanner.advance(2)
+                end_name = scanner.read_name()
+                if end_name != current.label:
+                    raise scanner.error(
+                        f"mismatched closing tag </{end_name}>, "
+                        f"expected </{current.label}>"
+                    )
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                stack.pop()
+            elif scanner.starts_with("<!--"):
+                scanner.advance(4)
+                scanner.read_until("-->")
+            elif scanner.starts_with("<![CDATA["):
+                scanner.advance(9)
+                value = scanner.read_until("]]>")
+                self._append_text(current, value, decoded=True)
+            elif scanner.starts_with("<?"):
+                scanner.advance(2)
+                scanner.read_until("?>")
+            elif scanner.peek() == "<":
+                child, child_closed = self._parse_start_tag()
+                current.append(child)
+                if not child_closed:
+                    stack.append(child)
+            else:
+                start = scanner.pos
+                end = scanner.text.find("<", start)
+                if end < 0:
+                    raise scanner.error(
+                        f"unterminated element <{current.label}>"
+                    )
+                raw = scanner.text[start:end]
+                scanner.pos = end
+                self._append_text(current, _decode_text(raw, scanner, start))
+        self._skip_misc()
+        if not scanner.at_end():
+            raise scanner.error("content after the root element")
+        return root
+
+    def _parse_start_tag(self) -> Tuple[Node, bool]:
+        """Parse ``<name attrs…>`` or ``<name attrs…/>``.
+
+        Returns the fresh node and whether the element self-closed.
+        """
+        scanner = self.scanner
+        scanner.expect("<")
+        label = scanner.read_name()
+        attributes = self._parse_attributes()
+        node = Node(label, attributes=attributes)
+        scanner.skip_whitespace()
+        if scanner.starts_with("/>"):
+            scanner.advance(2)
+            return node, True
+        scanner.expect(">")
+        return node, False
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs and DOCTYPE outside elements."""
+        scanner = self.scanner
+        while True:
+            scanner.skip_whitespace()
+            if scanner.starts_with("<?"):
+                scanner.advance(2)
+                scanner.read_until("?>")
+            elif scanner.starts_with("<!--"):
+                scanner.advance(4)
+                scanner.read_until("-->")
+            elif scanner.starts_with("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        """Skip a DOCTYPE declaration, tolerating an internal subset."""
+        scanner = self.scanner
+        scanner.expect("<!DOCTYPE")
+        depth = 1
+        while depth > 0:
+            if scanner.at_end():
+                raise scanner.error("unterminated DOCTYPE")
+            ch = scanner.peek()
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+            scanner.advance()
+
+    def _parse_attributes(self) -> Dict[str, str]:
+        scanner = self.scanner
+        attributes: Dict[str, str] = {}
+        while True:
+            scanner.skip_whitespace()
+            ch = scanner.peek()
+            if ch in (">", "/") or scanner.at_end():
+                return attributes
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect("=")
+            scanner.skip_whitespace()
+            quote = scanner.peek()
+            if quote not in ("'", '"'):
+                raise scanner.error("attribute value must be quoted")
+            scanner.advance()
+            base = scanner.pos
+            raw = scanner.read_until(quote)
+            if name in attributes:
+                raise scanner.error(f"duplicate attribute {name!r}")
+            attributes[name] = _decode_text(raw, scanner, base)
+
+    def _append_text(self, node: Node, text: str, decoded: bool = False) -> None:
+        if not decoded and not self.keep_whitespace and not text.strip():
+            return
+        if not self.keep_whitespace:
+            text = text.strip()
+            if not text and not decoded:
+                return
+        node.append(Node(CDATA_LABEL, attributes={STRING_ATTRIBUTE: text}))
+
+
+def parse_fragment(text: str, keep_whitespace: bool = False) -> Node:
+    """Parse XML text and return the root :class:`Node` (no OIDs yet)."""
+    return _Parser(text, keep_whitespace).parse()
+
+
+def parse_document(
+    text: str, first_oid: int = 0, keep_whitespace: bool = False
+) -> Document:
+    """Parse XML text into a frozen :class:`Document`.
+
+    Parameters
+    ----------
+    text:
+        The XML source.
+    first_oid:
+        OID assigned to the root (the paper's Figure 1 starts at 1).
+    keep_whitespace:
+        Keep whitespace-only text nodes (off for data-centric XML).
+    """
+    root = parse_fragment(text, keep_whitespace=keep_whitespace)
+    return Document(root, first_oid=first_oid)

@@ -1,0 +1,225 @@
+"""Paths and the prefix order over them (Definitions 3 and 5).
+
+A *path* ``path(o)`` denotes the sequence of labels along the way from
+the document root to an item ``o`` of the syntax tree.  Paths written
+down by the paper look like ``bib/inproceedings/author/cdata`` for
+element steps and ``.../year@cdata/string`` for the attribute-ish leaf
+steps of the Monet model; we keep the step kinds explicit so that the
+Monet transform (Def. 4) can name its relations unambiguously.
+
+Two orders matter:
+
+* ``p1 <= p2`` under :func:`is_prefix` — the paper's ⪯ from Def. 5
+  (note the direction: ``path(o1) ⪯ path(o2)`` iff ``path(o2)`` *is a
+  prefix of* ``path(o1)``; the deeper path is the smaller element).
+* plain prefix tests used by the path summary.
+
+Paths are immutable and interned by :class:`repro.monet.pathsummary.
+PathSummary`; equality and hashing are tuple-cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+__all__ = [
+    "Step",
+    "ELEMENT",
+    "ATTRIBUTE",
+    "TEXT",
+    "Path",
+    "is_prefix",
+    "prefix_leq",
+    "longest_common_prefix",
+    "relative_suffix",
+]
+
+# Step kinds.  The paper's footnote 1: ``/`` denotes an element
+# relationship, ``@`` an attribute relationship.  Character data is kept
+# as the distinguished ``cdata`` attribute of Def. 1; the Monet
+# transform appends a final ``string`` step for the value leaf.
+ELEMENT = "/"
+ATTRIBUTE = "@"
+TEXT = "::text"
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One step of a path: a label reached via an element or attribute edge."""
+
+    label: str
+    kind: str = ELEMENT
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ELEMENT, ATTRIBUTE):
+            raise ValueError(f"invalid step kind: {self.kind!r}")
+        if not self.label:
+            raise ValueError("step label must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.label}" if self.kind == ATTRIBUTE else self.label
+
+
+class Path:
+    """An immutable sequence of :class:`Step` — the type π(o) of a node.
+
+    ``Path`` behaves like a tuple of steps: it is hashable, comparable
+    for equality, sliceable, and supports ``p / "label"`` and
+    ``p @ "attr"``-style extension through :meth:`child` and
+    :meth:`attribute`.
+    """
+
+    __slots__ = ("_steps", "_hash")
+
+    def __init__(self, steps: Iterable[Step] = ()):
+        self._steps: Tuple[Step, ...] = tuple(steps)
+        self._hash = hash(self._steps)
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def root(cls, label: str) -> "Path":
+        """The one-step path of a document root labelled ``label``."""
+        return cls((Step(label),))
+
+    @classmethod
+    def of(cls, *labels: str) -> "Path":
+        """Build an all-element path from plain labels (test helper)."""
+        return cls(Step(label) for label in labels)
+
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        """Parse the serialized form produced by :meth:`__str__`.
+
+        Element steps are separated by ``/``; attribute steps are
+        introduced by ``@`` glued to the preceding separator, e.g.
+        ``bib/article/year@cdata``.
+        """
+        steps = []
+        for chunk in text.split("/"):
+            if not chunk:
+                continue
+            parts = chunk.split("@")
+            head, attrs = parts[0], parts[1:]
+            if head:
+                steps.append(Step(head, ELEMENT))
+            for attr in attrs:
+                if not attr:
+                    raise ValueError(f"empty attribute step in {text!r}")
+                steps.append(Step(attr, ATTRIBUTE))
+        return cls(steps)
+
+    # -- extension -----------------------------------------------------
+    def child(self, label: str) -> "Path":
+        """The path extended by one element step."""
+        return Path(self._steps + (Step(label, ELEMENT),))
+
+    def attribute(self, label: str) -> "Path":
+        """The path extended by one attribute step."""
+        return Path(self._steps + (Step(label, ATTRIBUTE),))
+
+    def parent(self) -> "Path":
+        """The path with its last step removed.
+
+        Raises :class:`ValueError` on the empty path.
+        """
+        if not self._steps:
+            raise ValueError("the empty path has no parent")
+        return Path(self._steps[:-1])
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def steps(self) -> Tuple[Step, ...]:
+        return self._steps
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Just the labels, without step kinds."""
+        return tuple(step.label for step in self._steps)
+
+    @property
+    def last(self) -> Step:
+        if not self._steps:
+            raise ValueError("the empty path has no last step")
+        return self._steps[-1]
+
+    def depth(self) -> int:
+        """Number of steps; the root path has depth 1, the empty path 0."""
+        return len(self._steps)
+
+    def is_empty(self) -> bool:
+        return not self._steps
+
+    # -- dunder --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self._steps)
+
+    def __getitem__(self, index):
+        result = self._steps[index]
+        if isinstance(index, slice):
+            return Path(result)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Path) and self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        out = []
+        for step in self._steps:
+            if step.kind == ATTRIBUTE:
+                out.append(f"@{step.label}")
+            else:
+                if out:
+                    out.append("/")
+                out.append(step.label)
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+
+def is_prefix(shorter: Path, longer: Path) -> bool:
+    """``True`` iff ``shorter`` is a (non-strict) prefix of ``longer``."""
+    n = len(shorter)
+    return n <= len(longer) and longer.steps[:n] == shorter.steps
+
+
+def prefix_leq(p1: Path, p2: Path) -> bool:
+    """The paper's ⪯ of Definition 5: ``p1 ⪯ p2`` iff p2 is a prefix of p1.
+
+    Deeper paths are *smaller*: ``path(o) ⪯ path(ancestor(o))``.  The
+    relation is reflexive.
+    """
+    return is_prefix(p2, p1)
+
+
+def longest_common_prefix(p1: Path, p2: Path) -> Path:
+    """The longest common prefix of two paths.
+
+    The paper observes ``path(meet2(o1, o2))`` is the longest common
+    prefix of ``path(o1)`` and ``path(o2)`` (first bullet list of §3.1).
+    """
+    n = 0
+    for s1, s2 in zip(p1.steps, p2.steps):
+        if s1 != s2:
+            break
+        n += 1
+    return p1[:n]
+
+
+def relative_suffix(longer: Path, shorter: Path) -> Path:
+    """``longer − shorter``: the steps of ``longer`` below the prefix.
+
+    This is the paper's ``path(o1) \\ path(o)`` context notation (second
+    bullet list of §3.1).  Raises :class:`ValueError` if ``shorter`` is
+    not a prefix of ``longer``.
+    """
+    if not is_prefix(shorter, longer):
+        raise ValueError(f"{shorter} is not a prefix of {longer}")
+    return longer[len(shorter):]

@@ -1,0 +1,99 @@
+"""Serialize the conceptual model back to XML text.
+
+Materialized ``cdata`` nodes become character data again; every other
+node becomes an element with its plain attributes.  Output is
+deterministic: attributes are emitted in insertion order, children in
+rank order.  ``indent=None`` produces canonical single-line output
+(used by the round-trip property tests); an integer produces
+pretty-printed output for humans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .document import CDATA_LABEL, Document
+from .node import Node
+
+__all__ = ["serialize", "serialize_node", "escape_text", "escape_attribute"]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted output."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def _open_tag(node: Node) -> str:
+    parts = [node.label]
+    for name, value in node.attributes.items():
+        parts.append(f'{name}="{escape_attribute(value)}"')
+    return "<" + " ".join(parts) + ">"
+
+
+def _write_node(node: Node, out: List[str], indent: Optional[int], level: int) -> None:
+    """Iterative writer (documents can be deeper than Python's stack)."""
+    stack: List[tuple] = [("node", node, level)]
+    while stack:
+        kind, payload, current_level = stack.pop()
+        if kind == "raw":
+            out.append(payload)
+            continue
+        current: Node = payload
+        pad = "" if indent is None else "\n" + " " * (indent * current_level)
+        if current.label == CDATA_LABEL:
+            out.append(pad)
+            out.append(escape_text(current.string_value or ""))
+            continue
+        if not current.children:
+            parts = [current.label]
+            for name, value in current.attributes.items():
+                parts.append(f'{name}="{escape_attribute(value)}"')
+            out.append(pad)
+            out.append("<" + " ".join(parts) + "/>")
+            continue
+        out.append(pad)
+        out.append(_open_tag(current))
+        only_text = all(
+            child.label == CDATA_LABEL for child in current.children
+        )
+        if only_text:
+            # Keep text inline so round-trips stay whitespace-exact.
+            for child in current.children:
+                out.append(escape_text(child.string_value or ""))
+            out.append(f"</{current.label}>")
+            continue
+        close = f"</{current.label}>"
+        if indent is not None:
+            close = "\n" + " " * (indent * current_level) + close
+        stack.append(("raw", close, 0))
+        for child in reversed(current.children):
+            stack.append(("node", child, current_level + 1))
+
+
+def serialize_node(node: Node, indent: Optional[int] = None) -> str:
+    """Serialize a subtree to XML text."""
+    out: List[str] = []
+    _write_node(node, out, indent, 0)
+    text = "".join(out)
+    return text.lstrip("\n") if indent is not None else text
+
+
+def serialize(
+    document: Document, indent: Optional[int] = None, declaration: bool = False
+) -> str:
+    """Serialize a document; optionally prepend the XML declaration."""
+    body = serialize_node(document.root, indent=indent)
+    if declaration:
+        return '<?xml version="1.0" encoding="UTF-8"?>\n' + body
+    return body

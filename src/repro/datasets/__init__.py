@@ -1,0 +1,43 @@
+"""Datasets: the paper's example document and synthetic substitutes.
+
+* :func:`figure1_document` — the running example (Figure 1), exact OIDs.
+* :func:`dblp_document` — synthetic DBLP with ICDE 1984–1999 (no 1985),
+  substitute for the real DBLP of the §5 case study.
+* :func:`multimedia_document` / :func:`multimedia_with_markers` —
+  synthetic feature-detector output with plantable term distances,
+  substitute for the 200 MB multimedia file of §5.
+* :func:`random_document` — property-test material.
+"""
+
+from .dblp import (
+    DblpConfig,
+    ICDE_MISSING_YEAR,
+    dblp_document,
+    expected_icde_publications,
+)
+from .figure1 import FIGURE1_OIDS, figure1_document
+from .multimedia import (
+    MultimediaConfig,
+    marker_terms,
+    multimedia_document,
+    multimedia_with_markers,
+)
+from .plays import PlaysConfig, plays_document
+from .randomtree import random_document, random_oid_pairs
+
+__all__ = [
+    "DblpConfig",
+    "FIGURE1_OIDS",
+    "ICDE_MISSING_YEAR",
+    "MultimediaConfig",
+    "PlaysConfig",
+    "plays_document",
+    "dblp_document",
+    "expected_icde_publications",
+    "figure1_document",
+    "marker_terms",
+    "multimedia_document",
+    "multimedia_with_markers",
+    "random_document",
+    "random_oid_pairs",
+]

@@ -1,0 +1,183 @@
+"""Synthetic DBLP bibliography — substitute for the real DBLP of §5.
+
+The paper's case study bulk-loads "the DBLP bibliography, which is
+available on the Internet" and runs the query *"all publications in
+the ICDE proceedings of a certain year"* as a full-text search for
+"ICDE" and the year followed by ``meet`` with the root excluded.  The
+search interval is widened 1999 back to 1984, and the paper notes
+"there was no ICDE in 1985, hence the small step at about 1100 on the
+x-axis".
+
+This generator reproduces the *structural* properties that the
+experiment depends on:
+
+* flat DBLP mark-up: ``dblp/inproceedings`` and ``dblp/article``
+  entries with author/title/year/booktitle/journal/pages children;
+* per-venue proceedings entries whose titles mention venue and year;
+* venue series with yearly instalments 1984–1999, **ICDE skipping
+  1985**;
+* the mark-up irregularity that motivates schema-oblivious search:
+  a fraction of entries use structured ``author/firstname+lastname``,
+  attribute-encoded keys, optional ``pages``/``ee``/``url`` fields.
+
+Everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence, Tuple
+
+from ..datamodel.builder import DocumentBuilder, element
+from ..datamodel.document import Document
+from ..datamodel.node import Node
+from .textpool import LAST_NAMES, paper_title, person_name
+
+__all__ = ["DblpConfig", "dblp_document", "ICDE_MISSING_YEAR"]
+
+#: The paper: "note that there was no ICDE in 1985".
+ICDE_MISSING_YEAR = 1985
+
+_DEFAULT_VENUES: Tuple[str, ...] = ("ICDE", "VLDB", "SIGMOD", "EDBT")
+
+
+@dataclass(slots=True)
+class DblpConfig:
+    """Knobs of the synthetic bibliography."""
+
+    seed: int = 2001
+    first_year: int = 1984
+    last_year: int = 1999
+    venues: Sequence[str] = _DEFAULT_VENUES
+    #: inproceedings per venue-year instalment.
+    papers_per_proceedings: int = 20
+    #: additional journal articles per year (schema variety).
+    articles_per_year: int = 5
+    #: fraction of entries with structured author names.
+    structured_author_fraction: float = 0.3
+    #: fraction of entries carrying optional fields (pages, ee, url).
+    optional_field_fraction: float = 0.6
+
+    def years(self) -> range:
+        return range(self.first_year, self.last_year + 1)
+
+    def has_instalment(self, venue: str, year: int) -> bool:
+        return not (venue == "ICDE" and year == ICDE_MISSING_YEAR)
+
+
+def _author_node(rng: Random, config: DblpConfig) -> Node:
+    """An author child, flat or structured (mark-up irregularity)."""
+    name = person_name(rng)
+    if rng.random() < config.structured_author_fraction:
+        author = element("author")
+        first, last = name.split(" ", 1)
+        author.append(element("firstname", first))
+        author.append(element("lastname", last))
+        return author
+    return element("author", name)
+
+
+def _entry_stamp(rng: Random, year: int) -> str:
+    """A DBLP-style key stamp: surname glued to a two-digit year.
+
+    Real DBLP keys look like ``conf/icde/Schmidt99`` — the year never
+    appears as a standalone token, so full-text searches for a year hit
+    ``year`` elements and proceedings titles, not every key/URL.  The
+    synthetic keys preserve that property (it keeps the §5 case-study
+    hit sets faithful).
+    """
+    surname = rng.choice(LAST_NAMES)
+    return f"{surname}{year % 100:02d}{rng.randint(0, 9)}"
+
+
+def _add_inproceedings(
+    builder: DocumentBuilder,
+    rng: Random,
+    config: DblpConfig,
+    venue: str,
+    year: int,
+    number: int,
+) -> None:
+    stamp = _entry_stamp(rng, year)
+    key = f"conf/{venue.lower()}/{stamp}"
+    builder.down("inproceedings", key=key)
+    for _ in range(rng.randint(1, 3)):
+        builder.subtree(_author_node(rng, config))
+    builder.leaf("title", paper_title(rng, words=rng.randint(4, 7)))
+    builder.leaf("booktitle", venue)
+    builder.leaf("year", str(year))
+    if rng.random() < config.optional_field_fraction:
+        start = rng.randint(1, 600)
+        builder.leaf("pages", f"{start}-{start + rng.randint(5, 20)}")
+    if rng.random() < config.optional_field_fraction:
+        builder.leaf("ee", f"db/conf/{venue.lower()}/{stamp}.html")
+    builder.up()
+
+
+def _add_article(
+    builder: DocumentBuilder, rng: Random, config: DblpConfig, year: int, number: int
+) -> None:
+    journal = rng.choice(("VLDB Journal", "TODS", "SIGMOD Record", "Information Systems"))
+    stamp = _entry_stamp(rng, year)
+    key = f"journals/{journal.split()[0].lower()}/{stamp}"
+    builder.down("article", key=key)
+    for _ in range(rng.randint(1, 3)):
+        builder.subtree(_author_node(rng, config))
+    builder.leaf("title", paper_title(rng, words=rng.randint(4, 8)))
+    builder.leaf("journal", journal)
+    builder.leaf("volume", str(rng.randint(1, 30)))
+    builder.leaf("year", str(year))
+    if rng.random() < config.optional_field_fraction:
+        builder.leaf("url", f"db/{key}.html")
+    builder.up()
+
+
+_VENUE_LONG_NAMES = {
+    "ICDE": "International Conference on Data Engineering",
+    "VLDB": "International Conference on Very Large Data Bases",
+    "SIGMOD": "International Conference on Management of Data",
+    "EDBT": "International Conference on Extending Database Technology",
+}
+
+
+def _add_proceedings(
+    builder: DocumentBuilder, rng: Random, config: DblpConfig, venue: str, year: int
+) -> None:
+    # Real DBLP proceedings titles spell the conference name out (the
+    # acronym appears in the booktitle element only), so a full-text
+    # search for the acronym matches one association per entry.
+    long_name = _VENUE_LONG_NAMES.get(venue, f"{venue} Conference")
+    builder.down("proceedings", key=f"conf/{venue.lower()}/{year}")
+    builder.leaf("editor", person_name(rng))
+    builder.leaf("title", f"Proceedings of the {long_name}, {year}")
+    builder.leaf("booktitle", venue)
+    builder.leaf("year", str(year))
+    builder.leaf("publisher", rng.choice(("IEEE Computer Society", "ACM Press", "Morgan Kaufmann")))
+    builder.up()
+
+
+def dblp_document(config: DblpConfig | None = None) -> Document:
+    """Generate the synthetic bibliography as one frozen document."""
+    config = config or DblpConfig()
+    rng = Random(config.seed)
+    builder = DocumentBuilder("dblp")
+    for year in config.years():
+        for venue in config.venues:
+            if not config.has_instalment(venue, year):
+                continue
+            _add_proceedings(builder, rng, config, venue, year)
+            for number in range(1, config.papers_per_proceedings + 1):
+                _add_inproceedings(builder, rng, config, venue, year, number)
+        for number in range(1, config.articles_per_year + 1):
+            _add_article(builder, rng, config, year, number)
+    return builder.build(first_oid=1)
+
+
+def expected_icde_publications(config: DblpConfig, years: Sequence[int]) -> int:
+    """Ground truth for the case study: ICDE inproceedings in the years."""
+    return sum(
+        config.papers_per_proceedings
+        for year in years
+        if config.has_instalment("ICDE", year) and "ICDE" in config.venues
+    )

@@ -1,0 +1,67 @@
+"""The running example document of the paper (Figure 1).
+
+A bibliography of one institute holding two articles:
+
+* article ``BB99`` — author Ben Bit (firstname/lastname sub-elements),
+  title "How to Hack", year 1999;
+* article ``BK99`` — author Bob Byte (flat cdata), year 1999,
+  title "Hacking & RSI".
+
+With ``first_oid=1`` the depth-first pre-order OIDs reproduce Figure 1
+exactly (o1 = bibliography … o19 = the "Hacking & RSI" cdata), which
+the tests in ``tests/core/test_paper_examples.py`` rely on to replay
+the worked examples of §3.1 verbatim.
+"""
+
+from __future__ import annotations
+
+from ..datamodel.builder import DocumentBuilder
+from ..datamodel.document import Document
+
+__all__ = ["figure1_document", "FIGURE1_OIDS"]
+
+#: Symbolic names for the OIDs of Figure 1 (first_oid=1).
+FIGURE1_OIDS = {
+    "bibliography": 1,
+    "institute": 2,
+    "article1": 3,
+    "author1": 4,
+    "firstname": 5,
+    "cdata_ben": 6,
+    "lastname": 7,
+    "cdata_bit": 8,
+    "title1": 9,
+    "cdata_how_to_hack": 10,
+    "year1": 11,
+    "cdata_1999_a": 12,
+    "article2": 13,
+    "author2": 14,
+    "cdata_bob_byte": 15,
+    "year2": 16,
+    "cdata_1999_b": 17,
+    "title2": 18,
+    "cdata_hacking_rsi": 19,
+}
+
+
+def figure1_document() -> Document:
+    """Build the Figure 1 example document (OIDs start at 1)."""
+    builder = DocumentBuilder("bibliography")
+    builder.down("institute")
+    # Article 1: nested author with firstname/lastname.
+    builder.down("article", key="BB99")
+    builder.down("author")
+    builder.leaf("firstname", "Ben")
+    builder.leaf("lastname", "Bit")
+    builder.up()
+    builder.leaf("title", "How to Hack")
+    builder.leaf("year", "1999")
+    builder.up()
+    # Article 2: flat author, year before title (as drawn in Figure 1).
+    builder.down("article", key="BK99")
+    builder.leaf("author", "Bob Byte")
+    builder.leaf("year", "1999")
+    builder.leaf("title", "Hacking & RSI")
+    builder.up()
+    builder.up()
+    return builder.build(first_oid=1)

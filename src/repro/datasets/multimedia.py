@@ -1,0 +1,200 @@
+"""Synthetic multimedia feature-detector documents — the §5 substrate.
+
+The paper's first experiment runs against "a file of about 200 MB with
+descriptions of multimedia data items, extracted by feature detectors"
+(their Acoi/feature-grammar pipeline, ref. [20]).  That file is not
+available; this generator produces documents with the same structural
+profile:
+
+* a collection of ``item`` records (images/video/audio) whose
+  analysis output is *deeply nested*: scenes containing regions
+  containing features containing measurements — deep enough that two
+  character-data leaves can sit up to ~20 edges apart, the x-axis of
+  Figure 6;
+* noisy descriptive vocabulary so full-text searches return
+  realistically scattered hit sets.
+
+For the Figure 6 sweep, :func:`multimedia_with_markers` additionally
+*plants* pairs of unique marker tokens at exact tree distances: the
+bench searches the two markers and measures the meet, so the distance
+axis is controlled precisely rather than sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Sequence, Tuple
+
+from ..datamodel.builder import DocumentBuilder, element
+from ..datamodel.document import Document
+from ..datamodel.node import Node
+from .textpool import TECH_NOUNS, person_name, sentence
+
+__all__ = [
+    "MultimediaConfig",
+    "multimedia_document",
+    "multimedia_with_markers",
+    "marker_terms",
+]
+
+_MEDIA_KINDS = ("image", "video", "audio")
+_DETECTORS = ("colorhist", "edgemap", "faces", "ocr", "silence", "tempo")
+
+
+@dataclass(slots=True)
+class MultimediaConfig:
+    """Knobs of the synthetic feature-detector output."""
+
+    seed: int = 1999
+    items: int = 50
+    scenes_per_item: Tuple[int, int] = (1, 3)
+    regions_per_scene: Tuple[int, int] = (1, 4)
+    features_per_region: Tuple[int, int] = (1, 4)
+    description_words: int = 6
+
+
+def _feature(rng: Random) -> Node:
+    feature = element("feature", detector=rng.choice(_DETECTORS))
+    feature.append(element("name", rng.choice(TECH_NOUNS)))
+    feature.append(element("value", f"{rng.random():.4f}"))
+    feature.append(element("confidence", f"{rng.random():.2f}"))
+    return feature
+
+
+def _region(rng: Random, config: MultimediaConfig) -> Node:
+    region = element("region")
+    region.append(
+        element(
+            "bbox",
+            x=str(rng.randint(0, 640)),
+            y=str(rng.randint(0, 480)),
+            w=str(rng.randint(1, 320)),
+            h=str(rng.randint(1, 240)),
+        )
+    )
+    region.append(element("annotation", sentence(rng, TECH_NOUNS, 3)))
+    features = element("features")
+    for _ in range(rng.randint(*config.features_per_region)):
+        features.append(_feature(rng))
+    region.append(features)
+    return region
+
+
+def _scene(rng: Random, config: MultimediaConfig, index: int) -> Node:
+    scene = element("scene", number=str(index))
+    scene.append(element("start", f"{rng.randint(0, 3600)}s"))
+    regions = element("regions")
+    for _ in range(rng.randint(*config.regions_per_scene)):
+        regions.append(_region(rng, config))
+    scene.append(regions)
+    return scene
+
+
+def _item(rng: Random, config: MultimediaConfig, index: int) -> Node:
+    item = element("item", id=f"mm{index:05d}", kind=rng.choice(_MEDIA_KINDS))
+    metadata = element("metadata")
+    metadata.append(element("title", sentence(rng, TECH_NOUNS, 3)))
+    metadata.append(element("creator", person_name(rng)))
+    metadata.append(element("format", rng.choice(("jpeg", "mpeg", "wav", "png"))))
+    metadata.append(
+        element("description", sentence(rng, TECH_NOUNS, config.description_words))
+    )
+    item.append(metadata)
+    analysis = element("analysis")
+    scenes = element("scenes")
+    for scene_index in range(rng.randint(*config.scenes_per_item)):
+        scenes.append(_scene(rng, config, scene_index))
+    analysis.append(scenes)
+    item.append(analysis)
+    return item
+
+
+def multimedia_document(config: MultimediaConfig | None = None) -> Document:
+    """A plain collection of feature-detector item descriptions."""
+    config = config or MultimediaConfig()
+    rng = Random(config.seed)
+    builder = DocumentBuilder("multimedia")
+    for index in range(config.items):
+        builder.subtree(_item(rng, config, index))
+    return builder.build(first_oid=1)
+
+
+def marker_terms(distance: int) -> Tuple[str, str]:
+    """The unique token pair planted for a given distance."""
+    return (f"markera{distance}x", f"markerb{distance}x")
+
+
+def _marker_chain(terms: Tuple[str, str], distance: int) -> Node:
+    """A subtree placing the two marker *hit nodes* exactly ``distance``
+    edges apart.
+
+    Full-text hits resolve to the materialized ``cdata`` node carrying
+    the string (or to the element itself for attribute values), so the
+    chain is constructed in terms of those hit nodes:
+
+    * distance 0 — both tokens in one character-data string;
+    * distance 1 — one token as an *attribute* of the probe, the other
+      as the probe's character data (element ↔ cdata child);
+    * distance d ≥ 2 — a fork: two descendant chains of ⌊d/2⌋ and
+      ⌈d/2⌉ edges ending in cdata leaves.
+    """
+    terma, termb = terms
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    if distance == 0:
+        return element("probe", f"{terma} {termb}")
+    if distance == 1:
+        probe = element("probe", terma, note=termb)
+        return probe
+
+    def chain(edges: int, term: str) -> Node:
+        """A branch of exactly ``edges`` edges from the fork to the hit."""
+        if edges == 1:
+            return Node("cdata", attributes={"string": term})
+        top = element("hop")
+        node = top
+        for _ in range(edges - 2):
+            child = element("hop")
+            node.append(child)
+            node = child
+        node.text = term  # materializes as one final cdata edge
+        return top
+
+    probe = element("probe")
+    left_edges = distance // 2
+    right_edges = distance - left_edges
+    probe.append(chain(left_edges, terma))
+    probe.append(chain(right_edges, termb))
+    return probe
+
+
+def multimedia_with_markers(
+    distances: Sequence[int], config: MultimediaConfig | None = None
+) -> Tuple[Document, Dict[int, Tuple[str, str]]]:
+    """A multimedia document with one planted marker pair per distance.
+
+    Returns the document plus distance → (term₁, term₂).  Markers are
+    attached under distinct items, spread deterministically, so
+    measurements are independent.
+    """
+    config = config or MultimediaConfig()
+    rng = Random(config.seed)
+    builder = DocumentBuilder("multimedia")
+    planted: Dict[int, Tuple[str, str]] = {}
+    marker_slots = {}
+    if config.items < len(distances):
+        raise ValueError("need at least one item per planted distance")
+    slot_rng = Random(config.seed + 1)
+    slots = slot_rng.sample(range(config.items), len(distances))
+    for slot, distance in zip(slots, distances):
+        marker_slots[slot] = distance
+    for index in range(config.items):
+        item = _item(rng, config, index)
+        if index in marker_slots:
+            distance = marker_slots[index]
+            terms = marker_terms(distance)
+            planted[distance] = terms
+            item.append(_marker_chain(terms, distance))
+        builder.subtree(item)
+    return builder.build(first_oid=1), planted

@@ -1,0 +1,74 @@
+"""Random documents for property tests and ablation benches.
+
+Shapes are controllable (size, fan-out, label alphabet, text density)
+and fully determined by the seed.  The generator produces *documents*,
+not bare trees, so every consumer exercises the real pipeline
+(builder → freeze → Monet transform).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Sequence, Tuple
+
+from ..datamodel.document import Document
+from ..datamodel.node import Node
+from .textpool import TECH_NOUNS, sentence
+
+__all__ = ["random_document", "random_oid_pairs"]
+
+_DEFAULT_LABELS: Tuple[str, ...] = (
+    "a", "b", "c", "record", "entry", "group", "list", "item", "value",
+)
+
+
+def random_document(
+    seed: int,
+    nodes: int = 200,
+    max_children: int = 4,
+    labels: Sequence[str] = _DEFAULT_LABELS,
+    text_probability: float = 0.4,
+    attribute_probability: float = 0.2,
+    first_oid: int = 0,
+) -> Document:
+    """A random rooted document with roughly ``nodes`` element nodes.
+
+    Built by repeatedly attaching children to a uniformly chosen node
+    with remaining capacity, giving natural depth/fan-out variety.
+    Character data (which materializes extra cdata nodes) and
+    attributes are sprinkled per the probabilities.
+    """
+    if nodes < 1:
+        raise ValueError("need at least the root node")
+    rng = Random(seed)
+    root = Node("root")
+    open_nodes: List[Node] = [root]
+    created = 1
+    while created < nodes and open_nodes:
+        parent = rng.choice(open_nodes)
+        child = Node(rng.choice(list(labels)))
+        parent.append(child)
+        created += 1
+        if len(parent.children) >= max_children:
+            open_nodes.remove(parent)
+        open_nodes.append(child)
+        if rng.random() < text_probability:
+            child.text = sentence(rng, TECH_NOUNS, rng.randint(1, 4))
+        if rng.random() < attribute_probability:
+            child.attributes[rng.choice(("kind", "id", "lang"))] = str(
+                rng.randint(0, 99)
+            )
+    return Document(root, first_oid=first_oid)
+
+
+def random_oid_pairs(
+    document_or_store, count: int, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """``count`` uniform OID pairs over a document or store."""
+    rng = Random(seed)
+    first = document_or_store.first_oid
+    last = document_or_store.last_oid
+    return [
+        (rng.randint(first, last), rng.randint(first, last))
+        for _ in range(count)
+    ]

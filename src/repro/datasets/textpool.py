@@ -1,0 +1,79 @@
+"""Deterministic text material for the synthetic datasets.
+
+Names, title vocabulary and helper generators shared by the DBLP and
+multimedia generators.  Everything is driven by an explicit
+:class:`random.Random` so documents are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Sequence
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "TITLE_WORDS",
+    "TECH_NOUNS",
+    "person_name",
+    "paper_title",
+    "sentence",
+]
+
+FIRST_NAMES: Sequence[str] = (
+    "Ada", "Alan", "Albrecht", "Alice", "Anna", "Barbara", "Ben", "Bob",
+    "Carol", "Chen", "Claire", "David", "Edgar", "Elena", "Erik", "Eva",
+    "Felix", "Grace", "Hans", "Hector", "Ines", "Ivan", "James", "Jim",
+    "Joan", "Jun", "Kurt", "Laura", "Lena", "Luis", "Maria", "Martin",
+    "Menzo", "Miguel", "Nina", "Olaf", "Oscar", "Paula", "Peter", "Ravi",
+    "Rosa", "Samir", "Sara", "Sofia", "Tanja", "Theo", "Uta", "Victor",
+    "Wei", "Yuki",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "Abiteboul", "Baker", "Bit", "Boncz", "Byte", "Carey", "Chen", "Codd",
+    "Davis", "Eisenberg", "Fernandez", "Fisher", "Garcia", "Goldman",
+    "Gray", "Haas", "Hull", "Ioannidis", "Jagadish", "Kersten", "Kim",
+    "Kossmann", "Lee", "Ley", "Lorentz", "Manolescu", "McHugh", "Miller",
+    "Naughton", "Olston", "Patel", "Quass", "Ramakrishnan", "Schek",
+    "Schmidt", "Silberschatz", "Stonebraker", "Suciu", "Tanaka", "Ullman",
+    "Vianu", "Waas", "Widom", "Wiener", "Windhouwer", "Wong", "Yang",
+    "Zaniolo", "Zhang", "Zhou",
+)
+
+TITLE_WORDS: Sequence[str] = (
+    "Adaptive", "Aggregation", "Algebra", "Algorithms", "Analysis",
+    "Approximate", "Architectures", "Benchmarking", "Caching", "Columnar",
+    "Compression", "Concurrency", "Constraints", "Cost", "Data", "Database",
+    "Declarative", "Dimensional", "Distributed", "Documents", "Efficient",
+    "Engines", "Evaluation", "Execution", "Fragmented", "Hierarchical",
+    "Incremental", "Indexing", "Integration", "Joins", "Keyword", "Languages",
+    "Main-Memory", "Management", "Mediators", "Mining", "Models",
+    "Navigation", "Optimization", "Parallel", "Partitioning", "Paths",
+    "Performance", "Processing", "Queries", "Query", "Ranking", "Recovery",
+    "Relational", "Replication", "Retrieval", "Schemas", "Search",
+    "Semistructured", "Storage", "Streams", "Transactions", "Trees",
+    "Views", "Warehouses", "Workloads", "XML",
+)
+
+TECH_NOUNS: Sequence[str] = (
+    "histogram", "wavelet", "contour", "texture", "edge", "color",
+    "gradient", "shape", "motion", "region", "silhouette", "spectrum",
+    "luminance", "chroma", "saturation", "frequency", "keyframe",
+    "caption", "transcript", "thumbnail",
+)
+
+
+def person_name(rng: Random) -> str:
+    """A 'Firstname Lastname' author string."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def paper_title(rng: Random, words: int = 5) -> str:
+    """A plausible paper title of the given word count."""
+    return " ".join(rng.choice(TITLE_WORDS) for _ in range(words))
+
+
+def sentence(rng: Random, vocabulary: Sequence[str], words: int) -> str:
+    """A lowercase 'sentence' drawn from a vocabulary."""
+    return " ".join(rng.choice(vocabulary) for _ in range(words))

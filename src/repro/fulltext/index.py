@@ -1,0 +1,167 @@
+"""Inverted index over the string associations of a Monet XML store.
+
+The paper combines the meet operator with "an already existing search
+engine for semi-structured or XML data" (§5); this module is that
+engine.  It indexes every (OID, string) association of every string
+relation — attribute values *and* character data, exactly the search
+surface of Def. 2's oid × string associations.
+
+A posting is the pair (pid, oid): the association's relation (= path)
+and its OID.  Postings grouped by pid are precisely the typed input
+relations R₁ … Rₙ that the general meet algorithm of Fig. 5 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..monet.engine import MonetXML
+from .tokenizer import normalize, tokenize
+
+__all__ = ["Posting", "Hits", "FullTextIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One matching association: its relation (pid) and its OID."""
+
+    pid: int
+    oid: int
+
+
+@dataclass(slots=True)
+class Hits:
+    """Result of one term search; groups postings for the meet operator."""
+
+    term: str
+    postings: List[Posting] = field(default_factory=list)
+
+    def oids(self) -> Set[int]:
+        return {posting.oid for posting in self.postings}
+
+    def by_pid(self) -> Dict[int, List[int]]:
+        """pid → OID list: the typed relations handed to meet (Fig. 5)."""
+        grouped: Dict[int, List[int]] = {}
+        for posting in self.postings:
+            grouped.setdefault(posting.pid, []).append(posting.oid)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def __bool__(self) -> bool:
+        return bool(self.postings)
+
+
+class FullTextIndex:
+    """Token → postings inverted index over a store's string relations.
+
+    Parameters
+    ----------
+    store:
+        The Monet XML instance to index.
+    case_sensitive:
+        Keep token case (off by default, like most search engines).
+
+    Notes
+    -----
+    OIDs recorded in postings are the association OIDs: for character
+    data that is the ``cdata`` node (so a hit *is* a node of the tree
+    and can itself be a meet, as in the paper's "Bob"/"Byte" example);
+    for an attribute value it is the element owning the attribute.
+    """
+
+    def __init__(self, store: MonetXML, case_sensitive: bool = False):
+        self.store = store
+        self.case_sensitive = case_sensitive
+        self._postings: Dict[str, List[Posting]] = {}
+        self._indexed_associations = 0
+        self._build()
+
+    def _build(self) -> None:
+        for pid, relation in self.store.string_relations():
+            # Postings reference the *element* path of the carrying node
+            # so the meet roll-up starts from real tree nodes.
+            element_pid = self.store.summary.parent(pid)
+            for oid, value in relation:
+                self._indexed_associations += 1
+                seen: Set[str] = set()
+                for token in tokenize(value, self.case_sensitive):
+                    if token in seen:
+                        continue
+                    seen.add(token)
+                    self._postings.setdefault(token, []).append(
+                        Posting(element_pid, oid)
+                    )
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    @property
+    def indexed_associations(self) -> int:
+        return self._indexed_associations
+
+    def vocabulary(self) -> Iterable[str]:
+        return self._postings.keys()
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(normalize(term, self.case_sensitive), ()))
+
+    # -- search ------------------------------------------------------------
+    def search(self, term: str) -> Hits:
+        """All associations whose string contains ``term`` as a token."""
+        token = normalize(term, self.case_sensitive)
+        postings = self._postings.get(token, [])
+        return Hits(term=term, postings=list(postings))
+
+    def search_prefix(self, prefix: str) -> Hits:
+        """All associations with a token starting with ``prefix``.
+
+        Linear in vocabulary size; fine for the interactive use-case.
+        """
+        needle = normalize(prefix, self.case_sensitive)
+        merged: List[Posting] = []
+        seen: Set[Tuple[int, int]] = set()
+        for token, postings in self._postings.items():
+            if not token.startswith(needle):
+                continue
+            for posting in postings:
+                key = (posting.pid, posting.oid)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(posting)
+        return Hits(term=prefix + "*", postings=merged)
+
+    def search_any(self, terms: Iterable[str]) -> Hits:
+        """Union of single-term searches (duplicate postings removed)."""
+        merged: List[Posting] = []
+        seen: Set[Tuple[int, int]] = set()
+        label: List[str] = []
+        for term in terms:
+            label.append(term)
+            for posting in self.search(term).postings:
+                key = (posting.pid, posting.oid)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(posting)
+        return Hits(term="|".join(label), postings=merged)
+
+    def search_conjunctive(self, terms: Iterable[str]) -> Hits:
+        """Associations whose string contains *all* the terms.
+
+        This matches "Bob Byte" when searching for Bob *and* Byte — the
+        paper's second §3.1 example where the meet is the cdata node
+        itself.
+        """
+        term_list = list(terms)
+        if not term_list:
+            return Hits(term="")
+        result = {(p.pid, p.oid) for p in self.search(term_list[0]).postings}
+        for term in term_list[1:]:
+            other = {(p.pid, p.oid) for p in self.search(term).postings}
+            result &= other
+        postings = [Posting(pid, oid) for pid, oid in sorted(result)]
+        return Hits(term="&".join(term_list), postings=postings)

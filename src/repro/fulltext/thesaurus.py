@@ -1,0 +1,156 @@
+"""Thesaurus-based query broadening (paper §4).
+
+"In particular, thesauri are a promising tool to help a user find
+interesting results, especially to broaden a search that returned too
+few answers."  The paper leaves this as an outlook; this module
+implements the obvious reading:
+
+* a :class:`Thesaurus` of symmetric synonym rings (optionally
+  one-directional ``broader-term`` links);
+* :func:`expand_term` — the term plus its synonyms (one hop or
+  transitive);
+* :class:`BroadeningSearch` — a search façade that first tries the
+  plain term and only *broadens* (unions synonym hits) when the hit
+  count falls below a threshold, exactly the "returned too few
+  answers" trigger of §4.
+
+The :class:`~repro.core.engine.NearestConceptEngine` accepts a
+thesaurus and applies the broadened hits transparently; origins keep
+the *user's* term as their tag so concept ranking and term coverage
+remain by query term, not by synonym.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .index import Hits, Posting
+from .search import SearchEngine
+from .tokenizer import normalize
+
+__all__ = ["Thesaurus", "expand_term", "BroadeningSearch"]
+
+
+class Thesaurus:
+    """Synonym rings plus optional directed broader-term links."""
+
+    def __init__(self, case_sensitive: bool = False):
+        self.case_sensitive = case_sensitive
+        self._synonyms: Dict[str, Set[str]] = {}
+        self._broader: Dict[str, Set[str]] = {}
+
+    def _key(self, term: str) -> str:
+        return normalize(term, self.case_sensitive)
+
+    # -- construction ------------------------------------------------------
+    def add_synonyms(self, *terms: str) -> "Thesaurus":
+        """Declare the terms mutually synonymous (a ring)."""
+        keys = [self._key(term) for term in terms]
+        for key in keys:
+            ring = self._synonyms.setdefault(key, set())
+            ring.update(k for k in keys if k != key)
+        return self
+
+    def add_broader(self, term: str, broader: str) -> "Thesaurus":
+        """Declare ``broader`` a broader term of ``term`` (one-way)."""
+        self._broader.setdefault(self._key(term), set()).add(
+            self._key(broader)
+        )
+        return self
+
+    @classmethod
+    def from_rings(cls, rings: Iterable[Iterable[str]]) -> "Thesaurus":
+        thesaurus = cls()
+        for ring in rings:
+            thesaurus.add_synonyms(*ring)
+        return thesaurus
+
+    # -- lookup ----------------------------------------------------------
+    def synonyms(self, term: str) -> Set[str]:
+        return set(self._synonyms.get(self._key(term), ()))
+
+    def broader_terms(self, term: str) -> Set[str]:
+        return set(self._broader.get(self._key(term), ()))
+
+    def __len__(self) -> int:
+        return len(self._synonyms) + len(self._broader)
+
+    def __contains__(self, term: object) -> bool:
+        if not isinstance(term, str):
+            return False
+        key = self._key(term)
+        return key in self._synonyms or key in self._broader
+
+
+def expand_term(
+    thesaurus: Thesaurus,
+    term: str,
+    transitive: bool = False,
+    include_broader: bool = False,
+) -> List[str]:
+    """The term plus its expansion, original first, deterministic order."""
+    seen: Set[str] = {thesaurus._key(term)}
+    frontier = [thesaurus._key(term)]
+    expansion: List[str] = [term]
+    while frontier:
+        current = frontier.pop(0)
+        neighbours = set(thesaurus.synonyms(current))
+        if include_broader:
+            neighbours |= thesaurus.broader_terms(current)
+        for neighbour in sorted(neighbours):
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            expansion.append(neighbour)
+            if transitive:
+                frontier.append(neighbour)
+    return expansion
+
+
+class BroadeningSearch:
+    """Search that falls back to synonyms when hits are too few (§4)."""
+
+    def __init__(
+        self,
+        search: SearchEngine,
+        thesaurus: Thesaurus,
+        min_hits: int = 1,
+        transitive: bool = False,
+        include_broader: bool = False,
+    ):
+        self.search = search
+        self.thesaurus = thesaurus
+        self.min_hits = min_hits
+        self.transitive = transitive
+        self.include_broader = include_broader
+
+    def find(self, term: str) -> Tuple[Hits, List[str]]:
+        """Hits plus the terms actually used (first = the user's term).
+
+        The plain search answers alone whenever it clears ``min_hits``;
+        broadening unions synonym hits (duplicates removed) otherwise.
+        """
+        primary = self.search.find(term)
+        if len(primary) >= self.min_hits:
+            return primary, [term]
+        expansion = expand_term(
+            self.thesaurus,
+            term,
+            transitive=self.transitive,
+            include_broader=self.include_broader,
+        )
+        if len(expansion) == 1:
+            return primary, [term]
+        merged: List[Posting] = list(primary.postings)
+        seen = {(p.pid, p.oid) for p in merged}
+        used = [term]
+        for synonym in expansion[1:]:
+            hits = self.search.find(synonym)
+            if hits:
+                used.append(synonym)
+            for posting in hits.postings:
+                key = (posting.pid, posting.oid)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(posting)
+        return Hits(term=term, postings=merged), used

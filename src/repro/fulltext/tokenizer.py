@@ -1,0 +1,46 @@
+"""Tokenization for the full-text index.
+
+The paper's search terms are words and numbers ("Ben", "Bit", "1999",
+"ICDE"), so the tokenizer splits on non-alphanumeric characters and
+lower-cases by default.  It is deliberately small: no stemming, no
+stop words — §4 of the paper leaves "more complicated information
+retrieval techniques" to future work, and we keep the search surface
+faithful to what the evaluation exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+__all__ = ["tokenize", "normalize"]
+
+
+def normalize(token: str, case_sensitive: bool = False) -> str:
+    """Canonical form of a token: stripped, optionally lower-cased."""
+    token = token.strip()
+    return token if case_sensitive else token.lower()
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Yield maximal alphanumeric runs of the text, in order."""
+    start = -1
+    for position, ch in enumerate(text):
+        if ch.isalnum():
+            if start < 0:
+                start = position
+        elif start >= 0:
+            yield text[start:position]
+            start = -1
+    if start >= 0:
+        yield text[start:]
+
+
+def tokenize(text: str, case_sensitive: bool = False) -> List[str]:
+    """Split text into normalized tokens.
+
+    >>> tokenize("Hacking & RSI")
+    ['hacking', 'rsi']
+    >>> tokenize("ICDE 1999", case_sensitive=True)
+    ['ICDE', '1999']
+    """
+    return [normalize(token, case_sensitive) for token in iter_tokens(text)]

@@ -1,0 +1,41 @@
+"""Physical data model: the Monet transform and its column engine (§2).
+
+* :class:`BAT` — MIL-style binary association tables.
+* :class:`PathSummary` — interned paths / schema tree.
+* :func:`monet_transform` — Definition 4, document → store.
+* :class:`MonetXML` — the loaded database instance.
+* :mod:`~repro.monet.reassembly` — OID → object/DOM views.
+* :mod:`~repro.monet.storage` — JSON image persistence.
+"""
+
+from .bat import BAT
+from .engine import MonetXML
+from .pathsummary import PathSummary
+from .reassembly import (
+    associations_of,
+    object_text,
+    reassemble_node,
+    reassemble_object,
+    reassemble_subtree,
+)
+from .stats import StoreStatistics, collect_statistics
+from .storage import dumps, load, loads, save
+from .transform import monet_transform
+
+__all__ = [
+    "BAT",
+    "MonetXML",
+    "PathSummary",
+    "StoreStatistics",
+    "collect_statistics",
+    "associations_of",
+    "dumps",
+    "load",
+    "loads",
+    "monet_transform",
+    "object_text",
+    "reassemble_node",
+    "reassemble_object",
+    "reassemble_subtree",
+    "save",
+]

@@ -1,0 +1,242 @@
+"""The Monet XML store: path-partitioned associations plus OID columns.
+
+This is the physical database instance of Definition 4.  All
+associations of one type (= one path) live in one binary relation:
+
+* ``edges[pid]``     — (parent OID, child OID) for every element edge
+  whose *child* sits on path ``pid`` (the relation is "named after"
+  the child path, as in Figure 2);
+* ``strings[pid]``   — (OID, string) for every attribute/cdata value
+  on attribute path ``pid`` (the ``…@key`` / ``…/cdata@string``
+  relations of Figure 2);
+* ``ranks[pid]``     — (OID, rank) preserving sibling order (the
+  oid × int associations of Def. 2).
+
+On top of the relations the store keeps three dense OID-indexed
+columns — pid, parent OID and rank — so that ``parent(o)`` and π(o)
+are the O(1) "hash look-ups" the paper's Fig. 3 assumes (justified in
+the paper via functional-join techniques, ref. [8]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..datamodel.errors import ModelError, UnknownOIDError
+from ..datamodel.paths import Path
+from .bat import BAT
+from .pathsummary import PathSummary
+
+__all__ = ["MonetXML"]
+
+
+class MonetXML:
+    """A loaded database instance: one XML document, path-partitioned.
+
+    Instances are built by :func:`repro.monet.transform.monet_transform`
+    or :func:`repro.monet.storage.load`; direct construction takes
+    pre-computed columns and relations.
+    """
+
+    def __init__(
+        self,
+        summary: PathSummary,
+        root_oid: int,
+        first_oid: int,
+        oid_pid: List[int],
+        oid_parent: List[Optional[int]],
+        oid_rank: List[int],
+        edges: Dict[int, BAT],
+        strings: Dict[int, BAT],
+        ranks: Dict[int, BAT],
+    ):
+        self.summary = summary
+        self.root_oid = root_oid
+        self.first_oid = first_oid
+        self._oid_pid = oid_pid
+        self._oid_parent = oid_parent
+        self._oid_rank = oid_rank
+        self.edges = edges
+        self.strings = strings
+        self.ranks = ranks
+        self._reverse_edges: Dict[int, BAT] = {}
+        self._children_index: Optional[Dict[int, List[int]]] = None
+
+    # -- size -----------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._oid_pid)
+
+    @property
+    def last_oid(self) -> int:
+        return self.first_oid + len(self._oid_pid) - 1
+
+    def __contains__(self, oid: object) -> bool:
+        return (
+            isinstance(oid, int) and self.first_oid <= oid <= self.last_oid
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<MonetXML nodes={self.node_count} paths={len(self.summary) - 1} "
+            f"relations={len(self.edges) + len(self.strings)}>"
+        )
+
+    # -- O(1) per-OID columns ------------------------------------------
+    def _index(self, oid: int) -> int:
+        position = oid - self.first_oid
+        if 0 <= position < len(self._oid_pid):
+            return position
+        raise UnknownOIDError(oid)
+
+    def pid_of(self, oid: int) -> int:
+        """The interned path id π(o) of a node — O(1)."""
+        return self._oid_pid[self._index(oid)]
+
+    def path_of(self, oid: int) -> Path:
+        """π(o) as a :class:`Path` (Def. 3)."""
+        return self.summary.path(self.pid_of(oid))
+
+    def parent_of(self, oid: int) -> Optional[int]:
+        """The parent OID — the Fig. 3 ``parent(o)`` hash look-up.
+
+        Returns ``None`` for the document root.
+        """
+        return self._oid_parent[self._index(oid)]
+
+    def rank_of(self, oid: int) -> int:
+        return self._oid_rank[self._index(oid)]
+
+    def depth_of(self, oid: int) -> int:
+        """Depth of the node = length of π(o); the root has depth 1."""
+        return self.summary.depth(self.pid_of(oid))
+
+    # -- relations ---------------------------------------------------------
+    def edge_relation(self, pid: int) -> BAT:
+        """(parent, child) BAT of all nodes on path ``pid`` (may be empty)."""
+        return self.edges.get(pid, BAT(name=str(self.summary.path(pid))))
+
+    def string_relation(self, pid: int) -> BAT:
+        """(oid, string) BAT of the attribute path ``pid`` (may be empty)."""
+        return self.strings.get(pid, BAT(name=str(self.summary.path(pid))))
+
+    def rank_relation(self, pid: int) -> BAT:
+        return self.ranks.get(pid, BAT(name=str(self.summary.path(pid))))
+
+    def parent_relation(self, pid: int) -> BAT:
+        """(child, parent) BAT for path ``pid`` — cached reverse of edges.
+
+        This is the relation the set-wise ``parent(O)`` join of Fig. 4
+        runs against.
+        """
+        cached = self._reverse_edges.get(pid)
+        if cached is None:
+            cached = self.edge_relation(pid).reverse()
+            self._reverse_edges[pid] = cached
+        return cached
+
+    def string_relations(self) -> Iterator[Tuple[int, BAT]]:
+        """All (pid, BAT) string relations — the full-text search surface."""
+        return iter(self.strings.items())
+
+    def relation_names(self) -> List[str]:
+        """Human-readable relation names as printed in Figure 2."""
+        names = [str(self.summary.path(pid)) for pid in self.edges]
+        names.extend(str(self.summary.path(pid)) for pid in self.strings)
+        return sorted(names)
+
+    # -- node-set access ---------------------------------------------------
+    def oids_on_pid(self, pid: int) -> List[int]:
+        """All node OIDs whose path is exactly ``pid``, in document order."""
+        if pid == self._oid_pid[self.root_oid - self.first_oid]:
+            return [self.root_oid]
+        relation = self.edges.get(pid)
+        if relation is None:
+            return []
+        return list(relation.tails)
+
+    def oids_on_path(self, path: Path) -> List[int]:
+        pid = self.summary.maybe_pid(path)
+        return [] if pid is None else self.oids_on_pid(pid)
+
+    def iter_oids(self) -> Iterator[int]:
+        return iter(range(self.first_oid, self.first_oid + self.node_count))
+
+    def children_of(self, oid: int) -> List[int]:
+        """Child OIDs in rank order (lazily built adjacency index)."""
+        if self._children_index is None:
+            index: Dict[int, List[int]] = {}
+            for position, parent in enumerate(self._oid_parent):
+                if parent is not None:
+                    index.setdefault(parent, []).append(position + self.first_oid)
+            for children in index.values():
+                children.sort(key=self.rank_of)
+            self._children_index = index
+        return list(self._children_index.get(oid, ()))
+
+    def attributes_of(self, oid: int) -> Dict[str, str]:
+        """Attribute name → value for a node, from the string relations."""
+        pid = self.pid_of(oid)
+        result: Dict[str, str] = {}
+        for attr_pid in self.summary.children(pid):
+            if not self.summary.is_attribute(attr_pid):
+                continue
+            relation = self.strings.get(attr_pid)
+            if relation is None:
+                continue
+            values = relation.find_all(oid)
+            if values:
+                result[self.summary.label(attr_pid)] = values[0]
+        return result
+
+    # -- ancestry (instance-level helpers shared by core and baselines) --
+    def ancestry(self, oid: int) -> List[int]:
+        """OIDs from the node to the root, inclusive."""
+        chain = [oid]
+        parent = self.parent_of(oid)
+        while parent is not None:
+            chain.append(parent)
+            parent = self.parent_of(parent)
+        return chain
+
+    def is_ancestor(self, ancestor_oid: int, descendant_oid: int) -> bool:
+        """Reflexive ancestor test via parent pointers."""
+        current: Optional[int] = descendant_oid
+        target_depth = self.depth_of(ancestor_oid)
+        while current is not None and self.depth_of(current) >= target_depth:
+            if current == ancestor_oid:
+                return True
+            current = self.parent_of(current)
+        return False
+
+    # -- integrity -------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-check columns against relations; raises on inconsistency.
+
+        Used by tests and after :func:`repro.monet.storage.load`.
+        """
+        for pid, relation in self.edges.items():
+            for parent, child in relation:
+                if self.parent_of(child) != parent:
+                    raise ModelError(
+                        f"edge relation {self.summary.path(pid)} disagrees "
+                        f"with parent column at OID {child}"
+                    )
+                if self.pid_of(child) != pid:
+                    raise ModelError(
+                        f"edge relation {self.summary.path(pid)} holds OID "
+                        f"{child} whose pid column says "
+                        f"{self.summary.path(self.pid_of(child))}"
+                    )
+        for pid, relation in self.strings.items():
+            parent_pid = self.summary.parent(pid)
+            for oid, value in relation:
+                if not isinstance(value, str):
+                    raise ModelError(f"non-string value {value!r} in {pid}")
+                if self.pid_of(oid) != parent_pid:
+                    raise ModelError(
+                        f"string relation {self.summary.path(pid)} attached "
+                        f"to OID {oid} of wrong path"
+                    )
+        if self.parent_of(self.root_oid) is not None:
+            raise ModelError("root OID has a parent")

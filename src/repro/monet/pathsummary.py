@@ -1,0 +1,168 @@
+"""The path summary: interned paths forming the schema tree.
+
+"The set of all paths in a document is called its path summary"
+(Def. 3).  For the meet algorithms the summary is the *schema tree*
+that Fig. 5 rolls up bottom-up, and it is also what makes the ⪯ prefix
+tests of Fig. 3 cheap: every distinct path is interned once to a small
+integer *pid* with a parent pointer, so prefix comparisons walk interned
+ids instead of label sequences.
+
+The paper assumes "for a given node with OID o we assume that we can
+derive π(o) given an OID o" — the engine realizes that with an
+OID → pid column; this class supplies the pid side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..datamodel.errors import UnknownPathError
+from ..datamodel.paths import ATTRIBUTE, Path
+
+__all__ = ["PathSummary"]
+
+
+class PathSummary:
+    """Interning table for paths; doubles as the schema tree.
+
+    pid 0 is reserved for the empty path (the virtual parent of
+    document roots), so every real path has a parent pid and the schema
+    tree is rooted.
+    """
+
+    def __init__(self):
+        empty = Path()
+        self._paths: List[Path] = [empty]
+        self._pids: Dict[Path, int] = {empty: 0}
+        self._parents: List[int] = [0]
+        self._depths: List[int] = [0]
+        self._children: List[List[int]] = [[]]
+
+    # -- interning ---------------------------------------------------------
+    def intern(self, path: Path) -> int:
+        """Return the pid for ``path``, interning it (and its prefixes)."""
+        pid = self._pids.get(path)
+        if pid is not None:
+            return pid
+        if path.is_empty():
+            return 0
+        parent_pid = self.intern(path.parent())
+        pid = len(self._paths)
+        self._paths.append(path)
+        self._pids[path] = pid
+        self._parents.append(parent_pid)
+        self._depths.append(len(path))
+        self._children.append([])
+        self._children[parent_pid].append(pid)
+        return pid
+
+    def pid(self, path: Path) -> int:
+        """The pid of an already-interned path.
+
+        Raises :class:`UnknownPathError` if the path was never interned.
+        """
+        try:
+            return self._pids[path]
+        except KeyError:
+            raise UnknownPathError(path) from None
+
+    def maybe_pid(self, path: Path) -> Optional[int]:
+        return self._pids.get(path)
+
+    def __contains__(self, path: object) -> bool:
+        return isinstance(path, Path) and path in self._pids
+
+    # -- accessors -----------------------------------------------------
+    def path(self, pid: int) -> Path:
+        return self._paths[pid]
+
+    def parent(self, pid: int) -> int:
+        """Parent pid; the empty path (pid 0) is its own parent."""
+        return self._parents[pid]
+
+    def depth(self, pid: int) -> int:
+        return self._depths[pid]
+
+    def children(self, pid: int) -> Tuple[int, ...]:
+        return tuple(self._children[pid])
+
+    def label(self, pid: int) -> str:
+        path = self._paths[pid]
+        return path.last.label if not path.is_empty() else ""
+
+    def is_attribute(self, pid: int) -> bool:
+        path = self._paths[pid]
+        return not path.is_empty() and path.last.kind == ATTRIBUTE
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def pids(self) -> Iterator[int]:
+        """All real pids (excluding the reserved empty path)."""
+        return iter(range(1, len(self._paths)))
+
+    def all_paths(self) -> List[Path]:
+        return self._paths[1:]
+
+    # -- order & prefix machinery -------------------------------------
+    def prefix_leq(self, pid1: int, pid2: int) -> bool:
+        """The paper's ⪯ on pids: path(pid2) is a prefix of path(pid1).
+
+        Walks parent pointers from the deeper pid; O(depth difference).
+        """
+        depth1, depth2 = self._depths[pid1], self._depths[pid2]
+        if depth1 < depth2:
+            return False
+        while depth1 > depth2:
+            pid1 = self._parents[pid1]
+            depth1 -= 1
+        return pid1 == pid2
+
+    def common_prefix(self, pid1: int, pid2: int) -> int:
+        """pid of the longest common prefix of two interned paths."""
+        depth1, depth2 = self._depths[pid1], self._depths[pid2]
+        while depth1 > depth2:
+            pid1 = self._parents[pid1]
+            depth1 -= 1
+        while depth2 > depth1:
+            pid2 = self._parents[pid2]
+            depth2 -= 1
+        while pid1 != pid2:
+            pid1 = self._parents[pid1]
+            pid2 = self._parents[pid2]
+        return pid1
+
+    # -- schema-tree traversals (for Fig. 5's roll-up) -------------------
+    def pids_by_depth_desc(self) -> List[int]:
+        """All real pids ordered from deepest to shallowest."""
+        return sorted(self.pids(), key=lambda pid: -self._depths[pid])
+
+    def postorder(self) -> List[int]:
+        """Real pids in post-order (children before parents).
+
+        This is the "pick a node all of whose children are leaves"
+        contraction order of Fig. 5 flattened into a sequence.
+        """
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(0, False)]
+        while stack:
+            pid, expanded = stack.pop()
+            if expanded:
+                if pid != 0:
+                    order.append(pid)
+                continue
+            stack.append((pid, True))
+            for child in reversed(self._children[pid]):
+                stack.append((child, False))
+        return order
+
+    def element_pids(self) -> List[int]:
+        """pids of element (non-attribute) paths."""
+        return [pid for pid in self.pids() if not self.is_attribute(pid)]
+
+    def attribute_pids(self) -> List[int]:
+        """pids of attribute paths (string-valued leaves of the schema)."""
+        return [pid for pid in self.pids() if self.is_attribute(pid)]
+
+    def __repr__(self) -> str:
+        return f"<PathSummary paths={len(self._paths) - 1}>"

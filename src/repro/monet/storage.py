@@ -1,0 +1,123 @@
+"""Persistence of a :class:`MonetXML` store to a single JSON image.
+
+The on-disk format is a versioned, self-contained JSON document:
+the interned path summary (as serialized path strings in pid order),
+the three relation families and the root/first OIDs.  JSON keeps the
+image portable and diff-able; load rebuilds the dense OID columns from
+the relations, then :meth:`MonetXML.validate` cross-checks them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+from typing import Dict, List, Optional, Union
+
+from ..datamodel.errors import StorageError
+from ..datamodel.paths import Path
+from .bat import BAT
+from .engine import MonetXML
+from .pathsummary import PathSummary
+
+__all__ = ["save", "load", "dumps", "loads"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode(store: MonetXML) -> Dict:
+    summary = store.summary
+    return {
+        "format": "repro-monet-xml",
+        "version": _FORMAT_VERSION,
+        "root_oid": store.root_oid,
+        "first_oid": store.first_oid,
+        "node_count": store.node_count,
+        "paths": [str(summary.path(pid)) for pid in summary.pids()],
+        "edges": {
+            str(summary.path(pid)): relation.to_list()
+            for pid, relation in store.edges.items()
+        },
+        "strings": {
+            str(summary.path(pid)): relation.to_list()
+            for pid, relation in store.strings.items()
+        },
+        "ranks": {
+            str(summary.path(pid)): relation.to_list()
+            for pid, relation in store.ranks.items()
+        },
+    }
+
+
+def dumps(store: MonetXML, indent: Optional[int] = None) -> str:
+    """Serialize a store to a JSON string."""
+    return json.dumps(_encode(store), indent=indent)
+
+
+def save(store: MonetXML, path: Union[str, FsPath]) -> None:
+    """Write the JSON image of a store to ``path``."""
+    FsPath(path).write_text(dumps(store), encoding="utf-8")
+
+
+def loads(text: str) -> MonetXML:
+    """Rebuild a store from a JSON string produced by :func:`dumps`."""
+    try:
+        image = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"not a JSON image: {exc}") from exc
+    if image.get("format") != "repro-monet-xml":
+        raise StorageError("not a repro Monet-XML image")
+    if image.get("version") != _FORMAT_VERSION:
+        raise StorageError(f"unsupported image version {image.get('version')!r}")
+
+    summary = PathSummary()
+    for text_path in image["paths"]:
+        summary.intern(Path.parse(text_path))
+
+    def rebuild(family: Dict) -> Dict[int, BAT]:
+        relations: Dict[int, BAT] = {}
+        for name, buns in family.items():
+            pid = summary.intern(Path.parse(name))
+            relations[pid] = BAT(
+                ((head, tail) for head, tail in buns), name=name
+            )
+        return relations
+
+    edges = rebuild(image["edges"])
+    strings = rebuild(image["strings"])
+    ranks = rebuild(image["ranks"])
+
+    first_oid = image["first_oid"]
+    node_count = image["node_count"]
+    oid_pid: List[int] = [0] * node_count
+    oid_parent: List[Optional[int]] = [None] * node_count
+    oid_rank: List[int] = [0] * node_count
+    for pid, relation in ranks.items():
+        for oid, rank in relation:
+            oid_pid[oid - first_oid] = pid
+            oid_rank[oid - first_oid] = rank
+    for pid, relation in edges.items():
+        for parent, child in relation:
+            oid_parent[child - first_oid] = parent
+
+    store = MonetXML(
+        summary=summary,
+        root_oid=image["root_oid"],
+        first_oid=first_oid,
+        oid_pid=oid_pid,
+        oid_parent=oid_parent,
+        oid_rank=oid_rank,
+        edges=edges,
+        strings=strings,
+        ranks=ranks,
+    )
+    store.validate()
+    return store
+
+
+def load(path: Union[str, FsPath]) -> MonetXML:
+    """Read a JSON image from disk and rebuild the store."""
+    try:
+        text = FsPath(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StorageError(f"cannot read image {path}: {exc}") from exc
+    return loads(text)

@@ -1,0 +1,64 @@
+"""The SQL-with-paths query language (paper footnote 1 and §3.2).
+
+* :func:`parse_query` — text → :class:`~repro.query.ast.Query`.
+* :func:`plan_query` — resolve patterns against a store's summary.
+* :class:`QueryProcessor` / :func:`run_query` — execution, with
+  ``meet(...)`` as the §3.2 aggregation.
+* :class:`PathPattern` — ``#`` / ``%V`` / ``@attr`` path expressions.
+"""
+
+from .ast import (
+    Binding,
+    ContainsCondition,
+    DistanceItem,
+    EqualsCondition,
+    MeetItem,
+    PathItem,
+    PathVarItem,
+    Query,
+    TagItem,
+    TextItem,
+    VarItem,
+)
+from .executor import QueryProcessor, QueryResult, run_query
+from .lexer import Token, TokenKind, tokenize_query
+from .parser import parse_query
+from .pathexpr import (
+    AnyStep,
+    AttributeStep,
+    LiteralStep,
+    PathPattern,
+    SequenceWildcard,
+    VariableStep,
+)
+from .planner import Plan, VariablePlan, plan_query
+
+__all__ = [
+    "AnyStep",
+    "AttributeStep",
+    "Binding",
+    "ContainsCondition",
+    "DistanceItem",
+    "EqualsCondition",
+    "LiteralStep",
+    "MeetItem",
+    "PathItem",
+    "PathPattern",
+    "PathVarItem",
+    "Plan",
+    "Query",
+    "QueryProcessor",
+    "QueryResult",
+    "SequenceWildcard",
+    "TagItem",
+    "TextItem",
+    "Token",
+    "TokenKind",
+    "VarItem",
+    "VariablePlan",
+    "VariableStep",
+    "parse_query",
+    "plan_query",
+    "run_query",
+    "tokenize_query",
+]

@@ -1,0 +1,140 @@
+"""Abstract syntax of the query dialect.
+
+A query is ``select <items> from <bindings> [where <conditions>]``.
+Select items reference node variables bound in the FROM clause; the
+``meet(...)`` item is an *aggregation* over the bound witness sets
+("from now on, we interpret the meet operator as an aggregation
+operation", §3.2) and carries the §4 restrictions (``within k``,
+``exclude <paths>``, ``exclude root``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .pathexpr import PathPattern
+
+__all__ = [
+    "Binding",
+    "ContainsCondition",
+    "EqualsCondition",
+    "VarItem",
+    "TagItem",
+    "PathItem",
+    "TextItem",
+    "PathVarItem",
+    "DistanceItem",
+    "MeetItem",
+    "Query",
+    "Condition",
+    "SelectItem",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    """One FROM-clause entry: ``<pattern> $var``."""
+
+    pattern: PathPattern
+    variable: str
+
+
+@dataclass(frozen=True, slots=True)
+class ContainsCondition:
+    """``$var contains 'text'`` — offspring character data containment."""
+
+    variable: str
+    needle: str
+
+
+@dataclass(frozen=True, slots=True)
+class EqualsCondition:
+    """``$var = 'text'`` — an association value equals the literal."""
+
+    variable: str
+    value: str
+
+
+Condition = Union[ContainsCondition, EqualsCondition]
+
+
+@dataclass(frozen=True, slots=True)
+class VarItem:
+    """Select the bound node itself (rendered as OID)."""
+
+    variable: str
+
+
+@dataclass(frozen=True, slots=True)
+class TagItem:
+    """``tag($var)`` — the node's element name."""
+
+    variable: str
+
+
+@dataclass(frozen=True, slots=True)
+class PathItem:
+    """``path($var)`` — π of the node."""
+
+    variable: str
+
+
+@dataclass(frozen=True, slots=True)
+class TextItem:
+    """``text($var)`` — the node's descendant character data."""
+
+    variable: str
+
+
+@dataclass(frozen=True, slots=True)
+class PathVarItem:
+    """Select a path variable bound by a FROM pattern (``select %T``)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class DistanceItem:
+    """``distance($a, $b)`` — tree distance via the meet (§4)."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True, slots=True)
+class MeetItem:
+    """``meet($a, $b, …) [within k] [exclude root|p1, p2 …]``."""
+
+    variables: Tuple[str, ...]
+    within: Optional[int] = None
+    exclude_paths: Tuple[str, ...] = ()
+    exclude_root: bool = False
+
+
+SelectItem = Union[
+    VarItem, TagItem, PathItem, TextItem, PathVarItem, DistanceItem, MeetItem
+]
+
+
+@dataclass(slots=True)
+class Query:
+    """A parsed query, ready for the planner."""
+
+    select: List[SelectItem]
+    bindings: List[Binding]
+    conditions: List[Condition] = field(default_factory=list)
+    distinct: bool = False
+
+    def binding_for(self, variable: str) -> Binding:
+        for binding in self.bindings:
+            if binding.variable == variable:
+                return binding
+        raise KeyError(variable)
+
+    def conditions_for(self, variable: str) -> List[Condition]:
+        return [
+            condition
+            for condition in self.conditions
+            if condition.variable == variable
+        ]

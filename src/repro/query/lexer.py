@@ -1,0 +1,144 @@
+"""Tokenizer for the paper's SQL-with-paths query dialect.
+
+The paper (footnote 1) queries look like::
+
+    select meet($o1, $o2)
+    from   bibliography/#/%T1 $o1,
+           bibliography/#/%T2 $o2
+    where  $o1 contains 'Bit'
+    and    $o2 contains '1999'
+
+Lexical elements: keywords (case-insensitive), identifiers, node
+variables ``$name``, path variables ``%name``, the schema wildcard
+``#``, path separators ``/`` and ``@``, string literals in single or
+double quotes, integers, commas, parentheses and ``=``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..datamodel.errors import QuerySyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize_query", "KEYWORDS"]
+
+
+class TokenKind:
+    """Token kind constants (plain strings keep debugging readable)."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NODEVAR = "nodevar"
+    PATHVAR = "pathvar"
+    STRING = "string"
+    INT = "int"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "and",
+        "contains",
+        "meet",
+        "within",
+        "exclude",
+        "root",
+        "distance",
+        "tag",
+        "path",
+        "text",
+        "distinct",
+    }
+)
+
+_SYMBOLS = ("(", ")", ",", "/", "@", "#", "=", "*")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == TokenKind.SYMBOL and self.value == symbol
+
+
+def _read_name(text: str, start: int) -> int:
+    position = start
+    while position < len(text) and (
+        text[position].isalnum() or text[position] in "_-."
+    ):
+        position += 1
+    return position
+
+
+def tokenize_query(text: str) -> List[Token]:
+    """Tokenize a query; raises :class:`QuerySyntaxError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        ch = text[position]
+        if ch in " \t\r\n":
+            position += 1
+            continue
+        if ch == "-" and text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if ch in ("'", '"'):
+            end = text.find(ch, position + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated string literal", position)
+            tokens.append(Token(TokenKind.STRING, text[position + 1 : end], position))
+            position = end + 1
+            continue
+        if ch == "$":
+            end = _read_name(text, position + 1)
+            if end == position + 1:
+                raise QuerySyntaxError("empty node variable after '$'", position)
+            tokens.append(Token(TokenKind.NODEVAR, text[position + 1 : end], position))
+            position = end
+            continue
+        if ch == "%":
+            end = _read_name(text, position + 1)
+            if end == position + 1:
+                raise QuerySyntaxError("empty path variable after '%'", position)
+            tokens.append(Token(TokenKind.PATHVAR, text[position + 1 : end], position))
+            position = end
+            continue
+        if ch.isdigit():
+            end = position
+            while end < length and text[end].isdigit():
+                end += 1
+            # A digit run followed by name characters is an identifier
+            # (tag names like 1999 do not appear; be strict).
+            tokens.append(Token(TokenKind.INT, text[position:end], position))
+            position = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = _read_name(text, position)
+            word = text[position:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, position))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, position))
+            position = end
+            continue
+        if ch in _SYMBOLS:
+            tokens.append(Token(TokenKind.SYMBOL, ch, position))
+            position += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", position)
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

@@ -1,0 +1,266 @@
+"""Recursive-descent parser for the query dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT [DISTINCT] items FROM bindings [WHERE conds]
+    items      := item (',' item)*
+    item       := MEET '(' $v (',' $v)* ')' [WITHIN int] [EXCLUDE excl]
+                | DISTANCE '(' $v ',' $v ')'
+                | TAG '(' $v ')' | PATH '(' $v ')' | TEXT '(' $v ')'
+                | $v | %V
+    excl       := ROOT | pattern (',' pattern)*
+    bindings   := pattern $v (',' pattern $v)*
+    pattern    := pstep (('/' pstep) | astep)*
+    pstep      := IDENT | '%' NAME | '#' | '*'
+    astep      := '@' IDENT
+    conds      := cond (AND cond)*
+    cond       := $v CONTAINS string | $v '=' string
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..datamodel.errors import QuerySyntaxError
+from .ast import (
+    Binding,
+    ContainsCondition,
+    DistanceItem,
+    EqualsCondition,
+    MeetItem,
+    PathItem,
+    PathVarItem,
+    Query,
+    SelectItem,
+    TagItem,
+    TextItem,
+    VarItem,
+)
+from .lexer import Token, TokenKind, tokenize_query
+from .pathexpr import (
+    AnyStep,
+    AttributeStep,
+    LiteralStep,
+    PathPattern,
+    SequenceWildcard,
+    VariableStep,
+)
+
+__all__ = ["parse_query"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- cursor helpers -----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(message, self.current.position)
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(f"expected keyword {word!r}, got {self.current.value!r}")
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise self.error(f"expected {symbol!r}, got {self.current.value!r}")
+        return self.advance()
+
+    def expect_nodevar(self) -> str:
+        if self.current.kind != TokenKind.NODEVAR:
+            raise self.error(f"expected a node variable, got {self.current.value!r}")
+        return self.advance().value
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        select = [self.parse_item()]
+        while self.accept_symbol(","):
+            select.append(self.parse_item())
+        self.expect_keyword("from")
+        bindings = [self.parse_binding()]
+        while self.accept_symbol(","):
+            bindings.append(self.parse_binding())
+        conditions = []
+        if self.accept_keyword("where"):
+            conditions.append(self.parse_condition())
+            while self.accept_keyword("and"):
+                conditions.append(self.parse_condition())
+        if self.current.kind != TokenKind.EOF:
+            raise self.error(f"trailing input {self.current.value!r}")
+        query = Query(
+            select=select,
+            bindings=bindings,
+            conditions=conditions,
+            distinct=distinct,
+        )
+        self._check_references(query)
+        return query
+
+    def _check_references(self, query: Query) -> None:
+        bound = {binding.variable for binding in query.bindings}
+        seen = set()
+        for binding in query.bindings:
+            if binding.variable in seen:
+                raise QuerySyntaxError(
+                    f"duplicate binding for ${binding.variable}"
+                )
+            seen.add(binding.variable)
+        path_vars = set()
+        for binding in query.bindings:
+            path_vars.update(binding.pattern.variables)
+
+        def check(variable: str) -> None:
+            if variable not in bound:
+                raise QuerySyntaxError(f"unbound node variable ${variable}")
+
+        for item in query.select:
+            if isinstance(item, (VarItem, TagItem, PathItem, TextItem)):
+                check(item.variable)
+            elif isinstance(item, DistanceItem):
+                check(item.left)
+                check(item.right)
+            elif isinstance(item, MeetItem):
+                for variable in item.variables:
+                    check(variable)
+            elif isinstance(item, PathVarItem):
+                if item.name not in path_vars:
+                    raise QuerySyntaxError(f"unbound path variable %{item.name}")
+        for condition in query.conditions:
+            check(condition.variable)
+
+    def parse_item(self) -> SelectItem:
+        token = self.current
+        if token.is_keyword("meet"):
+            return self.parse_meet_item()
+        if token.is_keyword("distance"):
+            self.advance()
+            self.expect_symbol("(")
+            left = self.expect_nodevar()
+            self.expect_symbol(",")
+            right = self.expect_nodevar()
+            self.expect_symbol(")")
+            return DistanceItem(left, right)
+        for word, cls in (("tag", TagItem), ("path", PathItem), ("text", TextItem)):
+            if token.is_keyword(word):
+                self.advance()
+                self.expect_symbol("(")
+                variable = self.expect_nodevar()
+                self.expect_symbol(")")
+                return cls(variable)
+        if token.kind == TokenKind.NODEVAR:
+            return VarItem(self.advance().value)
+        if token.kind == TokenKind.PATHVAR:
+            return PathVarItem(self.advance().value)
+        raise self.error(f"expected a select item, got {token.value!r}")
+
+    def parse_meet_item(self) -> MeetItem:
+        self.expect_keyword("meet")
+        self.expect_symbol("(")
+        variables = [self.expect_nodevar()]
+        while self.accept_symbol(","):
+            variables.append(self.expect_nodevar())
+        self.expect_symbol(")")
+        if len(variables) < 2:
+            raise self.error("meet(...) needs at least two variables")
+        within: Optional[int] = None
+        exclude_paths: Tuple[str, ...] = ()
+        exclude_root = False
+        if self.accept_keyword("within"):
+            if self.current.kind != TokenKind.INT:
+                raise self.error("within expects an integer distance bound")
+            within = int(self.advance().value)
+        if self.accept_keyword("exclude"):
+            if self.accept_keyword("root"):
+                exclude_root = True
+            else:
+                patterns = [str(self.parse_pattern())]
+                while self.accept_symbol(","):
+                    if self.accept_keyword("root"):
+                        exclude_root = True
+                        break
+                    patterns.append(str(self.parse_pattern()))
+                exclude_paths = tuple(patterns)
+        return MeetItem(
+            variables=tuple(variables),
+            within=within,
+            exclude_paths=exclude_paths,
+            exclude_root=exclude_root,
+        )
+
+    def parse_binding(self) -> Binding:
+        pattern = self.parse_pattern()
+        variable = self.expect_nodevar()
+        return Binding(pattern=pattern, variable=variable)
+
+    def parse_pattern(self) -> PathPattern:
+        steps = [self.parse_pattern_step()]
+        while True:
+            if self.accept_symbol("/"):
+                steps.append(self.parse_pattern_step())
+            elif self.current.is_symbol("@"):
+                self.advance()
+                if self.current.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                    raise self.error("expected attribute name after '@'")
+                steps.append(AttributeStep(self.advance().value))
+                break
+            else:
+                break
+        return PathPattern(steps)
+
+    def parse_pattern_step(self):
+        token = self.current
+        if token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            # Keywords double as tag names inside patterns (e.g. 'text').
+            return LiteralStep(self.advance().value)
+        if token.kind == TokenKind.PATHVAR:
+            return VariableStep(self.advance().value)
+        if token.is_symbol("#"):
+            self.advance()
+            return SequenceWildcard()
+        if token.is_symbol("*"):
+            self.advance()
+            return AnyStep()
+        raise self.error(f"expected a path step, got {token.value!r}")
+
+    def parse_condition(self):
+        variable = self.expect_nodevar()
+        if self.accept_keyword("contains"):
+            if self.current.kind != TokenKind.STRING:
+                raise self.error("contains expects a string literal")
+            return ContainsCondition(variable, self.advance().value)
+        if self.accept_symbol("="):
+            if self.current.kind not in (TokenKind.STRING, TokenKind.INT):
+                raise self.error("'=' expects a string or integer literal")
+            return EqualsCondition(variable, self.advance().value)
+        raise self.error("expected 'contains' or '=' in condition")
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`~repro.query.ast.Query`."""
+    return _Parser(tokenize_query(text)).parse()

@@ -1,0 +1,197 @@
+"""Path patterns with wildcards and path variables (paper footnote 1).
+
+A pattern is a sequence of steps:
+
+* ``label``      — a literal element tag;
+* ``%V``         — a *path variable*: matches a single tag and binds it
+  (the intro query binds ``%T`` "to the tag names of all nodes whose
+  offspring contains …"); repeated occurrences of the same variable
+  must bind the same tag;
+* ``#``          — the schema wildcard: "may stand for any sequence of
+  tags" (zero or more element steps);
+* ``*``          — one arbitrary tag, unnamed;
+* ``@name``      — a final attribute step.
+
+Matching runs against :class:`~repro.datamodel.paths.Path` objects via
+backtracking (patterns and paths are short); the planner matches every
+distinct path of the summary once, so instance size does not matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..datamodel.paths import ATTRIBUTE, ELEMENT, Path
+from ..monet.pathsummary import PathSummary
+
+__all__ = [
+    "LiteralStep",
+    "VariableStep",
+    "AnyStep",
+    "SequenceWildcard",
+    "AttributeStep",
+    "PathPattern",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LiteralStep:
+    label: str
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True, slots=True)
+class VariableStep:
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class AnyStep:
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceWildcard:
+    def __str__(self) -> str:
+        return "#"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeStep:
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+PatternStep = Union[
+    LiteralStep, VariableStep, AnyStep, SequenceWildcard, AttributeStep
+]
+
+
+class PathPattern:
+    """An immutable sequence of pattern steps with a matcher."""
+
+    def __init__(self, steps: List[PatternStep]):
+        for position, step in enumerate(steps):
+            if isinstance(step, AttributeStep) and position != len(steps) - 1:
+                raise ValueError("attribute step must be the final step")
+        self.steps: Tuple[PatternStep, ...] = tuple(steps)
+
+    def __str__(self) -> str:
+        out: List[str] = []
+        for step in self.steps:
+            if isinstance(step, AttributeStep):
+                out.append(str(step))
+            else:
+                if out and not out[-1].startswith("@"):
+                    out.append("/")
+                out.append(str(step))
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"PathPattern({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PathPattern) and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    @property
+    def variables(self) -> List[str]:
+        """Names of the path variables, in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for step in self.steps:
+            if isinstance(step, VariableStep):
+                seen.setdefault(step.name)
+        return list(seen)
+
+    # -- matching ---------------------------------------------------------
+    def match(self, path: Path) -> Optional[Dict[str, str]]:
+        """Bindings if the pattern matches the whole path, else ``None``.
+
+        Patterns are anchored at both ends (the paper's patterns start
+        at the document root).  Use a leading ``#`` for a free prefix.
+        """
+        return _match(self.steps, path.steps, 0, 0, {})
+
+    def matching_pids(self, summary: PathSummary) -> List[Tuple[int, Dict[str, str]]]:
+        """All (pid, bindings) of summary paths matching the pattern."""
+        matches: List[Tuple[int, Dict[str, str]]] = []
+        for pid in summary.pids():
+            bindings = self.match(summary.path(pid))
+            if bindings is not None:
+                matches.append((pid, bindings))
+        return matches
+
+
+def _match(
+    pattern: Tuple[PatternStep, ...],
+    steps,
+    pattern_index: int,
+    step_index: int,
+    bindings: Dict[str, str],
+) -> Optional[Dict[str, str]]:
+    """Backtracking matcher; returns the successful binding or None."""
+    if pattern_index == len(pattern):
+        return dict(bindings) if step_index == len(steps) else None
+
+    head = pattern[pattern_index]
+
+    if isinstance(head, SequenceWildcard):
+        # Try consuming 0 .. remaining element steps (shortest first).
+        for skip in range(len(steps) - step_index + 1):
+            # '#' stands for a sequence of *tags*: element steps only.
+            if skip > 0 and steps[step_index + skip - 1].kind != ELEMENT:
+                break
+            result = _match(
+                pattern, steps, pattern_index + 1, step_index + skip, bindings
+            )
+            if result is not None:
+                return result
+        return None
+
+    if step_index >= len(steps):
+        return None
+    step = steps[step_index]
+
+    if isinstance(head, LiteralStep):
+        if step.kind == ELEMENT and step.label == head.label:
+            return _match(pattern, steps, pattern_index + 1, step_index + 1, bindings)
+        return None
+
+    if isinstance(head, AnyStep):
+        if step.kind == ELEMENT:
+            return _match(pattern, steps, pattern_index + 1, step_index + 1, bindings)
+        return None
+
+    if isinstance(head, VariableStep):
+        if step.kind != ELEMENT:
+            return None
+        bound = bindings.get(head.name)
+        if bound is not None and bound != step.label:
+            return None
+        if bound is None:
+            bindings[head.name] = step.label
+            result = _match(
+                pattern, steps, pattern_index + 1, step_index + 1, bindings
+            )
+            if result is None:
+                del bindings[head.name]
+            return result
+        return _match(pattern, steps, pattern_index + 1, step_index + 1, bindings)
+
+    if isinstance(head, AttributeStep):
+        if step.kind == ATTRIBUTE and step.label == head.name:
+            return _match(pattern, steps, pattern_index + 1, step_index + 1, bindings)
+        return None
+
+    raise TypeError(f"unknown pattern step {head!r}")  # pragma: no cover

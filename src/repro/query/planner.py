@@ -1,0 +1,115 @@
+"""Query planning: resolve patterns against the path summary.
+
+Planning is the schema-level half of execution: every FROM pattern is
+matched once against the (small) path summary, yielding the candidate
+relation set per variable together with any path-variable bindings.
+The instance-level half (full-text probes, closures, the meet roll-up)
+happens in :mod:`repro.query.executor`.
+
+The plan's :meth:`Plan.explain` renders the relation fan-out — useful
+to see how a schema wildcard like ``#`` expands over a real document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..datamodel.errors import QueryPlanError
+from ..monet.engine import MonetXML
+from .ast import (
+    Binding,
+    DistanceItem,
+    MeetItem,
+    PathVarItem,
+    Query,
+    SelectItem,
+)
+
+__all__ = ["VariablePlan", "Plan", "plan_query"]
+
+
+@dataclass(slots=True)
+class VariablePlan:
+    """Candidate relations for one node variable."""
+
+    variable: str
+    binding: Binding
+    #: (pid, path-variable bindings) for every matching summary path.
+    matches: List[Tuple[int, Dict[str, str]]] = field(default_factory=list)
+
+    @property
+    def pids(self) -> List[int]:
+        return [pid for pid, _ in self.matches]
+
+
+@dataclass(slots=True)
+class Plan:
+    """A planned query, ready to execute against its store."""
+
+    query: Query
+    store: MonetXML
+    variables: Dict[str, VariablePlan]
+    #: which variable's pattern binds each select-able path variable
+    path_variable_owner: Dict[str, str]
+    aggregate: bool
+
+    def explain(self) -> str:
+        """Human-readable relation fan-out of the plan."""
+        lines = [f"plan over {self.store!r}"]
+        for plan in self.variables.values():
+            lines.append(
+                f"  ${plan.variable} := {plan.binding.pattern} "
+                f"→ {len(plan.matches)} relation(s)"
+            )
+            for pid, bindings in plan.matches[:8]:
+                path = self.store.summary.path(pid)
+                suffix = f"  {bindings}" if bindings else ""
+                lines.append(f"      {path}{suffix}")
+            if len(plan.matches) > 8:
+                lines.append(f"      … {len(plan.matches) - 8} more")
+        mode = "aggregate (meet)" if self.aggregate else "enumeration"
+        lines.append(f"  mode: {mode}")
+        return "\n".join(lines)
+
+
+def _is_aggregate_item(item: SelectItem) -> bool:
+    return isinstance(item, (MeetItem, DistanceItem))
+
+
+def plan_query(query: Query, store: MonetXML) -> Plan:
+    """Match every binding pattern against the store's path summary.
+
+    Raises :class:`QueryPlanError` when aggregation items (``meet``,
+    ``distance``) are mixed with row-wise items — the paper treats meet
+    as an aggregation over the bound sets, so a mixed select has no
+    coherent row semantics.
+    """
+    aggregates = [item for item in query.select if _is_aggregate_item(item)]
+    rowwise = [item for item in query.select if not _is_aggregate_item(item)]
+    if aggregates and rowwise:
+        raise QueryPlanError(
+            "meet()/distance() aggregations cannot be mixed with "
+            "row-wise select items"
+        )
+
+    variables: Dict[str, VariablePlan] = {}
+    path_variable_owner: Dict[str, str] = {}
+    for binding in query.bindings:
+        plan = VariablePlan(variable=binding.variable, binding=binding)
+        plan.matches = binding.pattern.matching_pids(store.summary)
+        variables[binding.variable] = plan
+        for name in binding.pattern.variables:
+            path_variable_owner.setdefault(name, binding.variable)
+
+    for item in query.select:
+        if isinstance(item, PathVarItem) and item.name not in path_variable_owner:
+            raise QueryPlanError(f"path variable %{item.name} is not bound")
+
+    return Plan(
+        query=query,
+        store=store,
+        variables=variables,
+        path_variable_owner=path_variable_owner,
+        aggregate=bool(aggregates),
+    )

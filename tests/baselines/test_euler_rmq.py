@@ -1,0 +1,64 @@
+"""Unit tests for the Euler-tour + RMQ LCA index."""
+
+import pytest
+
+from repro.baselines.euler_rmq import EulerTourLCA
+from repro.core.meet_pair import meet2, meet2_traced
+from repro.datamodel.errors import UnknownOIDError
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.datasets.randomtree import random_document, random_oid_pairs
+from repro.monet.transform import monet_transform
+
+
+@pytest.fixture(scope="module")
+def index(request):
+    return EulerTourLCA(request.getfixturevalue("figure1_store"))
+
+
+class TestTour:
+    def test_tour_length_is_2n_minus_1(self, index, figure1_store):
+        assert index.tour_length == 2 * figure1_store.node_count - 1
+
+
+class TestQueries:
+    def test_known_cases(self, index):
+        assert index.lca(O["cdata_ben"], O["cdata_bit"]) == O["author1"]
+        assert index.lca(O["year1"], O["year1"]) == O["year1"]
+        assert index.lca(O["cdata_ben"], O["cdata_bob_byte"]) == O["institute"]
+
+    def test_agrees_with_meet2_everywhere(self, index, figure1_store):
+        oids = list(figure1_store.iter_oids())
+        for oid1 in oids:
+            for oid2 in oids[::2]:
+                assert index.lca(oid1, oid2) == meet2(figure1_store, oid1, oid2)
+
+    def test_distance(self, index, figure1_store):
+        for oid1, oid2 in [
+            (O["cdata_ben"], O["cdata_bit"]),
+            (O["article1"], O["article2"]),
+            (O["year1"], O["year1"]),
+        ]:
+            assert index.distance(oid1, oid2) == meet2_traced(
+                figure1_store, oid1, oid2
+            ).joins
+
+    def test_unknown_oid(self, index):
+        with pytest.raises(UnknownOIDError):
+            index.lca(1, 999)
+
+
+class TestRandom:
+    def test_random_documents(self):
+        for seed in (21, 22):
+            store = monet_transform(random_document(seed, nodes=300))
+            index = EulerTourLCA(store)
+            for oid1, oid2 in random_oid_pairs(store, 100, seed=seed):
+                assert index.lca(oid1, oid2) == meet2(store, oid1, oid2)
+
+    def test_single_node_document(self):
+        from repro.datamodel.builder import DocumentBuilder
+
+        store = monet_transform(DocumentBuilder("only").build())
+        index = EulerTourLCA(store)
+        assert index.lca(0, 0) == 0
+        assert index.tour_length == 1

@@ -1,0 +1,63 @@
+"""Unit tests for the naive LCA baselines (oracles for meet₂)."""
+
+import pytest
+
+from repro.baselines.naive_lca import lockstep_lca, naive_lca, naive_lca_pairs
+from repro.core.meet_pair import meet2
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.datasets.randomtree import random_document, random_oid_pairs
+from repro.monet.transform import monet_transform
+
+
+class TestNaive:
+    def test_known_cases(self, figure1_store):
+        assert naive_lca(figure1_store, O["cdata_ben"], O["cdata_bit"]) == (
+            O["author1"]
+        )
+        assert naive_lca(figure1_store, O["year1"], O["year1"]) == O["year1"]
+        assert naive_lca(figure1_store, O["article1"], O["cdata_ben"]) == (
+            O["article1"]
+        )
+
+    def test_agrees_with_meet2_everywhere(self, figure1_store):
+        oids = list(figure1_store.iter_oids())
+        for oid1 in oids:
+            for oid2 in oids[::2]:
+                assert naive_lca(figure1_store, oid1, oid2) == meet2(
+                    figure1_store, oid1, oid2
+                )
+
+
+class TestLockstep:
+    def test_agrees_with_naive(self, figure1_store):
+        oids = list(figure1_store.iter_oids())
+        for oid1 in oids[::2]:
+            for oid2 in oids[::3]:
+                assert lockstep_lca(figure1_store, oid1, oid2) == naive_lca(
+                    figure1_store, oid1, oid2
+                )
+
+    def test_random_documents(self):
+        store = monet_transform(random_document(5, nodes=200))
+        for oid1, oid2 in random_oid_pairs(store, 80, seed=5):
+            assert lockstep_lca(store, oid1, oid2) == naive_lca(store, oid1, oid2)
+
+
+class TestPairs:
+    def test_cross_product_cardinality(self, figure1_store):
+        """Without minimality bookkeeping the result is |O₁|×|O₂| —
+        the combinatorial explosion Fig. 4 avoids."""
+        left = [O["cdata_how_to_hack"], O["cdata_hacking_rsi"]]
+        right = [O["cdata_1999_a"], O["cdata_1999_b"]]
+        results = naive_lca_pairs(figure1_store, left, right)
+        assert len(results) == 4
+
+    def test_pair_results_are_correct_lcas(self, figure1_store):
+        left = [O["cdata_bit"]]
+        right = [O["cdata_1999_a"], O["cdata_1999_b"]]
+        for lca, oid1, oid2 in naive_lca_pairs(figure1_store, left, right):
+            assert lca == meet2(figure1_store, oid1, oid2)
+
+    def test_empty_sides(self, figure1_store):
+        assert naive_lca_pairs(figure1_store, [], [1]) == []
+        assert naive_lca_pairs(figure1_store, [1], []) == []

@@ -1,0 +1,27 @@
+"""Unit tests for the raw-path-comparison meet₂ variant (Ablation D)."""
+
+from repro.baselines.path_steering import meet2_pathcmp
+from repro.core.meet_pair import meet2
+from repro.datasets.randomtree import random_document, random_oid_pairs
+from repro.monet.transform import monet_transform
+
+
+class TestEquivalence:
+    def test_figure1_all_pairs(self, figure1_store):
+        oids = list(figure1_store.iter_oids())
+        for oid1 in oids:
+            for oid2 in oids[::2]:
+                assert meet2_pathcmp(figure1_store, oid1, oid2) == meet2(
+                    figure1_store, oid1, oid2
+                )
+
+    def test_random_documents(self):
+        for seed in (51, 52):
+            store = monet_transform(random_document(seed, nodes=200))
+            for oid1, oid2 in random_oid_pairs(store, 80, seed=seed):
+                assert meet2_pathcmp(store, oid1, oid2) == meet2(
+                    store, oid1, oid2
+                )
+
+    def test_identity(self, figure1_store):
+        assert meet2_pathcmp(figure1_store, 5, 5) == 5

@@ -1,0 +1,81 @@
+"""Unit tests for the intro's path-expression baseline (Table I)."""
+
+import pytest
+
+from repro.baselines.pathexpr_baseline import (
+    containment_answers,
+    witness_pair_answers,
+)
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.fulltext.search import SearchEngine
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def search(request):
+    return SearchEngine(request.getfixturevalue("figure1_store"))
+
+
+class TestContainmentAnswers:
+    def test_bit_and_1999(self, figure1_store, search):
+        """Nodes containing both terms: article1, institute, root —
+        the ancestor-implied redundancy of the intro's answer."""
+        answers = containment_answers(figure1_store, search, ["Bit", "1999"])
+        assert [a.tag for a in answers] == ["bibliography", "institute", "article"]
+        assert [a.oid for a in answers] == [
+            O["bibliography"],
+            O["institute"],
+            O["article1"],
+        ]
+
+    def test_witnesses_recorded(self, figure1_store, search):
+        answers = containment_answers(figure1_store, search, ["Bit", "1999"])
+        article = answers[-1]
+        assert O["cdata_bit"] in article.witnesses
+        assert O["cdata_1999_a"] in article.witnesses
+
+    def test_pattern_restriction(self, figure1_store, search):
+        query = parse_query("select $o from bibliography/#/%T $o")
+        pattern = query.bindings[0].pattern
+        answers = containment_answers(
+            figure1_store, search, ["Bit", "1999"], pattern=pattern
+        )
+        # the pattern needs depth ≥ 2: the root drops out
+        assert [a.tag for a in answers] == ["institute", "article"]
+
+    def test_empty_terms(self, figure1_store, search):
+        assert containment_answers(figure1_store, search, []) == []
+
+    def test_superset_of_meet_answer(self, figure1_store, search, figure1_engine):
+        """The baseline answer always contains every meet answer."""
+        baseline = {a.oid for a in containment_answers(figure1_store, search, ["Bit", "1999"])}
+        meets = {c.oid for c in figure1_engine.nearest_concepts("Bit", "1999")}
+        assert meets <= baseline
+        assert len(baseline) > len(meets)
+
+
+class TestWitnessPairAnswers:
+    def test_row_bag_shape(self, figure1_store, search):
+        answers = witness_pair_answers(figure1_store, search, "Bit", "1999")
+        tags = sorted(a.tag for a in answers)
+        # pair (o8,o12): article+institute+bibliography;
+        # pair (o8,o17): institute+bibliography  → 5 rows
+        assert tags == [
+            "article",
+            "bibliography",
+            "bibliography",
+            "institute",
+            "institute",
+        ]
+
+    def test_rows_carry_witness_pairs(self, figure1_store, search):
+        answers = witness_pair_answers(figure1_store, search, "Bit", "1999")
+        for answer in answers:
+            oid1, oid2 = answer.witnesses
+            assert figure1_store.is_ancestor(answer.oid, oid1)
+            assert figure1_store.is_ancestor(answer.oid, oid2)
+
+    def test_explosion_grows_with_hits(self, figure1_store, search):
+        few = witness_pair_answers(figure1_store, search, "Ben", "Bit")
+        many = witness_pair_answers(figure1_store, search, "Hack", "1999")
+        assert len(many) >= len(few)

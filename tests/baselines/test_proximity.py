@@ -1,0 +1,68 @@
+"""Unit tests for the Goldman-et-al.-style proximity baseline."""
+
+import pytest
+
+from repro.baselines.proximity import find_near, find_near_terms
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.fulltext.search import SearchEngine
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def search(request):
+    return SearchEngine(request.getfixturevalue("figure1_store"))
+
+
+def article_pattern():
+    return parse_query(
+        "select $o from bibliography/institute/article $o"
+    ).bindings[0].pattern
+
+
+class TestFindNear:
+    def test_ranks_by_distance(self, figure1_store):
+        hits = find_near(
+            figure1_store,
+            find_oids=[O["article1"], O["article2"]],
+            near_oids=[O["cdata_bit"]],
+        )
+        assert [h.oid for h in hits] == [O["article1"], O["article2"]]
+        assert hits[0].distance < hits[1].distance
+
+    def test_best_near_witness_reported(self, figure1_store):
+        hits = find_near(
+            figure1_store,
+            find_oids=[O["article1"]],
+            near_oids=[O["cdata_1999_a"], O["cdata_1999_b"]],
+        )
+        assert hits[0].nearest == O["cdata_1999_a"]
+        assert hits[0].distance == 2
+
+    def test_max_distance_filter(self, figure1_store):
+        hits = find_near(
+            figure1_store,
+            find_oids=[O["article1"], O["article2"]],
+            near_oids=[O["cdata_bit"]],
+            max_distance=3,
+        )
+        assert [h.oid for h in hits] == [O["article1"]]
+
+    def test_empty_near_set(self, figure1_store):
+        assert find_near(figure1_store, [O["article1"]], []) == []
+
+
+class TestFindNearTerms:
+    def test_user_names_the_result_type(self, figure1_store, search):
+        """The baseline *requires* the result-type pattern the meet
+        operator makes unnecessary."""
+        hits = find_near_terms(
+            figure1_store, search, article_pattern(), "Bit"
+        )
+        assert [h.oid for h in hits] == [O["article1"], O["article2"]]
+
+    def test_agrees_with_meet_on_top_answer(self, figure1_store, search, figure1_engine):
+        proximity_top = find_near_terms(
+            figure1_store, search, article_pattern(), "Bit"
+        )[0]
+        meet_top = figure1_engine.nearest_concepts("Bit", "Hack")[0]
+        assert proximity_top.oid == meet_top.oid == O["article1"]

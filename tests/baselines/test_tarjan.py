@@ -1,0 +1,67 @@
+"""Unit tests for Tarjan's offline LCA."""
+
+import pytest
+
+from repro.baselines.tarjan import DisjointSet, tarjan_offline_lca
+from repro.core.meet_pair import meet2
+from repro.datamodel.errors import UnknownOIDError
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.datasets.randomtree import random_document, random_oid_pairs
+from repro.monet.transform import monet_transform
+
+
+class TestDisjointSet:
+    def test_make_find(self):
+        dsu = DisjointSet()
+        dsu.make_set(1)
+        assert dsu.find(1) == 1
+
+    def test_union(self):
+        dsu = DisjointSet()
+        for item in (1, 2, 3):
+            dsu.make_set(item)
+        dsu.union(1, 2)
+        assert dsu.find(1) == dsu.find(2)
+        assert dsu.find(3) not in (dsu.find(1),) or dsu.find(3) == dsu.find(3)
+        dsu.union(2, 3)
+        assert dsu.find(1) == dsu.find(3)
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet()
+        dsu.make_set(1)
+        dsu.make_set(2)
+        first = dsu.union(1, 2)
+        assert dsu.union(1, 2) == first
+
+
+class TestOffline:
+    def test_batch_matches_meet2(self, figure1_store):
+        queries = [
+            (O["cdata_ben"], O["cdata_bit"]),
+            (O["cdata_bit"], O["cdata_1999_a"]),
+            (O["year1"], O["year2"]),
+            (O["bibliography"], O["cdata_bob_byte"]),
+            (O["year1"], O["year1"]),
+        ]
+        answers = tarjan_offline_lca(figure1_store, queries)
+        for (oid1, oid2), answer in zip(queries, answers):
+            assert answer == meet2(figure1_store, oid1, oid2)
+
+    def test_empty_batch(self, figure1_store):
+        assert tarjan_offline_lca(figure1_store, []) == []
+
+    def test_duplicate_queries(self, figure1_store):
+        queries = [(O["cdata_ben"], O["cdata_bit"])] * 3
+        answers = tarjan_offline_lca(figure1_store, queries)
+        assert answers == [O["author1"]] * 3
+
+    def test_unknown_oid_rejected(self, figure1_store):
+        with pytest.raises(UnknownOIDError):
+            tarjan_offline_lca(figure1_store, [(1, 999)])
+
+    def test_random_document_batch(self):
+        store = monet_transform(random_document(31, nodes=250))
+        queries = random_oid_pairs(store, 120, seed=31)
+        answers = tarjan_offline_lca(store, queries)
+        for (oid1, oid2), answer in zip(queries, answers):
+            assert answer == meet2(store, oid1, oid2)

@@ -1,0 +1,57 @@
+"""Unit tests for the bench reporting helpers."""
+
+from repro.bench.report import Series, render_ascii_plot, render_table
+
+
+class TestSeries:
+    def test_add_and_columns(self):
+        series = Series("meet")
+        series.add(0, 1.0)
+        series.add(2, 3.0)
+        assert series.xs == [0, 2]
+        assert series.ys == [1.0, 3.0]
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["n", "time"], [[1, "2.0"], [100, "3.5"]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "time" in lines[1]
+        assert lines[2].startswith("-")
+        assert lines[-1].endswith("3.5")
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["x"], [["averyverylongvalue"]])
+        assert "averyverylongvalue" in text
+
+
+class TestPlot:
+    def test_plot_contains_markers_and_legend(self):
+        series = Series("fulltext and meet")
+        for x in range(10):
+            series.add(x, float(x))
+        text = render_ascii_plot([series], title="Figure 6")
+        assert "Figure 6" in text
+        assert "*" in text
+        assert "fulltext and meet" in text
+
+    def test_two_series_distinct_markers(self):
+        one = Series("a")
+        one.add(0, 0)
+        two = Series("b")
+        two.add(1, 1)
+        text = render_ascii_plot([one, two])
+        assert "* = a" in text and "o = b" in text
+
+    def test_empty_plot(self):
+        assert "(no data)" in render_ascii_plot([], title="t")
+
+    def test_constant_series_no_division_error(self):
+        series = Series("flat")
+        series.add(0, 5.0)
+        series.add(1, 5.0)
+        text = render_ascii_plot([series])
+        assert "flat" in text

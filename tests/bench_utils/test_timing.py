@@ -1,0 +1,36 @@
+"""Unit tests for the bench timing helpers."""
+
+import pytest
+
+from repro.bench.timing import Timing, measure, time_once
+
+
+class TestTimeOnce:
+    def test_returns_positive_milliseconds(self):
+        elapsed = time_once(lambda: sum(range(1000)))
+        assert elapsed >= 0.0
+
+
+class TestMeasure:
+    def test_statistics_shape(self):
+        timing = measure(lambda: None, repeats=5, warmup=1)
+        assert timing.repeats == 5
+        assert timing.min_ms <= timing.median_ms <= timing.max_ms
+        assert timing.mean_ms >= 0
+
+    def test_single_repeat_has_zero_stdev(self):
+        timing = measure(lambda: None, repeats=1, warmup=0)
+        assert timing.stdev_ms == 0.0
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+    def test_warmup_runs_function(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_str_rendering(self):
+        text = str(measure(lambda: None, repeats=2))
+        assert "ms" in text and "median of 2" in text

@@ -1,0 +1,64 @@
+"""Shared fixtures: stores and engines built once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NearestConceptEngine
+from repro.datasets import (
+    DblpConfig,
+    MultimediaConfig,
+    dblp_document,
+    figure1_document,
+    multimedia_with_markers,
+    random_document,
+)
+from repro.monet import monet_transform
+
+
+@pytest.fixture(scope="session")
+def figure1_doc():
+    return figure1_document()
+
+
+@pytest.fixture(scope="session")
+def figure1_store(figure1_doc):
+    store = monet_transform(figure1_doc)
+    store.validate()
+    return store
+
+
+@pytest.fixture(scope="session")
+def figure1_engine(figure1_store):
+    return NearestConceptEngine(figure1_store)
+
+
+@pytest.fixture(scope="session")
+def dblp_small_config():
+    return DblpConfig(papers_per_proceedings=5, articles_per_year=2)
+
+
+@pytest.fixture(scope="session")
+def dblp_store(dblp_small_config):
+    store = monet_transform(dblp_document(dblp_small_config))
+    store.validate()
+    return store
+
+
+@pytest.fixture(scope="session")
+def dblp_engine(dblp_store):
+    # The §5 case study: Monet's `contains` was case-sensitive.
+    return NearestConceptEngine(dblp_store, case_sensitive=True)
+
+
+@pytest.fixture(scope="session")
+def multimedia_planted():
+    doc, planted = multimedia_with_markers(
+        list(range(0, 21)), MultimediaConfig(items=30)
+    )
+    return monet_transform(doc), planted
+
+
+@pytest.fixture(scope="session")
+def random_store():
+    return monet_transform(random_document(seed=7, nodes=400))

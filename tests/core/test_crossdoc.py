@@ -1,0 +1,124 @@
+"""Unit tests for the §4 cross-bibliography application."""
+
+import pytest
+
+from repro.core import NearestConceptEngine
+from repro.core.crossdoc import CrossMatch, distinctive_terms, find_elsewhere
+from repro.datamodel.parser import parse_document
+from repro.monet import monet_transform
+
+# The same two publications under two entirely different mark-ups.
+BIB_A = """
+<bibliography>
+  <institute>
+    <article key="BB99">
+      <author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+      <title>How to Hack</title><year>1999</year>
+    </article>
+    <article key="XY00">
+      <author>Xavier Young</author>
+      <title>Query Rewriting Considered</title><year>2000</year>
+    </article>
+  </institute>
+</bibliography>
+"""
+
+BIB_B = """
+<refs>
+  <entry>
+    <who>Bit, Ben</who>
+    <what>How to Hack</what>
+    <when>1999</when>
+  </entry>
+  <entry>
+    <who>Other, Person</who>
+    <what>Unrelated Compilers</what>
+    <when>1987</when>
+  </entry>
+</refs>
+"""
+
+
+@pytest.fixture(scope="module")
+def engines():
+    source = NearestConceptEngine(monet_transform(parse_document(BIB_A)))
+    target = NearestConceptEngine(monet_transform(parse_document(BIB_B)))
+    return source, target
+
+
+def find_item(source):
+    (concept,) = source.nearest_concepts("Bit", "1999")
+    assert concept.tag == "article"
+    return concept.oid
+
+
+class TestDistinctiveTerms:
+    def test_rarest_first_and_target_filtered(self, engines):
+        source, target = engines
+        item = find_item(source)
+        probes = distinctive_terms(source, item, target, max_terms=4)
+        # all probes exist in the target vocabulary
+        for probe in probes:
+            assert target.index.document_frequency(probe) > 0
+        # 'ben'/'bit'/'hack' survive, '1999' too; rarity order holds
+        frequencies = [target.index.document_frequency(p) for p in probes]
+        assert frequencies == sorted(frequencies)
+        assert len(probes) >= 2
+
+    def test_unshared_vocabulary_yields_nothing(self, engines):
+        source, target = engines
+        # the Xavier Young article shares no terms with BIB_B
+        (concept,) = source.nearest_concepts("Xavier", "2000")
+        probes = distinctive_terms(source, concept.oid, target)
+        assert probes == []
+
+    def test_deterministic(self, engines):
+        source, target = engines
+        item = find_item(source)
+        assert distinctive_terms(source, item, target) == distinctive_terms(
+            source, item, target
+        )
+
+
+class TestFindElsewhere:
+    def test_finds_the_entry_under_different_markup(self, engines):
+        source, target = engines
+        item = find_item(source)
+        matches = find_elsewhere(source, item, target)
+        assert matches
+        best = matches[0]
+        tag = target.store.summary.label(
+            target.store.pid_of(best.concept.oid)
+        )
+        assert tag in {"entry", "who", "what", "cdata"}
+        # the top candidate sits inside the first (matching) entry
+        text = target.snippet(best.concept.oid)
+        assert "Bit" in text or "Hack" in text or "1999" in text
+
+    def test_coverage_ranks_full_matches_first(self, engines):
+        source, target = engines
+        item = find_item(source)
+        matches = find_elsewhere(source, item, target)
+        coverages = [match.coverage for match in matches]
+        assert coverages == sorted(coverages, reverse=True)
+        assert matches[0].coverage > 0
+
+    def test_absent_item_returns_empty(self, engines):
+        source, target = engines
+        (concept,) = source.nearest_concepts("Xavier", "2000")
+        assert find_elsewhere(source, concept.oid, target) == []
+
+    def test_limit_respected(self, engines):
+        source, target = engines
+        item = find_item(source)
+        matches = find_elsewhere(source, item, target, limit=1)
+        assert len(matches) <= 1
+
+    def test_round_trip_both_directions(self, engines):
+        """The lookup also works B → A (mark-up agnostic both ways)."""
+        source, target = engines
+        (entry,) = target.nearest_concepts("Bit", "Hack", limit=1)
+        matches = find_elsewhere(target, entry.oid, source)
+        assert matches
+        top_text = source.snippet(matches[0].concept.oid)
+        assert "Hack" in top_text or "Bit" in top_text

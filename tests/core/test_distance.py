@@ -1,0 +1,104 @@
+"""Unit tests for distances, shortest paths and contexts (§3.1, §4)."""
+
+import pytest
+
+from repro.core.distance import (
+    contexts,
+    distance,
+    document_distance,
+    shortest_path,
+)
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+class TestDistance:
+    def test_metric_identity(self, figure1_store):
+        assert distance(figure1_store, O["year1"], O["year1"]) == 0
+
+    def test_symmetry(self, figure1_store):
+        pairs = [
+            (O["cdata_ben"], O["cdata_bit"]),
+            (O["article1"], O["cdata_1999_b"]),
+        ]
+        for oid1, oid2 in pairs:
+            assert distance(figure1_store, oid1, oid2) == distance(
+                figure1_store, oid2, oid1
+            )
+
+    def test_triangle_inequality_samples(self, figure1_store):
+        triples = [
+            (O["cdata_ben"], O["cdata_bit"], O["cdata_1999_a"]),
+            (O["article1"], O["article2"], O["institute"]),
+        ]
+        for a, b, c in triples:
+            assert distance(figure1_store, a, c) <= distance(
+                figure1_store, a, b
+            ) + distance(figure1_store, b, c)
+
+    def test_known_values(self, figure1_store):
+        assert distance(figure1_store, O["cdata_ben"], O["cdata_bit"]) == 4
+        assert distance(figure1_store, O["author1"], O["article1"]) == 1
+        assert distance(figure1_store, O["cdata_ben"], O["cdata_bob_byte"]) == 7
+
+
+class TestDocumentDistance:
+    def test_oid_difference(self, figure1_store):
+        assert document_distance(figure1_store, 3, 13) == 10
+        assert document_distance(figure1_store, 13, 3) == 10
+
+    def test_outside_store_rejected(self, figure1_store):
+        with pytest.raises(ValueError):
+            document_distance(figure1_store, 1, 999)
+
+
+class TestShortestPath:
+    def test_endpoints_and_length(self, figure1_store):
+        path = shortest_path(figure1_store, O["cdata_ben"], O["cdata_bit"])
+        assert path[0] == O["cdata_ben"]
+        assert path[-1] == O["cdata_bit"]
+        assert len(path) == distance(figure1_store, O["cdata_ben"], O["cdata_bit"]) + 1
+
+    def test_passes_through_meet(self, figure1_store):
+        path = shortest_path(figure1_store, O["cdata_ben"], O["cdata_bit"])
+        assert O["author1"] in path
+
+    def test_path_edges_are_tree_edges(self, figure1_store):
+        path = shortest_path(figure1_store, O["cdata_ben"], O["cdata_1999_b"])
+        for left, right in zip(path, path[1:]):
+            assert figure1_store.parent_of(left) == right or (
+                figure1_store.parent_of(right) == left
+            )
+
+    def test_degenerate_path(self, figure1_store):
+        assert shortest_path(figure1_store, O["year1"], O["year1"]) == [O["year1"]]
+
+    def test_ancestor_path_is_straight(self, figure1_store):
+        path = shortest_path(figure1_store, O["cdata_ben"], O["article1"])
+        assert path == [
+            O["cdata_ben"],
+            O["firstname"],
+            O["author1"],
+            O["article1"],
+        ]
+
+
+class TestContexts:
+    def test_bullet_list_semantics(self, figure1_store):
+        """§3.1: the relative paths describe the two contexts."""
+        ctx = contexts(figure1_store, O["cdata_bit"], O["cdata_1999_a"])
+        assert ctx.meet_oid == O["article1"]
+        assert str(ctx.meet_path) == "bibliography/institute/article"
+        assert str(ctx.left_context) == "author/lastname/cdata"
+        assert str(ctx.right_context) == "year/cdata"
+        assert ctx.distance == 5
+
+    def test_describe_mentions_concept(self, figure1_store):
+        ctx = contexts(figure1_store, O["cdata_bit"], O["cdata_1999_a"])
+        text = ctx.describe()
+        assert "article" in text and "distance 5" in text
+
+    def test_context_of_self_meet(self, figure1_store):
+        ctx = contexts(figure1_store, O["year1"], O["year1"])
+        assert ctx.left_context.is_empty()
+        assert ctx.right_context.is_empty()
+        assert ctx.distance == 0

@@ -1,0 +1,181 @@
+"""Unit tests for the IDREF graph-meet extension (§7 future work)."""
+
+import pytest
+
+from repro.core.graph_meet import (
+    ReferenceIndex,
+    graph_distance,
+    graph_meet,
+    graph_shortest_path,
+)
+from repro.core.meet_pair import meet2_traced
+from repro.datamodel.parser import parse_document
+from repro.monet import monet_transform
+
+LINKED = """
+<library>
+  <authors>
+    <person id="p1"><name>Ben Bit</name></person>
+    <person id="p2"><name>Bob Byte</name></person>
+  </authors>
+  <books>
+    <book id="b1" ref="p1"><title>How to Hack</title></book>
+    <book id="b2" ref="p2"><title>Hacking and RSI</title></book>
+    <book id="b3" ref="p1 p2"><title>Joint Work</title></book>
+  </books>
+  <orphan ref="nosuch"/>
+</library>
+"""
+
+
+@pytest.fixture(scope="module")
+def linked_store():
+    return monet_transform(parse_document(LINKED, first_oid=0))
+
+
+@pytest.fixture(scope="module")
+def refs(linked_store):
+    return ReferenceIndex(linked_store)
+
+
+def oid_of(store, identifier, refs):
+    target = refs.resolve(identifier)
+    assert target is not None
+    return target
+
+
+class TestReferenceIndex:
+    def test_ids_resolved(self, linked_store, refs):
+        assert refs.id_count == 5  # p1 p2 b1 b2 b3
+        for identifier in ("p1", "p2", "b1", "b2", "b3"):
+            assert refs.resolve(identifier) is not None
+        assert refs.resolve("nosuch") is None
+
+    def test_edges_undirected(self, linked_store, refs):
+        p1 = refs.resolve("p1")
+        b1 = refs.resolve("b1")
+        assert p1 in refs.neighbours(b1)
+        assert b1 in refs.neighbours(p1)
+
+    def test_multivalued_idrefs(self, linked_store, refs):
+        b3 = refs.resolve("b3")
+        assert set(refs.neighbours(b3)) == {refs.resolve("p1"), refs.resolve("p2")}
+
+    def test_edge_count(self, refs):
+        assert refs.edge_count == 4  # b1-p1, b2-p2, b3-p1, b3-p2
+
+    def test_dangling_reported(self, refs):
+        assert len(refs.dangling) == 1
+        _oid, token = refs.dangling[0]
+        assert token == "nosuch"
+
+    def test_custom_attribute_names(self, linked_store):
+        index = ReferenceIndex(
+            linked_store, id_attributes=("id",), ref_attributes=()
+        )
+        assert index.edge_count == 0
+        assert index.id_count == 5
+
+
+class TestGraphSearch:
+    def test_tree_only_path_matches_meet2(self, linked_store):
+        """Without references the shortest path is the tree path."""
+        oids = list(linked_store.iter_oids())
+        for oid1 in oids[::4]:
+            for oid2 in oids[::5]:
+                tree = meet2_traced(linked_store, oid1, oid2)
+                assert graph_distance(linked_store, oid1, oid2) == tree.joins
+
+    def test_reference_shortcut(self, linked_store, refs):
+        """book b1 ↔ person p1 are 1 apart via the reference, 4 via
+        the tree (book→books→library→authors→person)."""
+        b1, p1 = refs.resolve("b1"), refs.resolve("p1")
+        assert graph_distance(linked_store, b1, p1) == 4  # tree route
+        assert graph_distance(linked_store, b1, p1, refs) == 1
+
+    def test_shortest_path_endpoints(self, linked_store, refs):
+        b1, p2 = refs.resolve("b1"), refs.resolve("p2")
+        path = graph_shortest_path(linked_store, b1, p2, refs)
+        assert path is not None
+        assert path[0] == b1 and path[-1] == p2
+
+    def test_max_distance_cutoff(self, linked_store, refs):
+        b1, p1 = refs.resolve("b1"), refs.resolve("p1")
+        assert graph_distance(linked_store, b1, p1, refs, max_distance=0) is None
+        assert graph_distance(linked_store, b1, p1, refs, max_distance=1) == 1
+
+    def test_identity(self, linked_store, refs):
+        b1 = refs.resolve("b1")
+        assert graph_shortest_path(linked_store, b1, b1, refs) == [b1]
+
+
+class TestGraphMeet:
+    def test_conservative_extension_on_trees(self, figure1_store):
+        """With no references, graph_meet ≡ meet₂ (same apex, same
+        distance) on every sampled pair."""
+        oids = list(figure1_store.iter_oids())
+        for oid1 in oids[::3]:
+            for oid2 in oids[::4]:
+                tree = meet2_traced(figure1_store, oid1, oid2)
+                graph = graph_meet(figure1_store, oid1, oid2)
+                assert graph is not None
+                assert graph.oid == tree.oid
+                assert graph.distance == tree.joins
+                assert not graph.crosses_reference
+
+    def test_meet_across_reference(self, linked_store, refs):
+        """The cdata of the book title and the cdata of the author name
+        relate through the reference — the apex is the book."""
+        summary = linked_store.summary
+        def first_on(label):
+            for oid in linked_store.iter_oids():
+                if summary.label(linked_store.pid_of(oid)) == label:
+                    return oid
+            raise AssertionError(label)
+
+        b1 = refs.resolve("b1")
+        p1 = refs.resolve("p1")
+        result = graph_meet(linked_store, b1, p1, refs)
+        assert result is not None
+        assert result.crosses_reference
+        assert result.via_references == 1
+        assert result.distance == 1
+        # apex = shallowest node of [b1, p1]; both at same depth → b1
+        assert result.oid in (b1, p1)
+
+    def test_apex_is_min_depth_node(self, linked_store, refs):
+        title_cdata = None
+        name_cdata = None
+        for oid in linked_store.iter_oids():
+            path = str(linked_store.path_of(oid))
+            if path.endswith("book/title/cdata") and title_cdata is None:
+                title_cdata = oid
+            if path.endswith("person/name/cdata") and name_cdata is None:
+                name_cdata = oid
+        assert title_cdata is not None and name_cdata is not None
+        result = graph_meet(linked_store, title_cdata, name_cdata, refs)
+        assert result is not None
+        min_depth = min(linked_store.depth_of(oid) for oid in result.path)
+        assert linked_store.depth_of(result.oid) == min_depth
+
+    def test_unreachable_with_bound(self, linked_store, refs):
+        b1, p2 = refs.resolve("b1"), refs.resolve("p2")
+        assert graph_meet(linked_store, b1, p2, refs, max_distance=1) is None
+
+
+class TestCycles:
+    def test_cyclic_references_terminate(self):
+        """a→b→c→a reference cycle: BFS must not loop."""
+        xml = """
+        <r>
+          <x id="a" ref="b"><t>one</t></x>
+          <x id="b" ref="c"><t>two</t></x>
+          <x id="c" ref="a"><t>three</t></x>
+        </r>
+        """
+        store = monet_transform(parse_document(xml))
+        refs = ReferenceIndex(store)
+        a, c = refs.resolve("a"), refs.resolve("c")
+        assert graph_distance(store, a, c, refs) == 1  # direct c→a edge
+        result = graph_meet(store, a, c, refs)
+        assert result is not None and result.distance == 1

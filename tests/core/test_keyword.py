@@ -1,0 +1,92 @@
+"""Unit tests for keyword search as a meet special case (§6)."""
+
+import pytest
+
+from repro.core.keyword import keyword_search
+from repro.datamodel.paths import Path
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+class TestResultTyping:
+    def test_search_by_tag(self, figure1_engine):
+        hits = keyword_search(figure1_engine, ["Bit", "1999"], ["article"])
+        assert [h.oid for h in hits] == [O["article1"]]
+        assert hits[0].tag == "article"
+
+    def test_search_by_path(self, figure1_engine):
+        hits = keyword_search(
+            figure1_engine,
+            ["Bit", "1999"],
+            [Path.parse("bibliography/institute/article")],
+        )
+        assert [h.oid for h in hits] == [O["article1"]]
+
+    def test_search_by_path_string(self, figure1_engine):
+        hits = keyword_search(
+            figure1_engine, ["Bit", "1999"], ["bibliography/institute/article"]
+        )
+        assert [h.oid for h in hits] == [O["article1"]]
+
+    def test_unknown_type_empty(self, figure1_engine):
+        assert keyword_search(figure1_engine, ["Bit", "1999"], ["zebra"]) == []
+        assert keyword_search(figure1_engine, ["Bit", "1999"], []) == []
+
+
+class TestContainerLifting:
+    def test_deep_meet_lifts_to_enclosing_type(self, figure1_engine):
+        """Ben+Bit meet at the author node; asking for articles lifts
+        the hit to the enclosing article instance."""
+        hits = keyword_search(figure1_engine, ["Ben", "Bit"], ["article"])
+        assert [h.oid for h in hits] == [O["article1"]]
+
+    def test_meet_above_type_not_reported(self, figure1_engine):
+        """How+RSI meet at the institute — *above* any article — so an
+        article-typed search must not fabricate an answer."""
+        hits = keyword_search(figure1_engine, ["How", "RSI"], ["article"])
+        assert hits == []
+
+    def test_duplicate_containers_collapse(self, figure1_engine):
+        """Multiple meets inside one article yield one hit."""
+        hits = keyword_search(
+            figure1_engine, ["Ben", "Bit", "1999"], ["article"],
+            require_all_terms=False,
+        )
+        assert [h.oid for h in hits] == [O["article1"]]
+
+
+class TestOptions:
+    def test_require_all_terms_default(self, figure1_engine):
+        strict = keyword_search(
+            figure1_engine, ["Bit", "Byte"], ["article"]
+        )
+        # no single article contains both surnames
+        assert strict == []
+        loose = keyword_search(
+            figure1_engine, ["Bit", "Byte"], ["article"],
+            require_all_terms=False,
+        )
+        assert loose == []  # their meet is the institute, above articles
+
+    def test_limit(self, figure1_engine):
+        hits = keyword_search(
+            figure1_engine,
+            ["Hack", "1999"],
+            ["article"],
+            require_all_terms=False,
+            limit=1,
+        )
+        assert len(hits) <= 1
+
+    def test_hits_carry_terms_and_joins(self, figure1_engine):
+        (hit,) = keyword_search(figure1_engine, ["Bit", "1999"], ["article"])
+        assert set(hit.terms) == {"Bit", "1999"}
+        assert hit.joins == 5
+
+
+class TestDblp:
+    def test_publications_by_keyword(self, dblp_engine):
+        hits = keyword_search(
+            dblp_engine, ["ICDE", "1995"], ["inproceedings"]
+        )
+        assert hits
+        assert all(h.tag == "inproceedings" for h in hits)

@@ -1,0 +1,176 @@
+"""Unit tests for the general meet (Fig. 5) and its variants."""
+
+import pytest
+
+from repro.core.meet_general import (
+    group_by_pid,
+    meet_depthwise,
+    meet_general,
+    meet_tagged,
+)
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.datasets.randomtree import random_document
+from repro.monet.transform import monet_transform
+
+
+def as_relations(store, oids):
+    return group_by_pid(store, oids)
+
+
+class TestBasics:
+    def test_empty_input(self, figure1_store):
+        assert meet_general(figure1_store, {}) == []
+
+    def test_single_node_no_meet(self, figure1_store):
+        relations = as_relations(figure1_store, [O["cdata_bit"]])
+        assert meet_general(figure1_store, relations) == []
+
+    def test_duplicate_oids_collapse(self, figure1_store):
+        """Fig. 5 inputs are sets: the same OID twice is one input."""
+        relations = {0: [O["cdata_bit"]], 1: [O["cdata_bit"]]}
+        assert meet_general(figure1_store, relations) == []
+
+    def test_two_distinct_inputs_meet(self, figure1_store):
+        relations = as_relations(
+            figure1_store, [O["cdata_bit"], O["cdata_1999_a"]]
+        )
+        meets = meet_general(figure1_store, relations)
+        assert [(m.oid, set(m.origins)) for m in meets] == [
+            (O["article1"], {O["cdata_bit"], O["cdata_1999_a"]})
+        ]
+
+
+class TestMinimality:
+    def test_three_inputs_two_meets(self, figure1_store):
+        """Bit + both 1999s: the article meet retires two inputs; the
+        leftover 1999 has no partner, so no institute answer appears —
+        the §3.1 "counter-intuitive" result is filtered."""
+        relations = as_relations(
+            figure1_store,
+            [O["cdata_bit"], O["cdata_1999_a"], O["cdata_1999_b"]],
+        )
+        meets = meet_general(figure1_store, relations)
+        assert [(m.oid, set(m.origins)) for m in meets] == [
+            (O["article1"], {O["cdata_bit"], O["cdata_1999_a"]})
+        ]
+
+    def test_four_inputs_two_articles(self, figure1_store):
+        relations = as_relations(
+            figure1_store,
+            [
+                O["cdata_how_to_hack"],
+                O["cdata_hacking_rsi"],
+                O["cdata_1999_a"],
+                O["cdata_1999_b"],
+            ],
+        )
+        meets = meet_general(figure1_store, relations)
+        assert sorted(m.oid for m in meets) == [O["article1"], O["article2"]]
+
+    def test_input_that_is_ancestor_of_another(self, figure1_store):
+        """An input node that dominates another input is their meet."""
+        relations = as_relations(
+            figure1_store, [O["author1"], O["cdata_ben"]]
+        )
+        meets = meet_general(figure1_store, relations)
+        assert [(m.oid, set(m.origins)) for m in meets] == [
+            (O["author1"], {O["author1"], O["cdata_ben"]})
+        ]
+
+    def test_meet_covers_at_least_two(self, figure1_store):
+        relations = as_relations(
+            figure1_store,
+            [O["cdata_ben"], O["cdata_bit"], O["cdata_1999_b"]],
+        )
+        for meet in meet_general(figure1_store, relations):
+            assert len(meet.origins) >= 2
+
+
+class TestOrderInvariance:
+    def test_shuffled_relations_same_meets(self, figure1_store):
+        oids = [
+            O["cdata_ben"],
+            O["cdata_bit"],
+            O["cdata_1999_a"],
+            O["cdata_1999_b"],
+            O["cdata_how_to_hack"],
+        ]
+        base = {
+            (m.oid, m.origins)
+            for m in meet_general(figure1_store, as_relations(figure1_store, oids))
+        }
+        for step in (2, 3):
+            shuffled = oids[step:] + oids[:step]
+            again = {
+                (m.oid, m.origins)
+                for m in meet_general(
+                    figure1_store, as_relations(figure1_store, shuffled)
+                )
+            }
+            assert again == base
+
+
+class TestDepthwiseEquivalence:
+    def test_figure1_all_cdata(self, figure1_store):
+        oids = [
+            oid
+            for oid in figure1_store.iter_oids()
+            if figure1_store.summary.label(figure1_store.pid_of(oid)) == "cdata"
+        ]
+        relations = as_relations(figure1_store, oids)
+        schema = {(m.oid, m.origins) for m in meet_general(figure1_store, relations)}
+        depthwise = {
+            (m.oid, m.origins) for m in meet_depthwise(figure1_store, relations)
+        }
+        assert schema == depthwise
+
+    def test_random_documents(self):
+        for seed in (11, 12):
+            store = monet_transform(random_document(seed, nodes=250))
+            oids = [oid for oid in store.iter_oids() if oid % 3 == 0]
+            relations = as_relations(store, oids)
+            schema = {(m.oid, m.origins) for m in meet_general(store, relations)}
+            depthwise = {
+                (m.oid, m.origins) for m in meet_depthwise(store, relations)
+            }
+            assert schema == depthwise
+
+
+class TestTagged:
+    def test_same_oid_two_tags_is_meet(self, figure1_store):
+        """The Bob/Byte behaviour at set scale."""
+        tagged = [("Bob", O["cdata_bob_byte"]), ("Byte", O["cdata_bob_byte"])]
+        meets = meet_tagged(figure1_store, tagged)
+        assert [m.oid for m in meets] == [O["cdata_bob_byte"]]
+        assert meets[0].tags == {"Bob", "Byte"}
+
+    def test_same_oid_same_tag_not_a_meet(self, figure1_store):
+        tagged = [("t", O["cdata_bob_byte"]), ("t", O["cdata_bob_byte"])]
+        assert meet_tagged(figure1_store, tagged) == []
+
+    def test_tags_and_origins_accessors(self, figure1_store):
+        tagged = [("a", O["cdata_bit"]), ("b", O["cdata_1999_a"])]
+        (meet,) = meet_tagged(figure1_store, tagged)
+        assert meet.origins == {O["cdata_bit"], O["cdata_1999_a"]}
+        assert meet.tags == {"a", "b"}
+
+    def test_plain_equivalence_when_tags_are_oids(self, figure1_store):
+        oids = [O["cdata_ben"], O["cdata_bit"], O["cdata_1999_a"]]
+        tagged = [(oid, oid) for oid in oids]
+        via_tagged = {
+            (m.oid, m.origins) for m in meet_tagged(figure1_store, tagged)
+        }
+        via_general = {
+            (m.oid, m.origins)
+            for m in meet_general(figure1_store, as_relations(figure1_store, oids))
+        }
+        assert via_tagged == via_general
+
+
+class TestAttributePidTolerance:
+    def test_attribute_keyed_inputs_rekeyed(self, figure1_store):
+        """Inputs arriving under arbitrary relation keys are re-keyed
+        to the node's own pid before the roll-up."""
+        relations = {999: [O["cdata_bit"]], 998: [O["cdata_1999_a"]]}
+        meets = meet_general(figure1_store, relations)
+        assert [m.oid for m in meets] == [O["article1"]]

@@ -1,0 +1,113 @@
+"""Unit tests for meet₂ (Fig. 3): correctness and steering behaviour."""
+
+import pytest
+
+from repro.core.meet_pair import meet2, meet2_traced
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.datasets.randomtree import random_document, random_oid_pairs
+from repro.monet.transform import monet_transform
+
+
+class TestBasicCases:
+    def test_identity(self, figure1_store):
+        assert meet2(figure1_store, O["year1"], O["year1"]) == O["year1"]
+
+    def test_parent_child(self, figure1_store):
+        assert meet2(figure1_store, O["article1"], O["author1"]) == O["article1"]
+
+    def test_siblings(self, figure1_store):
+        assert meet2(figure1_store, O["author1"], O["title1"]) == O["article1"]
+
+    def test_symmetric(self, figure1_store):
+        """Def. 6: meet₂ does not depend on argument order."""
+        for left, right in [
+            (O["cdata_ben"], O["cdata_1999_b"]),
+            (O["firstname"], O["title2"]),
+            (O["bibliography"], O["cdata_bit"]),
+        ]:
+            assert meet2(figure1_store, left, right) == meet2(
+                figure1_store, right, left
+            )
+
+    def test_root_with_anything_is_root(self, figure1_store):
+        root = figure1_store.root_oid
+        assert meet2(figure1_store, root, O["cdata_bit"]) == root
+
+    def test_cross_article_meet(self, figure1_store):
+        assert meet2(figure1_store, O["cdata_ben"], O["cdata_bob_byte"]) == (
+            O["institute"]
+        )
+
+
+class TestDefinitionSix:
+    """The result satisfies all three clauses of Def. 6."""
+
+    def test_result_is_common_ancestor_and_lowest(self, figure1_store):
+        pairs = [
+            (O["cdata_ben"], O["cdata_bit"]),
+            (O["cdata_ben"], O["cdata_1999_b"]),
+            (O["year1"], O["year2"]),
+        ]
+        for oid1, oid2 in pairs:
+            meet = meet2(figure1_store, oid1, oid2)
+            assert figure1_store.is_ancestor(meet, oid1)
+            assert figure1_store.is_ancestor(meet, oid2)
+            # no child of the meet is also a common ancestor
+            for child in figure1_store.children_of(meet):
+                assert not (
+                    figure1_store.is_ancestor(child, oid1)
+                    and figure1_store.is_ancestor(child, oid2)
+                )
+
+
+class TestJoinCounts:
+    def test_joins_equal_tree_distance(self, figure1_store):
+        result = meet2_traced(figure1_store, O["cdata_ben"], O["cdata_bit"])
+        assert result.joins == result.distance == 4
+
+    def test_ancestor_descendant_distance(self, figure1_store):
+        result = meet2_traced(figure1_store, O["institute"], O["cdata_ben"])
+        assert result.joins == figure1_store.depth_of(O["cdata_ben"]) - (
+            figure1_store.depth_of(O["institute"])
+        )
+
+    def test_steering_never_overshoots(self, figure1_store):
+        """Join count is exactly depth₁ + depth₂ − 2·depth(meet)."""
+        for oid1 in figure1_store.iter_oids():
+            for oid2 in list(figure1_store.iter_oids())[::3]:
+                result = meet2_traced(figure1_store, oid1, oid2)
+                expected = (
+                    figure1_store.depth_of(oid1)
+                    + figure1_store.depth_of(oid2)
+                    - 2 * figure1_store.depth_of(result.oid)
+                )
+                assert result.joins == expected
+
+
+class TestAgainstOracle:
+    def test_random_documents_vs_naive(self):
+        from repro.baselines.naive_lca import naive_lca
+
+        for seed in (1, 2, 3):
+            store = monet_transform(random_document(seed, nodes=150))
+            for oid1, oid2 in random_oid_pairs(store, 60, seed=seed):
+                assert meet2(store, oid1, oid2) == naive_lca(store, oid1, oid2)
+
+    def test_deep_skewed_document(self):
+        """A deep chain plus a bushy sibling exercises the steering."""
+        from repro.datamodel.builder import DocumentBuilder
+
+        builder = DocumentBuilder("r")
+        for _ in range(30):
+            builder.down("deep")
+        builder.up(30)
+        builder.down("wide")
+        for index in range(10):
+            builder.leaf(f"leaf{index}")
+        doc = builder.build()
+        store = monet_transform(doc)
+        deep_tip = 30  # 30 levels below root at oid 0
+        wide_leaf = 35
+        result = meet2_traced(store, deep_tip, wide_leaf)
+        assert result.oid == 0
+        assert result.joins == 30 + 2

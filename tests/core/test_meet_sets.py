@@ -1,0 +1,103 @@
+"""Unit tests for meet_S (Fig. 4): minimality, invariance, traces."""
+
+import pytest
+
+from repro.core.meet_sets import meet_sets, meet_sets_traced
+from repro.datamodel.errors import ModelError
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+class TestBasics:
+    def test_empty_inputs(self, figure1_store):
+        assert meet_sets(figure1_store, [], [O["year1"]]) == []
+        assert meet_sets(figure1_store, [O["year1"]], []) == []
+
+    def test_identical_singletons(self, figure1_store):
+        meets = meet_sets(figure1_store, [O["year1"]], [O["year1"]])
+        assert [m.oid for m in meets] == [O["year1"]]
+
+    def test_heterogeneous_set_rejected(self, figure1_store):
+        with pytest.raises(ModelError):
+            meet_sets(
+                figure1_store, [O["year1"], O["author1"]], [O["year2"]]
+            )
+
+    def test_origins_reported(self, figure1_store):
+        meets = meet_sets(
+            figure1_store, [O["cdata_1999_a"]], [O["cdata_1999_b"]]
+        )
+        assert len(meets) == 1
+        assert meets[0].oid == O["institute"]
+        assert meets[0].origins == (O["cdata_1999_a"], O["cdata_1999_b"])
+
+
+class TestMinimality:
+    def test_minimal_meets_only(self, figure1_store):
+        """Once the Bit/1999-article pair meets at the article, the
+        leftover 1999 hit cannot drag the pair up to the institute."""
+        meets = meet_sets(
+            figure1_store,
+            [O["cdata_bit"]],
+            [O["cdata_1999_a"], O["cdata_1999_b"]],
+        )
+        assert [m.oid for m in meets] == [O["article1"]]
+
+    def test_two_pairs_meet_independently(self, figure1_store):
+        """title hits vs year hits: each article hosts its own meet."""
+        meets = meet_sets(
+            figure1_store,
+            [O["cdata_how_to_hack"], O["cdata_hacking_rsi"]],
+            [O["cdata_1999_a"], O["cdata_1999_b"]],
+        )
+        assert sorted(m.oid for m in meets) == [O["article1"], O["article2"]]
+
+    def test_input_order_invariance(self, figure1_store):
+        left = [O["cdata_how_to_hack"], O["cdata_hacking_rsi"]]
+        right = [O["cdata_1999_a"], O["cdata_1999_b"]]
+        forward = {m.oid for m in meet_sets(figure1_store, left, right)}
+        backward = {
+            m.oid for m in meet_sets(figure1_store, left[::-1], right[::-1])
+        }
+        swapped = {m.oid for m in meet_sets(figure1_store, right, left)}
+        assert forward == backward == swapped
+
+    def test_no_combinatorial_explosion(self, figure1_store):
+        """Output cardinality is bounded by min(|O₁|, |O₂|) here: every
+        emitted meet retires at least one input from each side."""
+        left = [O["cdata_how_to_hack"], O["cdata_hacking_rsi"]]
+        right = [O["cdata_1999_a"], O["cdata_1999_b"]]
+        meets = meet_sets(figure1_store, left, right)
+        assert len(meets) <= min(len(left), len(right))
+
+
+class TestAgainstPairwise:
+    def test_emitted_meets_are_true_lcas(self, figure1_store):
+        from repro.core.meet_pair import meet2
+
+        meets = meet_sets(
+            figure1_store,
+            [O["cdata_how_to_hack"], O["cdata_hacking_rsi"]],
+            [O["cdata_1999_a"], O["cdata_1999_b"]],
+        )
+        for meet in meets:
+            for left in meet.left_origins:
+                for right in meet.right_origins:
+                    assert meet2(figure1_store, left, right) == meet.oid
+
+
+class TestTrace:
+    def test_trace_counters(self, figure1_store):
+        trace = meet_sets_traced(
+            figure1_store, [O["cdata_bit"]], [O["cdata_1999_a"]]
+        )
+        assert len(trace.meets) == 1
+        assert trace.rounds >= 1
+        assert trace.parent_joins >= 1
+        assert trace.intersections == trace.rounds
+
+    def test_same_path_sets(self, figure1_store):
+        """Both sets on one path (year cdata): lock-step ascent."""
+        trace = meet_sets_traced(
+            figure1_store, [O["cdata_1999_a"]], [O["cdata_1999_b"]]
+        )
+        assert [m.oid for m in trace.meets] == [O["institute"]]

@@ -1,0 +1,141 @@
+"""The worked examples of §3.1 and §3.2, replayed verbatim on Figure 1.
+
+These tests pin the behavioural contract of the reproduction: every
+example the paper computes by hand must come out identically (up to
+our pre-order OID assignment, which matches Figure 1's drawing).
+"""
+
+from repro.core import (
+    NearestConceptEngine,
+    meet2,
+    meet2_traced,
+    meet_general,
+    meet_sets,
+)
+from repro.core.meet_general import group_by_pid
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+class TestSection31Examples:
+    def test_ben_and_bit_meet_at_author(self, figure1_store, figure1_engine):
+        """Full-text "Ben"/"Bit" → associations ⟨o6,Ben⟩, ⟨o8,Bit⟩;
+        meet₂ = the author node: "the two associations constitute an
+        author's name"."""
+        ben = figure1_engine.term_hits("Ben").oids()
+        bit = figure1_engine.term_hits("Bit").oids()
+        assert ben == {O["cdata_ben"]}
+        assert bit == {O["cdata_bit"]}
+        assert meet2(figure1_store, O["cdata_ben"], O["cdata_bit"]) == O["author1"]
+
+    def test_bob_and_byte_meet_is_the_cdata_node(self, figure1_store, figure1_engine):
+        """Both searches return the same association ⟨o15,"Bob Byte"⟩;
+        the meet is that cdata node itself, "a son of an author node"."""
+        bob = figure1_engine.term_hits("Bob").oids()
+        byte = figure1_engine.term_hits("Byte").oids()
+        assert bob == byte == {O["cdata_bob_byte"]}
+        assert meet2(
+            figure1_store, O["cdata_bob_byte"], O["cdata_bob_byte"]
+        ) == O["cdata_bob_byte"]
+        parent = figure1_store.parent_of(O["cdata_bob_byte"])
+        assert figure1_store.summary.label(figure1_store.pid_of(parent)) == "author"
+
+    def test_bit_and_1999_meet_at_article(self, figure1_store):
+        """meet₂(å_Bit, å_1999-of-article-1) reveals "Mr Bit published
+        an article in 1999"."""
+        assert meet2(figure1_store, O["cdata_bit"], O["cdata_1999_a"]) == O["article1"]
+
+    def test_bit_and_other_1999_meet_at_institute(self, figure1_store):
+        """The cross pair only meets at the institute's bibliography."""
+        assert (
+            meet2(figure1_store, O["cdata_bit"], O["cdata_1999_b"])
+            == O["institute"]
+        )
+
+    def test_nested_meet_collapses_to_institute(self, figure1_store):
+        """meet(å1, meet(å2, å3)) "only reveals that the three
+        associations are located in the bibliography of an institute"."""
+        inner = meet2(figure1_store, O["cdata_1999_a"], O["cdata_1999_b"])
+        assert inner == O["institute"]
+        outer = meet2(figure1_store, O["cdata_bit"], inner)
+        assert outer == O["institute"]
+
+    def test_path_of_meet_is_longest_common_prefix(self, figure1_store):
+        """First bullet of §3.1: path(meet₂) = the LCP of the paths."""
+        from repro.datamodel.paths import longest_common_prefix
+
+        meet = meet2(figure1_store, O["cdata_ben"], O["cdata_1999_a"])
+        assert figure1_store.path_of(meet) == longest_common_prefix(
+            figure1_store.path_of(O["cdata_ben"]),
+            figure1_store.path_of(O["cdata_1999_a"]),
+        )
+
+
+class TestSection32SetExamples:
+    def test_meet_sets_bit_vs_1999(self, figure1_store):
+        """meet_S({Bit}, {1999a, 1999b}) finds the minimal meet o3 and
+        removes matched inputs (no redundant institute answer)."""
+        meets = meet_sets(
+            figure1_store,
+            [O["cdata_bit"]],
+            [O["cdata_1999_a"], O["cdata_1999_b"]],
+        )
+        assert [m.oid for m in meets] == [O["article1"]]
+        assert meets[0].left_origins == (O["cdata_bit"],)
+        assert meets[0].right_origins == (O["cdata_1999_a"],)
+
+    def test_general_meet_of_two_1999s(self, figure1_store):
+        """Two hits of one relation roll up to the institute node."""
+        relations = group_by_pid(
+            figure1_store, [O["cdata_1999_a"], O["cdata_1999_b"]]
+        )
+        meets = meet_general(figure1_store, relations)
+        assert [(m.oid, set(m.origins)) for m in meets] == [
+            (O["institute"], {O["cdata_1999_a"], O["cdata_1999_b"]})
+        ]
+
+
+class TestSection32Query:
+    """The reformulated intro query returns exactly the article."""
+
+    QUERY = """
+        select meet($o1, $o2)
+        from   bibliography/#/%T1 $o1,
+               bibliography/#/%T2 $o2
+        where  $o1 contains 'Bit'
+        and    $o2 contains '1999'
+    """
+
+    def test_single_answer_article(self, figure1_store):
+        from repro.query import run_query
+
+        result = run_query(figure1_store, self.QUERY)
+        assert result.rows == [(O["article1"],)]
+
+    def test_engine_pipeline_equivalent(self, figure1_engine):
+        concepts = figure1_engine.nearest_concepts("Bit", "1999")
+        assert [c.oid for c in concepts] == [O["article1"]]
+        assert concepts[0].tag == "article"
+
+    def test_answer_rendering(self, figure1_store):
+        from repro.query import run_query
+
+        rendered = run_query(figure1_store, self.QUERY).render_answer(figure1_store)
+        assert "<answer>" in rendered and "article" in rendered
+
+
+class TestDistanceExamples:
+    def test_meet2_join_count_is_tree_distance(self, figure1_store):
+        """§4: "the number of joins … corresponds to the number of
+        edges on the shortest path"."""
+        result = meet2_traced(figure1_store, O["cdata_ben"], O["cdata_bit"])
+        # o6 → firstname → author ← lastname ← o8: 4 edges.
+        assert result.oid == O["author1"]
+        assert result.joins == 4
+
+    def test_zero_distance(self, figure1_store):
+        assert meet2_traced(figure1_store, O["year1"], O["year1"]).joins == 0
+
+    def test_ancestor_distance(self, figure1_store):
+        result = meet2_traced(figure1_store, O["cdata_ben"], O["article1"])
+        assert result.oid == O["article1"]
+        assert result.joins == 3

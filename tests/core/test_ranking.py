@@ -1,0 +1,59 @@
+"""Unit tests for the §4 ranking heuristics."""
+
+from repro.core.meet_general import GeneralMeet, group_by_pid, meet_general
+from repro.core.ranking import join_count, origin_spread, rank_meets
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+def meet_of(figure1_store, oids):
+    relations = group_by_pid(figure1_store, oids)
+    meets = meet_general(figure1_store, relations)
+    assert len(meets) == 1
+    return meets[0]
+
+
+class TestFeatures:
+    def test_join_count_equals_depth_sum(self, figure1_store):
+        meet = meet_of(figure1_store, [O["cdata_bit"], O["cdata_1999_a"]])
+        # article at depth 3; origins at depth 6 and 5 → 3 + 2 joins.
+        assert join_count(figure1_store, meet) == 5
+
+    def test_join_count_zero_for_self_cover(self, figure1_store):
+        meet = GeneralMeet(
+            oid=O["author1"], origins=frozenset({O["author1"], O["cdata_ben"]})
+        )
+        # author covers itself (0) and cdata_ben (2 levels below).
+        assert join_count(figure1_store, meet) == 2
+
+    def test_origin_spread(self, figure1_store):
+        meet = meet_of(figure1_store, [O["cdata_bit"], O["cdata_1999_a"]])
+        assert origin_spread(meet) == O["cdata_1999_a"] - O["cdata_bit"]
+
+
+class TestRanking:
+    def test_tighter_meet_ranks_first(self, figure1_store):
+        tight = meet_of(figure1_store, [O["cdata_ben"], O["cdata_bit"]])
+        loose = meet_of(figure1_store, [O["cdata_ben"], O["cdata_1999_b"]])
+        ranked = rank_meets(figure1_store, [loose, tight])
+        assert ranked[0].oid == tight.oid
+        assert ranked[0].joins < ranked[1].joins
+
+    def test_rank_is_deterministic(self, figure1_store):
+        meets = [
+            meet_of(figure1_store, [O["cdata_ben"], O["cdata_bit"]]),
+            meet_of(figure1_store, [O["cdata_bit"], O["cdata_1999_a"]]),
+            meet_of(figure1_store, [O["cdata_1999_a"], O["cdata_1999_b"]]),
+        ]
+        first = [r.oid for r in rank_meets(figure1_store, meets)]
+        second = [r.oid for r in rank_meets(figure1_store, list(reversed(meets)))]
+        assert first == second
+
+    def test_ranked_meet_carries_features(self, figure1_store):
+        meet = meet_of(figure1_store, [O["cdata_bit"], O["cdata_1999_a"]])
+        (ranked,) = rank_meets(figure1_store, [meet])
+        assert ranked.path == figure1_store.path_of(meet.oid)
+        assert ranked.depth == 3
+        assert ranked.origins == tuple(sorted(meet.origins))
+
+    def test_empty_input(self, figure1_store):
+        assert rank_meets(figure1_store, []) == []

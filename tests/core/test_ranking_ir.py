@@ -1,0 +1,86 @@
+"""Unit tests for the IR-flavoured ranking extension (§4 outlook)."""
+
+import pytest
+
+from repro.core.ranking_ir import IRRanker, IRWeights
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+@pytest.fixture(scope="module")
+def ranker(request):
+    engine = request.getfixturevalue("figure1_engine")
+    return IRRanker(engine.index)
+
+
+class TestIdf:
+    def test_rare_term_scores_higher(self, ranker):
+        # 'Ben' appears once, '1999' twice
+        assert ranker.idf("Ben") > ranker.idf("1999")
+
+    def test_unseen_term_zero(self, ranker):
+        assert ranker.idf("unicorn") == 0.0
+
+    def test_case_folding_follows_index(self, ranker):
+        assert ranker.idf("ben") == ranker.idf("BEN")
+
+
+class TestSignals:
+    def test_tightness_decays_with_joins(self, ranker):
+        assert ranker._tightness(0) == 1.0
+        assert ranker._tightness(6) == pytest.approx(0.5)
+        assert ranker._tightness(12) < ranker._tightness(6)
+
+    def test_locality_decays_with_spread(self, ranker):
+        assert ranker._locality(0) == 1.0
+        assert ranker._locality(64) == pytest.approx(0.5)
+
+
+class TestRanking:
+    def test_scored_concepts_sorted(self, figure1_engine, ranker):
+        concepts = figure1_engine.nearest_concepts(
+            "Hack", "1999", require_all_terms=False
+        )
+        scored = ranker.rank(concepts)
+        values = [s.score for s in scored]
+        assert values == sorted(values, reverse=True)
+
+    def test_tight_concept_beats_loose_at_equal_idf(self, figure1_engine, ranker):
+        tight = figure1_engine.nearest_concepts("Bob", "Byte")[0]  # joins 0
+        loose = figure1_engine.nearest_concepts("Ben", "1999")[0]  # joins 5
+        scored = ranker.rank([loose, tight])
+        assert scored[0].concept.oid == tight.oid
+
+    def test_components_exposed(self, figure1_engine, ranker):
+        (concept,) = figure1_engine.nearest_concepts("Bit", "1999")
+        scored = ranker.score(concept)
+        assert scored.idf_score > 0
+        assert 0 < scored.tightness <= 1
+        assert 0 < scored.locality <= 1
+        assert scored.score == pytest.approx(
+            ranker.weights.idf * scored.idf_score
+            + ranker.weights.tightness * scored.tightness
+            + ranker.weights.locality * scored.locality
+        )
+
+    def test_uniform_idf_matches_join_order(self, figure1_engine):
+        """With idf switched off, IR ranking degenerates to the §4
+        join-count order (same winner as NearestConcept.sort_key)."""
+        ranker = IRRanker(
+            figure1_engine.index,
+            IRWeights(idf=0.0, tightness=1.0, locality=0.0),
+        )
+        concepts = figure1_engine.nearest_concepts(
+            "Hack", "1999", require_all_terms=False
+        )
+        if len(concepts) >= 2:
+            scored = ranker.rank(concepts)
+            joins = [s.concept.joins for s in scored]
+            assert joins == sorted(joins)
+
+    def test_deterministic_tie_break(self, figure1_engine, ranker):
+        concepts = figure1_engine.nearest_concepts(
+            "Hack", "1999", require_all_terms=False
+        )
+        once = [s.concept.oid for s in ranker.rank(concepts)]
+        again = [s.concept.oid for s in ranker.rank(list(reversed(concepts)))]
+        assert once == again

@@ -1,0 +1,111 @@
+"""Unit tests for §4 restrictions: meet_X and the k-bounded meet."""
+
+import pytest
+
+from repro.core.meet_general import group_by_pid
+from repro.core.meet_pair import meet2_traced
+from repro.core.restrictions import (
+    bounded_meet2,
+    meet_excluding,
+    meet_restricted_to,
+    resolve_pids,
+)
+from repro.datamodel.paths import Path
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+
+
+class TestResolvePids:
+    def test_mixed_inputs(self, figure1_store):
+        pids = resolve_pids(
+            figure1_store,
+            ["bibliography", Path.parse("bibliography/institute"), 3],
+        )
+        assert 3 in pids
+        assert len(pids) == 3
+
+    def test_unknown_paths_ignored(self, figure1_store):
+        assert resolve_pids(figure1_store, ["does/not/exist"]) == set()
+
+
+class TestMeetExcluding:
+    def relations(self, figure1_store):
+        return group_by_pid(
+            figure1_store, [O["cdata_1999_a"], O["cdata_1999_b"]]
+        )
+
+    def test_exclude_institute(self, figure1_store):
+        """The 1999/1999 meet at the institute is filtered away."""
+        relations = self.relations(figure1_store)
+        kept = meet_excluding(figure1_store, relations, ["bibliography/institute"])
+        assert kept == []
+
+    def test_exclude_unrelated_path_keeps_result(self, figure1_store):
+        relations = self.relations(figure1_store)
+        kept = meet_excluding(figure1_store, relations, ["bibliography"])
+        assert [m.oid for m in kept] == [O["institute"]]
+
+    def test_exclude_root_case_study_configuration(self, figure1_store):
+        """§4: "by setting X to {bibliography} we can filter out …
+        where the meet corresponds to the document root"."""
+        relations = group_by_pid(
+            figure1_store, [O["article1"], O["article2"]]
+        )
+        unrestricted = meet_excluding(figure1_store, relations, [])
+        assert [m.oid for m in unrestricted] == [O["institute"]]
+        # now exclude the institute + root levels
+        kept = meet_excluding(
+            figure1_store,
+            relations,
+            ["bibliography", "bibliography/institute"],
+        )
+        assert kept == []
+
+
+class TestMeetRestrictedTo:
+    def test_keyword_search_special_case(self, figure1_store):
+        """§6: restricting result types implements keyword search."""
+        relations = group_by_pid(
+            figure1_store, [O["cdata_bit"], O["cdata_1999_a"]]
+        )
+        kept = meet_restricted_to(
+            figure1_store, relations, ["bibliography/institute/article"]
+        )
+        assert [m.oid for m in kept] == [O["article1"]]
+        none = meet_restricted_to(figure1_store, relations, ["bibliography"])
+        assert none == []
+
+
+class TestBoundedMeet:
+    def test_within_bound_returns_meet(self, figure1_store):
+        result = bounded_meet2(figure1_store, O["cdata_ben"], O["cdata_bit"], 4)
+        assert result is not None
+        assert result.oid == O["author1"]
+        assert result.joins == 4
+
+    def test_exactly_at_bound(self, figure1_store):
+        exact = meet2_traced(figure1_store, O["cdata_ben"], O["cdata_bit"]).joins
+        assert bounded_meet2(figure1_store, O["cdata_ben"], O["cdata_bit"], exact)
+
+    def test_beyond_bound_is_none(self, figure1_store):
+        assert (
+            bounded_meet2(figure1_store, O["cdata_ben"], O["cdata_bit"], 3)
+            is None
+        )
+
+    def test_zero_bound(self, figure1_store):
+        assert bounded_meet2(figure1_store, O["year1"], O["year1"], 0) is not None
+        assert bounded_meet2(figure1_store, O["year1"], O["year2"], 0) is None
+
+    def test_negative_bound(self, figure1_store):
+        assert bounded_meet2(figure1_store, O["year1"], O["year1"], -1) is None
+
+    def test_agrees_with_unbounded_when_generous(self, figure1_store):
+        for oid1 in (O["cdata_ben"], O["year1"], O["article2"]):
+            for oid2 in (O["cdata_1999_b"], O["title1"]):
+                unbounded = meet2_traced(figure1_store, oid1, oid2)
+                bounded = bounded_meet2(figure1_store, oid1, oid2, 100)
+                assert bounded is not None
+                assert (bounded.oid, bounded.joins) == (
+                    unbounded.oid,
+                    unbounded.joins,
+                )

@@ -1,0 +1,62 @@
+"""Unit tests for the fluent document builder."""
+
+import pytest
+
+from repro.datamodel.builder import DocumentBuilder, element
+
+
+class TestElement:
+    def test_element_with_text_and_attrs(self):
+        node = element("year", "1999", era="ce")
+        assert node.text == "1999"
+        assert node.attributes["era"] == "ce"
+
+    def test_element_plain(self):
+        node = element("x")
+        assert node.text is None and node.children == []
+
+
+class TestBuilder:
+    def test_down_up_structure(self):
+        doc = (
+            DocumentBuilder("bib")
+            .down("article")
+            .leaf("year", "1999")
+            .up()
+            .build()
+        )
+        article = doc.root.children[0]
+        assert article.label == "article"
+        assert article.children[0].label == "year"
+
+    def test_up_past_root_raises(self):
+        builder = DocumentBuilder("r")
+        with pytest.raises(ValueError):
+            builder.up()
+
+    def test_up_multiple_levels(self):
+        builder = DocumentBuilder("r").down("a").down("b").down("c")
+        builder.up(3)
+        assert builder.current.label == "r"
+
+    def test_text_and_attr_on_current(self):
+        doc = DocumentBuilder("r").down("x").text("val").attr("k", "v").up().build()
+        x = doc.root.children[0]
+        assert x.attributes["k"] == "v"
+        # text materializes into a cdata child at freeze
+        assert x.children[0].string_value == "val"
+
+    def test_subtree_grafting(self):
+        extra = element("extra", "data")
+        doc = DocumentBuilder("r").subtree(extra).build()
+        assert doc.root.children[0].label == "extra"
+
+    def test_builder_single_use(self):
+        builder = DocumentBuilder("r")
+        builder.build()
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_root_attributes(self):
+        doc = DocumentBuilder("r", version="1").build()
+        assert doc.root.attributes == {"version": "1"}

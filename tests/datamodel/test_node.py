@@ -1,0 +1,103 @@
+"""Unit tests for the conceptual tree nodes."""
+
+import pytest
+
+from repro.datamodel.node import CDATA_ATTRIBUTE, Node
+
+
+class TestConstruction:
+    def test_requires_label(self):
+        with pytest.raises(ValueError):
+            Node("")
+
+    def test_attributes_copied(self):
+        attrs = {"key": "BB99"}
+        node = Node("article", attributes=attrs)
+        attrs["key"] = "changed"
+        assert node.attributes["key"] == "BB99"
+
+
+class TestText:
+    def test_text_round_trip(self):
+        node = Node("year")
+        node.text = "1999"
+        assert node.text == "1999"
+        assert node.attributes[CDATA_ATTRIBUTE] == "1999"
+
+    def test_text_none_removes(self):
+        node = Node("year")
+        node.text = "1999"
+        node.text = None
+        assert node.text is None
+        assert CDATA_ATTRIBUTE not in node.attributes
+
+    def test_plain_attributes_excludes_cdata(self):
+        node = Node("article", attributes={"key": "X"})
+        node.text = "body"
+        assert node.plain_attributes == {"key": "X"}
+
+
+class TestTreeStructure:
+    def make_tree(self):
+        root = Node("root")
+        a = root.append(Node("a"))
+        b = root.append(Node("b"))
+        c = a.append(Node("c"))
+        return root, a, b, c
+
+    def test_append_sets_parent_and_rank(self):
+        root, a, b, c = self.make_tree()
+        assert a.parent is root and b.parent is root
+        assert (a.rank, b.rank) == (0, 1)
+        assert c.parent is a and c.rank == 0
+
+    def test_preorder(self):
+        root, a, b, c = self.make_tree()
+        assert [n.label for n in root.iter_preorder()] == ["root", "a", "c", "b"]
+
+    def test_ancestors(self):
+        root, a, b, c = self.make_tree()
+        assert [n.label for n in c.iter_ancestors()] == ["a", "root"]
+        assert [n.label for n in c.iter_ancestors(include_self=True)] == [
+            "c",
+            "a",
+            "root",
+        ]
+
+    def test_depth(self):
+        root, a, b, c = self.make_tree()
+        assert root.depth() == 1
+        assert c.depth() == 3
+
+    def test_is_leaf_and_subtree_size(self):
+        root, a, b, c = self.make_tree()
+        assert c.is_leaf() and b.is_leaf()
+        assert not root.is_leaf()
+        assert root.subtree_size() == 4
+
+    def test_extend(self):
+        root = Node("root")
+        root.extend([Node("x"), Node("y")])
+        assert [child.rank for child in root.children] == [0, 1]
+
+
+class TestFindHelpers:
+    def test_find_first(self):
+        root = Node("root")
+        root.append(Node("a"))
+        second = root.append(Node("a"))
+        assert root.find("a") is root.children[0]
+        assert root.find("missing") is None
+        assert root.find_all("a") == [root.children[0], second]
+
+    def test_descendant_text(self):
+        root = Node("root")
+        child = root.append(Node("p"))
+        child.text = "hello"
+        other = root.append(Node("q"))
+        other.text = "world"
+        assert root.descendant_text() == "hello world"
+
+    def test_string_value_of_cdata_node(self):
+        node = Node("cdata", attributes={"string": "Ben"})
+        assert node.string_value == "Ben"

@@ -1,0 +1,149 @@
+"""Unit tests for paths and the Def. 5 prefix order."""
+
+import pytest
+
+from repro.datamodel.paths import (
+    ATTRIBUTE,
+    ELEMENT,
+    Path,
+    Step,
+    is_prefix,
+    longest_common_prefix,
+    prefix_leq,
+    relative_suffix,
+)
+
+
+class TestStep:
+    def test_default_kind_is_element(self):
+        assert Step("a").kind == ELEMENT
+
+    def test_attribute_step_str(self):
+        assert str(Step("key", ATTRIBUTE)) == "@key"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Step("")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Step("a", "~")
+
+
+class TestPathConstruction:
+    def test_root(self):
+        path = Path.root("bib")
+        assert path.depth() == 1
+        assert path.labels == ("bib",)
+
+    def test_of_builds_element_path(self):
+        path = Path.of("a", "b", "c")
+        assert len(path) == 3
+        assert all(step.kind == ELEMENT for step in path)
+
+    def test_child_and_attribute_extension(self):
+        path = Path.root("bib").child("article").attribute("key")
+        assert str(path) == "bib/article@key"
+        assert path.last.kind == ATTRIBUTE
+
+    def test_parent(self):
+        path = Path.of("a", "b")
+        assert path.parent() == Path.of("a")
+        assert Path.of("a").parent() == Path()
+
+    def test_parent_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Path().parent()
+
+    def test_slice_returns_path(self):
+        path = Path.of("a", "b", "c")
+        assert path[:2] == Path.of("a", "b")
+        assert isinstance(path[:2], Path)
+
+    def test_index_returns_step(self):
+        assert Path.of("a", "b")[1] == Step("b")
+
+
+class TestPathParsing:
+    def test_round_trip_simple(self):
+        for text in ("bib", "bib/article", "bib/article@key", "a/b/c@x"):
+            assert str(Path.parse(text)) == text
+
+    def test_parse_matches_construction(self):
+        assert Path.parse("bib/article@key") == Path.root("bib").child(
+            "article"
+        ).attribute("key")
+
+    def test_parse_figure2_relation_name(self):
+        path = Path.parse("bibliography/institute/article/author/cdata@string")
+        assert path.depth() == 6
+        assert path.last == Step("string", ATTRIBUTE)
+
+    def test_parse_empty_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Path.parse("a@")
+
+
+class TestPrefixOrder:
+    def test_is_prefix_reflexive(self):
+        path = Path.of("a", "b")
+        assert is_prefix(path, path)
+
+    def test_is_prefix_proper(self):
+        assert is_prefix(Path.of("a"), Path.of("a", "b"))
+        assert not is_prefix(Path.of("a", "b"), Path.of("a"))
+        assert not is_prefix(Path.of("b"), Path.of("a", "b"))
+
+    def test_prefix_leq_direction_matches_def5(self):
+        # path(o1) ⪯ path(o2) iff path(o2) is a prefix of path(o1):
+        # the *deeper* path is the smaller element.
+        deep = Path.of("bib", "article", "author")
+        shallow = Path.of("bib", "article")
+        assert prefix_leq(deep, shallow)
+        assert not prefix_leq(shallow, deep)
+
+    def test_prefix_leq_reflexive(self):
+        path = Path.of("x", "y")
+        assert prefix_leq(path, path)
+
+    def test_incomparable_paths(self):
+        left = Path.of("a", "b")
+        right = Path.of("a", "c")
+        assert not prefix_leq(left, right)
+        assert not prefix_leq(right, left)
+
+
+class TestDerivedOperations:
+    def test_longest_common_prefix(self):
+        left = Path.of("a", "b", "c")
+        right = Path.of("a", "b", "d", "e")
+        assert longest_common_prefix(left, right) == Path.of("a", "b")
+
+    def test_longest_common_prefix_disjoint(self):
+        assert longest_common_prefix(Path.of("a"), Path.of("b")) == Path()
+
+    def test_relative_suffix(self):
+        longer = Path.of("a", "b", "c")
+        assert relative_suffix(longer, Path.of("a")) == Path.of("b", "c")
+
+    def test_relative_suffix_requires_prefix(self):
+        with pytest.raises(ValueError):
+            relative_suffix(Path.of("a", "b"), Path.of("x"))
+
+    def test_relative_suffix_of_self_is_empty(self):
+        path = Path.of("a", "b")
+        assert relative_suffix(path, path).is_empty()
+
+
+class TestHashingEquality:
+    def test_equal_paths_equal_hash(self):
+        assert hash(Path.of("a", "b")) == hash(Path.of("a", "b"))
+
+    def test_attribute_vs_element_step_distinct(self):
+        element_path = Path.of("a", "b")
+        attribute_path = Path.root("a").attribute("b")
+        assert element_path != attribute_path
+
+    def test_usable_as_dict_key(self):
+        mapping = {Path.of("a"): 1, Path.of("a", "b"): 2}
+        assert mapping[Path.of("a", "b")] == 2

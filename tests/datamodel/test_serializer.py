@@ -1,0 +1,90 @@
+"""Unit tests for XML serialization and round-trips."""
+
+from repro.datamodel.builder import DocumentBuilder
+from repro.datamodel.parser import parse_document
+from repro.datamodel.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize,
+    serialize_node,
+)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute(self):
+        assert escape_attribute('a "quote" & <tag>') == (
+            "a &quot;quote&quot; &amp; &lt;tag>"
+        )
+
+    def test_escape_attribute_whitespace_controls(self):
+        assert escape_attribute("a\nb\tc") == "a&#10;b&#9;c"
+
+
+class TestSerialization:
+    def test_empty_element(self):
+        doc = DocumentBuilder("r").build()
+        assert serialize(doc) == "<r/>"
+
+    def test_attributes_in_insertion_order(self):
+        doc = DocumentBuilder("r", b="2", a="1").build()
+        assert serialize(doc) == '<r b="2" a="1"/>'
+
+    def test_text_content_inline(self):
+        doc = DocumentBuilder("r").leaf("year", "1999").build()
+        assert serialize(doc) == "<r><year>1999</year></r>"
+
+    def test_declaration(self):
+        doc = DocumentBuilder("r").build()
+        assert serialize(doc, declaration=True).startswith("<?xml")
+
+    def test_indented_output(self):
+        doc = DocumentBuilder("r").down("a").leaf("b", "x").up().build()
+        text = serialize(doc, indent=2)
+        assert "\n  <a>" in text
+        assert "<b>x</b>" in text
+
+    def test_serialize_node_subtree(self):
+        doc = DocumentBuilder("r").down("a").leaf("b", "x").up().build()
+        assert serialize_node(doc.root.children[0]) == "<a><b>x</b></a>"
+
+
+class TestRoundTrip:
+    CASES = [
+        "<r/>",
+        "<r><a/><b/></r>",
+        '<r k="v"><a>text</a></r>',
+        "<r><p>mix <b>bold</b> tail</p></r>",
+        "<r><t>Hacking &amp; RSI</t></r>",
+        '<r a="1 &amp; 2"/>',
+    ]
+
+    def test_parse_serialize_fixpoint(self):
+        # serialize(parse(x)) is a fixpoint: one more round-trip is stable.
+        for case in self.CASES:
+            once = serialize(parse_document(case))
+            twice = serialize(parse_document(once))
+            assert once == twice
+
+    def test_structure_preserved(self):
+        text = '<bib><article key="X"><year>1999</year></article></bib>'
+        doc1 = parse_document(text)
+        doc2 = parse_document(serialize(doc1))
+        assert doc1.node_count == doc2.node_count
+        for oid in doc1.iter_oids():
+            assert doc1.node(oid).label == doc2.node(oid).label
+            assert doc1.node(oid).attributes == doc2.node(oid).attributes
+
+    def test_indented_round_trip_structure(self):
+        text = "<r><a><b>x</b></a><c/></r>"
+        pretty = serialize(parse_document(text), indent=2)
+        doc = parse_document(pretty)
+        assert [n.label for n in doc.iter_nodes()] == [
+            "r",
+            "a",
+            "b",
+            "cdata",
+            "c",
+        ]

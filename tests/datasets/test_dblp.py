@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic DBLP generator."""
+
+import pytest
+
+from repro.datasets.dblp import (
+    DblpConfig,
+    ICDE_MISSING_YEAR,
+    dblp_document,
+    expected_icde_publications,
+)
+from repro.monet.transform import monet_transform
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DblpConfig(papers_per_proceedings=4, articles_per_year=2)
+
+
+@pytest.fixture(scope="module")
+def doc(config):
+    return dblp_document(config)
+
+
+class TestStructure:
+    def test_root_is_dblp(self, doc):
+        assert doc.root.label == "dblp"
+
+    def test_flat_dblp_markup(self, doc):
+        kinds = {child.label for child in doc.root.children}
+        assert kinds == {"proceedings", "inproceedings", "article"}
+
+    def test_inproceedings_fields(self, doc):
+        entry = next(
+            child for child in doc.root.children if child.label == "inproceedings"
+        )
+        labels = {grandchild.label for grandchild in entry.children}
+        assert {"author", "title", "booktitle", "year"} <= labels
+        assert "key" in entry.attributes
+
+    def test_counts(self, config, doc):
+        pubs = [c for c in doc.root.children if c.label == "inproceedings"]
+        # 16 years × 4 venues − the missing ICDE 1985 instalment
+        instalments = 16 * 4 - 1
+        assert len(pubs) == instalments * config.papers_per_proceedings
+        articles = [c for c in doc.root.children if c.label == "article"]
+        assert len(articles) == 16 * config.articles_per_year
+
+    def test_icde_1985_gap(self, config, doc):
+        """The paper: "there was no ICDE in 1985"."""
+        assert not config.has_instalment("ICDE", ICDE_MISSING_YEAR)
+        assert config.has_instalment("ICDE", 1986)
+        assert config.has_instalment("VLDB", ICDE_MISSING_YEAR)
+        icde_1985 = [
+            child
+            for child in doc.root.children
+            if child.label == "proceedings"
+            and child.attributes.get("key") == "conf/icde/1985"
+        ]
+        assert icde_1985 == []
+
+    def test_markup_irregularity_structured_authors(self, doc):
+        structured = flat = 0
+        for entry in doc.root.children:
+            for author in entry.find_all("author"):
+                if author.find("firstname") is not None:
+                    structured += 1
+                else:
+                    flat += 1
+        assert structured > 0 and flat > 0
+
+    def test_keys_contain_no_bare_year_token(self, doc):
+        """DBLP keys glue the year to a surname; a year search must not
+        hit every key (keeps the §5 hit sets faithful)."""
+        from repro.fulltext.tokenizer import tokenize
+
+        for entry in doc.root.children:
+            if entry.label == "proceedings":
+                continue  # proceedings keys legitimately carry the year
+            key = entry.attributes.get("key", "")
+            assert "1999" not in tokenize(key)
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self, config):
+        doc1 = dblp_document(config)
+        doc2 = dblp_document(config)
+        assert doc1.node_count == doc2.node_count
+        for oid in list(doc1.iter_oids())[::97]:
+            assert doc1.node(oid).label == doc2.node(oid).label
+            assert doc1.node(oid).attributes == doc2.node(oid).attributes
+
+    def test_different_seed_differs(self, config):
+        other = DblpConfig(
+            seed=config.seed + 1,
+            papers_per_proceedings=config.papers_per_proceedings,
+            articles_per_year=config.articles_per_year,
+        )
+        doc1 = dblp_document(config)
+        doc2 = dblp_document(other)
+        differing = sum(
+            1
+            for oid in list(doc1.iter_oids())[:2000]
+            if oid in doc2
+            and doc1.node(oid).attributes != doc2.node(oid).attributes
+        )
+        assert differing > 0
+
+
+class TestGroundTruth:
+    def test_expected_icde_publications(self, config):
+        assert expected_icde_publications(config, [1999]) == 4
+        assert expected_icde_publications(config, [1985]) == 0
+        assert expected_icde_publications(config, range(1984, 2000)) == 4 * 15
+
+    def test_store_loads_and_validates(self, doc):
+        store = monet_transform(doc)
+        store.validate()
+        assert store.node_count == doc.node_count

@@ -1,0 +1,59 @@
+"""Unit tests pinning the Figure 1 example document."""
+
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.datasets.figure1 import figure1_document
+
+
+class TestShape:
+    def test_node_count(self, figure1_doc):
+        assert figure1_doc.node_count == 19
+
+    def test_oid_symbol_table_consistent(self, figure1_doc):
+        labels = {
+            "bibliography": "bibliography",
+            "institute": "institute",
+            "article1": "article",
+            "author1": "author",
+            "firstname": "firstname",
+            "cdata_ben": "cdata",
+            "lastname": "lastname",
+            "cdata_bit": "cdata",
+            "title1": "title",
+            "cdata_how_to_hack": "cdata",
+            "year1": "year",
+            "cdata_1999_a": "cdata",
+            "article2": "article",
+            "author2": "author",
+            "cdata_bob_byte": "cdata",
+            "year2": "year",
+            "cdata_1999_b": "cdata",
+            "title2": "title",
+            "cdata_hacking_rsi": "cdata",
+        }
+        for name, label in labels.items():
+            assert figure1_doc.node(O[name]).label == label, name
+
+    def test_article_keys(self, figure1_doc):
+        assert figure1_doc.node(O["article1"]).attributes["key"] == "BB99"
+        assert figure1_doc.node(O["article2"]).attributes["key"] == "BK99"
+
+    def test_strings(self, figure1_doc):
+        values = {
+            "cdata_ben": "Ben",
+            "cdata_bit": "Bit",
+            "cdata_how_to_hack": "How to Hack",
+            "cdata_1999_a": "1999",
+            "cdata_bob_byte": "Bob Byte",
+            "cdata_1999_b": "1999",
+            "cdata_hacking_rsi": "Hacking & RSI",
+        }
+        for name, value in values.items():
+            assert figure1_doc.node(O[name]).string_value == value
+
+    def test_article2_child_order_year_before_title(self, figure1_doc):
+        """Figure 1 draws article 2 with year before title."""
+        labels = [c.label for c in figure1_doc.node(O["article2"]).children]
+        assert labels == ["author", "year", "title"]
+
+    def test_fresh_document_per_call(self):
+        assert figure1_document() is not figure1_document()

@@ -1,0 +1,61 @@
+"""Unit tests for the synthetic multimedia generator and markers."""
+
+import pytest
+
+from repro.core.distance import distance
+from repro.datasets.multimedia import (
+    MultimediaConfig,
+    marker_terms,
+    multimedia_document,
+    multimedia_with_markers,
+)
+from repro.fulltext.search import SearchEngine
+from repro.monet.transform import monet_transform
+
+
+class TestPlainDocument:
+    def test_structure(self):
+        doc = multimedia_document(MultimediaConfig(items=5))
+        assert doc.root.label == "multimedia"
+        assert len(doc.root.children) == 5
+        item = doc.root.children[0]
+        assert item.label == "item"
+        assert {child.label for child in item.children} == {"metadata", "analysis"}
+
+    def test_deep_nesting_supports_figure6_distances(self):
+        doc = multimedia_document(MultimediaConfig(items=10))
+        max_depth = max(doc.depth(oid) for oid in doc.iter_oids())
+        assert max_depth >= 9  # room for double-digit leaf distances
+
+    def test_deterministic(self):
+        doc1 = multimedia_document(MultimediaConfig(items=5))
+        doc2 = multimedia_document(MultimediaConfig(items=5))
+        assert doc1.node_count == doc2.node_count
+
+
+class TestMarkers:
+    @pytest.mark.parametrize("planted_distance", list(range(0, 21)))
+    def test_marker_distance_exact(self, multimedia_planted, planted_distance):
+        store, planted = multimedia_planted
+        terma, termb = planted[planted_distance]
+        search = SearchEngine(store)
+        hits_a = sorted(search.find(terma).oids())
+        hits_b = sorted(search.find(termb).oids())
+        assert len(hits_a) == 1 and len(hits_b) == 1
+        assert distance(store, hits_a[0], hits_b[0]) == planted_distance
+
+    def test_marker_terms_unique_per_distance(self):
+        assert marker_terms(3) != marker_terms(4)
+        terma, termb = marker_terms(7)
+        assert terma != termb
+
+    def test_too_many_markers_rejected(self):
+        with pytest.raises(ValueError):
+            multimedia_with_markers(list(range(10)), MultimediaConfig(items=3))
+
+    def test_document_still_realistic(self, multimedia_planted):
+        store, _planted = multimedia_planted
+        labels = {
+            store.summary.label(pid) for pid in store.summary.element_pids()
+        }
+        assert {"item", "scene", "region", "feature", "metadata"} <= labels

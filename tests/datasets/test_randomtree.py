@@ -1,0 +1,51 @@
+"""Unit tests for the random-document generator."""
+
+import pytest
+
+from repro.datasets.randomtree import random_document, random_oid_pairs
+from repro.monet.transform import monet_transform
+
+
+class TestRandomDocument:
+    def test_deterministic(self):
+        doc1 = random_document(99, nodes=100)
+        doc2 = random_document(99, nodes=100)
+        assert doc1.node_count == doc2.node_count
+        for oid in doc1.iter_oids():
+            assert doc1.node(oid).label == doc2.node(oid).label
+
+    def test_size_scales_with_request(self):
+        small = random_document(1, nodes=50)
+        large = random_document(1, nodes=500)
+        assert large.node_count > small.node_count
+
+    def test_max_children_respected(self):
+        doc = random_document(3, nodes=300, max_children=3)
+        for node in doc.iter_nodes():
+            element_children = [
+                child for child in node.children if child.label != "cdata"
+            ]
+            # a node gets at most max_children element children; a cdata
+            # child from text materialization may be appended on top
+            assert len(element_children) <= 3
+
+    def test_needs_at_least_root(self):
+        with pytest.raises(ValueError):
+            random_document(1, nodes=0)
+
+    def test_transforms_and_validates(self):
+        store = monet_transform(random_document(17, nodes=250))
+        store.validate()
+
+
+class TestRandomPairs:
+    def test_pairs_inside_bounds(self):
+        doc = random_document(5, nodes=80, first_oid=100)
+        for oid1, oid2 in random_oid_pairs(doc, 50, seed=5):
+            assert oid1 in doc and oid2 in doc
+
+    def test_deterministic(self):
+        doc = random_document(5, nodes=80)
+        assert random_oid_pairs(doc, 20, seed=1) == random_oid_pairs(
+            doc, 20, seed=1
+        )

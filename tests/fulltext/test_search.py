@@ -1,0 +1,68 @@
+"""Unit tests for the search engine façade (contains semantics)."""
+
+import pytest
+
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.fulltext.search import SearchEngine, contains
+
+
+class TestContains:
+    def test_case_insensitive_default(self):
+        assert contains("How to Hack", "hack")
+        assert contains("How to Hack", "HOW TO")
+
+    def test_case_sensitive(self):
+        assert not contains("How to Hack", "hack", case_sensitive=True)
+        assert contains("How to Hack", "Hack", case_sensitive=True)
+
+    def test_substring_not_token(self):
+        assert contains("Hacking", "Hack")
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    return SearchEngine(request.getfixturevalue("figure1_store"))
+
+
+class TestFind:
+    def test_token_shaped_term_uses_index(self, engine):
+        assert engine.find("Ben").oids() == {O["cdata_ben"]}
+
+    def test_multi_word_term(self, engine):
+        assert engine.find("Bob Byte").oids() == {O["cdata_bob_byte"]}
+
+    def test_multi_word_requires_substring(self, engine):
+        # 'Byte Bob' has both tokens but is not a substring.
+        assert engine.find("Byte Bob").oids() == set()
+
+    def test_partial_word_falls_back_to_scan(self, engine):
+        # 'Hac' is a token prefix, not a token: scan path.
+        assert engine.find("Hac").oids() == {
+            O["cdata_how_to_hack"],
+            O["cdata_hacking_rsi"],
+        }
+
+    def test_punctuation_term_scans(self, engine):
+        assert engine.find("Hacking & RSI").oids() == {O["cdata_hacking_rsi"]}
+
+
+class TestScan:
+    def test_scan_attribute_values(self, engine):
+        assert engine.scan("BK").oids() == {O["article2"]}
+
+    def test_scan_no_match(self, engine):
+        assert engine.scan("qqqq").oids() == set()
+
+    def test_scan_is_substring_semantics(self, engine):
+        assert engine.scan("999").oids() == {
+            O["cdata_1999_a"],
+            O["cdata_1999_b"],
+        }
+
+
+class TestCaseSensitiveEngine:
+    def test_case_sensitive_find(self, figure1_store):
+        engine = SearchEngine(figure1_store, case_sensitive=True)
+        assert engine.find("Ben").oids() == {O["cdata_ben"]}
+        assert engine.find("ben").oids() == set()
+        assert engine.scan("BEN").oids() == set()

@@ -1,0 +1,124 @@
+"""Unit tests for thesaurus-based broadening (§4 extension)."""
+
+import pytest
+
+from repro.core import NearestConceptEngine
+from repro.datamodel.parser import parse_document
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.fulltext.search import SearchEngine
+from repro.fulltext.thesaurus import BroadeningSearch, Thesaurus, expand_term
+from repro.monet import monet_transform
+
+
+class TestThesaurus:
+    def test_synonym_ring_symmetric(self):
+        thesaurus = Thesaurus().add_synonyms("article", "paper", "publication")
+        assert thesaurus.synonyms("paper") == {"article", "publication"}
+        assert thesaurus.synonyms("article") == {"paper", "publication"}
+
+    def test_case_folding(self):
+        thesaurus = Thesaurus().add_synonyms("Hack", "Crack")
+        assert thesaurus.synonyms("hack") == {"crack"}
+        assert "HACK" in thesaurus
+
+    def test_broader_is_one_way(self):
+        thesaurus = Thesaurus().add_broader("icde", "conference")
+        assert thesaurus.broader_terms("icde") == {"conference"}
+        assert thesaurus.broader_terms("conference") == set()
+
+    def test_from_rings(self):
+        thesaurus = Thesaurus.from_rings([["a", "b"], ["x", "y", "z"]])
+        assert thesaurus.synonyms("x") == {"y", "z"}
+
+    def test_len_and_contains(self):
+        thesaurus = Thesaurus().add_synonyms("a", "b")
+        assert len(thesaurus) == 2
+        assert "a" in thesaurus and "c" not in thesaurus
+        assert 3 not in thesaurus
+
+
+class TestExpandTerm:
+    def make(self):
+        return (
+            Thesaurus()
+            .add_synonyms("hack", "crack")
+            .add_synonyms("crack", "exploit")
+            .add_broader("hack", "activity")
+        )
+
+    def test_one_hop(self):
+        expansion = expand_term(self.make(), "hack")
+        assert expansion == ["hack", "crack"]
+
+    def test_transitive(self):
+        expansion = expand_term(self.make(), "hack", transitive=True)
+        assert expansion == ["hack", "crack", "exploit"]
+
+    def test_include_broader(self):
+        expansion = expand_term(self.make(), "hack", include_broader=True)
+        assert set(expansion) == {"hack", "activity", "crack"}
+
+    def test_unknown_term_expands_to_itself(self):
+        assert expand_term(Thesaurus(), "whatever") == ["whatever"]
+
+
+class TestBroadeningSearch:
+    def test_no_broadening_when_enough_hits(self, figure1_store):
+        thesaurus = Thesaurus().add_synonyms("Ben", "Bob")
+        search = BroadeningSearch(SearchEngine(figure1_store), thesaurus)
+        hits, used = search.find("Ben")
+        assert used == ["Ben"]
+        assert hits.oids() == {O["cdata_ben"]}
+
+    def test_broadens_on_miss(self, figure1_store):
+        thesaurus = Thesaurus().add_synonyms("Benjamin", "Ben")
+        search = BroadeningSearch(SearchEngine(figure1_store), thesaurus)
+        hits, used = search.find("Benjamin")
+        assert used == ["Benjamin", "ben"]
+        assert hits.oids() == {O["cdata_ben"]}
+        assert hits.term == "Benjamin"
+
+    def test_min_hits_threshold(self, figure1_store):
+        thesaurus = Thesaurus().add_synonyms("1999", "Bit")
+        search = BroadeningSearch(
+            SearchEngine(figure1_store), thesaurus, min_hits=3
+        )
+        hits, used = search.find("1999")
+        # 2 plain hits < 3 → broadened with 'bit'
+        assert len(used) == 2
+        assert hits.oids() == {
+            O["cdata_1999_a"],
+            O["cdata_1999_b"],
+            O["cdata_bit"],
+        }
+
+    def test_miss_without_synonyms_stays_empty(self, figure1_store):
+        search = BroadeningSearch(SearchEngine(figure1_store), Thesaurus())
+        hits, used = search.find("unicorn")
+        assert not hits and used == ["unicorn"]
+
+
+class TestEngineIntegration:
+    def test_engine_broadens_scarce_terms(self, figure1_store):
+        thesaurus = Thesaurus().add_synonyms("Benjamin", "Ben")
+        engine = NearestConceptEngine(figure1_store, thesaurus=thesaurus)
+        concepts = engine.nearest_concepts("Benjamin", "Bit")
+        assert [c.oid for c in concepts] == [O["author1"]]
+        # origins keep the *user's* term
+        assert "Benjamin" in concepts[0].terms
+
+    def test_engine_without_thesaurus_misses(self, figure1_store):
+        engine = NearestConceptEngine(figure1_store)
+        assert engine.nearest_concepts("Benjamin", "Bit") == []
+
+    def test_broadening_respects_threshold(self):
+        store = monet_transform(
+            parse_document("<r><a>cat</a><b>feline</b></r>")
+        )
+        thesaurus = Thesaurus().add_synonyms("cat", "feline")
+        engine = NearestConceptEngine(
+            store, thesaurus=thesaurus, broaden_below=2
+        )
+        hits = engine.term_hits("cat")
+        # 1 hit < 2 → broadened to include 'feline'
+        assert len(hits.oids()) == 2

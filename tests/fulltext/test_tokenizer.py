@@ -1,0 +1,45 @@
+"""Unit tests for the tokenizer."""
+
+from repro.fulltext.tokenizer import normalize, tokenize
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize("How to Hack") == ["how", "to", "hack"]
+
+    def test_punctuation_split(self):
+        assert tokenize("Hacking & RSI") == ["hacking", "rsi"]
+
+    def test_numbers_kept(self):
+        assert tokenize("ICDE 1999, pages 14-23") == [
+            "icde",
+            "1999",
+            "pages",
+            "14",
+            "23",
+        ]
+
+    def test_case_sensitive_mode(self):
+        assert tokenize("ICDE", case_sensitive=True) == ["ICDE"]
+        assert tokenize("ICDE") == ["icde"]
+
+    def test_empty_and_symbol_only(self):
+        assert tokenize("") == []
+        assert tokenize("&&& --- !!!") == []
+
+    def test_leading_trailing_separators(self):
+        assert tokenize("...word...") == ["word"]
+
+    def test_unicode_letters(self):
+        assert tokenize("García Müller") == ["garcía", "müller"]
+
+    def test_mixed_alnum_tokens_stay_joined(self):
+        assert tokenize("Schmidt99 BB99") == ["schmidt99", "bb99"]
+
+
+class TestNormalize:
+    def test_strips_and_lowers(self):
+        assert normalize("  Bit ") == "bit"
+
+    def test_case_sensitive(self):
+        assert normalize(" Bit ", case_sensitive=True) == "Bit"

@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example runs and prints its key result.
+
+Guards deliverable (b): the examples are living documentation; if an
+API change breaks one, this suite fails with the example's stderr.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: example file → fragments its stdout must contain.
+EXPECTATIONS = {
+    "quickstart.py": ["nearest concepts", "<album>", "Kind of Blue"],
+    "bibliography_search.py": [
+        "meet2('Ben', 'Bit')",
+        "<author>",
+        "<result> article",
+        "Mr. Bit wrote an article in 1999",
+    ],
+    "dblp_case_study.py": [
+        "inproceedings",
+        "1984-1999",
+        "1985 gap",
+    ],
+    "multimedia_exploration.py": [
+        "schema discovery",
+        "shortest path",
+        "within 6 joins",
+    ],
+    "query_language_demo.py": [
+        "meet() aggregation",
+        "explain",
+        "plan over",
+    ],
+    "extensions_tour.py": [
+        "store statistics",
+        "reference edges",
+        "broadened",
+        "IR re-ranking",
+    ],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs_and_reports(name):
+    stdout = run_example(name)
+    for fragment in EXPECTATIONS[name]:
+        assert fragment in stdout, f"{name}: missing {fragment!r}"
+
+
+def test_every_example_is_covered():
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXPECTATIONS)

@@ -1,0 +1,54 @@
+"""Integration: the Figure 6 experiment wiring (markers + meet cost).
+
+Checks the experimental *setup* the bench relies on: marker pairs sit
+at exact distances, the meet over their hits returns the planted fork,
+and the meet's join count equals the planted distance.
+"""
+
+import pytest
+
+from repro.core import NearestConceptEngine
+from repro.core.meet_pair import meet2_traced
+from repro.fulltext.search import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine(multimedia_planted):
+    store, _planted = multimedia_planted
+    return NearestConceptEngine(store)
+
+
+class TestMarkerMeets:
+    def test_meet_joins_equal_planted_distance(self, multimedia_planted):
+        store, planted = multimedia_planted
+        search = SearchEngine(store)
+        for distance, (terma, termb) in planted.items():
+            (hita,) = search.find(terma).oids()
+            (hitb,) = search.find(termb).oids()
+            result = meet2_traced(store, hita, hitb)
+            assert result.joins == distance
+
+    def test_pipeline_finds_the_probe(self, multimedia_planted, engine):
+        store, planted = multimedia_planted
+        for distance, (terma, termb) in planted.items():
+            concepts = engine.nearest_concepts(terma, termb)
+            assert len(concepts) == 1
+            concept = concepts[0]
+            assert concept.joins == distance
+            label = store.summary.label(store.pid_of(concept.oid))
+            assert label in {"probe", "cdata"}
+
+    def test_distance_zero_meet_is_the_association(self, multimedia_planted, engine):
+        _store, planted = multimedia_planted
+        terma, termb = planted[0]
+        (concept,) = engine.nearest_concepts(terma, termb)
+        assert concept.joins == 0
+        assert concept.tag == "cdata"
+
+    def test_noise_terms_do_not_interfere(self, multimedia_planted, engine):
+        """Markers are unique: searching them returns exactly one hit
+        each even inside the noisy corpus."""
+        _store, planted = multimedia_planted
+        for terma, termb in planted.values():
+            assert len(engine.term_hits(terma)) == 1
+            assert len(engine.term_hits(termb)) == 1

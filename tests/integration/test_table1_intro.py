@@ -1,0 +1,69 @@
+"""Integration: Table I — the intro query vs the meet query (§1 vs §3.2).
+
+The paper's motivating comparison: the regular-path-expression query
+answer is inflated by ancestor-implied rows; re-formulating with the
+meet operator reduces it to exactly the ``article`` node.
+"""
+
+from repro.baselines.pathexpr_baseline import (
+    containment_answers,
+    witness_pair_answers,
+)
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.fulltext.search import SearchEngine
+from repro.query import run_query
+
+
+class TestTable1:
+    def test_baseline_answer_is_inflated(self, figure1_store):
+        search = SearchEngine(figure1_store)
+        rows = witness_pair_answers(figure1_store, search, "Bit", "1999")
+        # the paper prints 4 rows; our exact witness-pair closure has 5
+        # (article, institute×2, bibliography×2) — same redundancy shape
+        assert len(rows) == 5
+        tags = sorted(r.tag for r in rows)
+        assert tags.count("bibliography") == 2
+        assert tags.count("institute") == 2
+        assert tags.count("article") == 1
+
+    def test_meet_query_single_answer(self, figure1_store):
+        result = run_query(
+            figure1_store,
+            """
+            select meet($o1, $o2)
+            from   bibliography/#/%T1 $o1, bibliography/#/%T2 $o2
+            where  $o1 contains 'Bit' and $o2 contains '1999'
+            """,
+        )
+        assert result.rows == [(O["article1"],)]
+
+    def test_meet_answer_is_strict_subset_of_baseline(self, figure1_store):
+        search = SearchEngine(figure1_store)
+        baseline_oids = {
+            r.oid
+            for r in witness_pair_answers(figure1_store, search, "Bit", "1999")
+        }
+        meet_result = run_query(
+            figure1_store,
+            "select meet($a,$b) from # $a, # $b "
+            "where $a contains 'Bit' and $b contains '1999'",
+        )
+        meet_oids = set(meet_result.column("meet($a, $b)"))
+        assert meet_oids < baseline_oids
+
+    def test_containment_answer_counts(self, figure1_store):
+        search = SearchEngine(figure1_store)
+        rows = containment_answers(figure1_store, search, ["Bit", "1999"])
+        assert len(rows) == 3  # article + 2 implied ancestors
+
+    def test_reduction_factor(self, figure1_store):
+        """The headline of Table I: 5 (or 4 in the paper's print) → 1."""
+        search = SearchEngine(figure1_store)
+        baseline = witness_pair_answers(figure1_store, search, "Bit", "1999")
+        meet_rows = run_query(
+            figure1_store,
+            "select meet($a,$b) from # $a, # $b "
+            "where $a contains 'Bit' and $b contains '1999'",
+        ).rows
+        assert len(baseline) >= 4
+        assert len(meet_rows) == 1

@@ -1,0 +1,168 @@
+"""Unit tests for the BAT column engine (MIL primitives)."""
+
+import pytest
+
+from repro.monet.bat import BAT
+
+
+@pytest.fixture
+def edges():
+    return BAT([(1, 2), (1, 3), (2, 4)], name="edges")
+
+
+@pytest.fixture
+def values():
+    return BAT([(2, "x"), (3, "y"), (4, "x")], name="values")
+
+
+class TestBasics:
+    def test_count_len_bool(self, edges):
+        assert edges.count() == len(edges) == 3
+        assert bool(edges)
+        assert not BAT()
+
+    def test_iteration_order(self, edges):
+        assert list(edges) == [(1, 2), (1, 3), (2, 4)]
+
+    def test_from_columns_validates_lengths(self):
+        with pytest.raises(ValueError):
+            BAT.from_columns([1, 2], [3])
+
+    def test_singleton(self):
+        assert BAT.singleton(1, "a").to_list() == [(1, "a")]
+
+    def test_bag_equality_order_insensitive(self):
+        assert BAT([(1, 2), (3, 4)]) == BAT([(3, 4), (1, 2)])
+        assert BAT([(1, 2)]) != BAT([(1, 2), (1, 2)])
+
+    def test_unhashable(self, edges):
+        with pytest.raises(TypeError):
+            hash(edges)
+
+    def test_copy_independent(self, edges):
+        clone = edges.copy(name="clone")
+        assert clone == edges and clone.name == "clone"
+
+
+class TestFind:
+    def test_find_is_first_match(self, edges):
+        assert edges.find(1) == 2
+
+    def test_find_missing_raises(self, edges):
+        with pytest.raises(KeyError):
+            edges.find(99)
+
+    def test_find_all(self, edges):
+        assert edges.find_all(1) == [2, 3]
+        assert edges.find_all(9) == []
+
+
+class TestUnaryOps:
+    def test_reverse(self, edges):
+        assert edges.reverse().to_list() == [(2, 1), (3, 1), (4, 2)]
+
+    def test_reverse_involution(self, edges):
+        assert edges.reverse().reverse() == edges
+
+    def test_mirror(self, values):
+        assert values.mirror().to_list() == [(2, 2), (3, 3), (4, 4)]
+
+    def test_mark(self, values):
+        assert values.mark(10).to_list() == [(2, 10), (3, 11), (4, 12)]
+
+
+class TestSelections:
+    def test_select_on_tail(self, values):
+        assert values.select(lambda t: t == "x").head_set() == {2, 4}
+
+    def test_select_eq_uses_index(self, values):
+        assert values.select_eq("y").to_list() == [(3, "y")]
+        assert values.select_eq("zz").count() == 0
+
+    def test_select_range(self):
+        bat = BAT([(i, i * 10) for i in range(5)])
+        assert bat.select_range(10, 30).head_set() == {1, 2, 3}
+
+    def test_uselect(self, values):
+        assert values.uselect(lambda t: t == "x").to_list() == [(2, 2), (4, 4)]
+
+    def test_select_heads(self, edges):
+        assert edges.select_heads({1}).to_list() == [(1, 2), (1, 3)]
+
+
+class TestJoins:
+    def test_join_composes_relations(self, edges, values):
+        joined = edges.join(values)
+        # (1,2)·(2,x) → (1,x); (1,3)·(3,y) → (1,y); (2,4)·(4,x) → (2,x)
+        assert joined == BAT([(1, "x"), (1, "y"), (2, "x")])
+
+    def test_join_with_duplicates_multiplies(self):
+        left = BAT([(1, "a"), (2, "a")])
+        right = BAT([("a", 10), ("a", 20)])
+        assert left.join(right).count() == 4
+
+    def test_semijoin(self, edges):
+        filter_bat = BAT([(1, None)])
+        assert edges.semijoin(filter_bat).to_list() == [(1, 2), (1, 3)]
+
+    def test_antijoin_heads(self, edges):
+        filter_bat = BAT([(1, None)])
+        assert edges.antijoin_heads(filter_bat).to_list() == [(2, 4)]
+
+    def test_empty_join(self, edges):
+        assert edges.join(BAT()).count() == 0
+
+
+class TestSetOps:
+    def test_kdiff(self, edges):
+        assert edges.kdiff(BAT([(2, 0)])).head_set() == {1}
+
+    def test_kunion_prefers_self(self):
+        left = BAT([(1, "a")])
+        right = BAT([(1, "b"), (2, "c")])
+        assert left.kunion(right).to_list() == [(1, "a"), (2, "c")]
+
+    def test_kintersect(self, edges):
+        assert edges.kintersect(BAT([(2, None)])).to_list() == [(2, 4)]
+
+    def test_union_all_keeps_duplicates(self, edges):
+        doubled = edges.union_all(edges)
+        assert doubled.count() == 6
+
+    def test_kdiff_kunion_roundtrip(self, edges):
+        other = BAT([(1, 0)])
+        recombined = edges.kdiff(other).kunion(edges.semijoin(other))
+        assert recombined.head_set() == edges.head_set()
+
+
+class TestDuplicates:
+    def test_kunique(self):
+        bat = BAT([(1, "a"), (1, "b"), (2, "c")])
+        assert bat.kunique().to_list() == [(1, "a"), (2, "c")]
+
+    def test_unique(self):
+        bat = BAT([(1, "a"), (1, "a"), (1, "b")])
+        assert bat.unique().to_list() == [(1, "a"), (1, "b")]
+
+
+class TestGrouping:
+    def test_group_by_head(self, edges):
+        assert edges.group_by_head() == {1: [2, 3], 2: [4]}
+
+    def test_histogram(self, edges):
+        assert edges.histogram() == {1: 2, 2: 1}
+
+    def test_to_dict_first_wins(self):
+        bat = BAT([(1, "a"), (1, "b")])
+        assert bat.to_dict() == {1: "a"}
+
+
+class TestIndexes:
+    def test_head_index_positions(self, edges):
+        assert edges.head_index() == {1: [0, 1], 2: [2]}
+
+    def test_tail_index_positions(self, values):
+        assert values.tail_index() == {"x": [0, 2], "y": [1]}
+
+    def test_index_cached(self, edges):
+        assert edges.head_index() is edges.head_index()

@@ -1,0 +1,52 @@
+"""Unit tests for store statistics."""
+
+from repro.monet.stats import collect_statistics
+
+
+class TestFigure1Statistics:
+    def test_counts(self, figure1_store):
+        stats = collect_statistics(figure1_store)
+        assert stats.node_count == 19
+        assert stats.element_paths == 13
+        assert stats.attribute_paths == 6
+        assert stats.distinct_paths == 19
+        assert stats.string_associations == 9
+
+    def test_depths(self, figure1_store):
+        stats = collect_statistics(figure1_store)
+        assert stats.max_depth == 6  # firstname/lastname cdata
+        assert 1.0 < stats.mean_depth < 6.0
+        assert stats.depth_histogram[1] == 1  # the root
+        assert sum(stats.depth_histogram) == 19
+
+    def test_fanout(self, figure1_store):
+        stats = collect_statistics(figure1_store)
+        assert stats.max_fanout == 3  # both articles have 3 children
+        assert stats.mean_fanout > 1.0
+
+    def test_histogram_densest_first(self, figure1_store):
+        stats = collect_statistics(figure1_store)
+        counts = [count for _path, count in stats.path_histogram]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] == 2  # article and friends appear twice
+
+    def test_schema_ratio(self, figure1_store):
+        stats = collect_statistics(figure1_store)
+        assert stats.schema_ratio() == 19 / 19  # fully irregular example
+
+    def test_render(self, figure1_store):
+        text = collect_statistics(figure1_store).render(top=3)
+        assert "nodes:" in text
+        assert "densest paths" in text
+        assert "bibliography" in text
+
+
+class TestRegularStore:
+    def test_dblp_schema_is_much_smaller_than_instance(self, dblp_store):
+        stats = collect_statistics(dblp_store)
+        assert stats.node_count > 1000
+        assert stats.schema_ratio() < 0.05  # regular mark-up
+
+    def test_depth_histogram_total(self, dblp_store):
+        stats = collect_statistics(dblp_store)
+        assert sum(stats.depth_histogram) == stats.node_count

@@ -1,0 +1,60 @@
+"""Unit tests for JSON image persistence."""
+
+import pytest
+
+from repro.datamodel.errors import StorageError
+from repro.datasets.figure1 import figure1_document
+from repro.monet.storage import dumps, load, loads, save
+from repro.monet.transform import monet_transform
+
+
+class TestRoundTrip:
+    def test_loads_dumps_identity(self, figure1_store):
+        clone = loads(dumps(figure1_store))
+        assert clone.node_count == figure1_store.node_count
+        assert clone.root_oid == figure1_store.root_oid
+        assert clone.relation_names() == figure1_store.relation_names()
+        for oid in figure1_store.iter_oids():
+            assert clone.path_of(oid) == figure1_store.path_of(oid)
+            assert clone.parent_of(oid) == figure1_store.parent_of(oid)
+            assert clone.rank_of(oid) == figure1_store.rank_of(oid)
+            assert clone.attributes_of(oid) == figure1_store.attributes_of(oid)
+
+    def test_save_load_file(self, tmp_path, figure1_store):
+        image = tmp_path / "store.json"
+        save(figure1_store, image)
+        clone = load(image)
+        assert clone.node_count == figure1_store.node_count
+
+    def test_meet_agrees_after_reload(self, figure1_store):
+        from repro.core import meet2
+
+        clone = loads(dumps(figure1_store))
+        assert meet2(clone, 6, 8) == meet2(figure1_store, 6, 8)
+
+    def test_nonzero_first_oid_preserved(self):
+        store = monet_transform(figure1_document())
+        clone = loads(dumps(store))
+        assert clone.first_oid == 1
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(StorageError):
+            loads("definitely not json{")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(StorageError):
+            loads('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version(self, figure1_store):
+        text = dumps(figure1_store).replace('"version": 1', '"version": 99')
+        with pytest.raises(StorageError):
+            loads(text)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load(tmp_path / "absent.json")
+
+    def test_indent_option(self, figure1_store):
+        assert "\n" in dumps(figure1_store, indent=2)

@@ -1,0 +1,85 @@
+"""Hypothesis strategies shared by the property tests.
+
+Documents are generated from a parent-index vector: node i (i ≥ 1)
+attaches to a previously created node, which guarantees a valid rooted
+tree and gives hypothesis real shrinking power (dropping suffix nodes
+yields smaller valid trees).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from hypothesis import strategies as st
+
+from repro.datamodel.document import Document
+from repro.datamodel.node import Node
+from repro.monet.transform import monet_transform
+
+LABELS = ("a", "b", "c", "d")
+WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "1999", "icde")
+
+
+@st.composite
+def tree_documents(draw, max_nodes: int = 30, with_text: bool = True):
+    """A frozen Document with 1..max_nodes element nodes."""
+    size = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [
+        draw(st.integers(min_value=0, max_value=index - 1))
+        for index in range(1, size)
+    ]
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(size)]
+    texts: List[Optional[str]] = [None] * size
+    if with_text:
+        for index in range(size):
+            if draw(st.booleans()):
+                texts[index] = " ".join(
+                    draw(
+                        st.lists(
+                            st.sampled_from(WORDS), min_size=1, max_size=3
+                        )
+                    )
+                )
+    nodes = [Node("root")]
+    for index in range(1, size):
+        node = Node(labels[index])
+        nodes[parents[index - 1]].append(node)
+        nodes.append(node)
+    for node, text in zip(nodes, texts):
+        if text is not None:
+            node.text = text
+    return Document(nodes[0])
+
+
+@st.composite
+def stores(draw, max_nodes: int = 30, with_text: bool = True):
+    """A MonetXML store over a generated document."""
+    return monet_transform(draw(tree_documents(max_nodes, with_text)))
+
+
+@st.composite
+def stores_with_oid_pairs(draw, max_nodes: int = 30, max_pairs: int = 5):
+    """(store, [(oid1, oid2), …]) with OIDs guaranteed in range."""
+    store = draw(stores(max_nodes))
+    pairs: List[Tuple[int, int]] = [
+        (
+            draw(st.integers(store.first_oid, store.last_oid)),
+            draw(st.integers(store.first_oid, store.last_oid)),
+        )
+        for _ in range(draw(st.integers(1, max_pairs)))
+    ]
+    return store, pairs
+
+
+@st.composite
+def stores_with_oid_sets(draw, max_nodes: int = 30, max_set: int = 6):
+    """(store, oid_set) for the n-ary meet properties."""
+    store = draw(stores(max_nodes))
+    oids = draw(
+        st.lists(
+            st.integers(store.first_oid, store.last_oid),
+            min_size=0,
+            max_size=max_set,
+        )
+    )
+    return store, oids

@@ -1,0 +1,103 @@
+"""Property tests: algebraic laws of the BAT primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monet.bat import BAT
+
+values = st.integers(min_value=0, max_value=9)
+buns = st.tuples(values, values)
+bats = st.lists(buns, min_size=0, max_size=12).map(BAT)
+
+
+@settings(max_examples=100)
+@given(bats)
+def test_reverse_involution(bat):
+    assert bat.reverse().reverse() == bat
+
+
+@settings(max_examples=100)
+@given(bats)
+def test_mirror_heads(bat):
+    mirrored = bat.mirror()
+    assert list(mirrored.heads) == list(mirrored.tails) == list(bat.heads)
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_semijoin_is_subset_of_self(left, right):
+    result = left.semijoin(right)
+    assert set(result.to_list()) <= set(left.to_list())
+    assert result.head_set() <= right.head_set() | set()
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_semijoin_antijoin_partition(left, right):
+    inside = left.semijoin(right)
+    outside = left.antijoin_heads(right)
+    assert inside.count() + outside.count() == left.count()
+    assert not (inside.head_set() & outside.head_set())
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_kdiff_removes_exactly_shared_heads(left, right):
+    result = left.kdiff(right)
+    assert result.head_set() == left.head_set() - right.head_set()
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_kunion_head_coverage(left, right):
+    result = left.kunion(right)
+    assert result.head_set() == left.head_set() | right.head_set()
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_kintersect_heads(left, right):
+    result = left.kintersect(right)
+    assert result.head_set() == left.head_set() & right.head_set()
+
+
+@settings(max_examples=100)
+@given(bats)
+def test_kunique_one_bun_per_head(bat):
+    unique = bat.kunique()
+    heads = list(unique.heads)
+    assert len(heads) == len(set(heads))
+    assert unique.head_set() == bat.head_set()
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_join_count_matches_index_product(left, right):
+    """|A ⋈ B| = Σ over shared values of multiplicity products."""
+    joined = left.join(right)
+    expected = 0
+    right_histogram = right.histogram()
+    for tail in left.tails:
+        expected += right_histogram.get(tail, 0)
+    assert joined.count() == expected
+
+
+@settings(max_examples=100)
+@given(bats)
+def test_join_with_mirror_is_identity_on_buns(bat):
+    """A ⋈ mirror(tails of A) reproduces A's BUNs."""
+    identity = BAT([(tail, tail) for tail in set(bat.tails)])
+    assert bat.join(identity) == bat
+
+
+@settings(max_examples=100)
+@given(bats)
+def test_mark_is_dense(bat):
+    marked = bat.mark(5)
+    assert list(marked.tails) == list(range(5, 5 + len(bat)))
+
+
+@settings(max_examples=100)
+@given(bats, bats)
+def test_union_all_count(left, right):
+    assert left.union_all(right).count() == left.count() + right.count()

@@ -1,0 +1,97 @@
+"""Property tests: the general meet (Fig. 5) and its invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive_lca import naive_lca
+from repro.core.meet_general import (
+    group_by_pid,
+    meet_depthwise,
+    meet_general,
+)
+
+from .strategies import stores_with_oid_sets
+
+
+def as_result_set(meets):
+    return {(meet.oid, meet.origins) for meet in meets}
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_sets())
+def test_schema_and_depthwise_agree(store_and_oids):
+    store, oids = store_and_oids
+    relations = group_by_pid(store, oids)
+    assert as_result_set(meet_general(store, relations)) == as_result_set(
+        meet_depthwise(store, relations)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_sets())
+def test_meets_cover_at_least_two_distinct_inputs(store_and_oids):
+    store, oids = store_and_oids
+    for meet in meet_general(store, group_by_pid(store, oids)):
+        assert len(meet.origins) >= 2
+        assert meet.origins <= set(oids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_sets())
+def test_meet_is_lca_of_its_origin_set(store_and_oids):
+    """Every emitted meet is exactly the LCA of its origin group."""
+    store, oids = store_and_oids
+    for meet in meet_general(store, group_by_pid(store, oids)):
+        origins = sorted(meet.origins)
+        lca = origins[0]
+        for other in origins[1:]:
+            lca = naive_lca(store, lca, other)
+        assert lca == meet.oid
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_sets(), st.randoms(use_true_random=False))
+def test_input_order_invariance(store_and_oids, rng):
+    store, oids = store_and_oids
+    base = as_result_set(meet_general(store, group_by_pid(store, oids)))
+    shuffled = list(oids)
+    rng.shuffle(shuffled)
+    again = as_result_set(meet_general(store, group_by_pid(store, shuffled)))
+    assert base == again
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_sets())
+def test_origin_groups_are_disjoint(store_and_oids):
+    """Each input retires with its meet: no origin appears twice —
+    the anti-explosion bookkeeping of Fig. 5."""
+    store, oids = store_and_oids
+    seen = set()
+    for meet in meet_general(store, group_by_pid(store, oids)):
+        assert not (meet.origins & seen)
+        seen |= meet.origins
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_sets())
+def test_output_bounded_by_half_input(store_and_oids):
+    """≥2 distinct inputs retire per meet ⇒ |meets| ≤ |inputs| / 2."""
+    store, oids = store_and_oids
+    distinct = set(oids)
+    meets = meet_general(store, group_by_pid(store, distinct))
+    assert len(meets) <= len(distinct) // 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(stores_with_oid_sets())
+def test_pairwise_meet_of_origins_never_deeper(store_and_oids):
+    """Minimality: no two covered origins meet strictly below the
+    emitted meet (otherwise the roll-up missed a lower meet)."""
+    store, oids = store_and_oids
+    for meet in meet_general(store, group_by_pid(store, oids)):
+        depth = store.depth_of(meet.oid)
+        origins = sorted(meet.origins)
+        for index, left in enumerate(origins):
+            for right in origins[index + 1 :]:
+                pair_meet = naive_lca(store, left, right)
+                assert store.depth_of(pair_meet) <= depth

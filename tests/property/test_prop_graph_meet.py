@@ -1,0 +1,80 @@
+"""Property tests: graph meet is a conservative extension of meet₂."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph_meet import (
+    ReferenceIndex,
+    graph_distance,
+    graph_meet,
+    graph_shortest_path,
+)
+from repro.core.meet_pair import meet2_traced
+
+from .strategies import stores_with_oid_pairs
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores_with_oid_pairs())
+def test_tree_graph_meet_equals_meet2(store_and_pairs):
+    """Without references the graph meet is exactly the LCA walk."""
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        tree = meet2_traced(store, oid1, oid2)
+        graph = graph_meet(store, oid1, oid2)
+        assert graph is not None
+        assert graph.oid == tree.oid
+        assert graph.distance == tree.joins
+        assert graph.via_references == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores_with_oid_pairs())
+def test_path_is_a_valid_walk(store_and_pairs):
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        path = graph_shortest_path(store, oid1, oid2)
+        assert path is not None
+        assert path[0] == oid1 and path[-1] == oid2
+        for left, right in zip(path, path[1:]):
+            assert store.parent_of(left) == right or (
+                store.parent_of(right) == left
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores_with_oid_pairs())
+def test_references_never_lengthen_paths(store_and_pairs):
+    """Adding reference edges can only shorten or preserve distances."""
+    store, pairs = store_and_pairs
+    refs = ReferenceIndex(store)  # generated stores carry 'id' attrs rarely
+    for oid1, oid2 in pairs:
+        plain = graph_distance(store, oid1, oid2)
+        augmented = graph_distance(store, oid1, oid2, refs)
+        assert plain is not None and augmented is not None
+        assert augmented <= plain
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores_with_oid_pairs(), st.integers(min_value=0, max_value=6))
+def test_max_distance_consistent(store_and_pairs, bound):
+    """The bounded search answers iff the true distance fits."""
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        true_distance = graph_distance(store, oid1, oid2)
+        assert true_distance is not None
+        bounded = graph_distance(store, oid1, oid2, max_distance=bound)
+        if true_distance <= bound:
+            assert bounded == true_distance
+        else:
+            assert bounded is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores_with_oid_pairs())
+def test_graph_distance_symmetric(store_and_pairs):
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        assert graph_distance(store, oid1, oid2) == graph_distance(
+            store, oid2, oid1
+        )

@@ -1,0 +1,102 @@
+"""Property tests: meet₂ against independent oracles and metric laws."""
+
+from hypothesis import given, settings
+
+from repro.baselines.euler_rmq import EulerTourLCA
+from repro.baselines.naive_lca import lockstep_lca, naive_lca
+from repro.core.meet_pair import meet2, meet2_traced
+from repro.core.restrictions import bounded_meet2
+
+from .strategies import stores_with_oid_pairs
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_meet2_matches_naive_oracle(store_and_pairs):
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        assert meet2(store, oid1, oid2) == naive_lca(store, oid1, oid2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stores_with_oid_pairs())
+def test_meet2_matches_lockstep_and_euler(store_and_pairs):
+    store, pairs = store_and_pairs
+    euler = EulerTourLCA(store)
+    for oid1, oid2 in pairs:
+        expected = meet2(store, oid1, oid2)
+        assert lockstep_lca(store, oid1, oid2) == expected
+        assert euler.lca(oid1, oid2) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_meet2_is_commutative(store_and_pairs):
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        left = meet2_traced(store, oid1, oid2)
+        right = meet2_traced(store, oid2, oid1)
+        assert left.oid == right.oid
+        assert left.joins == right.joins
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_join_count_is_depth_formula(store_and_pairs):
+    """joins = depth(o₁) + depth(o₂) − 2·depth(meet): the walk never
+    visits a node outside the o₁–o₂ path (the steering claim)."""
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        result = meet2_traced(store, oid1, oid2)
+        assert result.joins == (
+            store.depth_of(oid1)
+            + store.depth_of(oid2)
+            - 2 * store.depth_of(result.oid)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_meet_is_common_ancestor_and_minimal(store_and_pairs):
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        meet = meet2(store, oid1, oid2)
+        assert store.is_ancestor(meet, oid1)
+        assert store.is_ancestor(meet, oid2)
+        for child in store.children_of(meet):
+            assert not (
+                store.is_ancestor(child, oid1) and store.is_ancestor(child, oid2)
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_bounded_meet_consistent_with_unbounded(store_and_pairs):
+    store, pairs = store_and_pairs
+    for oid1, oid2 in pairs:
+        exact = meet2_traced(store, oid1, oid2)
+        for bound in (exact.joins - 1, exact.joins, exact.joins + 1):
+            result = bounded_meet2(store, oid1, oid2, bound)
+            if bound >= exact.joins:
+                assert result is not None and result.oid == exact.oid
+            else:
+                assert result is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(stores_with_oid_pairs())
+def test_distance_metric_laws(store_and_pairs):
+    """Identity, symmetry and the triangle inequality on samples."""
+    from repro.core.distance import distance
+
+    store, pairs = store_and_pairs
+    oids = [oid for pair in pairs for oid in pair]
+    for oid in oids:
+        assert distance(store, oid, oid) == 0
+    for oid1, oid2 in pairs:
+        assert distance(store, oid1, oid2) == distance(store, oid2, oid1)
+    if len(oids) >= 3:
+        a, b, c = oids[0], oids[1], oids[2]
+        assert distance(store, a, c) <= distance(store, a, b) + distance(
+            store, b, c
+        )

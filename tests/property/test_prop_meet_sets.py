@@ -1,0 +1,95 @@
+"""Property tests: meet_S (Fig. 4) on homogeneous sets."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.meet_pair import meet2
+from repro.core.meet_sets import meet_sets
+
+from .strategies import stores
+
+
+@st.composite
+def stores_with_homogeneous_sets(draw):
+    """(store, left, right): two sets each drawn from a single path."""
+    store = draw(stores(max_nodes=40))
+    by_pid = {}
+    for oid in store.iter_oids():
+        by_pid.setdefault(store.pid_of(oid), []).append(oid)
+    pids = sorted(by_pid)
+    pid_left = draw(st.sampled_from(pids))
+    pid_right = draw(st.sampled_from(pids))
+    left = draw(
+        st.lists(st.sampled_from(by_pid[pid_left]), min_size=1, max_size=5)
+    )
+    right = draw(
+        st.lists(st.sampled_from(by_pid[pid_right]), min_size=1, max_size=5)
+    )
+    return store, left, right
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_homogeneous_sets())
+def test_emitted_meets_are_true_pairwise_lcas(data):
+    store, left, right = data
+    for meet in meet_sets(store, left, right):
+        for l_origin in meet.left_origins:
+            for r_origin in meet.right_origins:
+                assert meet2(store, l_origin, r_origin) == meet.oid
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_homogeneous_sets())
+def test_origins_drawn_from_inputs(data):
+    store, left, right = data
+    for meet in meet_sets(store, left, right):
+        assert set(meet.left_origins) <= set(left)
+        assert set(meet.right_origins) <= set(right)
+        assert meet.left_origins and meet.right_origins
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_homogeneous_sets())
+def test_no_side_retires_twice(data):
+    """Minimality bookkeeping: each input participates in ≤ 1 meet."""
+    store, left, right = data
+    seen_left, seen_right = set(), set()
+    for meet in meet_sets(store, left, right):
+        assert not (set(meet.left_origins) & seen_left)
+        assert not (set(meet.right_origins) & seen_right)
+        seen_left |= set(meet.left_origins)
+        seen_right |= set(meet.right_origins)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_homogeneous_sets(), st.randoms(use_true_random=False))
+def test_input_order_invariance(data, rng):
+    store, left, right = data
+    base = {(m.oid, m.left_origins, m.right_origins) for m in meet_sets(store, left, right)}
+    left_shuffled, right_shuffled = list(left), list(right)
+    rng.shuffle(left_shuffled)
+    rng.shuffle(right_shuffled)
+    again = {
+        (m.oid, m.left_origins, m.right_origins)
+        for m in meet_sets(store, left_shuffled, right_shuffled)
+    }
+    assert base == again
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_homogeneous_sets())
+def test_output_bounded_by_smaller_input(data):
+    store, left, right = data
+    meets = meet_sets(store, left, right)
+    assert len(meets) <= min(len(set(left)), len(set(right)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(stores_with_homogeneous_sets())
+def test_singletons_agree_with_meet2(data):
+    store, left, right = data
+    assume(len(set(left)) == 1 and len(set(right)) == 1)
+    (l_oid,), (r_oid,) = set(left), set(right)
+    meets = meet_sets(store, [l_oid], [r_oid])
+    assert len(meets) == 1
+    assert meets[0].oid == meet2(store, l_oid, r_oid)

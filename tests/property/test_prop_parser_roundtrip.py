@@ -1,0 +1,66 @@
+"""Property tests: serialize ∘ parse round-trips on generated documents."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel.parser import parse_document
+from repro.datamodel.serializer import escape_attribute, escape_text, serialize
+
+from .strategies import tree_documents
+
+
+def structure(document):
+    return [
+        (
+            document.node(oid).label,
+            tuple(sorted(document.node(oid).attributes.items())),
+            document.parent_oid(oid),
+        )
+        for oid in document.iter_oids()
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree_documents(max_nodes=25))
+def test_serialize_parse_preserves_structure(document):
+    reparsed = parse_document(serialize(document))
+    assert structure(reparsed) == structure(document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_documents(max_nodes=25))
+def test_serialize_is_fixpoint(document):
+    once = serialize(document)
+    assert serialize(parse_document(once)) == once
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_documents(max_nodes=20))
+def test_pretty_printing_preserves_structure(document):
+    reparsed = parse_document(serialize(document, indent=2))
+    assert structure(reparsed) == structure(document)
+
+
+text_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs", "Cc")
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@settings(max_examples=100)
+@given(text_values)
+def test_text_escaping_roundtrip(value):
+    document = parse_document(f"<t>{escape_text(value)}</t>", keep_whitespace=True)
+    children = document.root.children
+    reread = children[0].string_value if children else ""
+    assert reread == value
+
+
+@settings(max_examples=100)
+@given(text_values)
+def test_attribute_escaping_roundtrip(value):
+    document = parse_document(f'<t k="{escape_attribute(value)}"/>')
+    assert document.root.attributes["k"] == value

@@ -1,0 +1,89 @@
+"""Property tests: the prefix order and path algebra (Defs. 3/5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel.paths import (
+    Path,
+    is_prefix,
+    longest_common_prefix,
+    prefix_leq,
+    relative_suffix,
+)
+
+labels = st.sampled_from(("a", "b", "c", "x"))
+paths = st.lists(labels, min_size=0, max_size=6).map(lambda ls: Path.of(*ls))
+
+
+@settings(max_examples=100)
+@given(paths)
+def test_prefix_leq_reflexive(path):
+    assert prefix_leq(path, path)
+
+
+@settings(max_examples=100)
+@given(paths, paths)
+def test_prefix_leq_antisymmetric(path1, path2):
+    if prefix_leq(path1, path2) and prefix_leq(path2, path1):
+        assert path1 == path2
+
+
+@settings(max_examples=100)
+@given(paths, paths, paths)
+def test_prefix_leq_transitive(path1, path2, path3):
+    if prefix_leq(path1, path2) and prefix_leq(path2, path3):
+        assert prefix_leq(path1, path3)
+
+
+@settings(max_examples=100)
+@given(paths, paths)
+def test_lcp_is_prefix_of_both(path1, path2):
+    lcp = longest_common_prefix(path1, path2)
+    assert is_prefix(lcp, path1)
+    assert is_prefix(lcp, path2)
+
+
+@settings(max_examples=100)
+@given(paths, paths)
+def test_lcp_is_longest(path1, path2):
+    """No strictly longer common prefix exists."""
+    lcp = longest_common_prefix(path1, path2)
+    n = len(lcp)
+    if len(path1) > n and len(path2) > n:
+        assert path1[: n + 1] != path2[: n + 1]
+
+
+@settings(max_examples=100)
+@given(paths, paths)
+def test_lcp_commutative(path1, path2):
+    assert longest_common_prefix(path1, path2) == longest_common_prefix(
+        path2, path1
+    )
+
+
+@settings(max_examples=100)
+@given(paths)
+def test_lcp_idempotent(path):
+    assert longest_common_prefix(path, path) == path
+
+
+@settings(max_examples=100)
+@given(paths, paths)
+def test_suffix_recomposition(path1, path2):
+    """prefix + (path − prefix) == path."""
+    lcp = longest_common_prefix(path1, path2)
+    suffix = relative_suffix(path1, lcp)
+    assert Path(tuple(lcp.steps) + tuple(suffix.steps)) == path1
+
+
+@settings(max_examples=100)
+@given(paths)
+def test_parse_str_roundtrip(path):
+    assert Path.parse(str(path)) == path
+
+
+@settings(max_examples=100)
+@given(paths, paths)
+def test_hash_consistency(path1, path2):
+    if path1 == path2:
+        assert hash(path1) == hash(path2)

@@ -1,0 +1,63 @@
+"""Property tests: broadening only ever adds hits, never loses them."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fulltext.search import SearchEngine
+from repro.fulltext.thesaurus import BroadeningSearch, Thesaurus, expand_term
+
+from .strategies import WORDS, stores
+
+terms = st.sampled_from(WORDS + ("missing", "ghost"))
+rings = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=2, max_size=3, unique=True),
+    min_size=0,
+    max_size=3,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores(max_nodes=25), terms, rings)
+def test_broadened_hits_superset_of_plain(store, term, ring_list):
+    search = SearchEngine(store)
+    thesaurus = Thesaurus.from_rings(ring_list)
+    broadening = BroadeningSearch(search, thesaurus, min_hits=10**9)
+    plain_oids = search.find(term).oids()
+    broadened, used = broadening.find(term)
+    assert plain_oids <= broadened.oids()
+    assert used[0] == term
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores(max_nodes=25), terms, rings)
+def test_no_broadening_when_satisfied(store, term, ring_list):
+    """min_hits=0 ⇒ the plain result is always good enough."""
+    search = SearchEngine(store)
+    thesaurus = Thesaurus.from_rings(ring_list)
+    broadening = BroadeningSearch(search, thesaurus, min_hits=0)
+    broadened, used = broadening.find(term)
+    assert broadened.oids() == search.find(term).oids()
+    assert used == [term]
+
+
+@settings(max_examples=100)
+@given(rings, terms)
+def test_expansion_contains_term_first(ring_list, term):
+    thesaurus = Thesaurus.from_rings(ring_list)
+    expansion = expand_term(thesaurus, term, transitive=True)
+    assert expansion[0] == term
+    assert len(expansion) == len(set(expansion))
+
+
+@settings(max_examples=100)
+@given(rings)
+def test_synonymy_is_symmetric(ring_list):
+    thesaurus = Thesaurus.from_rings(ring_list)
+    for ring in ring_list:
+        for left in ring:
+            for right in ring:
+                if left.lower() == right.lower():
+                    continue
+                assert (right.lower() in thesaurus.synonyms(left)) == (
+                    left.lower() in thesaurus.synonyms(right)
+                )

@@ -1,0 +1,179 @@
+"""Unit tests for query execution: enumeration and aggregation modes."""
+
+import pytest
+
+from repro.datamodel.errors import QueryPlanError
+from repro.datasets.figure1 import FIGURE1_OIDS as O
+from repro.query.executor import QueryProcessor, run_query
+
+
+@pytest.fixture(scope="module")
+def qp(request):
+    return QueryProcessor(request.getfixturevalue("figure1_store"))
+
+
+class TestEnumeration:
+    def test_select_all_on_path(self, qp):
+        result = qp.execute("select $o from bibliography/institute/article $o")
+        assert result.column("$o") == [O["article1"], O["article2"]]
+
+    def test_tag_and_path_items(self, qp):
+        result = qp.execute(
+            "select tag($o), path($o) from bibliography/institute/article $o"
+        )
+        assert result.rows[0] == ("article", "bibliography/institute/article")
+
+    def test_text_item(self, qp):
+        result = qp.execute(
+            "select text($o) from bibliography/institute/article/year $o"
+        )
+        assert result.column("text($o)") == ["1999", "1999"]
+
+    def test_contains_closure_semantics(self, qp):
+        """$o ranges over all nodes whose offspring contains the term."""
+        result = qp.execute(
+            "select tag($o) from bibliography/# $o where $o contains 'Bit'"
+        )
+        # every node on the root path of the witness, the materialized
+        # cdata node included (it is a node of the syntax tree)
+        assert sorted(result.column("tag($o)")) == [
+            "article",
+            "author",
+            "bibliography",
+            "cdata",
+            "institute",
+            "lastname",
+        ]
+
+    def test_cross_product_semantics(self, qp):
+        result = qp.execute(
+            "select tag($a), tag($b) from bibliography/institute/article $a, "
+            "bibliography/institute/article $b"
+        )
+        assert len(result) == 4  # 2 × 2 — the redundancy the paper shows
+
+    def test_distinct(self, qp):
+        result = qp.execute(
+            "select distinct tag($o) from bibliography/institute/article/%T $o"
+        )
+        assert sorted(result.column("tag($o)")) == ["author", "title", "year"]
+
+    def test_path_variable_binding_cell(self, qp):
+        result = qp.execute(
+            "select %T from bibliography/institute/article/%T $o "
+            "where $o contains '1999'"
+        )
+        assert result.column("%T") == ["year", "year"]
+
+    def test_equals_condition(self, qp):
+        result = qp.execute(
+            "select tag($o) from bibliography/#/%L $o where $o = 'BB99'"
+        )
+        assert result.column("tag($o)") == ["article"]
+
+    def test_max_rows_guard(self, figure1_store):
+        limited = QueryProcessor(figure1_store, max_rows=2)
+        with pytest.raises(QueryPlanError):
+            limited.execute(
+                "select tag($a), tag($b) from bibliography/# $a, bibliography/# $b"
+            )
+
+    def test_no_conditions_no_select_vars(self, qp):
+        result = qp.execute("select %T from bibliography/%T $o")
+        assert result.column("%T") == ["institute"]
+
+
+class TestAggregation:
+    def test_paper_meet_query(self, qp):
+        result = qp.execute(
+            """
+            select meet($o1, $o2)
+            from   bibliography/#/%T1 $o1, bibliography/#/%T2 $o2
+            where  $o1 contains 'Bit' and $o2 contains '1999'
+            """
+        )
+        assert result.rows == [(O["article1"],)]
+
+    def test_meet_minimal_witnesses(self, qp):
+        """The closure ancestors never pollute the meet inputs."""
+        result = qp.execute(
+            "select meet($a, $b) from # $a, # $b "
+            "where $a contains 'Ben' and $b contains 'Bit'"
+        )
+        assert result.rows == [(O["author1"],)]
+
+    def test_meet_exclude_root(self, qp):
+        result = qp.execute(
+            "select meet($a, $b) exclude root from # $a, # $b "
+            "where $a contains 'How' and $b contains 'RSI'"
+        )
+        # meet is the institute (not the root) so it survives
+        assert result.rows == [(O["institute"],)]
+        result2 = qp.execute(
+            "select meet($a, $b) exclude bibliography/institute from # $a, # $b "
+            "where $a contains 'How' and $b contains 'RSI'"
+        )
+        assert result2.rows == []
+
+    def test_meet_within(self, qp):
+        tight = qp.execute(
+            "select meet($a, $b) within 4 from # $a, # $b "
+            "where $a contains 'Bit' and $b contains '1999'"
+        )
+        assert tight.rows == []
+        loose = qp.execute(
+            "select meet($a, $b) within 5 from # $a, # $b "
+            "where $a contains 'Bit' and $b contains '1999'"
+        )
+        assert loose.rows == [(O["article1"],)]
+
+    def test_distance_aggregate(self, qp):
+        result = qp.execute(
+            "select distance($a, $b) from # $a, # $b "
+            "where $a contains 'Ben' and $b contains 'Bit'"
+        )
+        assert result.rows == [(4,)]
+
+    def test_distance_requires_single_witnesses(self, qp):
+        with pytest.raises(QueryPlanError):
+            qp.execute(
+                "select distance($a, $b) from # $a, # $b "
+                "where $a contains 'Ben' and $b contains '1999'"
+            )
+
+    def test_pattern_scopes_meet_inputs(self, qp):
+        """Restricting a variable's pattern restricts its witnesses."""
+        result = qp.execute(
+            "select meet($a, $b) from bibliography/#/title/# $a, # $b "
+            "where $a contains '1999' and $b contains 'Bit'"
+        )
+        # '1999' only as a year — no title witness → no meets
+        assert result.rows == []
+
+
+class TestResultTable:
+    def test_render_answer(self, qp, figure1_store):
+        result = qp.execute(
+            "select meet($a,$b) from # $a, # $b "
+            "where $a contains 'Bit' and $b contains '1999'"
+        )
+        text = result.render_answer(figure1_store)
+        assert "<answer>" in text and "article" in text and "</answer>" in text
+
+    def test_column_accessor_unknown(self, qp):
+        result = qp.execute("select $o from bibliography $o")
+        with pytest.raises(ValueError):
+            result.column("$missing")
+
+    def test_len_and_iter(self, qp):
+        result = qp.execute("select $o from bibliography/institute/article $o")
+        assert len(result) == 2
+        assert list(result) == result.rows
+
+    def test_run_query_convenience(self, figure1_store):
+        result = run_query(figure1_store, "select $o from bibliography $o")
+        assert result.rows == [(O["bibliography"],)]
+
+    def test_explain_via_processor(self, qp):
+        text = qp.explain("select $o from bibliography/# $o")
+        assert "plan over" in text

@@ -1,0 +1,80 @@
+"""Unit tests for the query tokenizer."""
+
+import pytest
+
+from repro.datamodel.errors import QuerySyntaxError
+from repro.query.lexer import TokenKind, tokenize_query
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize_query(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenKind.KEYWORD, "select")
+        ] * 3
+
+    def test_identifier(self):
+        assert kinds("bibliography") == [(TokenKind.IDENT, "bibliography")]
+
+    def test_node_variable(self):
+        assert kinds("$o1") == [(TokenKind.NODEVAR, "o1")]
+
+    def test_path_variable(self):
+        assert kinds("%T2") == [(TokenKind.PATHVAR, "T2")]
+
+    def test_string_literals_both_quotes(self):
+        assert kinds("'Bit' \"1999\"") == [
+            (TokenKind.STRING, "Bit"),
+            (TokenKind.STRING, "1999"),
+        ]
+
+    def test_integer(self):
+        assert kinds("42") == [(TokenKind.INT, "42")]
+
+    def test_symbols(self):
+        assert [k for k, _ in kinds("( ) , / @ # = *")] == [
+            TokenKind.SYMBOL
+        ] * 8
+
+    def test_full_query_token_stream(self):
+        tokens = tokenize_query(
+            "select meet($a,$b) from bib/#/%T $a where $a contains 'x'"
+        )
+        assert tokens[-1].kind == TokenKind.EOF
+        values = [t.value for t in tokens[:-1]]
+        assert values == [
+            "select", "meet", "(", "a", ",", "b", ")", "from", "bib",
+            "/", "#", "/", "T", "a", "where", "a", "contains", "x",
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("select -- a comment\nfrom") == [
+            (TokenKind.KEYWORD, "select"),
+            (TokenKind.KEYWORD, "from"),
+        ]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query("select 'oops")
+
+    def test_empty_node_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query("select $ from x $a")
+
+    def test_empty_path_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query("select % from x $a")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query("select ^")
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as info:
+            tokenize_query("select ^")
+        assert info.value.position == 7

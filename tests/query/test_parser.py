@@ -1,0 +1,167 @@
+"""Unit tests for the query parser."""
+
+import pytest
+
+from repro.datamodel.errors import QuerySyntaxError
+from repro.query.ast import (
+    ContainsCondition,
+    DistanceItem,
+    EqualsCondition,
+    MeetItem,
+    PathVarItem,
+    TagItem,
+    VarItem,
+)
+from repro.query.parser import parse_query
+
+
+class TestSelectItems:
+    def test_select_node_variable(self):
+        query = parse_query("select $o from bib $o")
+        assert query.select == [VarItem("o")]
+
+    def test_select_tag(self):
+        query = parse_query("select tag($o) from bib $o")
+        assert query.select == [TagItem("o")]
+
+    def test_select_path_variable(self):
+        query = parse_query("select %T from bib/%T $o")
+        assert query.select == [PathVarItem("T")]
+
+    def test_select_multiple_items(self):
+        query = parse_query("select tag($o), $o, path($o) from bib $o")
+        assert len(query.select) == 3
+
+    def test_select_distinct(self):
+        assert parse_query("select distinct $o from bib $o").distinct
+        assert not parse_query("select $o from bib $o").distinct
+
+    def test_select_meet(self):
+        query = parse_query("select meet($a, $b) from x $a, y $b")
+        (item,) = query.select
+        assert isinstance(item, MeetItem)
+        assert item.variables == ("a", "b")
+        assert item.within is None and not item.exclude_root
+
+    def test_meet_with_within(self):
+        query = parse_query("select meet($a,$b) within 6 from x $a, y $b")
+        assert query.select[0].within == 6
+
+    def test_meet_exclude_root(self):
+        query = parse_query("select meet($a,$b) exclude root from x $a, y $b")
+        assert query.select[0].exclude_root
+
+    def test_meet_exclude_paths(self):
+        query = parse_query(
+            "select meet($a,$b) exclude bib, bib/inst from x $a, y $b"
+        )
+        assert query.select[0].exclude_paths == ("bib", "bib/inst")
+
+    def test_meet_needs_two_vars(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select meet($a) from x $a")
+
+    def test_select_distance(self):
+        query = parse_query("select distance($a,$b) from x $a, y $b")
+        assert query.select == [DistanceItem("a", "b")]
+
+
+class TestFromClause:
+    def test_single_binding(self):
+        query = parse_query("select $o from bibliography/institute $o")
+        assert str(query.bindings[0].pattern) == "bibliography/institute"
+        assert query.bindings[0].variable == "o"
+
+    def test_wildcards_in_pattern(self):
+        query = parse_query("select $o from bib/#/%T/*@key $o")
+        assert str(query.bindings[0].pattern) == "bib/#/%T/*@key"
+
+    def test_multiple_bindings(self):
+        query = parse_query("select $a from x $a, y/z $b")
+        assert [b.variable for b in query.bindings] == ["a", "b"]
+
+    def test_keyword_as_tag_name(self):
+        # 'text' is a keyword but also a plausible tag name.
+        query = parse_query("select $o from bib/text $o")
+        assert str(query.bindings[0].pattern) == "bib/text"
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select $a from x $a, y $a")
+
+
+class TestWhereClause:
+    def test_contains(self):
+        query = parse_query("select $o from x $o where $o contains 'Bit'")
+        assert query.conditions == [ContainsCondition("o", "Bit")]
+
+    def test_equals(self):
+        query = parse_query("select $o from x $o where $o = '1999'")
+        assert query.conditions == [EqualsCondition("o", "1999")]
+
+    def test_equals_integer_literal(self):
+        query = parse_query("select $o from x $o where $o = 1999")
+        assert query.conditions == [EqualsCondition("o", "1999")]
+
+    def test_and_chains(self):
+        query = parse_query(
+            "select $o from x $o where $o contains 'a' and $o contains 'b'"
+        )
+        assert len(query.conditions) == 2
+
+    def test_conditions_for(self):
+        query = parse_query(
+            "select $a from x $a, y $b where $a contains 'p' and $b contains 'q'"
+        )
+        assert query.conditions_for("a") == [ContainsCondition("a", "p")]
+
+
+class TestReferenceChecking:
+    def test_unbound_select_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select $nope from x $a")
+
+    def test_unbound_condition_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select $a from x $a where $b contains 'x'")
+
+    def test_unbound_path_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select %T from x $a")
+
+    def test_unbound_meet_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select meet($a,$b) from x $a")
+
+
+class TestSyntaxErrors:
+    def test_missing_from(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select $a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select $a from x $a extra")
+
+    def test_bad_condition(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select $a from x $a where $a near 'x'")
+
+    def test_within_requires_integer(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select meet($a,$b) within 'x' from p $a, q $b")
+
+    def test_paper_query_parses(self):
+        """The §3.2 query, verbatim modulo concrete syntax."""
+        query = parse_query(
+            """
+            select meet($o1, $o2)
+            from   bibliography/#/%T1 $o1,
+                   bibliography/#/%T2 $o2
+            where  $o1 contains 'Bit'
+            and    $o2 contains '1999'
+            """
+        )
+        assert isinstance(query.select[0], MeetItem)
+        assert len(query.bindings) == 2
+        assert len(query.conditions) == 2

@@ -1,0 +1,129 @@
+"""Unit tests for path patterns: wildcards and variables."""
+
+import pytest
+
+from repro.datamodel.paths import Path
+from repro.query.pathexpr import (
+    AnyStep,
+    AttributeStep,
+    LiteralStep,
+    PathPattern,
+    SequenceWildcard,
+    VariableStep,
+)
+
+
+def pattern(*steps):
+    return PathPattern(list(steps))
+
+
+class TestMatching:
+    def test_literal_match(self):
+        p = pattern(LiteralStep("a"), LiteralStep("b"))
+        assert p.match(Path.of("a", "b")) == {}
+        assert p.match(Path.of("a")) is None
+        assert p.match(Path.of("a", "b", "c")) is None
+
+    def test_variable_binds_tag(self):
+        p = pattern(LiteralStep("bib"), VariableStep("T"))
+        assert p.match(Path.of("bib", "article")) == {"T": "article"}
+
+    def test_repeated_variable_must_agree(self):
+        p = pattern(VariableStep("T"), VariableStep("T"))
+        assert p.match(Path.of("a", "a")) == {"T": "a"}
+        assert p.match(Path.of("a", "b")) is None
+
+    def test_any_step(self):
+        p = pattern(AnyStep(), LiteralStep("b"))
+        assert p.match(Path.of("x", "b")) == {}
+        assert p.match(Path.of("b")) is None
+
+    def test_sequence_wildcard_zero_or_more(self):
+        p = pattern(LiteralStep("a"), SequenceWildcard(), LiteralStep("z"))
+        assert p.match(Path.of("a", "z")) == {}
+        assert p.match(Path.of("a", "m", "z")) == {}
+        assert p.match(Path.of("a", "m", "n", "z")) == {}
+        assert p.match(Path.of("a", "z", "q")) is None
+
+    def test_leading_wildcard(self):
+        p = pattern(SequenceWildcard(), LiteralStep("year"))
+        assert p.match(Path.of("bib", "article", "year")) == {}
+        assert p.match(Path.of("year")) == {}
+
+    def test_wildcard_then_variable(self):
+        p = pattern(LiteralStep("bib"), SequenceWildcard(), VariableStep("T"))
+        assert p.match(Path.of("bib", "article", "year")) == {"T": "year"}
+        # shortest-first: the wildcard absorbs zero steps when possible
+        assert p.match(Path.of("bib", "x")) == {"T": "x"}
+
+    def test_attribute_step(self):
+        p = pattern(
+            LiteralStep("bib"), LiteralStep("article"), AttributeStep("key")
+        )
+        path = Path.parse("bib/article@key")
+        assert p.match(path) == {}
+        assert p.match(Path.of("bib", "article")) is None
+
+    def test_wildcard_does_not_cross_attribute(self):
+        """'#' stands for a sequence of element tags only."""
+        p = pattern(LiteralStep("bib"), SequenceWildcard())
+        assert p.match(Path.parse("bib/article")) == {}
+        assert p.match(Path.parse("bib/article@key")) is None
+
+    def test_element_steps_do_not_match_attributes(self):
+        p = pattern(LiteralStep("bib"), LiteralStep("key"))
+        assert p.match(Path.parse("bib@key")) is None
+        assert pattern(LiteralStep("bib"), AnyStep()).match(
+            Path.parse("bib@key")
+        ) is None
+
+    def test_empty_pattern_matches_empty_path(self):
+        assert pattern().match(Path()) == {}
+        assert pattern().match(Path.of("a")) is None
+
+
+class TestMatchingPids:
+    def test_against_figure1_summary(self, figure1_store):
+        p = pattern(
+            LiteralStep("bibliography"),
+            SequenceWildcard(),
+            LiteralStep("year"),
+        )
+        matches = p.matching_pids(figure1_store.summary)
+        assert len(matches) == 1
+        (pid, bindings) = matches[0]
+        assert str(figure1_store.summary.path(pid)) == (
+            "bibliography/institute/article/year"
+        )
+
+    def test_variable_bindings_per_pid(self, figure1_store):
+        p = pattern(
+            LiteralStep("bibliography"),
+            LiteralStep("institute"),
+            VariableStep("T"),
+        )
+        matches = p.matching_pids(figure1_store.summary)
+        assert [b["T"] for _, b in matches] == ["article"]
+
+
+class TestStructure:
+    def test_attribute_must_be_last(self):
+        with pytest.raises(ValueError):
+            pattern(AttributeStep("key"), LiteralStep("x"))
+
+    def test_str_round_trip_shape(self):
+        p = pattern(
+            LiteralStep("bib"),
+            SequenceWildcard(),
+            VariableStep("T"),
+            AttributeStep("key"),
+        )
+        assert str(p) == "bib/#/%T@key"
+
+    def test_variables_in_order(self):
+        p = pattern(VariableStep("B"), VariableStep("A"), VariableStep("B"))
+        assert p.variables == ["B", "A"]
+
+    def test_equality_and_hash(self):
+        assert pattern(LiteralStep("a")) == pattern(LiteralStep("a"))
+        assert hash(pattern(LiteralStep("a"))) == hash(pattern(LiteralStep("a")))

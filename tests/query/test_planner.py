@@ -1,0 +1,77 @@
+"""Unit tests for the query planner."""
+
+import pytest
+
+from repro.datamodel.errors import QueryPlanError
+from repro.query.parser import parse_query
+from repro.query.planner import plan_query
+
+
+class TestPatternResolution:
+    def test_literal_pattern_single_pid(self, figure1_store):
+        plan = plan_query(
+            parse_query("select $o from bibliography/institute $o"),
+            figure1_store,
+        )
+        assert len(plan.variables["o"].matches) == 1
+
+    def test_wildcard_fanout(self, figure1_store):
+        plan = plan_query(
+            parse_query("select $o from bibliography/# $o"), figure1_store
+        )
+        # every element path under the root, root included (zero steps)
+        element_paths = len(figure1_store.summary.element_pids())
+        assert len(plan.variables["o"].matches) == element_paths
+
+    def test_path_variable_bindings_recorded(self, figure1_store):
+        plan = plan_query(
+            parse_query("select %T from bibliography/institute/%T $o"),
+            figure1_store,
+        )
+        matches = plan.variables["o"].matches
+        assert [b["T"] for _, b in matches] == ["article"]
+        assert plan.path_variable_owner == {"T": "o"}
+
+    def test_no_match_is_empty_not_error(self, figure1_store):
+        plan = plan_query(
+            parse_query("select $o from zebra/# $o"), figure1_store
+        )
+        assert plan.variables["o"].matches == []
+
+
+class TestAggregateDetection:
+    def test_meet_is_aggregate(self, figure1_store):
+        plan = plan_query(
+            parse_query("select meet($a,$b) from x $a, y $b"), figure1_store
+        )
+        assert plan.aggregate
+
+    def test_rowwise_is_not(self, figure1_store):
+        plan = plan_query(
+            parse_query("select tag($a) from x $a"), figure1_store
+        )
+        assert not plan.aggregate
+
+    def test_mixed_select_rejected(self, figure1_store):
+        with pytest.raises(QueryPlanError):
+            plan_query(
+                parse_query("select meet($a,$b), tag($a) from x $a, y $b"),
+                figure1_store,
+            )
+
+
+class TestExplain:
+    def test_explain_mentions_patterns_and_mode(self, figure1_store):
+        plan = plan_query(
+            parse_query("select meet($a,$b) from bibliography/# $a, # $b"),
+            figure1_store,
+        )
+        text = plan.explain()
+        assert "$a := bibliography/#" in text
+        assert "aggregate (meet)" in text
+
+    def test_explain_truncates_long_fanouts(self, figure1_store):
+        plan = plan_query(
+            parse_query("select $o from # $o"), figure1_store
+        )
+        assert "more" in plan.explain()
