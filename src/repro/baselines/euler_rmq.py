@@ -1,111 +1,21 @@
 """Euler-tour + sparse-table RMQ LCA (the classic offline-preprocessing
 answer to the LCA problem the paper cites as refs. [4, 5]).
 
-After O(n log n) preprocessing every LCA query is O(1).  The paper's
-meet₂ deliberately does *not* use such an index — its per-query cost
-is proportional to the distance, which doubles as the ranking measure,
-and no preprocessing beyond the Monet transform is needed.  This
-implementation exists as the indexed baseline in the ablation bench
-and as another independent oracle for correctness tests.
+Historically this lived here as a baseline-only oracle.  It has been
+promoted to :mod:`repro.core.lca_index` — where it powers the
+``indexed`` meet backend (:class:`repro.core.backends.IndexedBackend`)
+with O(1) LCA *and* O(1) depth-based distance — and this module keeps
+the original name as a thin alias so the ablation benches and oracle
+tests keep reading as "the indexed baseline the paper chose not to
+need".
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-from ..datamodel.errors import UnknownOIDError
-from ..monet.engine import MonetXML
+from ..core.lca_index import LcaIndex
 
 __all__ = ["EulerTourLCA"]
 
 
-class EulerTourLCA:
-    """O(1)-query LCA over one store via Euler tour and sparse table."""
-
-    def __init__(self, store: MonetXML):
-        self.store = store
-        self._tour: List[int] = []          # node OID per Euler step
-        self._tour_depth: List[int] = []    # depth per Euler step
-        self._first: Dict[int, int] = {}    # OID → first tour position
-        self._build_tour()
-        self._build_sparse_table()
-
-    # -- preprocessing ----------------------------------------------------
-    def _build_tour(self) -> None:
-        store = self.store
-        root = store.root_oid
-        # Iterative Euler tour: (oid, depth, child cursor) frames.
-        stack: List[List[int]] = [[root, 1, 0]]
-        children_cache: Dict[int, List[int]] = {}
-        while stack:
-            frame = stack[-1]
-            oid, depth, cursor = frame
-            if cursor == 0:
-                self._first.setdefault(oid, len(self._tour))
-            self._tour.append(oid)
-            self._tour_depth.append(depth)
-            children = children_cache.get(oid)
-            if children is None:
-                children = store.children_of(oid)
-                children_cache[oid] = children
-            if cursor < len(children):
-                frame[2] += 1
-                stack.append([children[cursor], depth + 1, 0])
-            else:
-                stack.pop()
-                # Returning to the parent re-appends it (next iteration
-                # of the loop via its frame's cursor handling).
-        # The loop appends the parent again naturally on each return,
-        # because the parent frame re-enters the while body.
-
-    def _build_sparse_table(self) -> None:
-        depths = self._tour_depth
-        length = len(depths)
-        log = [0] * (length + 1)
-        for i in range(2, length + 1):
-            log[i] = log[i // 2] + 1
-        self._log = log
-        # table[k][i] = position of min depth in tour[i : i + 2**k]
-        table: List[List[int]] = [list(range(length))]
-        k = 1
-        while (1 << k) <= length:
-            previous = table[k - 1]
-            span = 1 << (k - 1)
-            row = [0] * (length - (1 << k) + 1)
-            for i in range(len(row)):
-                left = previous[i]
-                right = previous[i + span]
-                row[i] = left if depths[left] <= depths[right] else right
-            table.append(row)
-            k += 1
-        self._table = table
-
-    # -- queries -------------------------------------------------------
-    def lca(self, oid1: int, oid2: int) -> int:
-        """The lowest common ancestor, in O(1) after preprocessing."""
-        try:
-            first1 = self._first[oid1]
-            first2 = self._first[oid2]
-        except KeyError as exc:
-            raise UnknownOIDError(int(str(exc.args[0]))) from None
-        low, high = min(first1, first2), max(first1, first2)
-        k = self._log[high - low + 1]
-        left = self._table[k][low]
-        right = self._table[k][high - (1 << k) + 1]
-        position = (
-            left if self._tour_depth[left] <= self._tour_depth[right] else right
-        )
-        return self._tour[position]
-
-    def distance(self, oid1: int, oid2: int) -> int:
-        """Tree distance via depths and the O(1) LCA."""
-        meet = self.lca(oid1, oid2)
-        return (
-            self.store.depth_of(oid1)
-            + self.store.depth_of(oid2)
-            - 2 * self.store.depth_of(meet)
-        )
-
-    @property
-    def tour_length(self) -> int:
-        return len(self._tour)
+class EulerTourLCA(LcaIndex):
+    """Back-compat name for :class:`repro.core.lca_index.LcaIndex`."""

@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
 
     repro describe  doc.xml
     repro search    doc.xml Bit 1999 --exclude-root --limit 5
+    repro search    doc.xml Bit 1999 --backend indexed
     repro query     doc.xml "select meet($a,$b) from # $a, # $b \\
                              where $a contains 'Bit' and $b contains '1999'"
     repro shred     doc.xml store.json      # persist the Monet image
@@ -12,6 +13,10 @@ Usage (also via ``python -m repro``)::
 
 Inputs ending in ``.json`` are treated as persisted Monet images;
 anything else is parsed as XML.
+
+``--backend`` picks the meet execution strategy (``steered`` — the
+paper's per-query parent walks, the default — or ``indexed`` — the
+precomputed Euler-RMQ LCA index; see :mod:`repro.core.backends`).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import sys
 from pathlib import Path as FsPath
 from typing import Optional, Sequence
 
+from .core.backends import BACKEND_NAMES
 from .core.engine import NearestConceptEngine
 from .datamodel.errors import ReproError
 from .datamodel.parser import parse_document
@@ -72,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--limit", type=int, default=10)
     search.add_argument("--case-sensitive", action="store_true")
     search.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="steered",
+        help="meet execution strategy (default: steered)",
+    )
+    search.add_argument(
         "--xml", action="store_true", help="print each result subtree as XML"
     )
 
@@ -80,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("text", help="the query string")
     query.add_argument("--explain", action="store_true")
     query.add_argument("--case-sensitive", action="store_true")
+    query.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="steered",
+        help="meet execution strategy (default: steered)",
+    )
 
     shred = sub.add_parser(
         "shred", help="Monet-transform an XML file and save the JSON image"
@@ -105,7 +123,9 @@ def _command_search(args) -> int:
         print("search needs at least two terms", file=sys.stderr)
         return 2
     store = _load_store(args.source)
-    engine = NearestConceptEngine(store, case_sensitive=args.case_sensitive)
+    engine = NearestConceptEngine(
+        store, case_sensitive=args.case_sensitive, backend=args.backend
+    )
     concepts = engine.nearest_concepts(
         *args.terms,
         exclude_root=args.exclude_root,
@@ -135,6 +155,7 @@ def _command_query(args) -> int:
     processor = QueryProcessor(
         store,
         search=SearchEngine(store, case_sensitive=args.case_sensitive),
+        backend=args.backend,
     )
     if args.explain:
         print(processor.explain(args.text))

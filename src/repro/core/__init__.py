@@ -7,9 +7,21 @@
 * :mod:`~repro.core.distance` / :mod:`~repro.core.ranking` — §4
   distance measure and ranking heuristics.
 * :class:`NearestConceptEngine` — the end-to-end query pipeline.
+* :mod:`~repro.core.backends` — pluggable meet execution:
+  :class:`SteeredBackend` (the paper's walks) vs
+  :class:`IndexedBackend` (precomputed Euler-RMQ
+  :class:`~repro.core.lca_index.LcaIndex`).
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    IndexedBackend,
+    MeetBackend,
+    SteeredBackend,
+    resolve_backend,
+)
 from .crossdoc import CrossMatch, distinctive_terms, find_elsewhere
+from .lca_index import LcaIndex, get_lca_index
 from .distance import (
     MeetContext,
     contexts,
@@ -46,8 +58,13 @@ from .restrictions import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "CrossMatch",
     "GeneralMeet",
+    "IndexedBackend",
+    "LcaIndex",
+    "MeetBackend",
+    "SteeredBackend",
     "GraphMeet",
     "IRRanker",
     "IRWeights",
@@ -73,7 +90,9 @@ __all__ = [
     "graph_shortest_path",
     "keyword_search",
     "document_distance",
+    "get_lca_index",
     "group_by_pid",
+    "resolve_backend",
     "join_count",
     "meet2",
     "meet2_traced",

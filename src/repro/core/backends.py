@@ -1,0 +1,333 @@
+"""Pluggable meet backends — the engine's structural-query seam.
+
+Every operator of the paper reduces to "find the lowest common
+ancestor(s) of some hit nodes, plus distances".  This module makes
+*how* that happens a pluggable choice:
+
+* :class:`SteeredBackend` — the paper, verbatim: per-query
+  ``parent()`` walks steered by the ⪯ prefix order on π (Fig. 3), the
+  set-wise relational loop (Fig. 4) and the schema-driven bottom-up
+  roll-up (Fig. 5).  Zero preprocessing; the join count *is* the
+  distance, so traces stay meaningful.  This is the default and the
+  reference semantics.
+
+* :class:`IndexedBackend` — a per-store Euler-tour + sparse-table
+  index (:mod:`repro.core.lca_index`) built once and cached, giving
+  O(1) pairwise meets and distances.  Set-wise and n-ary meets run the
+  *same bottom-up roll-up contract* as Figs. 4/5, but over the
+  **auxiliary (virtual) tree** spanned by the hit nodes and the LCAs
+  of Euler-order neighbours — O(m log m) in the number of hits m,
+  independent of tree depth and of the path-summary size.  Answer
+  sets are provably identical to the steered operators (the auxiliary
+  tree is exactly the subgraph where input chains can converge); only
+  the emission *order* differs, and every consumer re-ranks.
+
+Choosing: for one ad-hoc query the steered walk wins — no index
+build, and you get the paper's join-count trace for free.  For query
+*volumes* (servers, benchmarks, ranking thousands of hit pairs) the
+indexed backend amortizes one O(n log n) build into O(1) queries; see
+``benchmarks/bench_backends.py`` for the crossover.
+
+The seam is threaded everywhere structural queries happen: the module
+functions (``meet2``, ``meet_sets``, ``meet_general``, ``graph_meet``,
+``bounded_meet2``, ``distance``) accept ``backend=``, the
+:class:`~repro.core.engine.NearestConceptEngine` takes
+``backend="steered"|"indexed"`` and exposes the batched
+``meet_many`` / ``nearest_concepts_batch`` APIs, and the CLI exposes
+``--backend``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from ..monet.engine import MonetXML
+from .lca_index import LcaIndex, get_lca_index
+from .meet_general import (
+    GeneralMeet,
+    TaggedMeet,
+    Token,
+    _as_oid_tokens,
+    meet_general,
+    meet_tagged,
+)
+from .meet_pair import PairMeet, meet2_traced
+from .meet_sets import SetMeet, _common_pid, meet_sets
+
+__all__ = [
+    "MeetBackend",
+    "SteeredBackend",
+    "IndexedBackend",
+    "BACKEND_NAMES",
+    "BackendSpec",
+    "resolve_backend",
+]
+
+#: CLI / engine spellings of the built-in backends.
+BACKEND_NAMES: Tuple[str, ...] = ("steered", "indexed")
+
+BackendSpec = Union[str, "MeetBackend", None]
+
+
+@runtime_checkable
+class MeetBackend(Protocol):
+    """What a meet implementation must provide to plug into the engine.
+
+    Implementations must agree on answer *sets* (meet OIDs, origin
+    coverage, distances); they may differ in emission order and in
+    which execution traces they can produce.
+    """
+
+    name: str
+    store: MonetXML
+
+    def meet(self, oid1: int, oid2: int) -> PairMeet:
+        """Pairwise meet with distance (Fig. 3 / Def. 6)."""
+        ...
+
+    def meet_within(self, oid1: int, oid2: int, k: int) -> Optional[PairMeet]:
+        """The §4 k-meet: ``None`` when d(o₁,o₂) > k."""
+        ...
+
+    def meet_many(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[PairMeet]:
+        """Batched pairwise meets — the ranking hot path."""
+        ...
+
+    def distance(self, oid1: int, oid2: int) -> int:
+        """Tree distance d(o₁,o₂) in edges."""
+        ...
+
+    def meet_sets(
+        self, left: Iterable[int], right: Iterable[int]
+    ) -> List[SetMeet]:
+        """Set-wise minimal meets of two homogeneous sets (Fig. 4)."""
+        ...
+
+    def meet_general(
+        self, relations: Mapping[Hashable, Iterable[int]]
+    ) -> List[GeneralMeet]:
+        """General n-ary meet over typed relations (Fig. 5)."""
+        ...
+
+    def meet_tagged(
+        self, tagged: Iterable[Tuple[Token, int]]
+    ) -> List[TaggedMeet]:
+        """Roll-up over (token, OID) pairs; meets cover ≥ 2 tokens."""
+        ...
+
+
+class SteeredBackend:
+    """The paper's path-steered walks — no preprocessing, traceable.
+
+    Join counts reported by :class:`~repro.core.meet_pair.PairMeet`
+    come from the actual Fig. 3 walk, so the paper's "number of joins
+    = distance = ranking signal" reading holds literally.
+    """
+
+    name = "steered"
+
+    def __init__(self, store: MonetXML):
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SteeredBackend {self.store!r}>"
+
+    def meet(self, oid1: int, oid2: int) -> PairMeet:
+        return meet2_traced(self.store, oid1, oid2)
+
+    def meet_within(self, oid1: int, oid2: int, k: int) -> Optional[PairMeet]:
+        from .restrictions import bounded_meet2
+
+        return bounded_meet2(self.store, oid1, oid2, k)
+
+    def meet_many(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[PairMeet]:
+        store = self.store
+        return [meet2_traced(store, oid1, oid2) for oid1, oid2 in pairs]
+
+    def distance(self, oid1: int, oid2: int) -> int:
+        return meet2_traced(self.store, oid1, oid2).joins
+
+    def meet_sets(
+        self, left: Iterable[int], right: Iterable[int]
+    ) -> List[SetMeet]:
+        return meet_sets(self.store, left, right)
+
+    def meet_general(
+        self, relations: Mapping[Hashable, Iterable[int]]
+    ) -> List[GeneralMeet]:
+        return meet_general(self.store, relations)
+
+    def meet_tagged(
+        self, tagged: Iterable[Tuple[Token, int]]
+    ) -> List[TaggedMeet]:
+        return meet_tagged(self.store, tagged)
+
+
+class IndexedBackend:
+    """Euler-RMQ-indexed meets: O(1) pairs, auxiliary-tree roll-ups.
+
+    The underlying :class:`~repro.core.lca_index.LcaIndex` is fetched
+    through the generation-keyed cache on every operation, so a store
+    that was invalidated (:meth:`MonetXML.invalidate_caches`) or
+    rebuilt transparently gets a fresh index.
+    """
+
+    name = "indexed"
+
+    def __init__(self, store: MonetXML):
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IndexedBackend {self.store!r}>"
+
+    @property
+    def index(self) -> LcaIndex:
+        return get_lca_index(self.store)
+
+    # -- pairwise --------------------------------------------------------
+    # Equal OIDs short-circuit before any index look-up, mirroring the
+    # steered walks (which answer o == o without touching the store).
+    def meet(self, oid1: int, oid2: int) -> PairMeet:
+        if oid1 == oid2:
+            return PairMeet(oid1, 0)
+        meet, distance = self.index.lca_with_distance(oid1, oid2)
+        return PairMeet(meet, distance)
+
+    def meet_within(self, oid1: int, oid2: int, k: int) -> Optional[PairMeet]:
+        if k < 0:
+            return None
+        if oid1 == oid2:
+            return PairMeet(oid1, 0)
+        meet, distance = self.index.lca_with_distance(oid1, oid2)
+        if distance > k:
+            return None
+        return PairMeet(meet, distance)
+
+    def meet_many(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[PairMeet]:
+        lca_with_distance = self.index.lca_with_distance
+        return [
+            PairMeet(oid1, 0)
+            if oid1 == oid2
+            else PairMeet(*lca_with_distance(oid1, oid2))
+            for oid1, oid2 in pairs
+        ]
+
+    def distance(self, oid1: int, oid2: int) -> int:
+        return self.index.distance(oid1, oid2)
+
+    # -- auxiliary-tree roll-up ------------------------------------------
+    def meet_tagged(
+        self, tagged: Iterable[Tuple[Token, int]]
+    ) -> List[TaggedMeet]:
+        by_oid: Dict[int, Set[Tuple[Token, int]]] = {}
+        for token, oid in tagged:
+            by_oid.setdefault(oid, set()).add((token, oid))
+        if not by_oid:
+            return []
+        order, parent = self.index.auxiliary_tree(by_oid)
+        # Reverse pre-order visits every auxiliary node after all of
+        # its auxiliary descendants — the roll-up order of Fig. 5.
+        accumulated: Dict[int, Set[Tuple[Token, int]]] = {
+            oid: set(tokens) for oid, tokens in by_oid.items()
+        }
+        meets: List[TaggedMeet] = []
+        for oid in reversed(order):
+            tokens = accumulated.get(oid)
+            if not tokens:
+                continue
+            if len(tokens) >= 2:
+                # Emitted meets do not propagate (minimality, Fig. 5).
+                meets.append(TaggedMeet(oid=oid, tokens=frozenset(tokens)))
+                continue
+            above = parent[oid]
+            if above is not None:
+                accumulated.setdefault(above, set()).update(tokens)
+        return meets
+
+    def meet_general(
+        self, relations: Mapping[Hashable, Iterable[int]]
+    ) -> List[GeneralMeet]:
+        return [
+            GeneralMeet(oid=meet.oid, origins=meet.origins)
+            for meet in self.meet_tagged(_as_oid_tokens(relations))
+        ]
+
+    def meet_sets(
+        self, left: Iterable[int], right: Iterable[int]
+    ) -> List[SetMeet]:
+        left_set, right_set = set(left), set(right)
+        # Same homogeneity contract (and error message) as Fig. 4.
+        _common_pid(self.store, left_set, "left")
+        _common_pid(self.store, right_set, "right")
+        if not left_set or not right_set:
+            return []
+        order, parent = self.index.auxiliary_tree(left_set | right_set)
+        sides: Dict[int, Tuple[Set[int], Set[int]]] = {}
+        for oid in left_set:
+            sides.setdefault(oid, (set(), set()))[0].add(oid)
+        for oid in right_set:
+            sides.setdefault(oid, (set(), set()))[1].add(oid)
+        meets: List[SetMeet] = []
+        for oid in reversed(order):
+            entry = sides.get(oid)
+            if entry is None:
+                continue
+            lefts, rights = entry
+            if lefts and rights:
+                meets.append(
+                    SetMeet(
+                        oid=oid,
+                        left_origins=tuple(sorted(lefts)),
+                        right_origins=tuple(sorted(rights)),
+                    )
+                )
+                continue
+            above = parent[oid]
+            if above is not None and (lefts or rights):
+                target = sides.setdefault(above, (set(), set()))
+                target[0].update(lefts)
+                target[1].update(rights)
+        return meets
+
+
+def resolve_backend(store: MonetXML, spec: BackendSpec = None) -> "MeetBackend":
+    """Normalize a backend spec: name, instance, or ``None`` (steered).
+
+    An instance is returned as-is when it is bound to ``store``;
+    binding it to a different store is almost certainly a bug and
+    raises.
+    """
+    if spec is None:
+        return SteeredBackend(store)
+    if isinstance(spec, str):
+        if spec == "steered":
+            return SteeredBackend(store)
+        if spec == "indexed":
+            return IndexedBackend(store)
+        raise ValueError(
+            f"unknown meet backend {spec!r}; expected one of {BACKEND_NAMES}"
+        )
+    if getattr(spec, "store", None) is not store:
+        raise ValueError(
+            "backend instance is bound to a different store (or has no "
+            "store attribute; MeetBackend implementations must carry one)"
+        )
+    return spec

@@ -23,6 +23,16 @@ the paper's "two false positives".
 
 The engine also exposes the lower-level operators (pairwise, set-wise,
 distance-bounded) under one roof.
+
+Execution is delegated to a pluggable :class:`~repro.core.backends.MeetBackend`:
+``backend="steered"`` (default) runs the paper's path-steered walks
+with their join-count traces; ``backend="indexed"`` answers every meet
+from a per-store Euler-RMQ index (built once, cached on the store's
+generation) — the right choice for query volumes, and what the
+batched entry points (:meth:`NearestConceptEngine.meet_many`,
+:meth:`NearestConceptEngine.nearest_concepts_batch`) are designed
+around.  Both backends return identical answer sets; ranking is
+backend-independent because join counts are recomputed from depths.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
     Union,
@@ -43,10 +54,11 @@ from ..fulltext.index import FullTextIndex, Hits
 from ..fulltext.search import SearchEngine
 from ..monet.engine import MonetXML
 from ..monet.reassembly import object_text, reassemble_subtree
-from .meet_general import GeneralMeet, TaggedMeet, meet_general, meet_tagged
-from .meet_pair import PairMeet, meet2_traced
-from .meet_sets import SetMeet, meet_sets
-from .restrictions import PathLike, bounded_meet2, resolve_pids
+from .backends import BackendSpec, MeetBackend, resolve_backend
+from .meet_general import GeneralMeet, TaggedMeet
+from .meet_pair import PairMeet
+from .meet_sets import SetMeet
+from .restrictions import PathLike, resolve_pids
 
 __all__ = ["NearestConcept", "NearestConceptEngine"]
 
@@ -83,12 +95,18 @@ class NearestConceptEngine:
         case_sensitive: bool = False,
         thesaurus=None,
         broaden_below: int = 1,
+        backend: BackendSpec = None,
     ):
         """``thesaurus`` (a :class:`repro.fulltext.thesaurus.Thesaurus`)
         enables the §4 broadening: terms whose plain search returns
         fewer than ``broaden_below`` hits are expanded with synonyms.
+
+        ``backend`` selects the meet execution strategy: ``"steered"``
+        (default), ``"indexed"``, or a ready
+        :class:`~repro.core.backends.MeetBackend` instance.
         """
         self.store = store
+        self.backend: MeetBackend = resolve_backend(store, backend)
         self.search = SearchEngine(store, index=index, case_sensitive=case_sensitive)
         self.index = self.search.index
         self.thesaurus = thesaurus
@@ -103,23 +121,35 @@ class NearestConceptEngine:
     # -- primitive operators --------------------------------------------
     def meet(self, oid1: int, oid2: int) -> PairMeet:
         """Pairwise meet with distance (Fig. 3)."""
-        return meet2_traced(self.store, oid1, oid2)
+        return self.backend.meet(oid1, oid2)
 
     def meet_within(self, oid1: int, oid2: int, k: int) -> Optional[PairMeet]:
         """Distance-bounded pairwise meet (§4); ``None`` beyond k."""
-        return bounded_meet2(self.store, oid1, oid2, k)
+        return self.backend.meet_within(oid1, oid2, k)
+
+    def meet_many(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[PairMeet]:
+        """Batched pairwise meets — one backend, many pairs.
+
+        On the indexed backend the Euler-RMQ index is built (or
+        fetched from cache) once and every pair is answered in O(1);
+        the steered backend degrades gracefully to a loop of Fig. 3
+        walks.
+        """
+        return self.backend.meet_many(pairs)
 
     def meet_of_sets(
         self, left: Iterable[int], right: Iterable[int]
     ) -> List[SetMeet]:
         """Set-wise minimal meets of two homogeneous OID sets (Fig. 4)."""
-        return meet_sets(self.store, left, right)
+        return self.backend.meet_sets(left, right)
 
     def meet_of_relations(
         self, relations: Dict[int, List[int]]
     ) -> List[GeneralMeet]:
         """General n-ary meet over typed relations (Fig. 5)."""
-        return meet_general(self.store, relations)
+        return self.backend.meet_general(relations)
 
     # -- the full pipeline -----------------------------------------------
     def term_hits(self, term: str) -> Hits:
@@ -170,7 +200,7 @@ class NearestConceptEngine:
             for oid in self.term_hits(term).oids():
                 tagged.append((term, oid))
 
-        results = meet_tagged(self.store, tagged)
+        results = self.backend.meet_tagged(tagged)
         results = self._restrict(results, exclude_paths, exclude_root)
         if require_all_terms:
             wanted = set(terms)
@@ -183,6 +213,22 @@ class NearestConceptEngine:
         if limit is not None:
             concepts = concepts[:limit]
         return concepts
+
+    def nearest_concepts_batch(
+        self,
+        queries: Iterable[Sequence[str]],
+        **options,
+    ) -> List[List[NearestConcept]]:
+        """Evaluate many term-tuples against one store and one backend.
+
+        ``options`` are forwarded to :meth:`nearest_concepts`.  The
+        point of the batched entry is amortization: the full-text
+        index, the search engine and (on the indexed backend) the
+        Euler-RMQ LCA index are all built once and shared by every
+        query, so evaluating thousands of hit-pair roll-ups costs one
+        preprocessing pass instead of thousands of parent re-walks.
+        """
+        return [self.nearest_concepts(*terms, **options) for terms in queries]
 
     def _annotate(self, result: TaggedMeet) -> NearestConcept:
         origins = tuple(sorted(result.origins))

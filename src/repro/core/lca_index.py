@@ -1,0 +1,274 @@
+"""Precomputed Euler-tour + sparse-table LCA index (the backend seam's
+fast path).
+
+The paper's ``meet₂`` (Fig. 3) deliberately avoids preprocessing: its
+per-query cost *is* the distance, which doubles as the §4 ranking
+signal, and nothing beyond the Monet transform is needed.  That trade
+is right for one ad-hoc query — and wrong for a server answering
+thousands of nearest-concept queries against one loaded store.  This
+module provides the classic offline answer the paper cites as refs.
+[4, 5]: an Euler tour of the instance tree plus a sparse table over
+tour depths gives O(1) LCA and O(1) depth-based distance
+
+    d(o₁, o₂) = depth(o₁) + depth(o₂) − 2·depth(lca)
+
+after O(n log n) preprocessing.  :class:`~repro.core.backends.IndexedBackend`
+builds one :class:`LcaIndex` per store and reuses it across every
+pairwise, set-wise and n-ary meet; :func:`get_lca_index` caches the
+index per store, keyed on the store's ``generation`` so a rebuilt or
+invalidated store transparently gets a fresh index.
+
+Beyond plain LCA the index exposes the Euler order itself
+(:meth:`LcaIndex.euler_position`) and an O(1) interval ancestor test
+(:meth:`LcaIndex.is_ancestor`) — the two primitives the indexed
+general-meet roll-up needs to build auxiliary ("virtual") trees over
+hit sets without touching the full instance tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from ..datamodel.errors import UnknownOIDError
+from ..monet.engine import MonetXML
+
+__all__ = [
+    "LcaIndex",
+    "get_lca_index",
+    "clear_lca_index_cache",
+    "lca_index_cache_info",
+    "LcaIndexCacheInfo",
+]
+
+
+class LcaIndex:
+    """O(1)-query LCA/distance index over one store.
+
+    Preprocessing is O(n log n) time and space (Euler tour of length
+    2n−1 plus its sparse table).  All queries after that are O(1):
+    ``lca``, ``distance``, ``depth``, ``euler_position``,
+    ``is_ancestor``.
+    """
+
+    def __init__(self, store: MonetXML):
+        self.store = store
+        #: Store generation this index was built against; a mismatch
+        #: with ``store.generation`` means the index is stale.
+        self.generation = getattr(store, "generation", 0)
+        self._tour: List[int] = []          # node OID per Euler step
+        self._tour_depth: List[int] = []    # depth per Euler step
+        self._first: Dict[int, int] = {}    # OID → first tour position
+        self._last: Dict[int, int] = {}     # OID → last tour position
+        self._build_tour()
+        self._build_sparse_table()
+
+    # -- preprocessing ----------------------------------------------------
+    def _build_tour(self) -> None:
+        store = self.store
+        root = store.root_oid
+        # Iterative Euler tour: (oid, depth, child cursor) frames; a
+        # parent is re-appended every time a child frame returns.
+        stack: List[List[int]] = [[root, 1, 0]]
+        children_cache: Dict[int, List[int]] = {}
+        while stack:
+            frame = stack[-1]
+            oid, depth, cursor = frame
+            if cursor == 0:
+                self._first.setdefault(oid, len(self._tour))
+            self._last[oid] = len(self._tour)
+            self._tour.append(oid)
+            self._tour_depth.append(depth)
+            children = children_cache.get(oid)
+            if children is None:
+                children = store.children_of(oid)
+                children_cache[oid] = children
+            if cursor < len(children):
+                frame[2] += 1
+                stack.append([children[cursor], depth + 1, 0])
+            else:
+                stack.pop()
+
+    def _build_sparse_table(self) -> None:
+        depths = self._tour_depth
+        length = len(depths)
+        log = [0] * (length + 1)
+        for i in range(2, length + 1):
+            log[i] = log[i // 2] + 1
+        self._log = log
+        # table[k][i] = position of min depth in tour[i : i + 2**k]
+        table: List[List[int]] = [list(range(length))]
+        k = 1
+        while (1 << k) <= length:
+            previous = table[k - 1]
+            span = 1 << (k - 1)
+            row = [0] * (length - (1 << k) + 1)
+            for i in range(len(row)):
+                left = previous[i]
+                right = previous[i + span]
+                row[i] = left if depths[left] <= depths[right] else right
+            table.append(row)
+            k += 1
+        self._table = table
+
+    # -- O(1) queries ---------------------------------------------------
+    def euler_position(self, oid: int) -> int:
+        """First Euler-tour position of a node (its pre-order slot)."""
+        try:
+            return self._first[oid]
+        except KeyError:
+            raise UnknownOIDError(oid) from None
+
+    def depth(self, oid: int) -> int:
+        """Tree depth of a node (root = 1), read off the tour."""
+        return self._tour_depth[self.euler_position(oid)]
+
+    def lca(self, oid1: int, oid2: int) -> int:
+        """The lowest common ancestor (= ``meet₂``'s answer), O(1)."""
+        try:
+            first1 = self._first[oid1]
+            first2 = self._first[oid2]
+        except KeyError as exc:
+            raise UnknownOIDError(int(str(exc.args[0]))) from None
+        low, high = min(first1, first2), max(first1, first2)
+        k = self._log[high - low + 1]
+        left = self._table[k][low]
+        right = self._table[k][high - (1 << k) + 1]
+        position = (
+            left if self._tour_depth[left] <= self._tour_depth[right] else right
+        )
+        return self._tour[position]
+
+    def distance(self, oid1: int, oid2: int) -> int:
+        """Tree distance d(o₁,o₂) via depths and the O(1) LCA.
+
+        Equals the join count of the paper's traced Fig. 3 walk.
+        """
+        meet = self.lca(oid1, oid2)
+        position1 = self._first[oid1]
+        position2 = self._first[oid2]
+        return (
+            self._tour_depth[position1]
+            + self._tour_depth[position2]
+            - 2 * self._tour_depth[self._first[meet]]
+        )
+
+    def lca_with_distance(self, oid1: int, oid2: int) -> Tuple[int, int]:
+        """(lca, distance) in one pass — the batched hot path."""
+        meet = self.lca(oid1, oid2)
+        distance = (
+            self._tour_depth[self._first[oid1]]
+            + self._tour_depth[self._first[oid2]]
+            - 2 * self._tour_depth[self._first[meet]]
+        )
+        return meet, distance
+
+    def is_ancestor(self, ancestor_oid: int, descendant_oid: int) -> bool:
+        """Reflexive ancestor test via Euler interval containment, O(1)."""
+        first = self.euler_position(ancestor_oid)
+        return first <= self.euler_position(descendant_oid) <= self._last[ancestor_oid]
+
+    def lca_many(self, pairs: Iterable[Tuple[int, int]]) -> List[int]:
+        """Batched LCA: one Python-level loop over the O(1) kernel."""
+        return [self.lca(oid1, oid2) for oid1, oid2 in pairs]
+
+    def auxiliary_tree(
+        self, oids: Iterable[int]
+    ) -> Tuple[List[int], Dict[int, Optional[int]]]:
+        """The virtual tree spanned by ``oids`` and their mutual LCAs.
+
+        Returns ``(order, parent)``: the candidate nodes in Euler
+        (pre-)order and the compressed parent map.  Candidates are the
+        inputs plus the LCAs of Euler-order neighbours; that set is
+        closed under LCA and is exactly where ≥ 2 input ancestor
+        chains can first converge, so the Fig. 4/5 roll-ups restricted
+        to it emit the same meets as the full instance tree.  Cost is
+        O(m log m) for m inputs, independent of tree size and depth.
+        """
+        first = self._first
+        last = self._last
+        lca = self.lca
+        try:
+            ordered = sorted(set(oids), key=first.__getitem__)
+        except KeyError as exc:
+            raise UnknownOIDError(int(str(exc.args[0]))) from None
+        candidates = set(ordered)
+        for left_oid, right_oid in zip(ordered, ordered[1:]):
+            candidates.add(lca(left_oid, right_oid))
+        order = sorted(candidates, key=first.__getitem__)
+        parent: Dict[int, Optional[int]] = {}
+        stack: List[int] = []
+        stack_last: List[int] = []
+        for oid in order:
+            position = first[oid]
+            # The stack holds the ancestor chain of the previous node
+            # (in pre-order); pop entries whose Euler interval ended.
+            while stack and stack_last[-1] < position:
+                stack.pop()
+                stack_last.pop()
+            parent[oid] = stack[-1] if stack else None
+            stack.append(oid)
+            stack_last.append(last[oid])
+        return order, parent
+
+    @property
+    def tour_length(self) -> int:
+        return len(self._tour)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LcaIndex nodes={len(self._first)} tour={len(self._tour)} "
+            f"generation={self.generation}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-store cache, keyed on store identity + generation.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LcaIndexCacheInfo:
+    """Counters of the per-store index cache (for tests and benches)."""
+
+    builds: int
+    hits: int
+    currsize: int
+
+
+_cache: "WeakKeyDictionary[MonetXML, LcaIndex]" = WeakKeyDictionary()
+_builds = 0
+_hits = 0
+
+
+def get_lca_index(store: MonetXML) -> LcaIndex:
+    """The cached :class:`LcaIndex` of a store, (re)built on demand.
+
+    The cache is keyed on the store object (weakly, so dropped stores
+    free their index) *and* its ``generation``: calling
+    :meth:`repro.monet.engine.MonetXML.invalidate_caches` — or loading
+    / transforming a fresh store object — yields a fresh index, which
+    is what keeps the index transparently correct when a store is
+    rebuilt.
+    """
+    global _builds, _hits
+    cached = _cache.get(store)
+    if cached is not None and cached.generation == getattr(store, "generation", 0):
+        _hits += 1
+        return cached
+    index = LcaIndex(store)
+    _cache[store] = index
+    _builds += 1
+    return index
+
+
+def clear_lca_index_cache() -> None:
+    """Drop every cached index and reset the counters (test isolation)."""
+    global _builds, _hits
+    _cache.clear()
+    _builds = 0
+    _hits = 0
+
+
+def lca_index_cache_info() -> LcaIndexCacheInfo:
+    return LcaIndexCacheInfo(builds=_builds, hits=_hits, currsize=len(_cache))

@@ -28,23 +28,37 @@ Three entry points:
   that association's node the nearest concept) at set scale, and is
   what the :class:`~repro.core.engine.NearestConceptEngine` pipeline
   uses with (term, OID) tokens.
+
+All public entry points accept ``backend=`` (see
+:mod:`repro.core.backends`): the default runs the schema roll-up
+below; :class:`~repro.core.backends.IndexedBackend` emits the same
+meet set from an auxiliary tree over the inputs in O(m log m),
+independent of instance depth and path-summary size.  Emission order
+may differ between backends (schema post-order vs reverse pre-order);
+consumers that rank — :mod:`repro.core.ranking`, the engine — are
+order-insensitive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Hashable,
     Iterable,
     List,
     Mapping,
+    Optional,
     Set,
     Tuple,
 )
 
 from ..monet.engine import MonetXML
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backends import MeetBackend
 
 __all__ = [
     "GeneralMeet",
@@ -185,7 +199,9 @@ def _as_oid_tokens(
 
 
 def meet_general(
-    store: MonetXML, relations: Mapping[Hashable, Iterable[int]]
+    store: MonetXML,
+    relations: Mapping[Hashable, Iterable[int]],
+    backend: "Optional[MeetBackend]" = None,
 ) -> List[GeneralMeet]:
     """Fig. 5: schema-driven bottom-up roll-up; see module docstring.
 
@@ -196,6 +212,8 @@ def meet_general(
     post-order (per-branch deepest first); use
     :mod:`repro.core.ranking` for a global ranking.
     """
+    if backend is not None:
+        return backend.meet_general(relations)
     return [
         GeneralMeet(oid=oid, origins=frozenset(o for _, o in tokens))
         for oid, tokens in _roll_up_schema(store, _as_oid_tokens(relations))
@@ -219,13 +237,17 @@ def meet_depthwise(
 
 
 def meet_tagged(
-    store: MonetXML, tagged: Iterable[Tuple[Token, int]]
+    store: MonetXML,
+    tagged: Iterable[Tuple[Token, int]],
+    backend: "Optional[MeetBackend]" = None,
 ) -> List[TaggedMeet]:
     """Roll-up over (token, OID) pairs; meets cover ≥ 2 distinct tokens.
 
     With tokens = search terms, a node whose single association matches
     two different terms is itself emitted (paper §3.1, "Bob Byte").
     """
+    if backend is not None:
+        return backend.meet_tagged(tagged)
     return [
         TaggedMeet(oid=oid, tokens=tokens)
         for oid, tokens in _roll_up_schema(store, tagged)

@@ -20,6 +20,7 @@ the paper via functional-join techniques, ref. [8]).
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..datamodel.errors import ModelError, UnknownOIDError
@@ -36,7 +37,15 @@ class MonetXML:
     Instances are built by :func:`repro.monet.transform.monet_transform`
     or :func:`repro.monet.storage.load`; direct construction takes
     pre-computed columns and relations.
+
+    Every instance carries a process-unique, monotonically increasing
+    ``generation`` token.  Derived structures built outside the store
+    (most importantly the Euler-RMQ index of
+    :mod:`repro.core.lca_index`) cache themselves keyed on it;
+    :meth:`invalidate_caches` bumps the token so they rebuild lazily.
     """
+
+    _generations = count(1)
 
     def __init__(
         self,
@@ -61,6 +70,8 @@ class MonetXML:
         self.ranks = ranks
         self._reverse_edges: Dict[int, BAT] = {}
         self._children_index: Optional[Dict[int, List[int]]] = None
+        #: Cache token for externally derived indexes (see class doc).
+        self.generation = next(MonetXML._generations)
 
     # -- size -----------------------------------------------------------
     @property
@@ -188,6 +199,18 @@ class MonetXML:
             if values:
                 result[self.summary.label(attr_pid)] = values[0]
         return result
+
+    # -- cache control -----------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop lazily built structures after an in-place rebuild.
+
+        Clears the reverse-edge and children adjacency caches and bumps
+        ``generation`` so generation-keyed external caches (the LCA
+        index of the ``indexed`` meet backend) rebuild on next use.
+        """
+        self._reverse_edges.clear()
+        self._children_index = None
+        self.generation = next(MonetXML._generations)
 
     # -- ancestry (instance-level helpers shared by core and baselines) --
     def ancestry(self, oid: int) -> List[int]:

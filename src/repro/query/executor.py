@@ -25,8 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from ..core.backends import BackendSpec, MeetBackend, resolve_backend
 from ..core.meet_general import meet_tagged
-from ..core.meet_pair import meet2_traced
 from ..core.restrictions import resolve_pids
 from ..datamodel.errors import QueryPlanError
 from ..datamodel.paths import Path
@@ -94,10 +94,13 @@ class QueryProcessor:
         store: MonetXML,
         search: Optional[SearchEngine] = None,
         max_rows: Optional[int] = 100_000,
+        backend: BackendSpec = None,
     ):
         self.store = store
         self.search = search or SearchEngine(store)
         self.max_rows = max_rows
+        #: Meet execution strategy for meet(...)/distance(...) items.
+        self.backend: MeetBackend = resolve_backend(store, backend)
 
     # -- public API ---------------------------------------------------------
     def execute(self, query: Union[str, Query]) -> QueryResult:
@@ -301,7 +304,7 @@ class QueryProcessor:
             bound = self._bound_nodes(plan, variable)
             for oid in self._minimal(bound):
                 tagged.append((variable, oid))
-        meets = meet_tagged(self.store, tagged)
+        meets = meet_tagged(self.store, tagged, backend=self.backend)
 
         excluded = resolve_pids(self.store, item.exclude_paths)
         if item.exclude_root:
@@ -331,7 +334,7 @@ class QueryProcessor:
                 f"one witness (got {len(left)} and {len(right)})"
             )
         (oid1,), (oid2,) = tuple(left), tuple(right)
-        return [meet2_traced(self.store, oid1, oid2).joins]
+        return [self.backend.meet(oid1, oid2).joins]
 
 
 def run_query(store: MonetXML, text: str) -> QueryResult:

@@ -1,0 +1,90 @@
+"""Property tests: the Euler-RMQ index against every independent
+oracle, on random trees.
+
+Invariants:
+
+* indexed LCA == naive ancestor-set LCA == the steered ``meet₂`` walk;
+* the index's depth-based d(o₁,o₂) == the ``joins`` count reported by
+  the traced Fig. 3 walk (the paper's distance = join-count identity);
+* the auxiliary-tree roll-up of :class:`IndexedBackend` emits exactly
+  the meets of the schema-driven Fig. 5 roll-up;
+* the generation-keyed cache returns one index per store until the
+  store is invalidated.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive_lca import naive_lca
+from repro.core.backends import IndexedBackend, SteeredBackend
+from repro.core.lca_index import (
+    LcaIndex,
+    clear_lca_index_cache,
+    get_lca_index,
+    lca_index_cache_info,
+)
+from repro.core.meet_pair import meet2, meet2_traced
+
+from .strategies import stores, stores_with_oid_pairs, stores_with_oid_sets
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_indexed_lca_matches_naive_and_steered(store_and_pairs):
+    store, pairs = store_and_pairs
+    index = LcaIndex(store)
+    for oid1, oid2 in pairs:
+        expected = meet2(store, oid1, oid2)
+        assert index.lca(oid1, oid2) == expected
+        assert naive_lca(store, oid1, oid2) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(stores_with_oid_pairs())
+def test_indexed_distance_equals_traced_joins(store_and_pairs):
+    store, pairs = store_and_pairs
+    index = LcaIndex(store)
+    for oid1, oid2 in pairs:
+        traced = meet2_traced(store, oid1, oid2)
+        meet, dist = index.lca_with_distance(oid1, oid2)
+        assert meet == traced.oid
+        assert dist == traced.joins
+        assert index.distance(oid1, oid2) == traced.joins
+
+
+@settings(max_examples=40, deadline=None)
+@given(stores_with_oid_pairs())
+def test_is_ancestor_agrees_with_parent_walk(store_and_pairs):
+    store, pairs = store_and_pairs
+    index = LcaIndex(store)
+    for oid1, oid2 in pairs:
+        assert index.is_ancestor(oid1, oid2) == store.is_ancestor(oid1, oid2)
+        assert index.is_ancestor(oid2, oid1) == store.is_ancestor(oid2, oid1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(stores_with_oid_sets(), st.randoms(use_true_random=False))
+def test_auxiliary_roll_up_matches_schema_roll_up(store_and_oids, rng):
+    store, oids = store_and_oids
+    tagged = [(rng.choice("abc"), oid) for oid in oids]
+    steered = SteeredBackend(store).meet_tagged(tagged)
+    indexed = IndexedBackend(store).meet_tagged(tagged)
+    assert set(indexed) == set(steered)
+
+
+@settings(max_examples=20, deadline=None)
+@given(stores())
+def test_cache_one_build_per_generation(store):
+    clear_lca_index_cache()
+    try:
+        first = get_lca_index(store)
+        again = get_lca_index(store)
+        assert again is first
+        info = lca_index_cache_info()
+        assert info.builds == 1 and info.hits == 1
+        store.invalidate_caches()
+        rebuilt = get_lca_index(store)
+        assert rebuilt is not first
+        assert lca_index_cache_info().builds == 2
+    finally:
+        clear_lca_index_cache()
