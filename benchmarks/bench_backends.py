@@ -25,7 +25,9 @@ Workloads per dataset:
 
 Output: a fixed-width table (also written to
 ``benchmarks/out/bench_backends.txt``) with per-backend wall times and
-the indexed-over-steered speedup.
+the indexed-over-steered speedup, plus the machine-readable
+``BENCH_backends.json`` trajectory artefact (same envelope as
+``bench_query_serving.py``; override the path with ``--json``).
 """
 
 from __future__ import annotations
@@ -39,7 +41,7 @@ from typing import Callable, List, Sequence, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.report import render_table
+from repro.bench.report import render_table, write_json_report
 from repro.core.backends import IndexedBackend, SteeredBackend
 from repro.core.engine import NearestConceptEngine
 from repro.core.lca_index import LcaIndex, clear_lca_index_cache
@@ -49,6 +51,7 @@ from repro.datasets.textpool import TECH_NOUNS
 from repro.monet.transform import monet_transform
 
 OUT_PATH = Path(__file__).parent / "out" / "bench_backends.txt"
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
 
 
 def _time(task: Callable[[], object]) -> float:
@@ -75,12 +78,18 @@ def bench_dataset(
     pair_count: int,
     repeat: int,
     case_sensitive: bool = False,
-) -> List[List[object]]:
-    rows: List[List[object]] = []
+) -> List[dict]:
+    rows: List[dict] = []
     pairs = random_oid_pairs(store, pair_count, seed=1)
 
     build = _best_of(lambda: LcaIndex(store), repeat)
-    rows.append([name, "build", "-", f"{build:.3f}", "-"])
+    rows.append(
+        {
+            "dataset": name,
+            "workload": "build",
+            "indexed_seconds": round(build, 6),
+        }
+    )
 
     clear_lca_index_cache()
     steered = SteeredBackend(store)
@@ -90,13 +99,13 @@ def bench_dataset(
     steered_time = _best_of(lambda: steered.meet_many(pairs), repeat)
     indexed_time = _best_of(lambda: indexed.meet_many(pairs), repeat)
     rows.append(
-        [
-            name,
-            f"meet_many[{pair_count}]",
-            f"{steered_time:.3f}",
-            f"{indexed_time:.3f}",
-            f"{steered_time / indexed_time:.2f}x",
-        ]
+        {
+            "dataset": name,
+            "workload": f"meet_many[{pair_count}]",
+            "steered_seconds": round(steered_time, 6),
+            "indexed_seconds": round(indexed_time, 6),
+            "speedup": round(steered_time / indexed_time, 2),
+        }
     )
 
     batch_times = {}
@@ -109,13 +118,13 @@ def bench_dataset(
             lambda: engine.nearest_concepts_batch(queries, limit=5), repeat
         )
     rows.append(
-        [
-            name,
-            f"nc_batch[{len(queries)}]",
-            f"{batch_times['steered']:.3f}",
-            f"{batch_times['indexed']:.3f}",
-            f"{batch_times['steered'] / batch_times['indexed']:.2f}x",
-        ]
+        {
+            "dataset": name,
+            "workload": f"nc_batch[{len(queries)}]",
+            "steered_seconds": round(batch_times["steered"], 6),
+            "indexed_seconds": round(batch_times["indexed"], 6),
+            "speedup": round(batch_times["steered"] / batch_times["indexed"], 2),
+        }
     )
     return rows
 
@@ -130,12 +139,14 @@ def main(argv=None) -> int:
     parser.add_argument("--pairs", type=int, default=20_000)
     parser.add_argument("--queries", type=int, default=150)
     parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
     args = parser.parse_args(argv)
 
     if args.quick:
         args.nodes, args.pairs, args.queries, args.repeat = 3_000, 2_000, 20, 1
 
-    rows: List[List[object]] = []
+    rows: List[dict] = []
 
     random_store = monet_transform(
         random_document(42, nodes=args.nodes, max_children=3)
@@ -170,15 +181,40 @@ def main(argv=None) -> int:
         case_sensitive=True,
     )
 
+    def _cell(row: dict, field: str, fmt: str) -> str:
+        value = row.get(field)
+        return "-" if value is None else fmt.format(value)
+
     table = render_table(
         ["dataset", "workload", "steered[s]", "indexed[s]", "speedup"],
-        rows,
+        [
+            [
+                row["dataset"],
+                row["workload"],
+                _cell(row, "steered_seconds", "{:.3f}"),
+                _cell(row, "indexed_seconds", "{:.3f}"),
+                _cell(row, "speedup", "{:.2f}x"),
+            ]
+            for row in rows
+        ],
         title="meet backends: steered walks vs Euler-RMQ index",
     )
     print(table)
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(table + "\n", encoding="utf-8")
-    print(f"[report written to {OUT_PATH}]")
+    written = write_json_report(
+        args.json,
+        "backends",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "pairs": args.pairs,
+            "queries": args.queries,
+            "repeat": args.repeat,
+        },
+        rows,
+    )
+    print(f"[report written to {OUT_PATH} and {written}]")
     return 0
 
 

@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Bench: end-to-end ``nearest_concepts`` serving throughput.
+
+Measures queries/sec of the paper's headline pipeline (full-text hits
+→ tagged Fig. 5 roll-up → §4 restrict/rank) in the three serving
+regimes a query server actually sees, across the bundled datasets:
+
+* ``cold``    — first contact: every derived structure (full-text
+  index, Euler-RMQ LCA index) is built inside the timed region, then
+  the query stream is answered once.  Amortized cost of a cold start.
+* ``batched`` — steady state without repeats: warm indexes, cold
+  results; the distinct-query stream is answered via
+  ``nearest_concepts_batch``.  This is the allocation-light hot path.
+* ``warm``    — steady state with repeats: the generation-keyed
+  result cache answers a previously seen stream.
+
+Every regime is also measured against an emulated **pre-optimization
+baseline** that reconstructs the previous hot path from retained
+reference code: a ``Posting`` object materialized per matching
+association, the by-pid regrouping rebuilt per term, the distinct-OID
+set built from posting objects, the per-OID ``set[(token, oid)]``
+roll-up (``IndexedBackend._meet_tagged_sets``), and no result cache.
+The tail of the pipeline (restrict → annotate → rank) is shared code,
+so the speedup isolates exactly what this repo changed.
+
+A differential check asserts baseline and optimized pipelines return
+identical ranked answers for every query before anything is timed.
+
+Output: a fixed-width table (``benchmarks/out/bench_query_serving.txt``)
+plus the machine-readable ``BENCH_query_serving.json`` trajectory
+artefact at the repo root (CI smoke: ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.report import render_table, write_json_report
+from repro.core.engine import NearestConcept, NearestConceptEngine
+from repro.core.lca_index import clear_lca_index_cache
+from repro.datasets import (
+    DblpConfig,
+    MultimediaConfig,
+    dblp_document,
+    figure1_document,
+    multimedia_document,
+)
+from repro.datasets.randomtree import random_document
+from repro.datasets.textpool import TECH_NOUNS
+from repro.fulltext.index import clear_fulltext_index_cache
+from repro.monet.transform import monet_transform
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = Path(__file__).parent / "out" / "bench_query_serving.txt"
+JSON_PATH = REPO_ROOT / "BENCH_query_serving.json"
+
+
+def _time(task: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def _best_of(task: Callable[[], object], repeat: int) -> float:
+    return min(_time(task) for _ in range(repeat))
+
+
+# ---------------------------------------------------------------------------
+# The emulated pre-optimization serving path (see module docstring).
+# ---------------------------------------------------------------------------
+
+def baseline_nearest_concepts(
+    engine: NearestConceptEngine, terms: Sequence[str], limit: int
+) -> List[NearestConcept]:
+    """One query the way the hot path used to run.
+
+    Materializes a :class:`~repro.fulltext.index.Posting` per matching
+    association, regroups by pid with fresh dicts, builds the OID set
+    from the posting objects, and rolls up with per-OID token sets.
+    The (unchanged) annotate/rank tail is reused from the engine.
+    """
+    tagged: List[Tuple[str, int]] = []
+    for term in terms:
+        hits = engine.term_hits(term)
+        postings = hits.postings  # a Posting object per association
+        grouped: Dict[int, List[int]] = {}
+        for posting in postings:
+            grouped.setdefault(posting.pid, []).append(posting.oid)
+        for oid in {posting.oid for posting in postings}:
+            tagged.append((term, oid))
+    results = engine.backend._meet_tagged_sets(tagged)
+    concepts = [engine._annotate(result) for result in results]
+    concepts.sort(key=NearestConcept.sort_key)
+    return concepts[:limit]
+
+
+def baseline_batch(
+    engine: NearestConceptEngine,
+    queries: Sequence[Tuple[str, str]],
+    limit: int,
+) -> List[List[NearestConcept]]:
+    return [baseline_nearest_concepts(engine, terms, limit) for terms in queries]
+
+
+# ---------------------------------------------------------------------------
+# Workloads.
+# ---------------------------------------------------------------------------
+
+LIMIT = 5
+
+
+def _check_differential(store, queries, case_sensitive: bool) -> None:
+    """Baseline and optimized pipelines must agree before timing."""
+    optimized = NearestConceptEngine(
+        store, case_sensitive=case_sensitive, backend="indexed"
+    )
+    reference = NearestConceptEngine(
+        store, case_sensitive=case_sensitive, backend="indexed"
+    )
+    for terms in queries:
+        fast = optimized.nearest_concepts(*terms, limit=LIMIT)
+        slow = baseline_nearest_concepts(reference, terms, LIMIT)
+        if fast != slow:
+            raise AssertionError(
+                f"differential failure on {terms!r}: optimized and "
+                f"baseline pipelines disagree"
+            )
+
+
+def bench_dataset(
+    name: str,
+    store,
+    queries: List[Tuple[str, str]],
+    repeat: int,
+    case_sensitive: bool = False,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    _check_differential(store, queries[: min(len(queries), 25)], case_sensitive)
+
+    def fresh_engine(cache=None) -> NearestConceptEngine:
+        return NearestConceptEngine(
+            store,
+            case_sensitive=case_sensitive,
+            backend="indexed",
+            cache=cache,
+        )
+
+    def run_cold() -> None:
+        clear_fulltext_index_cache()
+        clear_lca_index_cache()
+        store.invalidate_caches()
+        engine = fresh_engine()
+        for terms in queries:
+            engine.nearest_concepts(*terms, limit=LIMIT)
+
+    def run_cold_baseline() -> None:
+        clear_fulltext_index_cache()
+        clear_lca_index_cache()
+        store.invalidate_caches()
+        engine = fresh_engine()
+        baseline_batch(engine, queries, LIMIT)
+
+    def add_row(workload: str, seconds: float, baseline_seconds: float) -> None:
+        rows.append(
+            {
+                "dataset": name,
+                "workload": workload,
+                "queries": len(queries),
+                "seconds": round(seconds, 6),
+                "qps": round(len(queries) / seconds, 2),
+                "baseline_seconds": round(baseline_seconds, 6),
+                "baseline_qps": round(len(queries) / baseline_seconds, 2),
+                "speedup": round(baseline_seconds / seconds, 2),
+            }
+        )
+
+    # cold: derived-structure builds inside the timed region.
+    add_row(
+        "cold",
+        _best_of(run_cold, repeat),
+        _best_of(run_cold_baseline, repeat),
+    )
+
+    # batched: warm indexes, cold results.
+    engine = fresh_engine()
+    engine.nearest_concepts(*queries[0], limit=LIMIT)  # warm the indexes
+    batched = _best_of(
+        lambda: engine.nearest_concepts_batch(queries, limit=LIMIT), repeat
+    )
+    batched_baseline = _best_of(
+        lambda: baseline_batch(engine, queries, LIMIT), repeat
+    )
+    add_row("batched", batched, batched_baseline)
+
+    # warm: the result cache answers a repeated stream; the baseline
+    # (no cache existed) recomputes every repeat.
+    caching = fresh_engine(cache=max(len(queries) * 2, 64))
+    caching.nearest_concepts_batch(queries, limit=LIMIT)  # populate
+    warm = _best_of(
+        lambda: caching.nearest_concepts_batch(queries, limit=LIMIT), repeat
+    )
+    add_row("warm", warm, batched_baseline)
+    info = caching.cache_info()
+    rows[-1]["cache_hit_rate"] = round(info.hit_rate, 4)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny sizes, 1 repeat"
+    )
+    parser.add_argument("--nodes", type=int, default=60_000,
+                        help="random-tree size (the largest dataset)")
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nodes, args.queries, args.repeat = 3_000, 30, 1
+
+    rng = random.Random(17)
+    rows: List[Dict[str, object]] = []
+
+    figure1_store = monet_transform(figure1_document())
+    figure1_queries = [
+        ("Bit", "1999"), ("Bob", "Byte"), ("Hack", "1999"), ("Ben", "Bit"),
+    ] * max(1, args.queries // 4)
+    rows += bench_dataset(
+        "figure1", figure1_store, figure1_queries[: args.queries], args.repeat
+    )
+
+    dblp_config = (
+        DblpConfig(papers_per_proceedings=8, articles_per_year=4)
+        if args.quick
+        else DblpConfig(papers_per_proceedings=60, articles_per_year=40)
+    )
+    dblp_store = monet_transform(dblp_document(dblp_config))
+    print(f"dblp: {dblp_store.node_count} nodes", file=sys.stderr)
+    years = [str(year) for year in dblp_config.years()]
+    dblp_queries = [
+        (rng.choice(["ICDE", "VLDB", "SIGMOD"]), rng.choice(years))
+        for _ in range(args.queries)
+    ]
+    rows += bench_dataset(
+        "dblp", dblp_store, dblp_queries, args.repeat, case_sensitive=True
+    )
+
+    multimedia_store = monet_transform(
+        multimedia_document(MultimediaConfig(items=10 if args.quick else 120))
+    )
+    print(f"multimedia: {multimedia_store.node_count} nodes", file=sys.stderr)
+    words = list(TECH_NOUNS)
+    multimedia_queries = [
+        tuple(rng.sample(words, 2)) for _ in range(args.queries)
+    ]
+    rows += bench_dataset(
+        "multimedia", multimedia_store, multimedia_queries, args.repeat
+    )
+
+    random_store = monet_transform(
+        random_document(42, nodes=args.nodes, max_children=3)
+    )
+    print(
+        f"random: {random_store.node_count} nodes, "
+        f"{len(random_store.summary) - 1} paths", file=sys.stderr
+    )
+    random_queries = [
+        tuple(rng.sample(words[:12], 2)) for _ in range(args.queries)
+    ]
+    rows += bench_dataset("random", random_store, random_queries, args.repeat)
+
+    table = render_table(
+        ["dataset", "workload", "queries", "qps", "baseline qps", "speedup"],
+        [
+            [
+                row["dataset"],
+                row["workload"],
+                row["queries"],
+                f"{row['qps']:.0f}",
+                f"{row['baseline_qps']:.0f}",
+                f"{row['speedup']:.2f}x",
+            ]
+            for row in rows
+        ],
+        title="query serving: optimized hot path vs emulated pre-optimization baseline",
+    )
+    print(table)
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(table + "\n", encoding="utf-8")
+    written = write_json_report(
+        args.json,
+        "query_serving",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "queries": args.queries,
+            "repeat": args.repeat,
+            "backend": "indexed",
+            "limit": LIMIT,
+        },
+        rows,
+    )
+    print(f"[report written to {OUT_PATH} and {written}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,14 @@ are) is readable straight from ``bench_output.txt``.
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["Series", "render_table", "render_ascii_plot"]
+__all__ = ["Series", "render_table", "render_ascii_plot", "write_json_report"]
 
 
 @dataclass(slots=True)
@@ -54,6 +58,37 @@ def render_table(
             "  ".join(value.rjust(widths[index]) for index, value in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def write_json_report(
+    path: Path,
+    benchmark: str,
+    config: Dict[str, object],
+    results: Sequence[Dict[str, object]],
+) -> Path:
+    """Write the machine-readable ``BENCH_*.json`` trajectory artefact.
+
+    One shared envelope for every benchmark so downstream tooling can
+    diff runs across PRs::
+
+        {"benchmark": ..., "created": ..., "python": ..., "platform": ...,
+         "config": {...}, "results": [{flat row}, ...]}
+
+    ``results`` rows are flat dicts; each carries at least ``dataset``
+    and ``workload`` plus whatever metrics the bench measured (seconds,
+    qps, speedups).
+    """
+    payload = {
+        "benchmark": benchmark,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": config,
+        "results": list(results),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def render_ascii_plot(

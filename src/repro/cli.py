@@ -17,12 +17,16 @@ anything else is parsed as XML.
 ``--backend`` picks the meet execution strategy (``steered`` — the
 paper's per-query parent walks, the default — or ``indexed`` — the
 precomputed Euler-RMQ LCA index; see :mod:`repro.core.backends`).
+``--cache N`` enables the generation-keyed result cache with capacity
+N, and ``--stats`` reports timing and cache counters on stderr (see
+:mod:`repro.core.result_cache`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path as FsPath
 from typing import Optional, Sequence
 
@@ -46,6 +50,19 @@ def _load_store(path: str, case_sensitive: bool = False):
         return storage.load(source)
     text = source.read_text(encoding="utf-8")
     return monet_transform(parse_document(text, first_oid=1))
+
+
+def _cache_capacity(text: str) -> int:
+    """argparse type for ``--cache``: 0 disables, N > 0 is the capacity."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"cache capacity must be >= 0 (0 disables), got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="meet execution strategy (default: steered)",
     )
     search.add_argument(
+        "--cache",
+        type=_cache_capacity,
+        default=0,
+        metavar="N",
+        help="enable the generation-keyed result cache with capacity N",
+    )
+    search.add_argument(
+        "--stats",
+        action="store_true",
+        help="print timing and cache statistics to stderr",
+    )
+    search.add_argument(
         "--xml", action="store_true", help="print each result subtree as XML"
     )
 
@@ -97,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKEND_NAMES,
         default="steered",
         help="meet execution strategy (default: steered)",
+    )
+    query.add_argument(
+        "--cache",
+        type=_cache_capacity,
+        default=0,
+        metavar="N",
+        help="enable the generation-keyed result cache with capacity N",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print timing and cache statistics to stderr",
     )
 
     shred = sub.add_parser(
@@ -118,14 +159,30 @@ def _command_describe(args) -> int:
     return 0
 
 
+def _print_stats(label: str, seconds: float, cache_info) -> None:
+    """One-line serving report on stderr (the ``--stats`` flag)."""
+    line = f"[stats] {label}: {seconds * 1000:.1f} ms"
+    if cache_info is not None:
+        line += (
+            f"; cache hits={cache_info.hits} misses={cache_info.misses}"
+            f" size={cache_info.currsize}/{cache_info.maxsize}"
+            f" hit_rate={cache_info.hit_rate:.0%}"
+        )
+    print(line, file=sys.stderr)
+
+
 def _command_search(args) -> int:
     if len(args.terms) < 2:
         print("search needs at least two terms", file=sys.stderr)
         return 2
     store = _load_store(args.source)
     engine = NearestConceptEngine(
-        store, case_sensitive=args.case_sensitive, backend=args.backend
+        store,
+        case_sensitive=args.case_sensitive,
+        backend=args.backend,
+        cache=args.cache or None,
     )
+    started = time.perf_counter()
     concepts = engine.nearest_concepts(
         *args.terms,
         exclude_root=args.exclude_root,
@@ -133,6 +190,8 @@ def _command_search(args) -> int:
         within=args.within,
         limit=args.limit,
     )
+    if args.stats:
+        _print_stats("search", time.perf_counter() - started, engine.cache_info())
     if not concepts:
         print("no nearest concepts found")
         return 1
@@ -156,11 +215,15 @@ def _command_query(args) -> int:
         store,
         search=SearchEngine(store, case_sensitive=args.case_sensitive),
         backend=args.backend,
+        cache=args.cache or None,
     )
     if args.explain:
         print(processor.explain(args.text))
         return 0
+    started = time.perf_counter()
     result = processor.execute(args.text)
+    if args.stats:
+        _print_stats("query", time.perf_counter() - started, processor.cache_info())
     print(result.render_answer(store))
     return 0 if result.rows else 1
 

@@ -56,6 +56,7 @@ from .restrictions import (
     meet_restricted_to,
     resolve_pids,
 )
+from .result_cache import ResultCache, ResultCacheInfo, resolve_result_cache
 
 __all__ = [
     "BACKEND_NAMES",
@@ -105,5 +106,8 @@ __all__ = [
     "origin_spread",
     "rank_meets",
     "resolve_pids",
+    "ResultCache",
+    "ResultCacheInfo",
+    "resolve_result_cache",
     "shortest_path",
 ]

@@ -43,10 +43,12 @@ from typing import (
     Dict,
     Hashable,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
     Protocol,
+    Sequence,
     Set,
     Tuple,
     Union,
@@ -79,6 +81,14 @@ __all__ = [
 BACKEND_NAMES: Tuple[str, ...] = ("steered", "indexed")
 
 BackendSpec = Union[str, "MeetBackend", None]
+
+
+def _decode_bits(mask: int, items: Sequence) -> Iterator:
+    """The items whose interned bit is set, in bit (= intern) order."""
+    while mask:
+        low = mask & -mask
+        yield items[low.bit_length() - 1]
+        mask ^= low
 
 
 @runtime_checkable
@@ -237,14 +247,95 @@ class IndexedBackend:
     def meet_tagged(
         self, tagged: Iterable[Tuple[Token, int]]
     ) -> List[TaggedMeet]:
+        """Fig. 5's propagation over flat arrays with interned token-sets.
+
+        Every distinct (token, OID) input pair is interned to an integer
+        index; the roll-up then runs over the auxiliary tree in array
+        form (:meth:`~repro.core.lca_index.LcaIndex.auxiliary_tree_arrays`)
+        propagating plain ints instead of per-OID ``set`` objects.
+
+        The key structural fact: a node accumulating ≥ 2 pairs is
+        emitted as a meet and *stops propagating* (minimality, Fig. 5),
+        so everything that travels upward is a **singleton** — one
+        integer slot per auxiliary node suffices, and each propagation
+        step is O(1).  (A width-``m`` bitmask would make each step
+        O(m/64): a Python int's cost follows its highest set bit, not
+        its popcount.)  Multi-pair token sets exist only at emission
+        nodes, exactly where the output must materialize them anyway.
+        """
+        pair_index: Dict[Tuple[Token, int], int] = {}
+        pairs: List[Tuple[Token, int]] = []
+        by_oid: Dict[int, Union[int, List[int]]] = {}
+        for token, oid in tagged:
+            pair = (token, oid)
+            index = pair_index.get(pair)
+            if index is None:
+                pair_index[pair] = index = len(pairs)
+                pairs.append(pair)
+                current = by_oid.get(oid)
+                if current is None:
+                    by_oid[oid] = index
+                elif isinstance(current, list):
+                    current.append(index)
+                else:
+                    by_oid[oid] = [current, index]
+        if not by_oid:
+            return []
+        order, parent_index = self.index.auxiliary_tree_arrays(by_oid)
+        single: List[int] = [-1] * len(order)  # the lone pending pair
+        multi: Dict[int, List[int]] = {}       # ≥ 2 pending pairs (meets)
+        for position, oid in enumerate(order):
+            entry = by_oid.get(oid)
+            if entry is None:
+                continue
+            if isinstance(entry, list):
+                multi[position] = entry
+            else:
+                single[position] = entry
+        # Reverse pre-order visits every auxiliary node after all of
+        # its auxiliary descendants — the roll-up order of Fig. 5.
+        meets: List[TaggedMeet] = []
+        for position in range(len(order) - 1, -1, -1):
+            accumulated = multi.get(position)
+            if accumulated is not None:
+                # Emitted meets do not propagate (minimality, Fig. 5).
+                meets.append(
+                    TaggedMeet(
+                        oid=order[position],
+                        tokens=frozenset(pairs[i] for i in accumulated),
+                    )
+                )
+                continue
+            index = single[position]
+            if index < 0:
+                continue
+            above = parent_index[position]
+            if above < 0:
+                continue
+            pending = single[above]
+            if pending < 0:
+                grown = multi.get(above)
+                if grown is not None:
+                    grown.append(index)
+                else:
+                    single[above] = index
+            else:
+                multi[above] = [pending, index]
+                single[above] = -1
+        return meets
+
+    # The per-OID-set roll-up this class shipped with originally; kept
+    # as the differential-test oracle and the serving benchmark's
+    # emulated pre-optimization baseline.
+    def _meet_tagged_sets(
+        self, tagged: Iterable[Tuple[Token, int]]
+    ) -> List[TaggedMeet]:
         by_oid: Dict[int, Set[Tuple[Token, int]]] = {}
         for token, oid in tagged:
             by_oid.setdefault(oid, set()).add((token, oid))
         if not by_oid:
             return []
         order, parent = self.index.auxiliary_tree(by_oid)
-        # Reverse pre-order visits every auxiliary node after all of
-        # its auxiliary descendants — the roll-up order of Fig. 5.
         accumulated: Dict[int, Set[Tuple[Token, int]]] = {
             oid: set(tokens) for oid, tokens in by_oid.items()
         }
@@ -254,7 +345,6 @@ class IndexedBackend:
             if not tokens:
                 continue
             if len(tokens) >= 2:
-                # Emitted meets do not propagate (minimality, Fig. 5).
                 meets.append(TaggedMeet(oid=oid, tokens=frozenset(tokens)))
                 continue
             above = parent[oid]
@@ -273,38 +363,46 @@ class IndexedBackend:
     def meet_sets(
         self, left: Iterable[int], right: Iterable[int]
     ) -> List[SetMeet]:
+        """Fig. 4 over the auxiliary tree, with one bit per input OID.
+
+        Two parallel mask arrays (left-origin bits, right-origin bits)
+        replace the per-node pair-of-sets; a node is a meet exactly
+        when both masks are non-zero, and the origin tuples are decoded
+        only for emitted meets.
+        """
         left_set, right_set = set(left), set(right)
         # Same homogeneity contract (and error message) as Fig. 4.
         _common_pid(self.store, left_set, "left")
         _common_pid(self.store, right_set, "right")
         if not left_set or not right_set:
             return []
-        order, parent = self.index.auxiliary_tree(left_set | right_set)
-        sides: Dict[int, Tuple[Set[int], Set[int]]] = {}
+        inputs = sorted(left_set | right_set)
+        oid_bit = {oid: 1 << position for position, oid in enumerate(inputs)}
+        order, parent_index = self.index.auxiliary_tree_arrays(inputs)
+        left_masks = [0] * len(order)
+        right_masks = [0] * len(order)
+        position_of = {oid: position for position, oid in enumerate(order)}
         for oid in left_set:
-            sides.setdefault(oid, (set(), set()))[0].add(oid)
+            left_masks[position_of[oid]] = oid_bit[oid]
         for oid in right_set:
-            sides.setdefault(oid, (set(), set()))[1].add(oid)
+            right_masks[position_of[oid]] = oid_bit[oid]
         meets: List[SetMeet] = []
-        for oid in reversed(order):
-            entry = sides.get(oid)
-            if entry is None:
-                continue
-            lefts, rights = entry
+        for position in range(len(order) - 1, -1, -1):
+            lefts = left_masks[position]
+            rights = right_masks[position]
             if lefts and rights:
                 meets.append(
                     SetMeet(
-                        oid=oid,
-                        left_origins=tuple(sorted(lefts)),
-                        right_origins=tuple(sorted(rights)),
+                        oid=order[position],
+                        left_origins=tuple(_decode_bits(lefts, inputs)),
+                        right_origins=tuple(_decode_bits(rights, inputs)),
                     )
                 )
                 continue
-            above = parent[oid]
-            if above is not None and (lefts or rights):
-                target = sides.setdefault(above, (set(), set()))
-                target[0].update(lefts)
-                target[1].update(rights)
+            above = parent_index[position]
+            if above >= 0 and (lefts or rights):
+                left_masks[above] |= lefts
+                right_masks[above] |= rights
         return meets
 
 

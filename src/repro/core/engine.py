@@ -37,7 +37,9 @@ backend-independent because join counts are recomputed from depths.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import (
     Dict,
     Iterable,
@@ -59,8 +61,17 @@ from .meet_general import GeneralMeet, TaggedMeet
 from .meet_pair import PairMeet
 from .meet_sets import SetMeet
 from .restrictions import PathLike, resolve_pids
+from .result_cache import (
+    CacheSpec,
+    ResultCache,
+    ResultCacheInfo,
+    resolve_result_cache,
+)
 
 __all__ = ["NearestConcept", "NearestConceptEngine"]
+
+#: Key extractor for the (sort_key, result) ranking pairs.
+_key_of = itemgetter(0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +107,7 @@ class NearestConceptEngine:
         thesaurus=None,
         broaden_below: int = 1,
         backend: BackendSpec = None,
+        cache: CacheSpec = None,
     ):
         """``thesaurus`` (a :class:`repro.fulltext.thesaurus.Thesaurus`)
         enables the §4 broadening: terms whose plain search returns
@@ -104,11 +116,17 @@ class NearestConceptEngine:
         ``backend`` selects the meet execution strategy: ``"steered"``
         (default), ``"indexed"``, or a ready
         :class:`~repro.core.backends.MeetBackend` instance.
+
+        ``cache`` enables the serving-layer result cache: ``True``
+        (default capacity), a capacity, or a shared
+        :class:`~repro.core.result_cache.ResultCache`.  Keys embed the
+        store generation, so invalidated stores never serve stale
+        answers; see :meth:`cache_info` for hit/miss statistics.
         """
         self.store = store
         self.backend: MeetBackend = resolve_backend(store, backend)
         self.search = SearchEngine(store, index=index, case_sensitive=case_sensitive)
-        self.index = self.search.index
+        self.result_cache: Optional[ResultCache] = resolve_result_cache(cache)
         self.thesaurus = thesaurus
         self._broadener = None
         if thesaurus is not None:
@@ -117,6 +135,17 @@ class NearestConceptEngine:
             self._broadener = BroadeningSearch(
                 self.search, thesaurus, min_hits=broaden_below
             )
+
+    @property
+    def index(self) -> FullTextIndex:
+        """The full-text index (shared per store, fresh per generation)."""
+        return self.search.index
+
+    def cache_info(self) -> Optional[ResultCacheInfo]:
+        """Result-cache counters, or ``None`` when caching is off."""
+        if self.result_cache is None:
+            return None
+        return self.result_cache.cache_info()
 
     # -- primitive operators --------------------------------------------
     def meet(self, oid1: int, oid2: int) -> PairMeet:
@@ -195,24 +224,92 @@ class NearestConceptEngine:
         """
         if len(terms) < 2:
             raise ValueError("nearest_concepts needs at least two terms")
+        excluded: Set[int] = resolve_pids(self.store, exclude_paths)
+        if exclude_root:
+            excluded.add(self.store.pid_of(self.store.root_oid))
+
+        cache = self.result_cache
+        key = None
+        if cache is not None:
+            # Normalized query: term order and duplicates provably do
+            # not change the answer (inputs are tagged sets and the
+            # ranking key is term-independent), so they normalize away.
+            # Spelling/case stay verbatim — result tags carry them.
+            # The engine configuration that changes answers (case mode,
+            # thesaurus broadening) is part of the key, so one cache
+            # can safely be shared across differently tuned engines;
+            # keying the thesaurus *object* keeps it alive alongside
+            # its entries (identity is its only equality).
+            cache.sync_generation(self.store.generation)
+            key = (
+                self.store.generation,
+                self.search.case_sensitive,
+                self.thesaurus,
+                None if self._broadener is None else self._broadener.min_hits,
+                tuple(sorted(set(terms))),
+                frozenset(excluded),
+                require_all_terms,
+                within,
+                limit,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                return list(cached)
+
         tagged: List[Tuple[str, int]] = []
         for term in terms:
             for oid in self.term_hits(term).oids():
                 tagged.append((term, oid))
 
         results = self.backend.meet_tagged(tagged)
-        results = self._restrict(results, exclude_paths, exclude_root)
+        if excluded:
+            pid_of = self.store.pid_of
+            results = [r for r in results if pid_of(r.oid) not in excluded]
         if require_all_terms:
             wanted = set(terms)
             results = [r for r in results if set(r.tags) >= wanted]
 
-        concepts = [self._annotate(result) for result in results]
-        concepts.sort(key=NearestConcept.sort_key)
-        if within is not None:
-            concepts = [c for c in concepts if c.joins <= within]
-        if limit is not None:
-            concepts = concepts[:limit]
+        if limit is not None and len(results) > limit:
+            # Serving fast path: rank on the cheap key ingredients and
+            # fully annotate (paths, sorted term tuples) only the top-k.
+            # sort_key is a strict total order (the OID tiebreak), so
+            # the selection equals sort-then-truncate exactly.
+            keyed = self._rank_keys(results)
+            if within is not None:
+                keyed = [(k, r) for k, r in keyed if k[0] <= within]
+            winners = heapq.nsmallest(limit, keyed, key=_key_of)
+            concepts = [self._annotate(result) for _, result in winners]
+        else:
+            concepts = [self._annotate(result) for result in results]
+            concepts.sort(key=NearestConcept.sort_key)
+            if within is not None:
+                concepts = [c for c in concepts if c.joins <= within]
+            if limit is not None:
+                concepts = concepts[:limit]
+        if cache is not None:
+            cache.put(key, tuple(concepts))
         return concepts
+
+    def _rank_keys(
+        self, results: List[TaggedMeet]
+    ) -> List[Tuple[Tuple[int, int, int, int], TaggedMeet]]:
+        """(sort_key, result) pairs computed without full annotation."""
+        pid_of = self.store.pid_of
+        depth_of_pid = self.store.summary.depth
+        keyed = []
+        for result in results:
+            origins = result.origins
+            meet_depth = depth_of_pid(pid_of(result.oid))
+            joins = -meet_depth * len(origins)
+            for oid in origins:
+                joins += depth_of_pid(pid_of(oid))
+            keyed.append(
+                (
+                    (joins, max(origins) - min(origins), -meet_depth, result.oid),
+                    result,
+                )
+            )
+        return keyed
 
     def nearest_concepts_batch(
         self,
@@ -243,23 +340,6 @@ class NearestConceptEngine:
             spread=max(origins) - min(origins),
             depth=meet_depth,
         )
-
-    def _restrict(
-        self,
-        results: List[TaggedMeet],
-        exclude_paths: Iterable[PathLike],
-        exclude_root: bool,
-    ) -> List[TaggedMeet]:
-        excluded: Set[int] = resolve_pids(self.store, exclude_paths)
-        if exclude_root:
-            excluded.add(self.store.pid_of(self.store.root_oid))
-        if not excluded:
-            return results
-        return [
-            result
-            for result in results
-            if self.store.pid_of(result.oid) not in excluded
-        ]
 
     # -- presentation helpers ---------------------------------------------
     def snippet(self, concept: Union[NearestConcept, int], width: int = 120) -> str:

@@ -212,6 +212,56 @@ class LcaIndex:
             stack_last.append(last[oid])
         return order, parent
 
+    def auxiliary_tree_arrays(
+        self, oids: Iterable[int]
+    ) -> Tuple[List[int], List[int]]:
+        """:meth:`auxiliary_tree` in array form — the roll-up hot path.
+
+        Returns ``(order, parent_index)``: the candidate OIDs in Euler
+        (pre-)order and, for each position, the *position* of its
+        auxiliary parent in ``order`` (``-1`` at the virtual root).
+        Parent links as positions let the Fig. 4/5 roll-ups propagate
+        over flat parallel arrays instead of per-OID dict look-ups.
+        """
+        first = self._first
+        last = self._last
+        try:
+            ordered = sorted(set(oids), key=first.__getitem__)
+        except KeyError as exc:
+            raise UnknownOIDError(int(str(exc.args[0]))) from None
+        # Inlined range-minimum LCA over Euler-order neighbours: their
+        # first positions are already the sort keys, so the kernel runs
+        # straight off the sparse table without re-resolving OIDs.
+        log = self._log
+        table = self._table
+        depths = self._tour_depth
+        tour = self._tour
+        candidates = set(ordered)
+        add_candidate = candidates.add
+        low = -1
+        for oid in ordered:
+            high = first[oid]
+            if low >= 0:
+                k = log[high - low + 1]
+                left = table[k][low]
+                right = table[k][high - (1 << k) + 1]
+                position = left if depths[left] <= depths[right] else right
+                add_candidate(tour[position])
+            low = high
+        order = sorted(candidates, key=first.__getitem__)
+        parent_index: List[int] = [-1] * len(order)
+        stack: List[int] = []          # positions in ``order``
+        stack_last: List[int] = []     # matching Euler interval ends
+        for position, oid in enumerate(order):
+            euler = first[oid]
+            while stack and stack_last[-1] < euler:
+                stack.pop()
+                stack_last.pop()
+            parent_index[position] = stack[-1] if stack else -1
+            stack.append(position)
+            stack_last.append(last[oid])
+        return order, parent_index
+
     @property
     def tour_length(self) -> int:
         return len(self._tour)

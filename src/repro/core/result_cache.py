@@ -1,0 +1,138 @@
+"""Generation-keyed LRU result cache — the serving layer's memory.
+
+A server answering heavy nearest-concept traffic sees the same handful
+of queries over and over; recomputing the full pipeline (search →
+roll-up → restrict → rank) for each repeat wastes exactly the work
+this repo keeps optimizing.  :class:`ResultCache` memoizes finished
+answers keyed on ``(store.generation, normalized query, options)``:
+
+* the **generation** component makes staleness structurally
+  impossible — a key minted against an invalidated store can never be
+  produced again, and :meth:`ResultCache.sync_generation` (called by
+  every cache user on access) drops the dead entries wholesale the
+  moment the store moves on;
+* the **normalized query** component canonicalizes whatever in the
+  request provably cannot change the answer (term order and duplicate
+  terms for the engine, surrounding whitespace for the query
+  processor), so equivalent requests share one entry;
+* the **options** are the remaining knobs verbatim.
+
+Eviction is plain LRU.  Hit/miss/eviction counters are exposed via
+:meth:`ResultCache.cache_info` so benchmarks and the CLI ``--stats``
+flag can report serving behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Union
+
+__all__ = ["ResultCache", "ResultCacheInfo", "resolve_result_cache"]
+
+#: Default capacity when a cache is requested without an explicit size.
+DEFAULT_MAXSIZE = 1024
+
+
+@dataclass(frozen=True)
+class ResultCacheInfo:
+    """A snapshot of the cache counters (mirrors functools.lru_cache)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A small LRU mapping from query keys to finished result lists.
+
+    Values are stored as the immutable tuples the callers hand in;
+    callers re-materialize mutable containers on the way out so cached
+    entries can never be corrupted by a consumer.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._generation: Optional[int] = None
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def sync_generation(self, generation: int) -> None:
+        """Drop everything when the store moved to a new generation.
+
+        Every entry's key embeds the generation it was computed
+        against, so after :meth:`~repro.monet.engine.MonetXML.
+        invalidate_caches` no surviving entry could ever hit again —
+        purging them eagerly keeps the cache from squatting on dead
+        results.
+        """
+        if self._generation != generation:
+            self._generation = generation
+            self._entries.clear()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters survive; they describe the run)."""
+        self._entries.clear()
+
+    def cache_info(self) -> ResultCacheInfo:
+        return ResultCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            maxsize=self.maxsize,
+            currsize=len(self._entries),
+            evictions=self._evictions,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"<ResultCache {info.currsize}/{info.maxsize} "
+            f"hits={info.hits} misses={info.misses}>"
+        )
+
+
+CacheSpec = Union[None, bool, int, ResultCache]
+
+
+def resolve_result_cache(spec: CacheSpec) -> Optional[ResultCache]:
+    """Normalize a cache spec: off (``None``/``False``), a capacity,
+    ``True`` (default capacity), or a ready instance (shared caches)."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return ResultCache(DEFAULT_MAXSIZE)
+    if isinstance(spec, int):
+        return ResultCache(spec)
+    return spec

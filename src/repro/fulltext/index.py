@@ -9,17 +9,49 @@ surface of Def. 2's oid × string associations.
 A posting is the pair (pid, oid): the association's relation (= path)
 and its OID.  Postings grouped by pid are precisely the typed input
 relations R₁ … Rₙ that the general meet algorithm of Fig. 5 consumes.
+
+Storage is allocation-light: each term's postings live in two parallel
+``array('q')`` columns (pids, oids) behind an interned term
+dictionary, with the by-pid grouping and the distinct-OID set
+precomputed at build time.  :class:`Posting` and :class:`Hits` remain
+the public face, but a :class:`Hits` is now a thin *view* over the
+shared columns — ``oids()`` and ``by_pid()`` answer from the
+prebuilt structures and individual :class:`Posting` objects are only
+materialized when somebody actually iterates ``hits.postings``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+import sys
+from array import array
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+from weakref import WeakKeyDictionary
 
 from ..monet.engine import MonetXML
 from .tokenizer import normalize, tokenize
 
-__all__ = ["Posting", "Hits", "FullTextIndex"]
+__all__ = [
+    "Posting",
+    "Hits",
+    "FullTextIndex",
+    "get_fulltext_index",
+    "clear_fulltext_index_cache",
+    "fulltext_index_cache_info",
+    "FullTextIndexCacheInfo",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,28 +62,109 @@ class Posting:
     oid: int
 
 
-@dataclass(slots=True)
+_EMPTY_COLUMN = array("q")
+
+
 class Hits:
-    """Result of one term search; groups postings for the meet operator."""
+    """Result of one term search; groups postings for the meet operator.
 
-    term: str
-    postings: List[Posting] = field(default_factory=list)
+    A view over two parallel (pid, oid) columns.  ``postings`` (the
+    historical list-of-:class:`Posting` API), ``oids()`` and
+    ``by_pid()`` are all memoized on the instance: a term's hits are
+    consumed at least once per query, often several times, and none of
+    those consumers should pay a rebuild.
+    """
 
-    def oids(self) -> Set[int]:
-        return {posting.oid for posting in self.postings}
+    __slots__ = ("term", "_pids", "_oids", "_postings", "_grouped", "_oid_set")
 
-    def by_pid(self) -> Dict[int, List[int]]:
-        """pid → OID list: the typed relations handed to meet (Fig. 5)."""
-        grouped: Dict[int, List[int]] = {}
-        for posting in self.postings:
-            grouped.setdefault(posting.pid, []).append(posting.oid)
-        return grouped
+    def __init__(
+        self,
+        term: str,
+        postings: Optional[Iterable[Posting]] = None,
+        *,
+        columns: Optional[Tuple[Sequence[int], Sequence[int]]] = None,
+        grouped: Optional[Mapping[int, Sequence[int]]] = None,
+        oid_set: Optional[FrozenSet[int]] = None,
+    ):
+        self.term = term
+        self._postings: Optional[List[Posting]] = None
+        self._grouped = grouped
+        self._oid_set = oid_set
+        if columns is not None:
+            self._pids, self._oids = columns
+        else:
+            materialized = list(postings) if postings is not None else []
+            self._postings = materialized
+            self._pids = array("q", (p.pid for p in materialized))
+            self._oids = array("q", (p.oid for p in materialized))
+
+    @property
+    def postings(self) -> List[Posting]:
+        """The postings as :class:`Posting` views (materialized lazily)."""
+        if self._postings is None:
+            self._postings = [
+                Posting(pid, oid) for pid, oid in zip(self._pids, self._oids)
+            ]
+        return self._postings
+
+    def oids(self) -> AbstractSet[int]:
+        """The distinct OIDs hit (memoized; do not mutate the result)."""
+        if self._oid_set is None:
+            self._oid_set = frozenset(self._oids)
+        return self._oid_set
+
+    def by_pid(self) -> Mapping[int, Sequence[int]]:
+        """pid → OID sequence: the typed relations handed to meet (Fig. 5).
+
+        Memoized on the instance; index-backed hits share the grouping
+        precomputed at index build time, so the mapping is returned
+        read-only (callers needing to regroup should copy).
+        """
+        if self._grouped is None:
+            grouped: Dict[int, List[int]] = {}
+            for pid, oid in zip(self._pids, self._oids):
+                grouped.setdefault(pid, []).append(oid)
+            self._grouped = grouped
+        if not isinstance(self._grouped, MappingProxyType):
+            self._grouped = MappingProxyType(self._grouped)
+        return self._grouped
 
     def __len__(self) -> int:
-        return len(self.postings)
+        return len(self._oids)
 
     def __bool__(self) -> bool:
-        return bool(self.postings)
+        return bool(len(self._oids))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hits):
+            return NotImplemented
+        return self.term == other.term and self.postings == other.postings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hits(term={self.term!r}, postings={len(self._oids)})"
+
+
+class _TermPostings:
+    """Frozen per-term columns: parallel pid/oid arrays plus roll-ups."""
+
+    __slots__ = ("pids", "oids", "grouped", "oid_set")
+
+    def __init__(self, pids: array, oids: array):
+        self.pids = pids
+        self.oids = oids
+        grouped: Dict[int, array] = {}
+        for pid, oid in zip(pids, oids):
+            column = grouped.get(pid)
+            if column is None:
+                grouped[pid] = column = array("q")
+            column.append(oid)
+        # Read-only view: this grouping is shared by every Hits view of
+        # the term (and, via the per-store cache, by every engine).
+        self.grouped = MappingProxyType(grouped)
+        self.oid_set = frozenset(oids)
+
+    def __len__(self) -> int:
+        return len(self.oids)
 
 
 class FullTextIndex:
@@ -70,16 +183,27 @@ class FullTextIndex:
     data that is the ``cdata`` node (so a hit *is* a node of the tree
     and can itself be a meet, as in the paper's "Bob"/"Byte" example);
     for an attribute value it is the element owning the attribute.
+
+    The index records the store ``generation`` it was built against;
+    :func:`get_fulltext_index` uses it to rebuild transparently after
+    :meth:`~repro.monet.engine.MonetXML.invalidate_caches`.
     """
 
     def __init__(self, store: MonetXML, case_sensitive: bool = False):
         self.store = store
         self.case_sensitive = case_sensitive
-        self._postings: Dict[str, List[Posting]] = {}
+        #: Store generation this index was built against.
+        self.generation = getattr(store, "generation", 0)
+        self._terms: Dict[str, _TermPostings] = {}
         self._indexed_associations = 0
         self._build()
 
     def _build(self) -> None:
+        global _builds
+        _builds += 1
+        pending: Dict[str, Tuple[List[int], List[int]]] = {}
+        intern = sys.intern
+        case_sensitive = self.case_sensitive
         for pid, relation in self.store.string_relations():
             # Postings reference the *element* path of the carrying node
             # so the meet roll-up starts from real tree nodes.
@@ -87,35 +211,58 @@ class FullTextIndex:
             for oid, value in relation:
                 self._indexed_associations += 1
                 seen: Set[str] = set()
-                for token in tokenize(value, self.case_sensitive):
+                for token in tokenize(value, case_sensitive):
                     if token in seen:
                         continue
                     seen.add(token)
-                    self._postings.setdefault(token, []).append(
-                        Posting(element_pid, oid)
-                    )
+                    columns = pending.get(token)
+                    if columns is None:
+                        pending[intern(token)] = columns = ([], [])
+                    columns[0].append(element_pid)
+                    columns[1].append(oid)
+        self._terms = {
+            token: _TermPostings(array("q", pids), array("q", oids))
+            for token, (pids, oids) in pending.items()
+        }
 
     # -- statistics ------------------------------------------------------
     @property
     def vocabulary_size(self) -> int:
-        return len(self._postings)
+        return len(self._terms)
 
     @property
     def indexed_associations(self) -> int:
         return self._indexed_associations
 
     def vocabulary(self) -> Iterable[str]:
-        return self._postings.keys()
+        return self._terms.keys()
 
     def document_frequency(self, term: str) -> int:
-        return len(self._postings.get(normalize(term, self.case_sensitive), ()))
+        entry = self._terms.get(normalize(term, self.case_sensitive))
+        return 0 if entry is None else len(entry)
 
     # -- search ------------------------------------------------------------
     def search(self, term: str) -> Hits:
-        """All associations whose string contains ``term`` as a token."""
+        """All associations whose string contains ``term`` as a token.
+
+        A dictionary look-up plus one :class:`Hits` view — no posting
+        copies, no per-posting allocation.
+        """
         token = normalize(term, self.case_sensitive)
-        postings = self._postings.get(token, [])
-        return Hits(term=term, postings=list(postings))
+        entry = self._terms.get(token)
+        if entry is None:
+            return Hits(
+                term=term,
+                columns=(_EMPTY_COLUMN, _EMPTY_COLUMN),
+                grouped={},
+                oid_set=frozenset(),
+            )
+        return Hits(
+            term=term,
+            columns=(entry.pids, entry.oids),
+            grouped=entry.grouped,
+            oid_set=entry.oid_set,
+        )
 
     def search_prefix(self, prefix: str) -> Hits:
         """All associations with a token starting with ``prefix``.
@@ -123,31 +270,38 @@ class FullTextIndex:
         Linear in vocabulary size; fine for the interactive use-case.
         """
         needle = normalize(prefix, self.case_sensitive)
-        merged: List[Posting] = []
+        merged_pids = array("q")
+        merged_oids = array("q")
         seen: Set[Tuple[int, int]] = set()
-        for token, postings in self._postings.items():
+        for token, entry in self._terms.items():
             if not token.startswith(needle):
                 continue
-            for posting in postings:
-                key = (posting.pid, posting.oid)
+            for pid, oid in zip(entry.pids, entry.oids):
+                key = (pid, oid)
                 if key not in seen:
                     seen.add(key)
-                    merged.append(posting)
-        return Hits(term=prefix + "*", postings=merged)
+                    merged_pids.append(pid)
+                    merged_oids.append(oid)
+        return Hits(term=prefix + "*", columns=(merged_pids, merged_oids))
 
     def search_any(self, terms: Iterable[str]) -> Hits:
         """Union of single-term searches (duplicate postings removed)."""
-        merged: List[Posting] = []
+        merged_pids = array("q")
+        merged_oids = array("q")
         seen: Set[Tuple[int, int]] = set()
         label: List[str] = []
         for term in terms:
             label.append(term)
-            for posting in self.search(term).postings:
-                key = (posting.pid, posting.oid)
+            entry = self._terms.get(normalize(term, self.case_sensitive))
+            if entry is None:
+                continue
+            for pid, oid in zip(entry.pids, entry.oids):
+                key = (pid, oid)
                 if key not in seen:
                     seen.add(key)
-                    merged.append(posting)
-        return Hits(term="|".join(label), postings=merged)
+                    merged_pids.append(pid)
+                    merged_oids.append(oid)
+        return Hits(term="|".join(label), columns=(merged_pids, merged_oids))
 
     def search_conjunctive(self, terms: Iterable[str]) -> Hits:
         """Associations whose string contains *all* the terms.
@@ -159,9 +313,79 @@ class FullTextIndex:
         term_list = list(terms)
         if not term_list:
             return Hits(term="")
-        result = {(p.pid, p.oid) for p in self.search(term_list[0]).postings}
-        for term in term_list[1:]:
-            other = {(p.pid, p.oid) for p in self.search(term).postings}
-            result &= other
-        postings = [Posting(pid, oid) for pid, oid in sorted(result)]
-        return Hits(term="&".join(term_list), postings=postings)
+        entries = [
+            self._terms.get(normalize(term, self.case_sensitive))
+            for term in term_list
+        ]
+        if any(entry is None for entry in entries):
+            return Hits(term="&".join(term_list))
+        result = {(pid, oid) for pid, oid in zip(entries[0].pids, entries[0].oids)}
+        for entry in entries[1:]:
+            result &= {(pid, oid) for pid, oid in zip(entry.pids, entry.oids)}
+        ordered = sorted(result)
+        return Hits(
+            term="&".join(term_list),
+            columns=(
+                array("q", (pid for pid, _ in ordered)),
+                array("q", (oid for _, oid in ordered)),
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-store cache, keyed on store identity + generation + case mode.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FullTextIndexCacheInfo:
+    """Counters of the per-store index cache (for tests and benches)."""
+
+    builds: int
+    hits: int
+    currsize: int
+
+
+_cache: "WeakKeyDictionary[MonetXML, Dict[bool, FullTextIndex]]" = (
+    WeakKeyDictionary()
+)
+_builds = 0
+_hits = 0
+
+
+def get_fulltext_index(
+    store: MonetXML, case_sensitive: bool = False
+) -> FullTextIndex:
+    """The cached :class:`FullTextIndex` of a store, (re)built on demand.
+
+    Keyed on the store object (weakly), its ``generation`` and the case
+    mode: every engine / processor serving the same store shares one
+    index, and :meth:`~repro.monet.engine.MonetXML.invalidate_caches`
+    transparently yields a rebuilt one on next use.
+    """
+    global _hits
+    per_store = _cache.get(store)
+    if per_store is None:
+        per_store = _cache[store] = {}
+    cached = per_store.get(case_sensitive)
+    if cached is not None and cached.generation == getattr(store, "generation", 0):
+        _hits += 1
+        return cached
+    index = FullTextIndex(store, case_sensitive=case_sensitive)
+    per_store[case_sensitive] = index
+    return index
+
+
+def clear_fulltext_index_cache() -> None:
+    """Drop every cached index and reset the counters (test isolation)."""
+    global _builds, _hits
+    _cache.clear()
+    _builds = 0
+    _hits = 0
+
+
+def fulltext_index_cache_info() -> FullTextIndexCacheInfo:
+    return FullTextIndexCacheInfo(
+        builds=_builds,
+        hits=_hits,
+        currsize=sum(len(entry) for entry in _cache.values()),
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..monet.engine import MonetXML
-from .index import FullTextIndex, Hits, Posting
+from .index import FullTextIndex, Hits, Posting, get_fulltext_index
 from .tokenizer import tokenize
 
 __all__ = ["SearchEngine", "contains"]
@@ -36,7 +36,21 @@ class SearchEngine:
     ):
         self.store = store
         self.case_sensitive = case_sensitive
-        self.index = index or FullTextIndex(store, case_sensitive=case_sensitive)
+        #: An explicitly supplied index is pinned; otherwise the
+        #: generation-keyed per-store cache provides (and refreshes) it.
+        self._pinned_index = index
+
+    @property
+    def index(self) -> FullTextIndex:
+        """The full-text index, kept fresh across store invalidations.
+
+        Engines sharing one store share one index build; after
+        :meth:`~repro.monet.engine.MonetXML.invalidate_caches` the next
+        access transparently serves a rebuilt index.
+        """
+        if self._pinned_index is not None:
+            return self._pinned_index
+        return get_fulltext_index(self.store, self.case_sensitive)
 
     def find(self, term: str) -> Hits:
         """Token-shaped terms use the index; others fall back to a scan.

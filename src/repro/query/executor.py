@@ -28,6 +28,12 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from ..core.backends import BackendSpec, MeetBackend, resolve_backend
 from ..core.meet_general import meet_tagged
 from ..core.restrictions import resolve_pids
+from ..core.result_cache import (
+    CacheSpec,
+    ResultCache,
+    ResultCacheInfo,
+    resolve_result_cache,
+)
 from ..datamodel.errors import QueryPlanError
 from ..datamodel.paths import Path
 from ..fulltext.search import SearchEngine
@@ -95,15 +101,50 @@ class QueryProcessor:
         search: Optional[SearchEngine] = None,
         max_rows: Optional[int] = 100_000,
         backend: BackendSpec = None,
+        cache: CacheSpec = None,
     ):
         self.store = store
         self.search = search or SearchEngine(store)
         self.max_rows = max_rows
         #: Meet execution strategy for meet(...)/distance(...) items.
         self.backend: MeetBackend = resolve_backend(store, backend)
+        #: Serving-layer result cache (off by default); keys embed the
+        #: store generation, so invalidated stores never serve stale rows.
+        self.result_cache: Optional[ResultCache] = resolve_result_cache(cache)
 
     # -- public API ---------------------------------------------------------
     def execute(self, query: Union[str, Query]) -> QueryResult:
+        cache = self.result_cache
+        key = None
+        if cache is not None and isinstance(query, str):
+            # Normalized query: only *surrounding* whitespace is safe to
+            # strip — interior runs can sit inside quoted string
+            # literals, where they change `contains` semantics.  The
+            # search case mode and backend are part of the key so a
+            # shared cache never crosses configurations.
+            cache.sync_generation(self.store.generation)
+            key = (
+                self.store.generation,
+                query.strip(),
+                self.search.case_sensitive,
+                self.backend.name,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                columns, rows = cached
+                return QueryResult(columns=list(columns), rows=list(rows))
+        result = self._execute(query)
+        if key is not None:
+            cache.put(key, (tuple(result.columns), tuple(result.rows)))
+        return result
+
+    def cache_info(self) -> Optional[ResultCacheInfo]:
+        """Result-cache counters, or ``None`` when caching is off."""
+        if self.result_cache is None:
+            return None
+        return self.result_cache.cache_info()
+
+    def _execute(self, query: Union[str, Query]) -> QueryResult:
         parsed = parse_query(query) if isinstance(query, str) else query
         plan = plan_query(parsed, self.store)
         if plan.aggregate:

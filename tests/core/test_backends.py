@@ -46,6 +46,7 @@ def _all_stores(request):
         request.getfixturevalue("figure1_store"),
         request.getfixturevalue("dblp_store"),
         request.getfixturevalue("plays_store"),
+        request.getfixturevalue("multimedia_planted")[0],
         *request.getfixturevalue("random_stores"),
     ]
 
@@ -132,6 +133,23 @@ class TestRollUps:
                         steered.meet_sets(left, right)
                     )
 
+    def test_bitmask_rollup_matches_set_rollup(self, request):
+        """The array/bitmask propagation equals the retained per-OID-set
+        reference roll-up (and hence the steered walks) on every bundled
+        dataset, including heavy multi-term workloads with shared OIDs."""
+        for store in _all_stores(request):
+            steered, indexed = _backends(store)
+            oids = self._sample_oids(store, 120, seed=29)
+            tagged = [("t%d" % (i % 5), oid) for i, oid in enumerate(oids)]
+            # Same OID under several tokens exercises the "Bob Byte" case.
+            tagged += [("t0", oid) for oid in oids[:10]]
+            via_bitmask = indexed.meet_tagged(tagged)
+            via_sets = indexed._meet_tagged_sets(tagged)
+            via_steered = steered.meet_tagged(tagged)
+            assert set(via_bitmask) == set(via_sets) == set(via_steered)
+            # The two indexed roll-ups share the emission order too.
+            assert via_bitmask == via_sets
+
     def test_meet_sets_rejects_mixed_input(self, figure1_store):
         _, indexed = _backends(figure1_store)
         counts = Counter(
@@ -189,6 +207,21 @@ class TestEnginePipeline:
             assert indexed_engine.nearest_concepts(
                 *terms, exclude_root=True
             ) == steered_engine.nearest_concepts(*terms, exclude_root=True)
+
+    def test_ranking_order_identical_on_random_store(self, random_stores):
+        """Answer sets *and* ranking order agree between backends on the
+        deep random dataset — the serving bench's differential claim."""
+        from repro.datasets.textpool import TECH_NOUNS
+
+        store = random_stores[0]
+        steered_engine = NearestConceptEngine(store, backend="steered")
+        indexed_engine = NearestConceptEngine(store, backend="indexed")
+        words = list(TECH_NOUNS)[:6]
+        for terma in words[:3]:
+            for termb in words[3:]:
+                assert indexed_engine.nearest_concepts(
+                    terma, termb
+                ) == steered_engine.nearest_concepts(terma, termb)
 
     def test_batch_matches_single(self, figure1_store):
         engine = NearestConceptEngine(figure1_store, backend="indexed")

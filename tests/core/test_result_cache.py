@@ -1,0 +1,88 @@
+"""Unit tests for the serving layer's generation-keyed LRU result cache."""
+
+import pytest
+
+from repro.core.result_cache import (
+    DEFAULT_MAXSIZE,
+    ResultCache,
+    resolve_result_cache,
+)
+
+
+class TestLru:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", (1, 2))
+        assert cache.get("k") == (1, 2)
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.cache_info().evictions == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.cache_info().evictions == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        info = cache.cache_info()
+        assert info.currsize == 0
+        assert info.hits == 1
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+
+class TestGenerationSync:
+    def test_generation_change_drops_entries(self):
+        cache = ResultCache(maxsize=8)
+        cache.sync_generation(1)
+        cache.put(("g1", "q"), "answer")
+        cache.sync_generation(1)  # no change: entry survives
+        assert len(cache) == 1
+        cache.sync_generation(2)  # store invalidated: entries dropped
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = ResultCache(maxsize=2)
+        assert cache.cache_info().hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.cache_info().hit_rate == pytest.approx(0.5)
+
+
+class TestResolve:
+    def test_off_specs(self):
+        assert resolve_result_cache(None) is None
+        assert resolve_result_cache(False) is None
+
+    def test_true_uses_default_capacity(self):
+        cache = resolve_result_cache(True)
+        assert cache.maxsize == DEFAULT_MAXSIZE
+
+    def test_int_is_capacity(self):
+        assert resolve_result_cache(17).maxsize == 17
+
+    def test_instance_passthrough(self):
+        cache = ResultCache(maxsize=3)
+        assert resolve_result_cache(cache) is cache

@@ -59,6 +59,12 @@ class TestSearch:
         )
         assert sorted(grouped[pid]) == [O["cdata_1999_a"], O["cdata_1999_b"]]
 
+    def test_by_pid_is_memoized_and_read_only(self, index):
+        hits = index.search("1999")
+        assert hits.by_pid() is hits.by_pid()
+        with pytest.raises(TypeError):
+            hits.by_pid()[999] = [1]
+
 
 class TestCompoundSearch:
     def test_search_any_unions(self, index):
