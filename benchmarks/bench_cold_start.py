@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Bench: cold-start time-to-first-query — parse+rebuild vs snapshot.
+
+The snapshot store's whole claim is that a warm start is O(bytes): no
+XML parse, no Monet transform, no Euler tour, no tokenization.  This
+bench measures **time-to-first-query** on every bundled dataset along
+the two start paths:
+
+* ``parse``    — XML text → :func:`repro.datamodel.parser.parse_document`
+  → :func:`repro.monet.transform.monet_transform` → engine (indexed
+  backend) → one ``nearest_concepts`` query; the full-text and
+  Euler-RMQ indexes are built inside the timed region, exactly what a
+  fresh process pays today.
+* ``snapshot`` — :func:`repro.snapshot.read_snapshot` (checksum pass +
+  column rebinds, caches seeded) → engine → the same query, with zero
+  index constructions (asserted via the cache build counters).
+
+A differential check asserts both paths return byte-identical ranked
+answers for every probe query before anything is timed.  Snapshot
+build time and bundle size are reported alongside (the build is paid
+once at ingest, not per start).
+
+Output: a fixed-width table (``benchmarks/out/bench_cold_start.txt``)
+plus the machine-readable ``BENCH_cold_start.json`` trajectory
+artefact at the repo root (CI smoke: ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.report import render_table, write_json_report
+from repro.core.lca_index import clear_lca_index_cache, lca_index_cache_info
+from repro.datamodel.parser import parse_document
+from repro.datamodel.serializer import serialize
+from repro.datasets import (
+    DblpConfig,
+    MultimediaConfig,
+    PlaysConfig,
+    dblp_document,
+    figure1_document,
+    multimedia_document,
+    plays_document,
+)
+from repro.datasets.randomtree import random_document
+from repro.fulltext.index import (
+    clear_fulltext_index_cache,
+    fulltext_index_cache_info,
+)
+from repro.monet.transform import monet_transform
+from repro.snapshot import read_snapshot, write_snapshot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = Path(__file__).parent / "out" / "bench_cold_start.txt"
+JSON_PATH = REPO_ROOT / "BENCH_cold_start.json"
+
+LIMIT = 5
+
+
+def _time(task: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def _best_of(task: Callable[[], object], repeat: int) -> float:
+    return min(_time(task) for _ in range(repeat))
+
+
+def _clear_caches() -> None:
+    clear_fulltext_index_cache()
+    clear_lca_index_cache()
+
+
+def _first_query_parse(xml_text: str, terms: Sequence[str]) -> list:
+    """The parse+rebuild start path, end to end."""
+    from repro.core.engine import NearestConceptEngine
+
+    store = monet_transform(parse_document(xml_text, first_oid=1))
+    engine = NearestConceptEngine(store, backend="indexed")
+    return engine.nearest_concepts(*terms, limit=LIMIT)
+
+
+def _first_query_snapshot(bundle: Path, terms: Sequence[str]) -> list:
+    """The snapshot start path, end to end."""
+    snapshot = read_snapshot(bundle)
+    return snapshot.engine().nearest_concepts(*terms, limit=LIMIT)
+
+
+def _check_differential(
+    name: str, xml_text: str, bundle: Path, queries: Sequence[Sequence[str]]
+) -> None:
+    """Both start paths must produce identical ranked answers, and the
+    snapshot path must perform zero index constructions."""
+    for terms in queries:
+        _clear_caches()
+        parsed = _first_query_parse(xml_text, terms)
+        _clear_caches()
+        loaded = _first_query_snapshot(bundle, terms)
+        if parsed != loaded:
+            raise AssertionError(
+                f"differential failure on {name}/{terms!r}: parse and "
+                f"snapshot start paths disagree"
+            )
+        if (
+            lca_index_cache_info().builds != 0
+            or fulltext_index_cache_info().builds != 0
+        ):
+            raise AssertionError(
+                f"snapshot start path on {name} rebuilt an index "
+                f"(lca builds={lca_index_cache_info().builds}, "
+                f"fulltext builds={fulltext_index_cache_info().builds})"
+            )
+
+
+def bench_dataset(
+    name: str,
+    document,
+    queries: List[Tuple[str, str]],
+    workdir: Path,
+    repeat: int,
+) -> Dict[str, object]:
+    xml_text = serialize(document)
+    # Snapshot the store the parse path would build (serialization can
+    # normalize e.g. whitespace, so the in-memory document differs).
+    store = monet_transform(parse_document(xml_text, first_oid=1))
+    bundle = workdir / f"{name}.snap"
+    build_seconds = _time(lambda: write_snapshot(store, bundle))
+    size = bundle.stat().st_size
+    print(
+        f"{name}: {store.node_count} nodes, bundle {size / 1024:.0f} KiB",
+        file=sys.stderr,
+    )
+
+    _check_differential(name, xml_text, bundle, queries)
+
+    terms = queries[0]
+
+    def run_parse() -> None:
+        _clear_caches()
+        _first_query_parse(xml_text, terms)
+
+    def run_snapshot() -> None:
+        _clear_caches()
+        _first_query_snapshot(bundle, terms)
+
+    parse_seconds = _best_of(run_parse, repeat)
+    snapshot_seconds = _best_of(run_snapshot, repeat)
+    return {
+        "dataset": name,
+        "workload": "cold_start",
+        "nodes": store.node_count,
+        "xml_bytes": len(xml_text.encode("utf-8")),
+        "snapshot_bytes": size,
+        "snapshot_build_seconds": round(build_seconds, 6),
+        "parse_seconds": round(parse_seconds, 6),
+        "snapshot_seconds": round(snapshot_seconds, 6),
+        "speedup": round(parse_seconds / snapshot_seconds, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny sizes, 1 repeat"
+    )
+    parser.add_argument("--nodes", type=int, default=60_000,
+                        help="random-tree size (the largest dataset)")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nodes, args.repeat = 3_000, 1
+
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="bench-cold-start-") as tmp:
+        workdir = Path(tmp)
+        rows.append(
+            bench_dataset(
+                "figure1",
+                figure1_document(),
+                [("Bit", "1999"), ("Bob", "Byte")],
+                workdir,
+                args.repeat,
+            )
+        )
+        plays_config = (
+            PlaysConfig(plays=2, acts_per_play=2, scenes_per_act=2)
+            if args.quick
+            else PlaysConfig(plays=6, acts_per_play=4, scenes_per_act=4)
+        )
+        rows.append(
+            bench_dataset(
+                "plays",
+                plays_document(plays_config),
+                [("crown", "ghost"), ("love", "storm")],
+                workdir,
+                args.repeat,
+            )
+        )
+        dblp_config = (
+            DblpConfig(papers_per_proceedings=8, articles_per_year=4)
+            if args.quick
+            else DblpConfig(papers_per_proceedings=60, articles_per_year=40)
+        )
+        rows.append(
+            bench_dataset(
+                "dblp",
+                dblp_document(dblp_config),
+                [("ICDE", "1999"), ("VLDB", "1994")],
+                workdir,
+                args.repeat,
+            )
+        )
+        rows.append(
+            bench_dataset(
+                "multimedia",
+                multimedia_document(
+                    MultimediaConfig(items=10 if args.quick else 120)
+                ),
+                [("wavelet", "texture"), ("motion", "region")],
+                workdir,
+                args.repeat,
+            )
+        )
+        rows.append(
+            bench_dataset(
+                "random",
+                random_document(42, nodes=args.nodes, max_children=3),
+                [("wavelet", "texture"), ("histogram", "contour")],
+                workdir,
+                args.repeat,
+            )
+        )
+
+    table = render_table(
+        [
+            "dataset",
+            "nodes",
+            "parse ttfq",
+            "snapshot ttfq",
+            "speedup",
+            "bundle",
+        ],
+        [
+            [
+                row["dataset"],
+                row["nodes"],
+                f"{row['parse_seconds'] * 1000:.1f} ms",
+                f"{row['snapshot_seconds'] * 1000:.1f} ms",
+                f"{row['speedup']:.2f}x",
+                f"{row['snapshot_bytes'] / 1024:.0f} KiB",
+            ]
+            for row in rows
+        ],
+        title="cold start: parse+rebuild vs snapshot-load time-to-first-query",
+    )
+    print(table)
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(table + "\n", encoding="utf-8")
+    written = write_json_report(
+        args.json,
+        "cold_start",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "repeat": args.repeat,
+            "limit": LIMIT,
+            "backend": "indexed",
+        },
+        rows,
+    )
+    print(f"[report written to {OUT_PATH} and {written}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

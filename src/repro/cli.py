@@ -10,13 +10,23 @@ Usage (also via ``python -m repro``)::
                              where $a contains 'Bit' and $b contains '1999'"
     repro shred     doc.xml store.json      # persist the Monet image
     repro search    store.json Bit 1999     # query the image directly
+    repro snapshot build doc.xml docs       # binary snapshot into the catalog
+    repro snapshot ls                       # list catalog collections
+    repro search    --snapshot docs a b     # zero-rebuild warm start
 
-Inputs ending in ``.json`` are treated as persisted Monet images;
-anything else is parsed as XML.
+Inputs ending in ``.json`` are treated as persisted Monet images and
+inputs ending in ``.snap`` as binary snapshot bundles; anything else
+is parsed as XML — unless the catalog (``--catalog DIR``, default
+``.repro-catalog`` or ``$REPRO_CATALOG``) already holds a fresh
+snapshot built from that very file, which is then preferred over
+re-parsing (``--stats`` reports which path was taken).
 
 ``--backend`` picks the meet execution strategy (``steered`` — the
 paper's per-query parent walks, the default — or ``indexed`` — the
 precomputed Euler-RMQ LCA index; see :mod:`repro.core.backends`).
+When serving from a snapshot the defaults follow the bundle instead:
+``indexed`` (its index is already loaded) and the bundle's case mode,
+so the warm start stays rebuild-free.
 ``--cache N`` enables the generation-keyed result cache with capacity
 N, and ``--stats`` reports timing and cache counters on stderr (see
 :mod:`repro.core.result_cache`).
@@ -25,31 +35,117 @@ N, and ``--stats`` reports timing and cache counters on stderr (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path as FsPath
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from .core.backends import BACKEND_NAMES
 from .core.engine import NearestConceptEngine
-from .datamodel.errors import ReproError
+from .datamodel.errors import ReproError, StorageError
 from .datamodel.parser import parse_document
 from .monet import storage
 from .monet.stats import collect_statistics
 from .monet.transform import monet_transform
 from .query.executor import QueryProcessor
+from .snapshot import Catalog, read_snapshot
 
 __all__ = ["main", "build_parser"]
 
+#: Fallback catalog directory (also via the REPRO_CATALOG env var).
+DEFAULT_CATALOG = ".repro-catalog"
 
-def _load_store(path: str, case_sensitive: bool = False):
+
+def _catalog_dir(args) -> FsPath:
+    explicit = getattr(args, "catalog", None)
+    if explicit:
+        return FsPath(explicit)
+    return FsPath(os.environ.get("REPRO_CATALOG", DEFAULT_CATALOG))
+
+
+def _open_catalog(args, *, create: bool = False) -> Catalog:
+    return Catalog(_catalog_dir(args), create=create)
+
+
+def _load_store(path: str, args=None) -> Tuple[object, str, object]:
+    """Resolve a CLI source to ``(store, origin, snapshot)``.
+
+    ``origin`` names the load path taken — ``parse``, ``json image``,
+    ``snapshot <file>`` or ``snapshot <catalog>:<name>`` — and is
+    reported under ``--stats`` so cold starts are observable.  An
+    explicit ``--snapshot NAME_OR_FILE`` wins; a ``.snap`` suffix is
+    always a bundle; any other source (XML or ``.json`` image) prefers
+    a fresh catalog hit — same resolved file, identical (size, mtime)
+    fingerprint — before falling back to its own loader.
+    """
+    explicit = getattr(args, "snapshot", None) if args is not None else None
+    if explicit:
+        candidate = FsPath(explicit)
+        # A catalog collection of that name wins over a same-named
+        # stray file or directory in the working directory.  A corrupt
+        # manifest must not block loading a file the user named; its
+        # error surfaces only when the file fallback cannot apply.
+        catalog_root = _catalog_dir(args)
+        catalog = None
+        catalog_error = None
+        has_collection = False
+        if (catalog_root / "catalog.json").exists():
+            try:
+                catalog = Catalog(catalog_root, create=False)
+                has_collection = explicit in catalog
+            except StorageError as exc:
+                catalog, catalog_error = None, exc
+        if candidate.suffix == ".snap" or (
+            candidate.is_file() and not has_collection
+        ):
+            snapshot = read_snapshot(candidate)
+            return snapshot.store, f"snapshot {candidate}", snapshot
+        if catalog_error is not None:
+            raise catalog_error
+        if catalog is None:
+            # Raises the precise "no such catalog directory" error.
+            catalog = Catalog(catalog_root, create=False)
+        snapshot = catalog.open(explicit)
+        return (
+            snapshot.store,
+            f"snapshot {catalog.root}:{explicit}",
+            snapshot,
+        )
     source = FsPath(path)
     if not source.exists():
         raise ReproError(f"no such file: {path}")
+    if source.suffix == ".snap":
+        snapshot = read_snapshot(source)
+        return snapshot.store, f"snapshot {source}", snapshot
+    # The catalog probe runs before the .json branch: bundles built
+    # from JSON images are warm starts too.
+    catalog_root = _catalog_dir(args) if args is not None else None
+    if catalog_root is not None and (catalog_root / "catalog.json").exists():
+        # Best-effort probe: the user asked for the XML file, so a
+        # corrupt or foreign catalog must not break the parse path —
+        # and a bundle whose case mode differs from what this command
+        # will search with must not silently change its answers.
+        requested_case = bool(getattr(args, "case_sensitive", None))
+        try:
+            catalog = Catalog(catalog_root, create=False)
+            name = catalog.find_source(source)
+            if name is not None and (
+                bool(catalog.info(name).get("case_sensitive"))
+                == requested_case
+            ):
+                snapshot = catalog.open(name)
+                return (
+                    snapshot.store,
+                    f"snapshot {catalog.root}:{name}",
+                    snapshot,
+                )
+        except StorageError:
+            pass
     if source.suffix == ".json":
-        return storage.load(source)
+        return storage.load(source), "json image", None
     text = source.read_text(encoding="utf-8")
-    return monet_transform(parse_document(text, first_oid=1))
+    return monet_transform(parse_document(text, first_oid=1)), "parse", None
 
 
 def _cache_capacity(text: str) -> int:
@@ -75,15 +171,24 @@ def build_parser() -> argparse.ArgumentParser:
     describe = sub.add_parser(
         "describe", help="print store statistics and the path summary"
     )
-    describe.add_argument("source", help="XML file or .json Monet image")
+    describe.add_argument(
+        "source", help="XML file, .json Monet image or .snap bundle"
+    )
     describe.add_argument(
         "--paths", action="store_true", help="also list every distinct path"
     )
+    _add_catalog_probe_options(describe)
 
     search = sub.add_parser(
         "search", help="nearest-concept search for two or more terms"
     )
-    search.add_argument("source", help="XML file or .json Monet image")
+    search.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="XML file, .json Monet image or .snap bundle (omit with --snapshot: "
+        "the first positional is then read as a search term)",
+    )
     search.add_argument("terms", nargs="+", help="two or more search terms")
     search.add_argument("--exclude-root", action="store_true")
     search.add_argument(
@@ -93,13 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--within", type=int, default=None, metavar="K")
     search.add_argument("--limit", type=int, default=10)
-    search.add_argument("--case-sensitive", action="store_true")
-    search.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default="steered",
-        help="meet execution strategy (default: steered)",
-    )
+    _add_engine_options(search)
     search.add_argument(
         "--cache",
         type=_cache_capacity,
@@ -115,18 +214,21 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--xml", action="store_true", help="print each result subtree as XML"
     )
+    _add_snapshot_source_options(search)
 
     query = sub.add_parser("query", help="run a select/from/where query")
-    query.add_argument("source", help="XML file or .json Monet image")
-    query.add_argument("text", help="the query string")
-    query.add_argument("--explain", action="store_true")
-    query.add_argument("--case-sensitive", action="store_true")
     query.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default="steered",
-        help="meet execution strategy (default: steered)",
+        "source",
+        nargs="?",
+        default=None,
+        help="XML file, .json Monet image or .snap bundle (omit with --snapshot: "
+        "the first positional is then read as the query)",
     )
+    query.add_argument(
+        "text", nargs="?", default=None, help="the query string"
+    )
+    query.add_argument("--explain", action="store_true")
+    _add_engine_options(query)
     query.add_argument(
         "--cache",
         type=_cache_capacity,
@@ -139,17 +241,135 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print timing and cache statistics to stderr",
     )
+    _add_snapshot_source_options(query)
 
     shred = sub.add_parser(
         "shred", help="Monet-transform an XML file and save the JSON image"
     )
     shred.add_argument("source", help="XML file")
     shred.add_argument("image", help="output .json path")
+    shred.add_argument(
+        "--indent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pretty-print the JSON image with N-space indentation",
+    )
+    _add_catalog_probe_options(shred)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="binary columnar snapshots: build, load, list, drop collections",
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    snap_build = snap_sub.add_parser(
+        "build", help="ingest XML (or a .json image) into a catalog snapshot"
+    )
+    snap_build.add_argument("source", help="XML file or .json Monet image")
+    snap_build.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="collection name (default: the source file's stem)",
+    )
+    snap_build.add_argument("--catalog", metavar="DIR", default=None)
+    snap_build.add_argument("--case-sensitive", action="store_true")
+
+    snap_load = snap_sub.add_parser(
+        "load", help="load a snapshot (warm-start check) and print its stats"
+    )
+    snap_load.add_argument("name", help="collection name or .snap file")
+    snap_load.add_argument("--catalog", metavar="DIR", default=None)
+    snap_load.add_argument(
+        "--mmap",
+        action="store_true",
+        help="map the bundle instead of copying it into memory (the open-"
+        "time checksum pass still touches every page once)",
+    )
+
+    snap_ls = snap_sub.add_parser("ls", help="list catalog collections")
+    snap_ls.add_argument("--catalog", metavar="DIR", default=None)
+
+    snap_drop = snap_sub.add_parser("drop", help="remove a catalog collection")
+    snap_drop.add_argument("name", help="collection name")
+    snap_drop.add_argument("--catalog", metavar="DIR", default=None)
     return parser
 
 
+def _add_catalog_probe_options(command: argparse.ArgumentParser) -> None:
+    """Catalog observability for commands that only *read* a store."""
+    command.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help="snapshot catalog consulted for a fresh hit on an XML source",
+    )
+    command.add_argument(
+        "--stats",
+        action="store_true",
+        help="report which load path (parse vs snapshot) was taken",
+    )
+
+
+def _add_engine_options(command: argparse.ArgumentParser) -> None:
+    """Engine knobs whose defaults follow the source.
+
+    Both default to ``None`` so the handlers can tell "not given" from
+    an explicit choice: serving from a snapshot bundle then inherits
+    the bundle's case mode and the ``indexed`` backend (whose index the
+    bundle already carries), keeping the warm start rebuild-free.
+    """
+    command.add_argument(
+        "--case-sensitive",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="case-sensitive search (default: off; with --snapshot, "
+        "the bundle's case mode)",
+    )
+    command.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="meet execution strategy (default: steered; with --snapshot "
+        "or a .snap source, indexed)",
+    )
+
+
+def _resolve_engine_options(args, snapshot) -> Tuple[bool, str]:
+    """(case_sensitive, backend) honouring snapshot-bundle defaults."""
+    case_sensitive = args.case_sensitive
+    backend = args.backend
+    if snapshot is not None:
+        if case_sensitive is None:
+            case_sensitive = snapshot.fulltext_index.case_sensitive
+        if backend is None:
+            backend = "indexed"
+    return bool(case_sensitive), backend or "steered"
+
+
+def _add_snapshot_source_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--snapshot",
+        metavar="NAME_OR_FILE",
+        default=None,
+        help="serve from a snapshot bundle (.snap file or catalog collection) "
+        "instead of parsing the source",
+    )
+    command.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help=f"snapshot catalog directory (default: {DEFAULT_CATALOG} "
+        "or $REPRO_CATALOG)",
+    )
+
+
 def _command_describe(args) -> int:
-    store = _load_store(args.source)
+    load_started = time.perf_counter()
+    store, origin, _snapshot = _load_store(args.source, args)
+    if args.stats:
+        _print_load_stats(origin, time.perf_counter() - load_started)
     statistics = collect_statistics(store)
     print(statistics.render())
     if args.paths:
@@ -157,6 +377,14 @@ def _command_describe(args) -> int:
         for name in store.relation_names():
             print(f"  {name}")
     return 0
+
+
+def _print_load_stats(origin: str, seconds: float) -> None:
+    """Report which store-load path ran (parse vs snapshot) on stderr."""
+    print(
+        f"[stats] store: loaded via {origin} in {seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
 
 
 def _print_stats(label: str, seconds: float, cache_info) -> None:
@@ -172,14 +400,34 @@ def _print_stats(label: str, seconds: float, cache_info) -> None:
 
 
 def _command_search(args) -> int:
-    if len(args.terms) < 2:
+    terms = list(args.terms)
+    if args.snapshot:
+        # --snapshot replaces the source; the first positional (parsed
+        # into the optional ``source`` slot) is really a search term.
+        if args.source is not None:
+            if FsPath(args.source).exists():
+                print(
+                    f"note: with --snapshot, {args.source!r} is treated as "
+                    "a search term, not a source",
+                    file=sys.stderr,
+                )
+            terms.insert(0, args.source)
+    elif args.source is None:
+        print("search needs a source (or --snapshot)", file=sys.stderr)
+        return 2
+    if len(terms) < 2:
         print("search needs at least two terms", file=sys.stderr)
         return 2
-    store = _load_store(args.source)
+    args.terms = terms
+    load_started = time.perf_counter()
+    store, origin, snapshot = _load_store(args.source, args)
+    if args.stats:
+        _print_load_stats(origin, time.perf_counter() - load_started)
+    case_sensitive, backend = _resolve_engine_options(args, snapshot)
     engine = NearestConceptEngine(
         store,
-        case_sensitive=args.case_sensitive,
-        backend=args.backend,
+        case_sensitive=case_sensitive,
+        backend=backend,
         cache=args.cache or None,
     )
     started = time.perf_counter()
@@ -210,11 +458,33 @@ def _command_search(args) -> int:
 def _command_query(args) -> int:
     from .fulltext.search import SearchEngine
 
-    store = _load_store(args.source)
+    if args.snapshot:
+        if args.text is not None:
+            # Both positionals plus --snapshot is ambiguous: the named
+            # source would be silently ignored in favour of the bundle.
+            print(
+                "with --snapshot, pass only the query string (no source)",
+                file=sys.stderr,
+            )
+            return 2
+        # --snapshot replaces the source; the lone positional (parsed
+        # into the optional ``source`` slot) is really the query text.
+        args.source, args.text = None, args.source
+    if args.text is None:
+        print("query needs a query string", file=sys.stderr)
+        return 2
+    if args.source is None and not args.snapshot:
+        print("query needs a source (or --snapshot)", file=sys.stderr)
+        return 2
+    load_started = time.perf_counter()
+    store, origin, snapshot = _load_store(args.source, args)
+    if args.stats:
+        _print_load_stats(origin, time.perf_counter() - load_started)
+    case_sensitive, backend = _resolve_engine_options(args, snapshot)
     processor = QueryProcessor(
         store,
-        search=SearchEngine(store, case_sensitive=args.case_sensitive),
-        backend=args.backend,
+        search=SearchEngine(store, case_sensitive=case_sensitive),
+        backend=backend,
         cache=args.cache or None,
     )
     if args.explain:
@@ -229,18 +499,92 @@ def _command_query(args) -> int:
 
 
 def _command_shred(args) -> int:
-    store = _load_store(args.source)
-    storage.save(store, args.image)
+    load_started = time.perf_counter()
+    store, origin, _snapshot = _load_store(args.source, args)
+    if args.stats:
+        _print_load_stats(origin, time.perf_counter() - load_started)
+    storage.save(store, args.image, indent=args.indent)
     print(f"wrote {args.image}: {store.node_count} nodes, "
           f"{len(store.relation_names())} relations")
     return 0
 
+
+def _command_snapshot(args) -> int:
+    handler = _SNAPSHOT_COMMANDS[args.snapshot_command]
+    return handler(args)
+
+
+def _snapshot_build(args) -> int:
+    name = args.name or FsPath(args.source).stem
+    catalog = _open_catalog(args, create=True)
+    started = time.perf_counter()
+    meta = catalog.ingest(name, args.source, case_sensitive=args.case_sensitive)
+    seconds = time.perf_counter() - started
+    print(
+        f"built {catalog.root}/{meta['file']}: {meta['node_count']} nodes, "
+        f"{meta['bytes']} bytes, generation {meta['generation']} "
+        f"({seconds * 1000:.0f} ms)"
+    )
+    return 0
+
+
+def _snapshot_load(args) -> int:
+    candidate = FsPath(args.name)
+    started = time.perf_counter()
+    if candidate.suffix == ".snap":
+        snapshot = read_snapshot(candidate, use_mmap=args.mmap)
+    else:
+        snapshot = _open_catalog(args, create=False).open(
+            args.name, use_mmap=args.mmap
+        )
+    seconds = time.perf_counter() - started
+    store = snapshot.store
+    print(
+        f"loaded {args.name}: {store.node_count} nodes, "
+        f"{len(store.summary) - 1} paths, "
+        f"{snapshot.fulltext_index.vocabulary_size} terms, "
+        f"tour {snapshot.lca_index.tour_length} "
+        f"({seconds * 1000:.1f} ms, zero index rebuilds)"
+    )
+    return 0
+
+
+def _snapshot_ls(args) -> int:
+    catalog = _open_catalog(args, create=False)
+    collections = catalog.collections()
+    if not collections:
+        print(f"catalog {catalog.root}: no collections")
+        return 0
+    print(f"catalog {catalog.root}:")
+    for name, meta in collections.items():
+        print(
+            f"  {name}: {meta.get('node_count')} nodes, "
+            f"{meta.get('bytes')} bytes, generation {meta.get('generation')}, "
+            f"source={meta.get('source') or '-'}"
+        )
+    return 0
+
+
+def _snapshot_drop(args) -> int:
+    catalog = _open_catalog(args, create=False)
+    catalog.drop(args.name)
+    print(f"dropped {args.name} from {catalog.root}")
+    return 0
+
+
+_SNAPSHOT_COMMANDS = {
+    "build": _snapshot_build,
+    "load": _snapshot_load,
+    "ls": _snapshot_ls,
+    "drop": _snapshot_drop,
+}
 
 _COMMANDS = {
     "describe": _command_describe,
     "search": _command_search,
     "query": _command_query,
     "shred": _command_shred,
+    "snapshot": _command_snapshot,
 }
 
 

@@ -136,6 +136,23 @@ class NearestConceptEngine:
                 self.search, thesaurus, min_hits=broaden_below
             )
 
+    @classmethod
+    def from_snapshot(cls, snapshot, **options) -> "NearestConceptEngine":
+        """An engine over a loaded snapshot bundle — warm from query one.
+
+        ``snapshot`` is a :class:`repro.snapshot.codec.Snapshot`: its
+        loader has already seeded the generation-keyed LCA and
+        full-text caches, so this engine's first query performs zero
+        index constructions.  Defaults follow the bundle (``indexed``
+        backend — the index is already paid for — and the bundled
+        case mode); any keyword accepted by the constructor overrides.
+        """
+        options.setdefault("backend", "indexed")
+        options.setdefault(
+            "case_sensitive", snapshot.fulltext_index.case_sensitive
+        )
+        return cls(snapshot.store, **options)
+
     @property
     def index(self) -> FullTextIndex:
         """The full-text index (shared per store, fresh per generation)."""

@@ -37,6 +37,7 @@ from ..monet.engine import MonetXML
 __all__ = [
     "LcaIndex",
     "get_lca_index",
+    "seed_lca_index",
     "clear_lca_index_cache",
     "lca_index_cache_info",
     "LcaIndexCacheInfo",
@@ -262,6 +263,63 @@ class LcaIndex:
             stack_last.append(last[oid])
         return order, parent_index
 
+    # -- persistence (the snapshot store's contract) --------------------
+    def to_arrays(self) -> Dict[str, object]:
+        """The raw index state as flat int columns, for serialization.
+
+        ``first``/``last`` are emitted in dense OID order (position =
+        ``oid - store.first_oid``), ``table_rows`` are the sparse-table
+        rows above row 0 (row 0 is the identity and is regenerated on
+        load).  Together with the store the columns reconstruct an
+        equivalent index via :meth:`from_arrays` with zero tour or
+        table rebuilding.
+        """
+        store = self.store
+        base = store.first_oid
+        count = store.node_count
+        return {
+            "tour": self._tour,
+            "depth": self._tour_depth,
+            "first": [self._first[base + i] for i in range(count)],
+            "last": [self._last[base + i] for i in range(count)],
+            "log": self._log,
+            "table_rows": self._table[1:],
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        store: MonetXML,
+        *,
+        tour,
+        depth,
+        first,
+        last,
+        log,
+        table_rows,
+    ) -> "LcaIndex":
+        """Rebind deserialized columns as a ready index — O(columns).
+
+        No Euler tour is walked and no sparse table is computed: the
+        columns (any int sequences, e.g. zero-copy memoryview casts)
+        are used as-is.  Only the dense ``first``/``last`` columns are
+        lifted back into the OID-keyed dicts the query kernels expect.
+        """
+        self = cls.__new__(cls)
+        self.store = store
+        self.generation = getattr(store, "generation", 0)
+        self._tour = tour
+        self._tour_depth = depth
+        base = store.first_oid
+        oids = range(base, base + store.node_count)
+        self._first = dict(zip(oids, first))
+        self._last = dict(zip(oids, last))
+        self._log = log
+        # Row 0 of the sparse table is position→position; ``range`` is
+        # an O(1) stand-in with identical indexing behaviour.
+        self._table = [range(len(tour)), *table_rows]
+        return self
+
     @property
     def tour_length(self) -> int:
         return len(self._tour)
@@ -310,6 +368,21 @@ def get_lca_index(store: MonetXML) -> LcaIndex:
     _cache[store] = index
     _builds += 1
     return index
+
+
+def seed_lca_index(store: MonetXML, index: LcaIndex) -> None:
+    """Install a ready index into the per-store cache without a build.
+
+    The snapshot loader's hook: a deserialized
+    :meth:`LcaIndex.from_arrays` index is registered so that every
+    subsequent :func:`get_lca_index` call — engines, backends, the CLI
+    — is a cache hit.  Neither the build nor the hit counter moves,
+    keeping the "zero constructions on warm start" property testable.
+    """
+    if index.store is not store:
+        raise ValueError("cannot seed the cache with an index of another store")
+    index.generation = getattr(store, "generation", 0)
+    _cache[store] = index
 
 
 def clear_lca_index_cache() -> None:

@@ -31,6 +31,7 @@ from typing import (
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -48,6 +49,7 @@ __all__ = [
     "Hits",
     "FullTextIndex",
     "get_fulltext_index",
+    "seed_fulltext_index",
     "clear_fulltext_index_cache",
     "fulltext_index_cache_info",
     "FullTextIndexCacheInfo",
@@ -145,23 +147,58 @@ class Hits:
 
 
 class _TermPostings:
-    """Frozen per-term columns: parallel pid/oid arrays plus roll-ups."""
+    """Frozen per-term columns: parallel pid/oid arrays plus roll-ups.
 
-    __slots__ = ("pids", "oids", "grouped", "oid_set")
+    Index builds precompute the by-pid grouping and the distinct-OID
+    set eagerly (queries always consume them); snapshot loads wrap the
+    deserialized columns via :meth:`from_frozen` and derive the
+    roll-ups lazily on first use, keeping warm starts O(bytes).
+    """
 
-    def __init__(self, pids: array, oids: array):
+    __slots__ = ("pids", "oids", "_grouped", "_oid_set")
+
+    def __init__(self, pids: Sequence[int], oids: Sequence[int]):
         self.pids = pids
         self.oids = oids
-        grouped: Dict[int, array] = {}
-        for pid, oid in zip(pids, oids):
-            column = grouped.get(pid)
-            if column is None:
-                grouped[pid] = column = array("q")
-            column.append(oid)
-        # Read-only view: this grouping is shared by every Hits view of
-        # the term (and, via the per-store cache, by every engine).
-        self.grouped = MappingProxyType(grouped)
-        self.oid_set = frozenset(oids)
+        self._grouped: Optional[Mapping[int, Sequence[int]]] = None
+        self._oid_set: Optional[FrozenSet[int]] = None
+        # Touch the properties so build-time postings stay precomputed.
+        self.grouped
+        self.oid_set
+
+    @classmethod
+    def from_frozen(
+        cls, pids: Sequence[int], oids: Sequence[int]
+    ) -> "_TermPostings":
+        """Wrap already-built columns without materializing roll-ups."""
+        self = cls.__new__(cls)
+        self.pids = pids
+        self.oids = oids
+        self._grouped = None
+        self._oid_set = None
+        return self
+
+    @property
+    def grouped(self) -> Mapping[int, Sequence[int]]:
+        cached = self._grouped
+        if cached is None:
+            built: Dict[int, array] = {}
+            for pid, oid in zip(self.pids, self.oids):
+                column = built.get(pid)
+                if column is None:
+                    built[pid] = column = array("q")
+                column.append(oid)
+            # Read-only view: this grouping is shared by every Hits
+            # view of the term (and, via the cache, by every engine).
+            cached = self._grouped = MappingProxyType(built)
+        return cached
+
+    @property
+    def oid_set(self) -> FrozenSet[int]:
+        cached = self._oid_set
+        if cached is None:
+            cached = self._oid_set = frozenset(self.oids)
+        return cached
 
     def __len__(self) -> int:
         return len(self.oids)
@@ -224,6 +261,44 @@ class FullTextIndex:
             token: _TermPostings(array("q", pids), array("q", oids))
             for token, (pids, oids) in pending.items()
         }
+
+    # -- persistence (the snapshot store's contract) --------------------
+    def iter_term_columns(self) -> Iterator[Tuple[str, Sequence[int], Sequence[int]]]:
+        """(term, pid column, oid column) per term, in dictionary order.
+
+        The snapshot writer serializes exactly these columns; the
+        roll-ups (grouping, distinct-OID sets) are derivable and are
+        not part of the on-disk contract.
+        """
+        for term, entry in self._terms.items():
+            yield term, entry.pids, entry.oids
+
+    @classmethod
+    def from_term_columns(
+        cls,
+        store: MonetXML,
+        term_columns: Iterable[Tuple[str, Sequence[int], Sequence[int]]],
+        *,
+        case_sensitive: bool = False,
+        indexed_associations: int = 0,
+    ) -> "FullTextIndex":
+        """Rebind deserialized term columns as a ready index.
+
+        No string relation is scanned and no tokenization runs (the
+        build counter stays untouched): the columns — e.g. zero-copy
+        memoryview casts over a snapshot buffer — are wrapped as frozen
+        postings whose roll-ups materialize lazily on first query.
+        """
+        self = cls.__new__(cls)
+        self.store = store
+        self.case_sensitive = case_sensitive
+        self.generation = getattr(store, "generation", 0)
+        self._indexed_associations = indexed_associations
+        self._terms = {
+            sys.intern(term): _TermPostings.from_frozen(pids, oids)
+            for term, pids, oids in term_columns
+        }
+        return self
 
     # -- statistics ------------------------------------------------------
     @property
@@ -373,6 +448,24 @@ def get_fulltext_index(
     index = FullTextIndex(store, case_sensitive=case_sensitive)
     per_store[case_sensitive] = index
     return index
+
+
+def seed_fulltext_index(store: MonetXML, index: FullTextIndex) -> None:
+    """Install a ready index into the per-store cache without a build.
+
+    The snapshot loader's hook: an index deserialized via
+    :meth:`FullTextIndex.from_term_columns` is registered under its
+    case mode so every subsequent :func:`get_fulltext_index` call is a
+    cache hit.  Neither the build nor the hit counter moves, keeping
+    the "zero constructions on warm start" property testable.
+    """
+    if index.store is not store:
+        raise ValueError("cannot seed the cache with an index of another store")
+    index.generation = getattr(store, "generation", 0)
+    per_store = _cache.get(store)
+    if per_store is None:
+        per_store = _cache[store] = {}
+    per_store[index.case_sensitive] = index
 
 
 def clear_fulltext_index_cache() -> None:

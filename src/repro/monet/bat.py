@@ -69,13 +69,25 @@ class BAT:
     # -- alternative constructors -------------------------------------
     @classmethod
     def from_columns(
-        cls, heads: Sequence[Any], tails: Sequence[Any], name: str = ""
+        cls,
+        heads: Sequence[Any],
+        tails: Sequence[Any],
+        name: str = "",
+        *,
+        copy: bool = True,
     ) -> "BAT":
+        """Build from two parallel columns.
+
+        With ``copy=False`` the (list) columns are adopted as-is — the
+        caller promises not to mutate them afterwards.  This is the
+        snapshot loader's allocation-free path; everyone else should
+        keep the defensive copy.
+        """
         if len(heads) != len(tails):
             raise ValueError("head and tail columns must have equal length")
         bat = cls(name=name)
-        bat._heads = list(heads)
-        bat._tails = list(tails)
+        bat._heads = list(heads) if copy else heads
+        bat._tails = list(tails) if copy else tails
         return bat
 
     @classmethod

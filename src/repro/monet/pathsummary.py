@@ -14,12 +14,12 @@ OID → pid column; this class supplies the pid side.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..datamodel.errors import UnknownPathError
 from ..datamodel.paths import ATTRIBUTE, Path
 
-__all__ = ["PathSummary"]
+__all__ = ["PathSummary", "ColumnarPathSummary"]
 
 
 class PathSummary:
@@ -166,3 +166,122 @@ class PathSummary:
 
     def __repr__(self) -> str:
         return f"<PathSummary paths={len(self._paths) - 1}>"
+
+
+class ColumnarPathSummary(PathSummary):
+    """A summary rebound from flat parent/label/kind columns.
+
+    The snapshot loader's summary: everything the meet machinery
+    touches per query — parent pids, depths, children, labels, the ⪯
+    walks — answers straight from the columns, so loading is O(columns)
+    with **zero** :class:`~repro.datamodel.paths.Path` constructions.
+    Path objects materialize lazily (memoized, sharing ancestor
+    prefixes), and the first *path-keyed* operation (``pid()``,
+    ``intern()``, ``in``) pays a one-off full materialization of the
+    path → pid dictionary.
+    """
+
+    def __init__(
+        self,
+        parents: Sequence[int],
+        labels: Sequence[str],
+        kinds: Sequence[int],
+    ):
+        count = len(parents) + 1
+        if not len(labels) == len(kinds) == count - 1:
+            raise ValueError("summary columns disagree in length")
+        parent_column: List[int] = [0]
+        parent_column.extend(parents)
+        label_column: List[str] = [""]
+        label_column.extend(labels)
+        attr_flags: List[bool] = [False]
+        attr_flags.extend(bool(kind) for kind in kinds)
+        depths = [0] * count
+        children: List[List[int]] = [[] for _ in range(count)]
+        for pid in range(1, count):
+            parent = parent_column[pid]
+            if not 0 <= parent < pid:
+                raise ValueError(
+                    f"summary parent {parent} out of order at pid {pid}"
+                )
+            depths[pid] = depths[parent] + 1
+            children[parent].append(pid)
+        self._parents = parent_column
+        self._labels = label_column
+        self._attr_flags = attr_flags
+        self._depths = depths
+        self._children = children
+        empty = Path()
+        self._paths = [empty] + [None] * (count - 1)  # type: ignore[list-item]
+        self._pids = {empty: 0}
+        #: Paths below this pid are present in ``_pids``.
+        self._indexed_upto = 1
+
+    # -- lazy materialization -------------------------------------------
+    def path(self, pid: int) -> Path:
+        cached = self._paths[pid]
+        if cached is None:
+            cached = self._materialize(pid)
+        return cached
+
+    def _materialize(self, pid: int) -> Path:
+        paths = self._paths
+        parents = self._parents
+        chain: List[int] = []
+        current = pid
+        while paths[current] is None:
+            chain.append(current)
+            current = parents[current]
+        path = paths[current]
+        for current in reversed(chain):
+            if self._attr_flags[current]:
+                path = path.attribute(self._labels[current])
+            else:
+                path = path.child(self._labels[current])
+            paths[current] = path
+        return path
+
+    def _ensure_index(self) -> None:
+        count = len(self._paths)
+        if self._indexed_upto >= count:
+            return
+        pids = self._pids
+        for pid in range(self._indexed_upto, count):
+            pids[self.path(pid)] = pid
+        self._indexed_upto = count
+
+    # -- overrides touching lazy state ----------------------------------
+    def label(self, pid: int) -> str:
+        return self._labels[pid]
+
+    def is_attribute(self, pid: int) -> bool:
+        return self._attr_flags[pid]
+
+    def all_paths(self) -> List[Path]:
+        return [self.path(pid) for pid in self.pids()]
+
+    def pid(self, path: Path) -> int:
+        self._ensure_index()
+        return super().pid(path)
+
+    def maybe_pid(self, path: Path) -> Optional[int]:
+        self._ensure_index()
+        return super().maybe_pid(path)
+
+    def __contains__(self, path: object) -> bool:
+        self._ensure_index()
+        return super().__contains__(path)
+
+    def intern(self, path: Path) -> int:
+        self._ensure_index()
+        pid = super().intern(path)
+        # ``intern`` may have appended this path plus missing prefixes,
+        # and it recurses through *this* override for each prefix — so
+        # sync the label/kind columns against their own length (inner
+        # frames have already covered theirs), never a captured start.
+        for new_pid in range(len(self._labels), len(self._paths)):
+            step = self._paths[new_pid].last
+            self._labels.append(step.label)
+            self._attr_flags.append(step.kind == ATTRIBUTE)
+        self._indexed_upto = len(self._paths)
+        return pid

@@ -1,0 +1,36 @@
+"""Snapshot store: binary columnar persistence with zero-rebuild loads.
+
+The JSON image of :mod:`repro.monet.storage` persists the *raw* store
+and pays a full re-parse of its relations plus an index rebuild on
+every process start.  This package persists the store **and** its
+derived indexes — the Euler-RMQ LCA machinery and the full-text term
+columns — as raw column buffers in one checksummed bundle, so a warm
+start is O(bytes) instead of O(rebuild):
+
+* :mod:`repro.snapshot.format` — the versioned binary container
+  (magic, format version, per-section CRC-32 checksums, ``mmap``-able
+  column sections);
+* :mod:`repro.snapshot.codec` — :func:`write_snapshot` /
+  :func:`read_snapshot` bundling store, LCA index and full-text index,
+  with the per-store generation-keyed caches seeded on load;
+* :mod:`repro.snapshot.catalog` — :class:`Catalog`, a directory of
+  named collections with per-collection metadata and generations.
+
+See ``benchmarks/bench_cold_start.py`` for the parse-and-rebuild vs
+snapshot-load comparison across the bundled datasets.
+"""
+
+from .catalog import Catalog
+from .codec import Snapshot, read_snapshot, write_snapshot
+from .format import FORMAT_VERSION, MAGIC, SnapshotReader, SnapshotWriter
+
+__all__ = [
+    "Catalog",
+    "Snapshot",
+    "read_snapshot",
+    "write_snapshot",
+    "SnapshotReader",
+    "SnapshotWriter",
+    "FORMAT_VERSION",
+    "MAGIC",
+]

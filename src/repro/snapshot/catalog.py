@@ -1,0 +1,290 @@
+"""A directory of named document collections, each a snapshot bundle.
+
+The multi-document face of the snapshot store: one catalog directory
+holds a ``catalog.json`` manifest plus one ``<name>.snap`` bundle per
+collection.  The manifest records per-collection metadata — source
+file, node count, byte size, a monotonically increasing **generation**
+bumped on every rebuild, timestamps — so servers and the CLI can
+list, open and refresh collections without touching the bundles.
+
+Typical flow::
+
+    catalog = Catalog("warehouse")
+    catalog.ingest("dblp", "dblp.xml")        # parse → snapshot
+    snap = catalog.open("dblp")               # O(bytes), caches seeded
+    engine = snap.engine()                    # zero index constructions
+
+Collection names are restricted to filesystem-safe characters; every
+failure mode (unknown collection, invalid name, corrupt bundle or
+manifest) raises :class:`~repro.datamodel.errors.StorageError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path as FsPath
+from typing import Dict, List, Optional, Union
+
+from ..datamodel.errors import StorageError
+from ..monet.engine import MonetXML
+from .codec import Snapshot, read_snapshot, write_snapshot
+
+__all__ = ["Catalog", "CATALOG_FILE", "CATALOG_FORMAT", "CATALOG_VERSION"]
+
+CATALOG_FILE = "catalog.json"
+CATALOG_FORMAT = "repro-snapshot-catalog"
+CATALOG_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise StorageError(
+            f"invalid collection name {name!r}: use letters, digits, '.', "
+            "'_' or '-' (must start with a letter or digit)"
+        )
+    if name.endswith(".snap"):
+        # Such a name would be unaddressable: every load path treats a
+        # ``.snap`` suffix as a bundle file, never a collection name.
+        raise StorageError(
+            f"invalid collection name {name!r}: must not end in '.snap'"
+        )
+    return name
+
+
+class Catalog:
+    """Manage the snapshot bundles of one directory.
+
+    The manifest is re-read per operation (cheap, and keeps multiple
+    processes pointed at one directory coherent enough for the CLI
+    workflow); writes go through a temp-file rename.
+    """
+
+    def __init__(self, root: Union[str, FsPath], *, create: bool = True):
+        self.root = FsPath(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise StorageError(f"no such catalog directory: {self.root}")
+
+    # -- manifest -------------------------------------------------------
+    @property
+    def manifest_path(self) -> FsPath:
+        return self.root / CATALOG_FILE
+
+    def _read_manifest(self) -> Dict[str, Dict[str, object]]:
+        path = self.manifest_path
+        if not path.exists():
+            return {}
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"corrupt catalog manifest {path}: {exc}") from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != CATALOG_FORMAT
+        ):
+            raise StorageError(f"{path} is not a snapshot catalog manifest")
+        if manifest.get("version") != CATALOG_VERSION:
+            raise StorageError(
+                f"unsupported catalog version {manifest.get('version')!r} in {path}"
+            )
+        collections = manifest.get("collections")
+        if not isinstance(collections, dict):
+            raise StorageError(f"catalog manifest {path} has no collections map")
+        return collections
+
+    def _write_manifest(self, collections: Dict[str, Dict[str, object]]) -> None:
+        payload = {
+            "format": CATALOG_FORMAT,
+            "version": CATALOG_VERSION,
+            "collections": collections,
+        }
+        temp = self.manifest_path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        temp.replace(self.manifest_path)
+
+    # -- queries --------------------------------------------------------
+    def collections(self) -> Dict[str, Dict[str, object]]:
+        """name → metadata for every registered collection (sorted)."""
+        return dict(sorted(self._read_manifest().items()))
+
+    def names(self) -> List[str]:
+        return sorted(self._read_manifest())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self._read_manifest()
+
+    def info(self, name: str) -> Dict[str, object]:
+        try:
+            return self._read_manifest()[name]
+        except KeyError:
+            raise StorageError(
+                f"no collection {name!r} in catalog {self.root}"
+            ) from None
+
+    def bundle_path(self, name: str) -> FsPath:
+        return self.root / f"{_check_name(name)}.snap"
+
+    def find_source(self, source: Union[str, FsPath]) -> Optional[str]:
+        """The collection built from ``source``, if its bundle is fresh.
+
+        A hit requires the recorded source to resolve to the same file
+        *and* the source's current (size, mtime) to equal the
+        fingerprint taken at build time — any change to the file,
+        including a restore of older content with a backdated mtime,
+        sends the caller back to parsing rather than risking stale
+        data.
+        """
+        try:
+            resolved = FsPath(source).resolve()
+            stat = resolved.stat()
+        except OSError:
+            return None
+        for name, meta in self._read_manifest().items():
+            recorded = meta.get("source")
+            if not isinstance(recorded, str):
+                continue
+            try:
+                if FsPath(recorded).resolve() != resolved:
+                    continue
+            except OSError:
+                continue
+            if (
+                meta.get("source_bytes") == stat.st_size
+                and meta.get("source_mtime_ns") == stat.st_mtime_ns
+                and self.bundle_path(name).exists()
+            ):
+                return name
+        return None
+
+    # -- mutations ------------------------------------------------------
+    def build(
+        self,
+        name: str,
+        store: MonetXML,
+        *,
+        source: Optional[Union[str, FsPath]] = None,
+        case_sensitive: bool = False,
+        _source_stat: Optional[os.stat_result] = None,
+    ) -> Dict[str, object]:
+        """Snapshot ``store`` under ``name``; returns the new metadata.
+
+        Rebuilding an existing collection bumps its generation and
+        atomically replaces the bundle.  ``_source_stat`` lets
+        :meth:`ingest` record the fingerprint of the content it
+        actually read (stat'ed *before* reading), so a source modified
+        mid-ingest can never fingerprint as fresh.
+        """
+        _check_name(name)
+        collections = self._read_manifest()
+        previous = collections.get(name, {})
+        try:
+            generation = int(previous.get("generation", 0)) + 1
+        except (TypeError, ValueError):
+            raise StorageError(
+                f"corrupt catalog manifest {self.manifest_path}: generation "
+                f"of {name!r} is not a number"
+            ) from None
+        bundle = self.bundle_path(name)
+        temp = bundle.with_suffix(".snap.tmp")
+        try:
+            size = write_snapshot(
+                store,
+                temp,
+                case_sensitive=case_sensitive,
+                extra_meta={"collection": name, "collection_generation": generation},
+            )
+            temp.replace(bundle)
+        except BaseException:
+            temp.unlink(missing_ok=True)
+            raise
+        source_fingerprint: Dict[str, object] = {}
+        if source is not None:
+            try:
+                stat = _source_stat or FsPath(source).stat()
+                source_fingerprint = {
+                    "source_bytes": stat.st_size,
+                    "source_mtime_ns": stat.st_mtime_ns,
+                }
+            except OSError:
+                pass  # unreadable source: recorded without a fingerprint
+        meta: Dict[str, object] = {
+            "file": bundle.name,
+            "source": str(FsPath(source).resolve()) if source is not None else None,
+            **source_fingerprint,
+            "node_count": store.node_count,
+            "path_count": len(store.summary) - 1,
+            "bytes": size,
+            "generation": generation,
+            "case_sensitive": case_sensitive,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        collections[name] = meta
+        self._write_manifest(collections)
+        return meta
+
+    def ingest(
+        self,
+        name: str,
+        source: Union[str, FsPath],
+        *,
+        case_sensitive: bool = False,
+    ) -> Dict[str, object]:
+        """Parse an XML file (or legacy ``.json`` image) and snapshot it."""
+        from ..datamodel.parser import parse_document
+        from ..monet import storage
+        from ..monet.transform import monet_transform
+
+        source = FsPath(source)
+        try:
+            # Fingerprint before reading: content that changes during
+            # the (potentially long) parse must not register as fresh.
+            source_stat = source.stat()
+        except OSError:
+            raise StorageError(f"no such source file: {source}") from None
+        if source.suffix == ".json":
+            store = storage.load(source)
+        else:
+            text = source.read_text(encoding="utf-8")
+            store = monet_transform(parse_document(text, first_oid=1))
+        return self.build(
+            name,
+            store,
+            source=source,
+            case_sensitive=case_sensitive,
+            _source_stat=source_stat,
+        )
+
+    def open(self, name: str, *, use_mmap: bool = False) -> Snapshot:
+        """Load one collection's bundle; caches come back pre-seeded."""
+        meta = self.info(name)
+        bundle = self.bundle_path(name)
+        if not bundle.exists():
+            raise StorageError(
+                f"collection {name!r} is registered but its bundle "
+                f"{bundle.name} is missing from {self.root}"
+            )
+        snapshot = read_snapshot(bundle, use_mmap=use_mmap)
+        snapshot.meta.setdefault("catalog", str(self.root))
+        snapshot.meta.setdefault("collection", name)
+        snapshot.meta.setdefault("collection_meta", meta)
+        return snapshot
+
+    def drop(self, name: str) -> None:
+        """Remove a collection's bundle and manifest entry."""
+        collections = self._read_manifest()
+        if name not in collections:
+            raise StorageError(f"no collection {name!r} in catalog {self.root}")
+        del collections[name]
+        bundle = self.bundle_path(name)
+        if bundle.exists():
+            bundle.unlink()
+        self._write_manifest(collections)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Catalog root={str(self.root)!r} collections={len(self.names())}>"

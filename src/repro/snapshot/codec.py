@@ -1,0 +1,476 @@
+"""Serialize one store *and* its derived indexes to a single bundle.
+
+This is the warm-start half of the paper's columnar pitch: the Monet
+relations, the path summary, the Euler-RMQ LCA machinery and the
+full-text term columns all live in dense integer/string columns, so
+persisting them is one ``tobytes()`` per column and loading is one
+checksum pass plus column rebinds — no XML parse, no Euler tour, no
+tokenization.  Section layout (all framed by
+:mod:`repro.snapshot.format`):
+
+======================  ==================================================
+``meta``                JSON: counts, root/first OID, case mode, extras
+``summary/paths``       packed path strings in pid order
+``store/oid_pid``       dense OID→pid column
+``store/oid_parent``    dense OID→parent column (``-1`` at the root)
+``store/oid_rank``      dense OID→rank column
+``edges|ranks/*``       per-family: pid list, run lengths, head, tail
+``strings/*``           pid list, run lengths, OID column, packed values
+``lca/*``               Euler tour, depths, first/last, log, sparse table
+``ft/*``                term dictionary, run lengths, pid/oid columns
+======================  ==================================================
+
+:func:`read_snapshot` returns a :class:`Snapshot` whose store has the
+per-store generation-keyed caches **pre-seeded**
+(:func:`repro.core.lca_index.seed_lca_index`,
+:func:`repro.fulltext.index.seed_fulltext_index`), so a
+:class:`~repro.core.engine.NearestConceptEngine` over it answers its
+first query with zero index constructions.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path as FsPath
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.lca_index import LcaIndex, get_lca_index, seed_lca_index
+from ..datamodel.errors import StorageError
+from ..fulltext.index import (
+    FullTextIndex,
+    get_fulltext_index,
+    seed_fulltext_index,
+)
+from ..monet.bat import BAT
+from ..monet.engine import MonetXML
+from ..monet.pathsummary import ColumnarPathSummary, PathSummary
+from .format import SnapshotReader, SnapshotWriter
+
+__all__ = ["Snapshot", "write_snapshot", "read_snapshot"]
+
+
+@dataclass
+class Snapshot:
+    """One loaded bundle: the store plus its ready-made indexes.
+
+    The store's generation-keyed caches are already seeded, so any
+    engine, backend or query processor built over ``store`` starts
+    warm; :meth:`engine` is the one-call convenience for that.
+    """
+
+    store: MonetXML
+    lca_index: LcaIndex
+    fulltext_index: FullTextIndex
+    meta: Dict[str, object] = field(default_factory=dict)
+    path: Optional[FsPath] = None
+
+    def engine(self, **options):
+        """A warm :class:`~repro.core.engine.NearestConceptEngine`."""
+        from ..core.engine import NearestConceptEngine
+
+        return NearestConceptEngine.from_snapshot(self, **options)
+
+
+# ---------------------------------------------------------------------------
+# Writing.
+# ---------------------------------------------------------------------------
+
+def _add_relation_family(
+    writer: SnapshotWriter, name: str, relations: Dict[int, BAT]
+) -> None:
+    """Serialize one int×int relation family as four flat columns."""
+    pids: List[int] = []
+    lengths: List[int] = []
+    heads: List[int] = []
+    tails: List[int] = []
+    for pid in sorted(relations):
+        relation = relations[pid]
+        pids.append(pid)
+        lengths.append(len(relation))
+        heads.extend(relation.heads)
+        tails.extend(relation.tails)
+    writer.add_array(f"{name}/pids", pids)
+    writer.add_array(f"{name}/lens", lengths)
+    writer.add_array(f"{name}/heads", heads)
+    writer.add_array(f"{name}/tails", tails)
+
+
+def write_snapshot(
+    store: MonetXML,
+    path: Union[str, FsPath],
+    *,
+    case_sensitive: bool = False,
+    extra_meta: Optional[Dict[str, object]] = None,
+    _writer_byteorder: Optional[int] = None,
+) -> int:
+    """Write the bundle for ``store`` to ``path``; returns byte count.
+
+    The LCA and full-text indexes are obtained through their
+    generation-keyed caches (building them here if the store is cold),
+    so snapshotting a warm server costs only serialization.
+    ``case_sensitive`` selects which full-text variant is bundled.
+    """
+    summary = store.summary
+    lca = get_lca_index(store)
+    fulltext = get_fulltext_index(store, case_sensitive)
+
+    writer = (
+        SnapshotWriter()
+        if _writer_byteorder is None
+        else SnapshotWriter(_byteorder=_writer_byteorder)
+    )
+    arrays = lca.to_arrays()
+    table_rows: Sequence[Sequence[int]] = arrays["table_rows"]  # type: ignore[assignment]
+
+    terms: List[str] = []
+    term_lengths: List[int] = []
+    term_pids: List[int] = []
+    term_oids: List[int] = []
+    for term, pids, oids in fulltext.iter_term_columns():
+        terms.append(term)
+        term_lengths.append(len(oids))
+        term_pids.extend(pids)
+        term_oids.extend(oids)
+
+    meta: Dict[str, object] = {
+        "node_count": store.node_count,
+        "root_oid": store.root_oid,
+        "first_oid": store.first_oid,
+        "path_count": len(summary) - 1,
+        "tour_length": lca.tour_length,
+        "table_row_count": len(table_rows),
+        "case_sensitive": case_sensitive,
+        "indexed_associations": fulltext.indexed_associations,
+        "vocabulary_size": fulltext.vocabulary_size,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    writer.add_json("meta", meta)
+
+    # Columnar path summary: parent pid, step kind and label per pid.
+    # (Not path strings — re-parsing them costs O(total path depth)
+    # with per-prefix interning, which dominates load on path-heavy
+    # stores; one parent-pointer step per path is O(paths).)
+    writer.add_array(
+        "summary/parents", (summary.parent(pid) for pid in summary.pids())
+    )
+    writer.add_array(
+        "summary/kinds",
+        (1 if summary.is_attribute(pid) else 0 for pid in summary.pids()),
+    )
+    writer.add_strings(
+        "summary/labels", (summary.label(pid) for pid in summary.pids())
+    )
+
+    root_index = store.root_oid - store.first_oid
+    parents = [
+        -1 if parent is None else parent
+        for parent in (store.parent_of(oid) for oid in store.iter_oids())
+    ]
+    if parents[root_index] != -1:
+        raise StorageError("store root has a parent; refusing to snapshot")
+    writer.add_array("store/oid_pid", (store.pid_of(oid) for oid in store.iter_oids()))
+    writer.add_array("store/oid_parent", parents)
+    writer.add_array("store/oid_rank", (store.rank_of(oid) for oid in store.iter_oids()))
+
+    _add_relation_family(writer, "edges", store.edges)
+    _add_relation_family(writer, "ranks", store.ranks)
+
+    string_pids: List[int] = []
+    string_lengths: List[int] = []
+    string_oids: List[int] = []
+    string_values: List[str] = []
+    for pid in sorted(store.strings):
+        relation = store.strings[pid]
+        string_pids.append(pid)
+        string_lengths.append(len(relation))
+        string_oids.extend(relation.heads)
+        string_values.extend(relation.tails)
+    writer.add_array("strings/pids", string_pids)
+    writer.add_array("strings/lens", string_lengths)
+    writer.add_array("strings/oids", string_oids)
+    writer.add_strings("strings/values", string_values)
+
+    writer.add_array("lca/tour", arrays["tour"])
+    writer.add_array("lca/depth", arrays["depth"])
+    writer.add_array("lca/first", arrays["first"])
+    writer.add_array("lca/last", arrays["last"])
+    writer.add_array("lca/log", arrays["log"])
+    writer.add_array("lca/table_lens", (len(row) for row in table_rows))
+    # Accumulate straight into the typed column: the sparse table is
+    # O(n log n) entries, far too many to box as a Python int list.
+    flat_table = array("q")
+    for row in table_rows:
+        flat_table.extend(row)
+    writer.add_array("lca/table", flat_table)
+
+    writer.add_strings("ft/terms", terms)
+    writer.add_array("ft/lens", term_lengths)
+    writer.add_array("ft/pids", term_pids)
+    writer.add_array("ft/oids", term_oids)
+
+    return writer.write(path)
+
+
+# ---------------------------------------------------------------------------
+# Reading.
+# ---------------------------------------------------------------------------
+
+def _meta_int(meta: Dict[str, object], key: str, default: int) -> int:
+    """A meta field as an int, or :class:`StorageError` — never TypeError."""
+    value = meta.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise StorageError(
+            f"snapshot meta field {key!r} is not an integer: {value!r}"
+        )
+    return value
+
+
+def _slice_runs(
+    column: Sequence[int], lengths: Sequence[int], section: str
+) -> List[Sequence[int]]:
+    """Split one flat column back into runs of the recorded lengths."""
+    runs: List[Sequence[int]] = []
+    position = 0
+    for length in lengths:
+        runs.append(column[position : position + length])
+        position += length
+    if position != len(column):
+        raise StorageError(
+            f"section {section!r} length disagrees with its run lengths "
+            f"({position} != {len(column)})"
+        )
+    return runs
+
+
+class _LazyRelationFamily(Mapping):
+    """pid → BAT over flat head/tail columns, materialized on access.
+
+    A loaded store carries one relation per path — often hundreds of
+    thousands of tiny BATs — but a query touches only the handful its
+    hit paths name.  This mapping keeps the family as two flat columns
+    plus a pid → (start, stop) index and builds (then memoizes) each
+    BAT on first access, so loading costs O(relations) dict inserts
+    instead of O(relations) object graphs.  Read-only by design, like
+    the eager dicts it replaces.
+    """
+
+    __slots__ = ("_spans", "_heads", "_tails", "_cache")
+
+    def __init__(
+        self,
+        pids: Sequence[int],
+        lengths: Sequence[int],
+        heads: Sequence[int],
+        tails: Sequence,
+        section: str,
+        summary: PathSummary,
+    ):
+        if len(pids) != len(lengths):
+            raise StorageError(
+                f"section {section!r} pid/length columns disagree"
+            )
+        path_count = len(summary)
+        spans: Dict[int, Tuple[int, int]] = {}
+        position = 0
+        for pid, length in zip(pids, lengths):
+            if not 0 < pid < path_count:
+                raise StorageError(
+                    f"section {section!r} references unknown pid {pid}"
+                )
+            if pid in spans:
+                raise StorageError(
+                    f"section {section!r} repeats pid {pid}"
+                )
+            spans[pid] = (position, position + length)
+            position += length
+        if position != len(heads) or position != len(tails):
+            raise StorageError(
+                f"section {section!r} length disagrees with its run lengths "
+                f"({position} != {len(heads)}/{len(tails)})"
+            )
+        self._spans = spans
+        self._heads = heads
+        self._tails = tails
+        self._cache: Dict[int, BAT] = {}
+
+    def __getitem__(self, pid: int) -> BAT:
+        cached = self._cache.get(pid)
+        if cached is not None:
+            return cached
+        start, stop = self._spans[pid]  # KeyError is the Mapping contract
+        heads = self._heads[start:stop]
+        tails = self._tails[start:stop]
+        relation = BAT.from_columns(
+            heads.tolist() if hasattr(heads, "tolist") else list(heads),
+            tails.tolist() if hasattr(tails, "tolist") else list(tails),
+            copy=False,
+        )
+        self._cache[pid] = relation
+        return relation
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._spans
+
+
+def _rebuild_summary(reader: SnapshotReader) -> PathSummary:
+    # Parents must precede children — the invariant that makes a single
+    # forward pass reproduce the original pid assignment.
+    try:
+        return ColumnarPathSummary(
+            reader.array("summary/parents"),
+            reader.strings("summary/labels"),
+            reader.array("summary/kinds"),
+        )
+    except ValueError as exc:
+        raise StorageError(f"corrupt path summary: {exc}") from exc
+
+
+def _rebuild_relation_family(
+    reader: SnapshotReader, name: str, summary: PathSummary
+) -> Mapping:
+    return _LazyRelationFamily(
+        reader.array(f"{name}/pids"),
+        reader.array(f"{name}/lens"),
+        reader.array(f"{name}/heads"),
+        reader.array(f"{name}/tails"),
+        name,
+        summary,
+    )
+
+
+def _rebuild_store(reader: SnapshotReader, meta: Dict[str, object]) -> MonetXML:
+    summary = _rebuild_summary(reader)
+    try:
+        node_count = int(meta["node_count"])  # type: ignore[index]
+        root_oid = int(meta["root_oid"])  # type: ignore[index]
+        first_oid = int(meta["first_oid"])  # type: ignore[index]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"snapshot meta section is incomplete: {exc}") from exc
+
+    oid_pid = reader.tolist("store/oid_pid")
+    oid_parent: List[Optional[int]] = reader.tolist("store/oid_parent")
+    oid_rank = reader.tolist("store/oid_rank")
+    if not (len(oid_pid) == len(oid_parent) == len(oid_rank) == node_count):
+        raise StorageError(
+            "store columns disagree with the recorded node count "
+            f"({len(oid_pid)}/{len(oid_parent)}/{len(oid_rank)} != {node_count})"
+        )
+    root_index = root_oid - first_oid
+    if not 0 <= root_index < node_count or oid_parent[root_index] != -1:
+        raise StorageError("snapshot root OID does not denote a parentless node")
+    oid_parent[root_index] = None
+
+    edges = _rebuild_relation_family(reader, "edges", summary)
+    ranks = _rebuild_relation_family(reader, "ranks", summary)
+    strings = _LazyRelationFamily(
+        reader.array("strings/pids"),
+        reader.array("strings/lens"),
+        reader.array("strings/oids"),
+        reader.strings("strings/values"),
+        "strings",
+        summary,
+    )
+
+    return MonetXML(
+        summary=summary,
+        root_oid=root_oid,
+        first_oid=first_oid,
+        oid_pid=oid_pid,
+        oid_parent=oid_parent,
+        oid_rank=oid_rank,
+        edges=edges,
+        strings=strings,
+        ranks=ranks,
+    )
+
+
+def _rebuild_lca_index(
+    reader: SnapshotReader, store: MonetXML, meta: Dict[str, object]
+) -> LcaIndex:
+    tour = reader.array("lca/tour")
+    depth = reader.array("lca/depth")
+    first = reader.array("lca/first")
+    last = reader.array("lca/last")
+    log = reader.array("lca/log")
+    if len(tour) != len(depth):
+        raise StorageError("LCA tour and depth columns disagree in length")
+    if len(first) != store.node_count or len(last) != store.node_count:
+        raise StorageError("LCA first/last columns disagree with the node count")
+    if len(log) != len(tour) + 1:
+        raise StorageError("LCA log column disagrees with the tour length")
+    if _meta_int(meta, "tour_length", len(tour)) != len(tour):
+        raise StorageError("LCA tour length disagrees with the meta section")
+    lengths = reader.tolist("lca/table_lens")
+    table_rows = _slice_runs(reader.array("lca/table"), lengths, "lca/table")
+    expected_rows = log[len(tour)] if len(tour) else 0
+    if len(table_rows) != expected_rows:
+        raise StorageError(
+            f"LCA sparse table has {len(table_rows)} rows, expected {expected_rows}"
+        )
+    return LcaIndex.from_arrays(
+        store,
+        tour=tour,
+        depth=depth,
+        first=first,
+        last=last,
+        log=log,
+        table_rows=table_rows,
+    )
+
+
+def _rebuild_fulltext_index(
+    reader: SnapshotReader, store: MonetXML, meta: Dict[str, object]
+) -> FullTextIndex:
+    terms = reader.strings("ft/terms")
+    lengths = reader.tolist("ft/lens")
+    if len(terms) != len(lengths):
+        raise StorageError("full-text term and length columns disagree")
+    pid_runs = _slice_runs(reader.array("ft/pids"), lengths, "ft/pids")
+    oid_runs = _slice_runs(reader.array("ft/oids"), lengths, "ft/oids")
+    return FullTextIndex.from_term_columns(
+        store,
+        zip(terms, pid_runs, oid_runs),
+        case_sensitive=bool(meta.get("case_sensitive", False)),
+        indexed_associations=_meta_int(meta, "indexed_associations", 0),
+    )
+
+
+def read_snapshot(
+    source: Union[str, FsPath, bytes, bytearray, memoryview],
+    *,
+    use_mmap: bool = False,
+) -> Snapshot:
+    """Load a bundle and seed the store's derived-index caches.
+
+    ``source`` is a file path (optionally ``mmap``-backed) or an
+    in-memory buffer.  On return, :func:`~repro.core.lca_index.get_lca_index`
+    and :func:`~repro.fulltext.index.get_fulltext_index` answer from
+    the deserialized indexes — zero constructions — for any engine
+    bound to the returned store.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        reader = SnapshotReader(source)
+        path: Optional[FsPath] = None
+    else:
+        path = FsPath(source)
+        reader = SnapshotReader.open(path, use_mmap=use_mmap)
+    meta = reader.json("meta")
+    if not isinstance(meta, dict):
+        raise StorageError("snapshot meta section is not a JSON object")
+    store = _rebuild_store(reader, meta)
+    lca = _rebuild_lca_index(reader, store, meta)
+    fulltext = _rebuild_fulltext_index(reader, store, meta)
+    seed_lca_index(store, lca)
+    seed_fulltext_index(store, fulltext)
+    return Snapshot(
+        store=store, lca_index=lca, fulltext_index=fulltext, meta=meta, path=path
+    )

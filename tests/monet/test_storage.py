@@ -58,3 +58,112 @@ class TestErrors:
 
     def test_indent_option(self, figure1_store):
         assert "\n" in dumps(figure1_store, indent=2)
+
+
+class TestSaveIndent:
+    def test_save_passes_indent_through(self, tmp_path, figure1_store):
+        compact = tmp_path / "compact.json"
+        pretty = tmp_path / "pretty.json"
+        save(figure1_store, compact)
+        save(figure1_store, pretty, indent=2)
+        compact_text = compact.read_text(encoding="utf-8")
+        pretty_text = pretty.read_text(encoding="utf-8")
+        assert "\n" not in compact_text
+        assert pretty_text.count("\n") > 10
+        assert load(pretty).node_count == figure1_store.node_count
+
+    def test_pretty_image_matches_dumps(self, tmp_path, figure1_store):
+        path = tmp_path / "image.json"
+        save(figure1_store, path, indent=4)
+        assert path.read_text(encoding="utf-8") == dumps(figure1_store, indent=4)
+
+
+class TestCorruptImages:
+    """Every corruption mode raises StorageError with a precise reason."""
+
+    def _image(self, figure1_store):
+        import json
+
+        return json.loads(dumps(figure1_store))
+
+    def _loads(self, image):
+        import json
+
+        return loads(json.dumps(image))
+
+    def test_missing_required_key(self, figure1_store):
+        for key in ("paths", "edges", "strings", "ranks",
+                    "first_oid", "node_count", "root_oid"):
+            image = self._image(figure1_store)
+            del image[key]
+            with pytest.raises(
+                StorageError, match=f"required field {key!r} is missing"
+            ):
+                self._loads(image)
+
+    def test_malformed_buns(self, figure1_store):
+        image = self._image(figure1_store)
+        name = next(iter(image["edges"]))
+        image["edges"][name] = [[1, 2, 3]]  # not a (head, tail) pair
+        with pytest.raises(StorageError, match="corrupt relation"):
+            self._loads(image)
+
+    def test_non_list_relation(self, figure1_store):
+        image = self._image(figure1_store)
+        name = next(iter(image["ranks"]))
+        image["ranks"][name] = 42
+        with pytest.raises(StorageError, match="corrupt relation"):
+            self._loads(image)
+
+    def test_relation_family_not_a_mapping(self, figure1_store):
+        image = self._image(figure1_store)
+        image["strings"] = ["not", "a", "mapping"]
+        with pytest.raises(StorageError, match="not a mapping"):
+            self._loads(image)
+
+    def test_oid_outside_declared_range(self, figure1_store):
+        image = self._image(figure1_store)
+        image["node_count"] = 3  # truncate the declared range
+        with pytest.raises(StorageError, match="outside the declared"):
+            self._loads(image)
+
+    def test_non_numeric_counts(self, figure1_store):
+        image = self._image(figure1_store)
+        image["node_count"] = "nineteen"
+        with pytest.raises(StorageError, match="must be ints"):
+            self._loads(image)
+
+    def test_non_numeric_rank(self, figure1_store):
+        image = self._image(figure1_store)
+        name = next(iter(image["ranks"]))
+        image["ranks"][name][0][1] = "not-a-rank"
+        with pytest.raises(StorageError, match="non-numeric rank"):
+            self._loads(image)
+
+    def test_non_numeric_parent(self, figure1_store):
+        image = self._image(figure1_store)
+        name = next(iter(image["edges"]))
+        image["edges"][name][0][0] = "not-a-parent"
+        with pytest.raises(StorageError, match="non-numeric parent"):
+            self._loads(image)
+
+    def test_non_numeric_oid(self, figure1_store):
+        image = self._image(figure1_store)
+        name = next(iter(image["ranks"]))
+        image["ranks"][name][0] = ["x", 1]
+        with pytest.raises(StorageError, match="corrupt|non-numeric"):
+            self._loads(image)
+
+    def test_inconsistent_columns(self, figure1_store):
+        # Move an edge into the wrong relation: every piece parses, but
+        # the pid cross-validation of the rebuilt columns fails.
+        image = self._image(figure1_store)
+        names = iter(image["edges"])
+        first, second = next(names), next(names)
+        image["edges"][second].append(image["edges"][first].pop(0))
+        with pytest.raises(StorageError, match="inconsistent image"):
+            self._loads(image)
+
+    def test_not_an_object(self):
+        with pytest.raises(StorageError, match="not a JSON object"):
+            loads("[1, 2, 3]")

@@ -1,0 +1,165 @@
+"""Unit tests for the binary snapshot container (framing + corruption)."""
+
+import struct
+
+import pytest
+
+from repro.datamodel.errors import StorageError
+from repro.snapshot.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotReader,
+    SnapshotWriter,
+)
+
+
+def _container(**sections) -> bytes:
+    writer = SnapshotWriter()
+    for name, value in sections.items():
+        if isinstance(value, bytes):
+            writer.add_bytes(name, value)
+        elif isinstance(value, list) and value and isinstance(value[0], str):
+            writer.add_strings(name, value)
+        elif isinstance(value, list):
+            writer.add_array(name, value)
+        else:
+            writer.add_json(name, value)
+    return writer.tobytes()
+
+
+class TestRoundTrip:
+    def test_bytes_section(self):
+        reader = SnapshotReader(_container(blob=b"\x00\x01payload"))
+        assert bytes(reader.raw("blob")) == b"\x00\x01payload"
+
+    def test_array_section(self):
+        reader = SnapshotReader(_container(column=[0, 1, -5, 2**40]))
+        assert reader.tolist("column") == [0, 1, -5, 2**40]
+        view = reader.array("column")
+        assert view[2] == -5 and len(view) == 4
+
+    def test_empty_array_section(self):
+        reader = SnapshotReader(_container(column=[]))
+        assert reader.tolist("column") == []
+
+    def test_json_section(self):
+        payload = {"name": "x", "count": 3, "nested": [1, 2]}
+        reader = SnapshotReader(_container(meta=payload))
+        assert reader.json("meta") == payload
+
+    def test_strings_section(self):
+        strings = ["", "plain", "unicode: ßø∀", "a/b@c"]
+        reader = SnapshotReader(_container(terms=strings))
+        assert reader.strings("terms") == strings
+
+    def test_many_sections_survive_together(self):
+        reader = SnapshotReader(
+            _container(a=[1, 2], b=b"xyz", c=["s1", "s2"], d={"k": 1})
+        )
+        assert set(reader.section_names()) == {"a", "b", "c", "d"}
+        assert "a" in reader and "missing" not in reader
+
+    def test_payloads_are_8_byte_aligned(self):
+        # Alignment keeps memoryview casts cheap and layouts stable.
+        writer = SnapshotWriter()
+        writer.add_bytes("odd-name!", b"x" * 3)
+        writer.add_array("col", [7])
+        data = writer.tobytes()
+        reader = SnapshotReader(data)
+        assert reader.tolist("col") == [7]
+
+    def test_duplicate_section_rejected_at_write(self):
+        writer = SnapshotWriter()
+        writer.add_array("col", [1])
+        with pytest.raises(ValueError):
+            writer.add_array("col", [2])
+
+    def test_cross_endian_fallback(self):
+        # A writer forced to the foreign byte order must still read
+        # back correctly (via the byteswap fallback).
+        foreign = 1 if struct.pack("=H", 1) == struct.pack("<H", 1) else 0
+        writer = SnapshotWriter(_byteorder=foreign)
+        writer.add_array("col", [1, -2, 3])
+        writer.add_strings("strs", ["ab", "c"])
+        reader = SnapshotReader(writer.tobytes())
+        assert reader.tolist("col") == [1, -2, 3]
+        assert reader.strings("strs") == ["ab", "c"]
+
+
+class TestCorruption:
+    def test_empty_file(self):
+        with pytest.raises(StorageError, match="truncated"):
+            SnapshotReader(b"")
+
+    def test_bad_magic(self):
+        data = bytearray(_container(col=[1]))
+        data[:4] = b"NOPE"
+        with pytest.raises(StorageError, match="bad magic"):
+            SnapshotReader(bytes(data))
+
+    def test_version_mismatch(self):
+        data = bytearray(_container(col=[1]))
+        struct.pack_into("<H", data, 4, FORMAT_VERSION + 1)
+        with pytest.raises(StorageError, match="unsupported snapshot version"):
+            SnapshotReader(bytes(data))
+
+    def test_checksum_failure(self):
+        data = bytearray(_container(col=[1, 2, 3]))
+        data[-1] ^= 0xFF  # flip a payload byte
+        with pytest.raises(StorageError, match="checksum failure"):
+            SnapshotReader(bytes(data))
+
+    def test_truncated_section(self):
+        data = _container(col=[1, 2, 3])
+        with pytest.raises(StorageError, match="truncated section"):
+            SnapshotReader(data[:-4])
+
+    def test_truncated_header(self):
+        data = _container(col=[1])
+        with pytest.raises(StorageError, match="truncated"):
+            SnapshotReader(data[:5])
+
+    def test_missing_section(self):
+        reader = SnapshotReader(_container(col=[1]))
+        with pytest.raises(StorageError, match="no section"):
+            reader.array("other")
+
+    def test_misshapen_int_column(self):
+        reader = SnapshotReader(_container(blob=b"123"))
+        with pytest.raises(StorageError, match="not an int64 column"):
+            reader.array("blob")
+
+    def test_corrupt_json(self):
+        reader = SnapshotReader(_container(blob=b"{nope"))
+        with pytest.raises(StorageError, match="corrupt JSON"):
+            reader.json("blob")
+
+    def test_truncated_string_offsets(self):
+        # Claim more strings than the offsets column can hold.
+        payload = struct.pack("<Q", 100) + b"\x00" * 16
+        reader = SnapshotReader(_container(blob=payload))
+        with pytest.raises(StorageError, match="truncated string offsets"):
+            reader.strings("blob")
+
+    def test_inconsistent_string_offsets(self):
+        from repro.snapshot.format import pack_strings
+
+        payload = bytearray(pack_strings(["ab", "cd"]))
+        struct.pack_into("<q", payload, 8 + 16, 99)  # final end offset
+        reader = SnapshotReader(_container(blob=bytes(payload)))
+        with pytest.raises(StorageError, match="inconsistent string offsets"):
+            reader.strings("blob")
+
+    def test_corrupt_utf8_blob(self):
+        payload = struct.pack("<Q", 1) + struct.pack("<qq", 0, 2) + b"\xff\xfe"
+        reader = SnapshotReader(_container(blob=payload))
+        with pytest.raises(StorageError, match="corrupt UTF-8"):
+            reader.strings("blob")
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot read snapshot"):
+            SnapshotReader.open(tmp_path / "absent.snap")
+
+    def test_magic_constant_stability(self):
+        # The on-disk contract: files start with the magic, verbatim.
+        assert _container()[:4] == MAGIC == b"RXSN"
