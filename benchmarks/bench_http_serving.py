@@ -1,0 +1,325 @@
+#!/usr/bin/env python
+"""Bench: end-to-end HTTP/JSON serving vs in-process ``Database`` calls.
+
+PR 4 put one network front door (``repro serve``) over the serving
+path that PRs 1–3 made fast; this bench prices the door.  On the
+largest bundled dataset (the 84k-node random tree, indexed backend)
+it measures nearest-concept queries/sec in four regimes:
+
+* ``inproc``      — ``Database.nearest`` called directly (the facade
+  tax over the bare engine is itself differentially checked to be
+  zero answers-wise; this row is the ceiling).
+* ``http-seq``    — one client, one persistent HTTP/1.1 connection,
+  requests issued back-to-back.  The per-request HTTP tax.
+* ``http-conc8``  — 8 client threads, one persistent connection each,
+  against the ``ThreadingHTTPServer``.  Thread-per-connection scaling
+  (GIL-bound: compute does not parallelize, but requests overlap
+  serialization with compute).
+* ``http-conc8-cached`` — the same concurrent stream with the shared
+  result cache enabled: the steady state of a server answering
+  repeating traffic.
+
+A differential check asserts the HTTP answers equal the in-process
+envelopes (identical ranked answers, identical ranking keys) before
+anything is timed.
+
+Output: a fixed-width table (``benchmarks/out/bench_http_serving.txt``)
+plus the machine-readable ``BENCH_http_serving.json`` trajectory
+artefact at the repo root (CI smoke: ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import Database, DatabaseOptions, ReproServer
+from repro.api.envelopes import NearestRequest, ResultEnvelope
+from repro.bench.report import render_table, write_json_report
+from repro.datasets.randomtree import random_document
+from repro.datasets.textpool import TECH_NOUNS
+from repro.monet.transform import monet_transform
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = Path(__file__).parent / "out" / "bench_http_serving.txt"
+JSON_PATH = REPO_ROOT / "BENCH_http_serving.json"
+
+LIMIT = 5
+
+
+def _time(task: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def _best_of(task: Callable[[], object], repeat: int) -> float:
+    return min(_time(task) for _ in range(repeat))
+
+
+def _request_payload(terms: Sequence[str]) -> Dict[str, object]:
+    return {"terms": list(terms), "limit": LIMIT}
+
+
+class _Client:
+    """One persistent HTTP/1.1 connection posting nearest requests."""
+
+    def __init__(self, host: str, port: int):
+        self.connection = http.client.HTTPConnection(host, port)
+
+    def nearest(self, terms: Sequence[str]) -> Dict[str, object]:
+        self.connection.request(
+            "POST",
+            "/v1/nearest",
+            body=json.dumps(_request_payload(terms)),
+            headers={"Content-Type": "application/json"},
+        )
+        response = self.connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise AssertionError(
+                f"HTTP {response.status} for {terms!r}: {body[:200]!r}"
+            )
+        return json.loads(body)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def _check_differential(
+    database: Database, server: ReproServer, queries: Sequence[Tuple[str, str]]
+) -> None:
+    """HTTP answers must equal in-process envelopes before timing."""
+    client = _Client(server.host, server.port)
+    try:
+        for terms in queries:
+            local = database.nearest(
+                NearestRequest(terms=terms, limit=LIMIT)
+            )
+            remote = ResultEnvelope.from_dict(client.nearest(terms))
+            if list(remote.answers) != list(local.answers):
+                raise AssertionError(
+                    f"differential failure on {terms!r}: HTTP and "
+                    "in-process answers disagree"
+                )
+    finally:
+        client.close()
+
+
+def _run_http(
+    server: ReproServer,
+    queries: Sequence[Tuple[str, str]],
+    clients: int,
+) -> None:
+    if clients == 1:
+        client = _Client(server.host, server.port)
+        try:
+            for terms in queries:
+                client.nearest(terms)
+        finally:
+            client.close()
+        return
+    pool_clients = [_Client(server.host, server.port) for _ in range(clients)]
+    try:
+        def worker(index: int) -> None:
+            client = pool_clients[index % clients]
+            for position in range(index, len(queries), clients):
+                client.nearest(queries[position])
+
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            list(pool.map(worker, range(clients)))
+    finally:
+        for client in pool_clients:
+            client.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny sizes, 1 repeat"
+    )
+    parser.add_argument("--nodes", type=int, default=60_000,
+                        help="random-tree size (the largest dataset)")
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nodes, args.queries, args.repeat = 3_000, 30, 1
+
+    rng = random.Random(17)
+    store = monet_transform(
+        random_document(42, nodes=args.nodes, max_children=3)
+    )
+    print(
+        f"random: {store.node_count} nodes, "
+        f"{len(store.summary) - 1} paths", file=sys.stderr
+    )
+    words = list(TECH_NOUNS)[:12]
+    queries = [tuple(rng.sample(words, 2)) for _ in range(args.queries)]
+
+    uncached = Database(
+        store, options=DatabaseOptions(backend="indexed", cache=None)
+    )
+    cached = Database(
+        store,
+        options=DatabaseOptions(
+            backend="indexed", cache=max(args.queries * 2, 64)
+        ),
+    )
+
+    rows: List[Dict[str, object]] = []
+
+    def add_row(workload: str, clients: int, seconds: float) -> None:
+        rows.append(
+            {
+                "dataset": "random",
+                "workload": workload,
+                "clients": clients,
+                "queries": len(queries),
+                "seconds": round(seconds, 6),
+                "qps": round(len(queries) / seconds, 2),
+            }
+        )
+
+    with ReproServer(
+        {"random": uncached, "random-cached": cached},
+        default="random",
+        port=0,
+    ) as server:
+        _check_differential(
+            uncached, server, queries[: min(len(queries), 20)]
+        )
+
+        add_row(
+            "inproc",
+            0,
+            _best_of(
+                lambda: [
+                    uncached.nearest(NearestRequest(terms=terms, limit=LIMIT))
+                    for terms in queries
+                ],
+                args.repeat,
+            ),
+        )
+        add_row(
+            "http-seq", 1, _best_of(lambda: _run_http(server, queries, 1), args.repeat)
+        )
+        add_row(
+            f"http-conc{args.clients}",
+            args.clients,
+            _best_of(
+                lambda: _run_http(server, queries, args.clients), args.repeat
+            ),
+        )
+
+        # The cached collection answers the same stream from the
+        # result cache — steady-state repeating traffic.
+        cached_client = _Client(server.host, server.port)
+        try:
+            for terms in queries:  # populate
+                payload = _request_payload(terms)
+                payload["collection"] = "random-cached"
+                cached_client.connection.request(
+                    "POST", "/v1/nearest", body=json.dumps(payload),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = cached_client.connection.getresponse()
+                response.read()
+                assert response.status == 200
+        finally:
+            cached_client.close()
+
+        cached_queries = [
+            (*terms, "random-cached") for terms in queries
+        ]
+
+        def run_cached() -> None:
+            clients = [
+                _Client(server.host, server.port)
+                for _ in range(args.clients)
+            ]
+            try:
+                def worker(index: int) -> None:
+                    client = clients[index % args.clients]
+                    for position in range(
+                        index, len(cached_queries), args.clients
+                    ):
+                        *terms, collection = cached_queries[position]
+                        payload = _request_payload(terms)
+                        payload["collection"] = collection
+                        client.connection.request(
+                            "POST", "/v1/nearest",
+                            body=json.dumps(payload),
+                            headers={"Content-Type": "application/json"},
+                        )
+                        response = client.connection.getresponse()
+                        response.read()
+                        assert response.status == 200
+
+                with ThreadPoolExecutor(max_workers=args.clients) as pool:
+                    list(pool.map(worker, range(args.clients)))
+            finally:
+                for client in clients:
+                    client.close()
+
+        add_row(
+            f"http-conc{args.clients}-cached",
+            args.clients,
+            _best_of(run_cached, args.repeat),
+        )
+
+    inproc_qps = rows[0]["qps"]
+    for row in rows:
+        row["vs_inproc"] = round(row["qps"] / inproc_qps, 3)
+
+    table = render_table(
+        ["dataset", "workload", "clients", "queries", "qps", "vs inproc"],
+        [
+            [
+                row["dataset"],
+                row["workload"],
+                row["clients"],
+                row["queries"],
+                f"{row['qps']:.0f}",
+                f"{row['vs_inproc']:.2f}x",
+            ]
+            for row in rows
+        ],
+        title="HTTP/JSON serving vs in-process Database calls (nearest, indexed)",
+    )
+    print(table)
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(table + "\n", encoding="utf-8")
+    written = write_json_report(
+        args.json,
+        "http_serving",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "queries": args.queries,
+            "clients": args.clients,
+            "repeat": args.repeat,
+            "backend": "indexed",
+            "limit": LIMIT,
+        },
+        rows,
+    )
+    print(f"[report written to {OUT_PATH} and {written}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,17 +11,22 @@ hierarchy: keyword hits are combined with the ``meet`` operator — the
 lowest common ancestor interpreted as the *nearest concept* of the
 hits — over the Monet XML path-partitioned storage model.
 
-Quickstart::
+Quickstart — one front door::
 
-    from repro import parse_document, monet_transform, NearestConceptEngine
+    import repro
 
-    store = monet_transform(parse_document(xml_text))
-    engine = NearestConceptEngine(store)
-    for concept in engine.nearest_concepts("Bit", "1999"):
-        print(concept.tag, concept.oid, concept.joins)
+    db = repro.open("bib.xml")          # XML, .json image, .snap bundle
+    for answer in db.nearest("Bit", "1999").answers:
+        print(answer["tag"], answer["oid"], answer["joins"])
+
+(:func:`repro.open` returns a :class:`repro.api.Database`; the
+lower-level engine tier stays fully importable — see the README's
+"Advanced: engine internals".)
 
 Packages:
 
+* :mod:`repro.api`       — the ``Database`` facade, typed request/
+  response envelopes, the embedded HTTP/JSON service.
 * :mod:`repro.datamodel` — conceptual model (Defs. 1–3, 5), parser.
 * :mod:`repro.monet`     — Monet transform, BAT engine, path summary.
 * :mod:`repro.fulltext`  — inverted index / ``contains`` search.
@@ -32,8 +37,19 @@ Packages:
 * :mod:`repro.baselines` — naive/indexed/offline LCA, intro baseline,
   proximity search.
 * :mod:`repro.datasets`  — Figure 1, synthetic DBLP and multimedia.
+* :mod:`repro.snapshot`  — binary columnar persistence, catalogs.
 """
 
+from .api import (
+    Database,
+    DatabaseOptions,
+    NearestRequest,
+    QueryRequest,
+    ResultEnvelope,
+    SearchRequest,
+    open_database,
+)
+from .api import open as open  # noqa: A004 - deliberate repro.open(...)
 from .core import (
     GeneralMeet,
     NearestConcept,
@@ -62,9 +78,11 @@ from .fulltext import FullTextIndex, SearchEngine
 from .monet import MonetXML, PathSummary, monet_transform
 from .query import QueryProcessor, parse_query, run_query
 
-__version__ = "1.0.0"
+__version__ = "0.4.0"
 
 __all__ = [
+    "Database",
+    "DatabaseOptions",
     "Document",
     "DocumentBuilder",
     "FullTextIndex",
@@ -72,12 +90,16 @@ __all__ = [
     "MonetXML",
     "NearestConcept",
     "NearestConceptEngine",
+    "NearestRequest",
     "Node",
     "PairMeet",
     "Path",
     "PathSummary",
     "QueryProcessor",
+    "QueryRequest",
+    "ResultEnvelope",
     "SearchEngine",
+    "SearchRequest",
     "SetMeet",
     "__version__",
     "bounded_meet2",
@@ -90,6 +112,8 @@ __all__ = [
     "meet_sets",
     "meet_tagged",
     "monet_transform",
+    "open",
+    "open_database",
     "parse_document",
     "parse_query",
     "run_query",

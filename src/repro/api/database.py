@@ -1,0 +1,403 @@
+"""The ``Database`` facade — the library's one supported front door.
+
+The paper's pitch is that nearest-concept queries serve users
+"familiar with the content but unaware of tags and hierarchies"; this
+module extends the courtesy to *programmers*.  Instead of wiring
+``MonetXML`` + ``SearchEngine`` + ``NearestConceptEngine`` +
+``QueryProcessor`` + ``Catalog`` by hand, callers open one object::
+
+    import repro
+
+    db = repro.open("bib.xml")                  # or .json / .snap / a
+    db.nearest("Bit", "1999").answers           # catalog collection
+    db.query("select meet($a,$b) from # $a, # $b "
+             "where $a contains 'Bit' and $b contains '1999'")
+
+Every entry point returns a :class:`~repro.api.envelopes.ResultEnvelope`
+(answers + ranking keys + timing + cache/backend stats, JSON-codable),
+and every answer is produced by the documented low-level tier —
+``db.engine`` / ``db.processor`` are the very
+:class:`~repro.core.engine.NearestConceptEngine` and
+:class:`~repro.query.executor.QueryProcessor` instances, so facade
+answers are identical (including ranking order) to direct calls.
+
+A ``Database`` is **immutable after open** — the store, its
+generation-keyed indexes and the engine wiring never change — which
+is what makes one instance safe to share across server threads: lazy
+engine/processor wiring is built under a lock, and the result cache
+locks internally.  Call :meth:`Database.warm_up` (the server does,
+before accepting traffic) to force the derived indexes to exist
+first; threads racing an *un-warmed* database may duplicate an index
+build — never corrupting state, since every build is equivalent and
+the generation-keyed cache keeps one — but paying redundant work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path as FsPath
+from typing import Dict, List, Optional, Union
+
+from ..core.engine import NearestConceptEngine
+from ..core.result_cache import ResultCache, resolve_result_cache
+from ..datamodel.errors import ReproError
+from ..fulltext.search import SearchEngine
+from ..monet.engine import MonetXML
+from ..query.executor import QueryProcessor, QueryResult
+from ..snapshot.codec import Snapshot
+from .envelopes import (
+    NearestRequest,
+    QueryRequest,
+    ResultEnvelope,
+    SearchRequest,
+)
+from .options import DatabaseOptions
+from .resolve import ResolvedSource, SourceLike, resolve_source
+
+__all__ = ["Database", "open_database"]
+
+
+def _cache_info_dict(info) -> Optional[Dict[str, object]]:
+    """A ResultCacheInfo as a JSON-ready dict (None when caching is off)."""
+    if info is None:
+        return None
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+        "evictions": info.evictions,
+        "hit_rate": round(info.hit_rate, 4),
+    }
+
+
+class Database:
+    """One opened document collection, queryable three ways.
+
+    Construct via :meth:`open` (or :func:`repro.open`); the raw
+    constructor accepts an already-loaded store for embedding
+    scenarios (tests, benchmarks, in-memory documents).
+    """
+
+    def __init__(
+        self,
+        store: MonetXML,
+        *,
+        options: Optional[DatabaseOptions] = None,
+        origin: str = "store",
+        snapshot: Optional[Snapshot] = None,
+        source: Optional[str] = None,
+        load_seconds: float = 0.0,
+    ):
+        self.store = store
+        self.options = options or DatabaseOptions()
+        self.origin = origin
+        self.snapshot = snapshot
+        self.source = source
+        self.load_seconds = load_seconds
+        self.case_sensitive, self.backend_name = self.options.effective(snapshot)
+        #: One lock-guarded result cache shared by the engine and the
+        #: query processor (their key shapes cannot collide).
+        self.result_cache: Optional[ResultCache] = resolve_result_cache(
+            self.options.cache
+        )
+        self._wiring_lock = threading.Lock()
+        self._engine: Optional[NearestConceptEngine] = None
+        self._processor: Optional[QueryProcessor] = None
+
+    # -- opening --------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        source: Optional[SourceLike] = None,
+        *,
+        options: Optional[DatabaseOptions] = None,
+        snapshot: Optional[SourceLike] = None,
+        **overrides,
+    ) -> "Database":
+        """Resolve and load any supported source behind one call.
+
+        ``source`` may be an XML file, a legacy ``.json`` Monet image,
+        a ``.snap`` snapshot bundle, or the name of a catalog
+        collection; ``snapshot=`` forces bundle/collection resolution
+        (the CLI's ``--snapshot``).  Keyword ``overrides`` (``backend=``,
+        ``case_sensitive=``, ``cache=``, ``catalog=``, ``mmap=``,
+        ``max_rows=``) are applied on top of ``options``.
+        """
+        options = options or DatabaseOptions()
+        if overrides:
+            options = options.replace(**overrides)
+        started = time.perf_counter()
+        resolved: ResolvedSource = resolve_source(
+            source,
+            snapshot=snapshot,
+            catalog=options.catalog,
+            case_sensitive=options.case_sensitive,
+            use_mmap=options.mmap,
+        )
+        return cls(
+            resolved.store,
+            options=options,
+            origin=resolved.origin,
+            snapshot=resolved.snapshot,
+            source=None if source is None else str(source),
+            load_seconds=time.perf_counter() - started,
+        )
+
+    @classmethod
+    def open_all(
+        cls,
+        catalog: SourceLike,
+        *,
+        options: Optional[DatabaseOptions] = None,
+        **overrides,
+    ) -> Dict[str, "Database"]:
+        """Open every collection of a catalog — the server's fleet."""
+        from ..snapshot import Catalog
+
+        options = options or DatabaseOptions()
+        if overrides:
+            options = options.replace(**overrides)
+        options = options.replace(catalog=catalog)
+        names = Catalog(FsPath(catalog), create=False).names()
+        if not names:
+            raise ReproError(f"catalog {catalog} holds no collections")
+        return {
+            name: cls.open(options=options, snapshot=name) for name in names
+        }
+
+    # -- wiring (lazy, built once) --------------------------------------
+    @property
+    def engine(self) -> NearestConceptEngine:
+        """The documented low-level tier, wired to this database."""
+        if self._engine is None:
+            with self._wiring_lock:
+                if self._engine is None:
+                    self._engine = NearestConceptEngine(
+                        self.store,
+                        case_sensitive=self.case_sensitive,
+                        backend=self.backend_name,
+                        cache=self.result_cache,
+                    )
+        return self._engine
+
+    @property
+    def processor(self) -> QueryProcessor:
+        """The query-language tier, sharing this database's wiring."""
+        if self._processor is None:
+            with self._wiring_lock:
+                if self._processor is None:
+                    self._processor = QueryProcessor(
+                        self.store,
+                        search=SearchEngine(
+                            self.store, case_sensitive=self.case_sensitive
+                        ),
+                        max_rows=self.options.max_rows,
+                        backend=self.backend_name,
+                        cache=self.result_cache,
+                    )
+        return self._processor
+
+    def warm_up(self) -> None:
+        """Force every derived index to exist before traffic arrives.
+
+        Touching the full-text index and (on the indexed backend) the
+        LCA index through their generation-keyed caches here is what
+        lets a multi-threaded server guarantee zero index rebuilds
+        once it starts answering.
+        """
+        _ = self.engine.index
+        _ = self.engine.backend
+        _ = self.processor.search.index
+
+    # -- introspection --------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self.store.generation
+
+    @property
+    def node_count(self) -> int:
+        return self.store.node_count
+
+    def cache_info(self):
+        """Result-cache counters, or ``None`` when caching is off."""
+        if self.result_cache is None:
+            return None
+        return self.result_cache.cache_info()
+
+    def describe(self) -> Dict[str, object]:
+        """Static collection metadata (the ``/v1/collections`` row)."""
+        meta: Dict[str, object] = {
+            "origin": self.origin,
+            "source": self.source,
+            "node_count": self.store.node_count,
+            "path_count": len(self.store.summary) - 1,
+            "backend": self.backend_name,
+            "case_sensitive": self.case_sensitive,
+        }
+        if self.snapshot is not None:
+            meta["snapshot"] = {
+                "vocabulary_size": self.snapshot.fulltext_index.vocabulary_size,
+                "tour_length": self.snapshot.lca_index.tour_length,
+            }
+        return meta
+
+    def stats(self) -> Dict[str, object]:
+        """Live serving statistics (the ``/v1/stats`` row).
+
+        Index-build counters are process-wide, not per-store, so they
+        live one level up — :meth:`ReproServer.stats` reports them
+        once for the whole process.
+        """
+        return {
+            "origin": self.origin,
+            "backend": self.backend_name,
+            "case_sensitive": self.case_sensitive,
+            "generation": self.store.generation,
+            "node_count": self.store.node_count,
+            "load_ms": round(self.load_seconds * 1000, 3),
+            "cache": _cache_info_dict(self.cache_info()),
+        }
+
+    def _envelope_stats(self) -> Dict[str, object]:
+        return {
+            "origin": self.origin,
+            "backend": self.backend_name,
+            "case_sensitive": self.case_sensitive,
+            "generation": self.store.generation,
+            "cache": _cache_info_dict(self.cache_info()),
+        }
+
+    # -- the three query surfaces ----------------------------------------
+    def search(self, request: Union[str, SearchRequest]) -> ResultEnvelope:
+        """Raw full-text hits for one term, as an envelope."""
+        if isinstance(request, str):
+            request = SearchRequest(term=request)
+        started = time.perf_counter()
+        hits = self.engine.term_hits(request.term)
+        oids = sorted(hits.oids())
+        if request.limit is not None:
+            oids = oids[: request.limit]
+        store = self.store
+        answers = tuple(
+            {
+                "oid": oid,
+                "tag": store.summary.label(store.pid_of(oid)),
+                "path": str(store.path_of(oid)),
+            }
+            for oid in oids
+        )
+        elapsed = time.perf_counter() - started
+        return ResultEnvelope(
+            kind=SearchRequest.kind,
+            request=request.to_dict(),
+            answers=answers,
+            count=len(answers),
+            elapsed_ms=round(elapsed * 1000, 3),
+            stats=self._envelope_stats(),
+        )
+
+    def nearest(
+        self, request: Union[NearestRequest, str], *terms: str, **options
+    ) -> ResultEnvelope:
+        """Ranked nearest concepts; answers carry the full §4 key.
+
+        Accepts either a ready :class:`NearestRequest` or the terms
+        inline — ``db.nearest("Bit", "1999", limit=5)``.
+        """
+        if isinstance(request, str):
+            request = NearestRequest(terms=(request, *terms), **options)
+        elif terms or options:
+            raise TypeError(
+                "pass either a NearestRequest or inline terms, not both"
+            )
+        started = time.perf_counter()
+        concepts = self.engine.nearest_concepts(
+            *request.terms,
+            exclude_root=request.exclude_root,
+            require_all_terms=request.require_all_terms,
+            within=request.within,
+            limit=request.limit,
+        )
+        answers: List[Dict[str, object]] = []
+        for concept in concepts:
+            answer: Dict[str, object] = {
+                "oid": concept.oid,
+                "tag": concept.tag,
+                "path": str(concept.path),
+                "joins": concept.joins,
+                "spread": concept.spread,
+                "depth": concept.depth,
+                "origins": list(concept.origins),
+                "terms": list(concept.terms),
+            }
+            if request.snippets:
+                answer["snippet"] = self.engine.snippet(concept)
+            answers.append(answer)
+        elapsed = time.perf_counter() - started
+        return ResultEnvelope(
+            kind=NearestRequest.kind,
+            request=request.to_dict(),
+            answers=tuple(answers),
+            count=len(answers),
+            elapsed_ms=round(elapsed * 1000, 3),
+            stats=self._envelope_stats(),
+        )
+
+    def query(self, request: Union[str, QueryRequest]) -> ResultEnvelope:
+        """Execute (or explain) a select/from/where query."""
+        if isinstance(request, str):
+            request = QueryRequest(text=request)
+        started = time.perf_counter()
+        if request.explain:
+            rendered = self.processor.explain(request.text)
+            elapsed = time.perf_counter() - started
+            return ResultEnvelope(
+                kind=QueryRequest.kind,
+                request=request.to_dict(),
+                columns=(),
+                rows=(),
+                rendered=rendered,
+                count=0,
+                elapsed_ms=round(elapsed * 1000, 3),
+                stats=self._envelope_stats(),
+            )
+        result: QueryResult = self.processor.execute(request.text)
+        elapsed = time.perf_counter() - started
+        table = result.to_dict()
+        return ResultEnvelope(
+            kind=QueryRequest.kind,
+            request=request.to_dict(),
+            columns=tuple(table["columns"]),
+            rows=tuple(tuple(row) for row in table["rows"]),
+            rendered=result.render_answer(self.store)
+            if request.render
+            else None,
+            count=table["row_count"],
+            elapsed_ms=round(elapsed * 1000, 3),
+            stats=self._envelope_stats(),
+        )
+
+    def explain(self, text: str) -> str:
+        """The query plan, as the processor renders it."""
+        return self.processor.explain(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Database nodes={self.store.node_count} origin={self.origin!r} "
+            f"backend={self.backend_name!r}>"
+        )
+
+
+def open_database(
+    source: Optional[SourceLike] = None,
+    *,
+    options: Optional[DatabaseOptions] = None,
+    snapshot: Optional[SourceLike] = None,
+    **overrides,
+) -> Database:
+    """Module-level spelling of :meth:`Database.open` (``repro.open``)."""
+    return Database.open(
+        source, options=options, snapshot=snapshot, **overrides
+    )

@@ -1,0 +1,347 @@
+"""Typed request/response envelopes with a stable JSON codec.
+
+The facade and the HTTP service speak one vocabulary:
+
+* :class:`SearchRequest` — raw full-text hits for one term;
+* :class:`NearestRequest` — the paper's nearest-concept query (two or
+  more terms, §4 restriction knobs, ranked answers);
+* :class:`QueryRequest` — the select/from/where language of §3.2;
+* :class:`ResultEnvelope` — the uniform response: answers with their
+  ranking keys, the query table (via
+  :meth:`~repro.query.executor.QueryResult.to_dict` — the same
+  representation ``render_answer`` consumes), execution timing, and
+  cache/backend statistics.
+
+Every type round-trips losslessly through ``to_dict()`` /
+``from_dict()``: the dict form is pure JSON (lists, dicts, strings,
+numbers, booleans, null), and ``from_dict(x.to_dict()).to_dict() ==
+x.to_dict()`` holds structurally — that invariant is what lets the
+HTTP client and server, the CLI, and offline tooling exchange results
+without private parsing.  Malformed payloads raise
+:class:`EnvelopeError` (a :class:`~repro.datamodel.errors.ReproError`,
+so the CLI and server map it to their standard error paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Optional, Tuple, Union
+
+from ..datamodel.errors import ReproError
+
+__all__ = [
+    "ENVELOPE_FORMAT",
+    "ENVELOPE_VERSION",
+    "EnvelopeError",
+    "NearestRequest",
+    "QueryRequest",
+    "Request",
+    "ResultEnvelope",
+    "SearchRequest",
+    "request_from_dict",
+]
+
+ENVELOPE_FORMAT = "repro-result-envelope"
+ENVELOPE_VERSION = 1
+
+
+class EnvelopeError(ReproError):
+    """A request or envelope payload that does not follow the codec."""
+
+
+def _require(payload: Dict[str, object], kind: str) -> Dict[str, object]:
+    if not isinstance(payload, dict):
+        raise EnvelopeError(f"{kind} payload must be a JSON object")
+    return payload
+
+
+def _opt_int(payload: Dict[str, object], key: str, kind: str) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise EnvelopeError(f"{kind} field {key!r} must be an integer")
+    return value
+
+
+def _opt_str(payload: Dict[str, object], key: str, kind: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise EnvelopeError(f"{kind} field {key!r} must be a string")
+    return value
+
+
+def _flag(payload: Dict[str, object], key: str, kind: str) -> bool:
+    value = payload.get(key, False)
+    if not isinstance(value, bool):
+        raise EnvelopeError(f"{kind} field {key!r} must be a boolean")
+    return value
+
+
+def _reject_unknown(
+    payload: Dict[str, object], known: Tuple[str, ...], kind: str
+) -> None:
+    unknown = sorted(set(payload) - set(known) - {"kind"})
+    if unknown:
+        raise EnvelopeError(f"unknown {kind} field(s): {', '.join(unknown)}")
+
+
+@dataclass(frozen=True, slots=True)
+class SearchRequest:
+    """Raw full-text hits of one term (token or substring semantics)."""
+
+    kind: ClassVar[str] = "search"
+
+    term: str
+    limit: Optional[int] = None
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "term": self.term,
+            "limit": self.limit,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SearchRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(payload, ("term", "limit", "collection"), cls.kind)
+        term = payload.get("term")
+        if not isinstance(term, str) or not term:
+            raise EnvelopeError("search request needs a non-empty 'term' string")
+        return cls(
+            term=term,
+            limit=_opt_int(payload, "limit", cls.kind),
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NearestRequest:
+    """A nearest-concept query: the paper's headline, as one value."""
+
+    kind: ClassVar[str] = "nearest"
+
+    terms: Tuple[str, ...]
+    exclude_root: bool = False
+    require_all_terms: bool = False
+    within: Optional[int] = None
+    limit: Optional[int] = 10
+    snippets: bool = False
+    collection: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "terms": list(self.terms),
+            "exclude_root": self.exclude_root,
+            "require_all_terms": self.require_all_terms,
+            "within": self.within,
+            "limit": self.limit,
+            "snippets": self.snippets,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "NearestRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(
+            payload,
+            (
+                "terms",
+                "exclude_root",
+                "require_all_terms",
+                "within",
+                "limit",
+                "snippets",
+                "collection",
+            ),
+            cls.kind,
+        )
+        terms = payload.get("terms")
+        if (
+            not isinstance(terms, (list, tuple))
+            or not terms
+            or not all(isinstance(term, str) and term for term in terms)
+        ):
+            raise EnvelopeError(
+                "nearest request needs 'terms': a non-empty list of strings"
+            )
+        return cls(
+            terms=tuple(terms),
+            exclude_root=_flag(payload, "exclude_root", cls.kind),
+            require_all_terms=_flag(payload, "require_all_terms", cls.kind),
+            within=_opt_int(payload, "within", cls.kind),
+            limit=_opt_int(payload, "limit", cls.kind),
+            snippets=_flag(payload, "snippets", cls.kind),
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRequest:
+    """One select/from/where query string (optionally explain/render)."""
+
+    kind: ClassVar[str] = "query"
+
+    text: str
+    explain: bool = False
+    render: bool = False
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "text": self.text,
+            "explain": self.explain,
+            "render": self.render,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QueryRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(
+            payload, ("text", "explain", "render", "collection"), cls.kind
+        )
+        text = payload.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise EnvelopeError("query request needs a non-empty 'text' string")
+        return cls(
+            text=text,
+            explain=_flag(payload, "explain", cls.kind),
+            render=_flag(payload, "render", cls.kind),
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+Request = Union[SearchRequest, NearestRequest, QueryRequest]
+
+_REQUEST_KINDS: Dict[str, type] = {
+    SearchRequest.kind: SearchRequest,
+    NearestRequest.kind: NearestRequest,
+    QueryRequest.kind: QueryRequest,
+}
+
+
+def request_from_dict(payload: Dict[str, object]) -> Request:
+    """Rebuild any request from its dict form, dispatching on 'kind'."""
+    payload = _require(payload, "request")
+    kind = payload.get("kind")
+    if kind not in _REQUEST_KINDS:
+        raise EnvelopeError(
+            f"unknown request kind {kind!r}: "
+            f"choose from {sorted(_REQUEST_KINDS)}"
+        )
+    return _REQUEST_KINDS[kind].from_dict(payload)
+
+
+@dataclass(frozen=True, slots=True)
+class ResultEnvelope:
+    """The uniform response: answers, ranking keys, timings, stats.
+
+    ``answers`` is the ranked list (nearest: one dict per concept with
+    its full §4 ranking key; search: one dict per hit).  ``columns`` /
+    ``rows`` carry the query table for ``kind == "query"`` (the
+    :meth:`QueryResult.to_dict` representation), with ``rendered``
+    optionally holding the paper's ``<answer>`` block when the request
+    asked for it.  ``stats`` reports origin, backend, case mode, store
+    generation and result-cache counters.
+    """
+
+    kind: str
+    request: Dict[str, object]
+    answers: Tuple[Dict[str, object], ...] = ()
+    columns: Optional[Tuple[str, ...]] = None
+    rows: Optional[Tuple[Tuple[object, ...], ...]] = None
+    rendered: Optional[str] = None
+    count: int = 0
+    elapsed_ms: float = 0.0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "answers", tuple(self.answers))
+        if self.columns is not None:
+            object.__setattr__(self, "columns", tuple(self.columns))
+        if self.rows is not None:
+            object.__setattr__(
+                self, "rows", tuple(tuple(row) for row in self.rows)
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": ENVELOPE_FORMAT,
+            "version": ENVELOPE_VERSION,
+            "kind": self.kind,
+            "request": dict(self.request),
+            "answers": [dict(answer) for answer in self.answers],
+            "columns": None if self.columns is None else list(self.columns),
+            "rows": None
+            if self.rows is None
+            else [list(row) for row in self.rows],
+            "rendered": self.rendered,
+            "count": self.count,
+            "elapsed_ms": self.elapsed_ms,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ResultEnvelope":
+        payload = _require(payload, "envelope")
+        if payload.get("format") != ENVELOPE_FORMAT:
+            raise EnvelopeError(
+                f"not a result envelope: format={payload.get('format')!r}"
+            )
+        if payload.get("version") != ENVELOPE_VERSION:
+            raise EnvelopeError(
+                f"unsupported envelope version {payload.get('version')!r}"
+            )
+        kind = payload.get("kind")
+        if kind not in _REQUEST_KINDS:
+            raise EnvelopeError(f"unknown envelope kind {kind!r}")
+        request = payload.get("request")
+        if not isinstance(request, dict):
+            raise EnvelopeError("envelope field 'request' must be an object")
+        answers = payload.get("answers")
+        if not isinstance(answers, list) or not all(
+            isinstance(answer, dict) for answer in answers
+        ):
+            raise EnvelopeError("envelope field 'answers' must be a list of objects")
+        columns = payload.get("columns")
+        if columns is not None and not isinstance(columns, list):
+            raise EnvelopeError("envelope field 'columns' must be a list or null")
+        rows = payload.get("rows")
+        if rows is not None and (
+            not isinstance(rows, list)
+            or not all(isinstance(row, list) for row in rows)
+        ):
+            raise EnvelopeError("envelope field 'rows' must be a list of lists")
+        count = payload.get("count")
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise EnvelopeError("envelope field 'count' must be an integer")
+        elapsed_ms = payload.get("elapsed_ms")
+        if not isinstance(elapsed_ms, (int, float)) or isinstance(
+            elapsed_ms, bool
+        ):
+            raise EnvelopeError("envelope field 'elapsed_ms' must be a number")
+        stats = payload.get("stats")
+        if not isinstance(stats, dict):
+            raise EnvelopeError("envelope field 'stats' must be an object")
+        return cls(
+            kind=kind,
+            request=request,
+            answers=tuple(answers),
+            columns=None if columns is None else tuple(columns),
+            rows=None if rows is None else tuple(tuple(row) for row in rows),
+            rendered=_opt_str(payload, "rendered", "envelope"),
+            count=count,
+            elapsed_ms=elapsed_ms,
+            stats=stats,
+        )

@@ -1,0 +1,78 @@
+"""Frozen configuration for the :class:`~repro.api.database.Database`.
+
+Before the facade existed, engine knobs travelled as loose keyword
+arguments through four constructors (``NearestConceptEngine``,
+``QueryProcessor``, ``SearchEngine``, the CLI argument plumbing), and
+every caller had to re-derive the snapshot-serving defaults by hand.
+:class:`DatabaseOptions` is the one immutable bag for all of them:
+
+* ``backend`` / ``case_sensitive`` default to ``None`` = "follow the
+  source" — an opened snapshot bundle supplies ``indexed`` (its LCA
+  index is already loaded) and the bundle's case mode, anything else
+  falls back to ``steered`` and case-insensitive, exactly the CLI's
+  historical behaviour;
+* ``cache`` is the serving-layer result cache spec (off, a capacity,
+  ``True`` for the default capacity, or a shared
+  :class:`~repro.core.result_cache.ResultCache` instance);
+* ``catalog`` names the snapshot catalog directory consulted during
+  source resolution (``None`` = ``$REPRO_CATALOG`` or
+  ``.repro-catalog``);
+* ``mmap`` maps snapshot bundles instead of copying them into memory;
+* ``max_rows`` bounds enumeration-mode query results.
+
+Being frozen, an options object can be shared between databases and
+threads without defensive copies; derive variants with
+:meth:`DatabaseOptions.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path as FsPath
+from typing import Optional, Union
+
+from ..core.backends import BACKEND_NAMES
+from ..core.result_cache import CacheSpec
+
+__all__ = ["DatabaseOptions"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseOptions:
+    """Immutable configuration shared by every facade entry point."""
+
+    backend: Optional[str] = None
+    case_sensitive: Optional[bool] = None
+    cache: CacheSpec = None
+    catalog: Optional[Union[str, FsPath]] = None
+    mmap: bool = False
+    max_rows: Optional[int] = 100_000
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}: "
+                f"choose from {sorted(BACKEND_NAMES)}"
+            )
+
+    def replace(self, **overrides) -> "DatabaseOptions":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)
+
+    def effective(self, snapshot) -> tuple:
+        """``(case_sensitive, backend)`` honouring snapshot defaults.
+
+        ``None`` means "not chosen": serving from a snapshot bundle
+        then inherits the bundle's case mode and the ``indexed``
+        backend (whose index the bundle already carries), keeping the
+        warm start rebuild-free.
+        """
+        case_sensitive = self.case_sensitive
+        backend = self.backend
+        if snapshot is not None:
+            if case_sensitive is None:
+                case_sensitive = snapshot.fulltext_index.case_sensitive
+            if backend is None:
+                backend = "indexed"
+        return bool(case_sensitive), backend or "steered"

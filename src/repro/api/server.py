@@ -1,0 +1,345 @@
+"""An embedded HTTP/JSON service over one or more ``Database``\\ s.
+
+Pure stdlib (:class:`http.server.ThreadingHTTPServer`) — the whole
+repo stays dependency-free — yet safe for concurrent readers: stores,
+path summaries and the generation-keyed indexes are immutable once
+built (:meth:`ReproServer.serve_forever` warm-ups every database
+before accepting traffic, so no thread ever triggers an index build),
+and the one mutable structure, the shared
+:class:`~repro.core.result_cache.ResultCache`, locks internally.
+
+Endpoints (all JSON)::
+
+    POST /v1/search       SearchRequest   → ResultEnvelope
+    POST /v1/nearest      NearestRequest  → ResultEnvelope
+    POST /v1/query        QueryRequest    → ResultEnvelope
+    GET  /v1/collections  collection metadata (Database.describe)
+    GET  /v1/stats        live serving stats (Database.stats)
+    GET  /healthz         liveness: {"status": "ok", ...}
+
+A request body may name a ``"collection"``; with one collection the
+field is optional.  Errors come back as ``{"error": ..., "status": N}``
+with 400 (malformed request / query error), 404 (unknown route or
+collection), 413 (oversized body) or 500.
+
+Programmatic use (the tests and benchmarks drive it this way)::
+
+    server = ReproServer({"plays": db}, port=0)   # port 0: pick a free one
+    with server:                                  # warm, bound, serving
+        requests.post(server.url("/v1/nearest"), json={...})
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Union
+from urllib.parse import urlsplit
+
+from ..datamodel.errors import ReproError
+from .database import Database
+from .envelopes import (
+    EnvelopeError,
+    NearestRequest,
+    QueryRequest,
+    Request,
+    SearchRequest,
+)
+
+__all__ = ["ReproServer", "MAX_BODY_BYTES"]
+
+#: Requests larger than this are refused with 413 before parsing.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_POST_KINDS = {
+    "/v1/search": SearchRequest,
+    "/v1/nearest": NearestRequest,
+    "/v1/query": QueryRequest,
+}
+
+
+class _UnknownCollection(ReproError):
+    """Routing error distinguished from 400-class request errors."""
+
+
+class _ReproHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the app object for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, app: "ReproServer"):
+        self.app = app
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ReproHTTPServer
+    protocol_version = "HTTP/1.1"
+    #: The handler writes headers and body as two sends; without
+    #: TCP_NODELAY, Nagle + delayed ACK stall each response by ~40 ms
+    #: on loopback — dominating small-query latency.
+    disable_nagle_algorithm = True
+
+    # -- plumbing -------------------------------------------------------
+    def _send_json(
+        self, status: int, payload: Dict[str, object], close: bool = False
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        # Close the connection on every error: a request refused before
+        # its body was read (413, bad Content-Length) would otherwise
+        # leave those bytes on the keep-alive stream, where they would
+        # be misparsed as the next request line.
+        self._send_json(status, {"error": message, "status": status}, close=True)
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.app.verbose:
+            sys.stderr.write(
+                "[serve] %s %s\n" % (self.address_string(), format % args)
+            )
+
+    def _read_body(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise EnvelopeError("invalid Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise _BodyTooLarge(length)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise EnvelopeError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise EnvelopeError("request body must be a JSON object")
+        return payload
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        app = self.server.app
+        route = urlsplit(self.path).path
+        try:
+            if route == "/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "collections": app.names(),
+                        "default": app.default,
+                    },
+                )
+            elif route == "/v1/collections":
+                self._send_json(
+                    200,
+                    {
+                        "default": app.default,
+                        "collections": {
+                            name: db.describe()
+                            for name, db in app.databases.items()
+                        },
+                    },
+                )
+            elif route == "/v1/stats":
+                self._send_json(200, app.stats())
+            else:
+                self._send_error_json(404, f"unknown route: {route}")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        app = self.server.app
+        route = urlsplit(self.path).path
+        request_cls = _POST_KINDS.get(route)
+        if request_cls is None:
+            self._send_error_json(404, f"unknown route: {route}")
+            return
+        try:
+            payload = self._read_body()
+            kind = payload.get("kind")
+            if kind is not None and kind != request_cls.kind:
+                raise EnvelopeError(
+                    f"request kind {kind!r} does not match route {route}"
+                )
+            request: Request = request_cls.from_dict(payload)
+            database = app.database_for(request.collection)
+            envelope = app.dispatch(database, request)
+            self._send_json(200, envelope.to_dict())
+        except _BodyTooLarge as exc:
+            self._send_error_json(413, str(exc))
+        except _UnknownCollection as exc:
+            self._send_error_json(404, str(exc))
+        except (EnvelopeError, ReproError, ValueError) as exc:
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+
+
+class _BodyTooLarge(Exception):
+    def __init__(self, length: int):
+        super().__init__(
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit"
+        )
+
+
+class ReproServer:
+    """Serve one or more databases over HTTP from the current process.
+
+    ``databases`` maps collection names to opened
+    :class:`~repro.api.database.Database` objects (a bare ``Database``
+    is accepted and served as ``"default"``).  ``port=0`` binds an
+    ephemeral port — read :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        databases: Union[Database, Mapping[str, Database]],
+        *,
+        default: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+    ):
+        if isinstance(databases, Database):
+            databases = {"default": databases}
+        if not databases:
+            raise ReproError("ReproServer needs at least one database")
+        self.databases: Dict[str, Database] = dict(databases)
+        if default is None:
+            default = next(iter(self.databases))
+        if default not in self.databases:
+            raise ReproError(
+                f"default collection {default!r} is not among "
+                f"{sorted(self.databases)}"
+            )
+        self.default = default
+        self.verbose = verbose
+        self._warmed = False
+        self._serving = False
+        self._thread: Optional[threading.Thread] = None
+        self._httpd = _ReproHTTPServer((host, port), _Handler, self)
+
+    # -- addressing -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def names(self) -> list:
+        return sorted(self.databases)
+
+    # -- serving --------------------------------------------------------
+    def warm_up(self) -> None:
+        """Build every derived index before the first request lands."""
+        if self._warmed:
+            return
+        for database in self.databases.values():
+            database.warm_up()
+        self._warmed = True
+
+    def serve_forever(self) -> None:
+        """Warm up, then block serving until :meth:`shutdown`."""
+        self.warm_up()
+        self._serving = True
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._serving = False
+
+    def start(self) -> "ReproServer":
+        """Warm up and serve from a daemon thread (tests, embedding)."""
+        self.warm_up()
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and release the port; never hangs.
+
+        ``BaseServer.shutdown()`` blocks on an event that only the
+        serve loop sets — calling it when the loop never ran (a Ctrl-C
+        before startup completes, an exception out of warm-up) would
+        deadlock.  The guard skips it entirely in that state, and the
+        bounded wait covers the window where the loop is still
+        starting.
+        """
+        if self._serving:
+            stopper = threading.Thread(
+                target=self._httpd.shutdown, daemon=True
+            )
+            stopper.start()
+            stopper.join(timeout=5)
+            self._serving = False
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request handling ------------------------------------------------
+    def database_for(self, collection: Optional[str]) -> Database:
+        if collection is None:
+            return self.databases[self.default]
+        try:
+            return self.databases[collection]
+        except KeyError:
+            raise _UnknownCollection(
+                f"unknown collection {collection!r}: "
+                f"choose from {self.names()}"
+            ) from None
+
+    def dispatch(self, database: Database, request: Request):
+        if isinstance(request, SearchRequest):
+            return database.search(request)
+        if isinstance(request, NearestRequest):
+            return database.nearest(request)
+        if isinstance(request, QueryRequest):
+            return database.query(request)
+        raise EnvelopeError(
+            f"unsupported request type {type(request).__name__}"
+        )  # pragma: no cover - the route table prevents this
+
+    def stats(self) -> Dict[str, object]:
+        from ..core.lca_index import lca_index_cache_info
+        from ..fulltext.index import fulltext_index_cache_info
+
+        return {
+            "default": self.default,
+            "collections": {
+                name: db.stats() for name, db in self.databases.items()
+            },
+            # Process-wide counters: any build after warm-up means a
+            # request paid for an index — the zero-rebuild invariant
+            # the tests assert.
+            "index_builds": {
+                "lca": lca_index_cache_info().builds,
+                "fulltext": fulltext_index_cache_info().builds,
+            },
+        }

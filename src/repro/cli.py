@@ -1,5 +1,4 @@
-"""Command-line interface: load XML, inspect it, run nearest-concept
-queries — the "ad hoc user" workflow of the paper in one binary.
+"""Command-line interface: a thin client of the :mod:`repro.api` facade.
 
 Usage (also via ``python -m repro``)::
 
@@ -13,13 +12,13 @@ Usage (also via ``python -m repro``)::
     repro snapshot build doc.xml docs       # binary snapshot into the catalog
     repro snapshot ls                       # list catalog collections
     repro search    --snapshot docs a b     # zero-rebuild warm start
+    repro serve     --snapshot docs --port 8080   # HTTP/JSON service
 
-Inputs ending in ``.json`` are treated as persisted Monet images and
-inputs ending in ``.snap`` as binary snapshot bundles; anything else
-is parsed as XML — unless the catalog (``--catalog DIR``, default
-``.repro-catalog`` or ``$REPRO_CATALOG``) already holds a fresh
-snapshot built from that very file, which is then preferred over
-re-parsing (``--stats`` reports which path was taken).
+Source resolution (XML vs ``.json`` image vs ``.snap`` bundle vs
+catalog collection, including the fresh-catalog-hit preference over
+re-parsing) lives in :func:`repro.api.resolve.resolve_source` — the
+CLI only names the source and renders the result; ``--stats`` reports
+which load path was taken.
 
 ``--backend`` picks the meet execution strategy (``steered`` — the
 paper's per-query parent walks, the default — or ``indexed`` — the
@@ -35,117 +34,54 @@ N, and ``--stats`` reports timing and cache counters on stderr (see
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from pathlib import Path as FsPath
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
+from .api import (
+    DEFAULT_CATALOG,
+    Database,
+    DatabaseOptions,
+    NearestRequest,
+    QueryRequest,
+    ReproServer,
+    default_catalog_dir,
+    resolve_source,
+)
 from .core.backends import BACKEND_NAMES
-from .core.engine import NearestConceptEngine
-from .datamodel.errors import ReproError, StorageError
-from .datamodel.parser import parse_document
+from .datamodel.errors import ReproError
 from .monet import storage
 from .monet.stats import collect_statistics
-from .monet.transform import monet_transform
-from .query.executor import QueryProcessor
-from .snapshot import Catalog, read_snapshot
+from .snapshot import Catalog
 
 __all__ = ["main", "build_parser"]
 
-#: Fallback catalog directory (also via the REPRO_CATALOG env var).
-DEFAULT_CATALOG = ".repro-catalog"
-
 
 def _catalog_dir(args) -> FsPath:
-    explicit = getattr(args, "catalog", None)
-    if explicit:
-        return FsPath(explicit)
-    return FsPath(os.environ.get("REPRO_CATALOG", DEFAULT_CATALOG))
+    return default_catalog_dir(getattr(args, "catalog", None))
 
 
 def _open_catalog(args, *, create: bool = False) -> Catalog:
     return Catalog(_catalog_dir(args), create=create)
 
 
-def _load_store(path: str, args=None) -> Tuple[object, str, object]:
-    """Resolve a CLI source to ``(store, origin, snapshot)``.
+def _database_options(args) -> DatabaseOptions:
+    """The facade options encoded by this command's flags."""
+    return DatabaseOptions(
+        backend=getattr(args, "backend", None),
+        case_sensitive=getattr(args, "case_sensitive", None),
+        cache=getattr(args, "cache", 0) or None,
+        catalog=getattr(args, "catalog", None),
+    )
 
-    ``origin`` names the load path taken — ``parse``, ``json image``,
-    ``snapshot <file>`` or ``snapshot <catalog>:<name>`` — and is
-    reported under ``--stats`` so cold starts are observable.  An
-    explicit ``--snapshot NAME_OR_FILE`` wins; a ``.snap`` suffix is
-    always a bundle; any other source (XML or ``.json`` image) prefers
-    a fresh catalog hit — same resolved file, identical (size, mtime)
-    fingerprint — before falling back to its own loader.
-    """
-    explicit = getattr(args, "snapshot", None) if args is not None else None
-    if explicit:
-        candidate = FsPath(explicit)
-        # A catalog collection of that name wins over a same-named
-        # stray file or directory in the working directory.  A corrupt
-        # manifest must not block loading a file the user named; its
-        # error surfaces only when the file fallback cannot apply.
-        catalog_root = _catalog_dir(args)
-        catalog = None
-        catalog_error = None
-        has_collection = False
-        if (catalog_root / "catalog.json").exists():
-            try:
-                catalog = Catalog(catalog_root, create=False)
-                has_collection = explicit in catalog
-            except StorageError as exc:
-                catalog, catalog_error = None, exc
-        if candidate.suffix == ".snap" or (
-            candidate.is_file() and not has_collection
-        ):
-            snapshot = read_snapshot(candidate)
-            return snapshot.store, f"snapshot {candidate}", snapshot
-        if catalog_error is not None:
-            raise catalog_error
-        if catalog is None:
-            # Raises the precise "no such catalog directory" error.
-            catalog = Catalog(catalog_root, create=False)
-        snapshot = catalog.open(explicit)
-        return (
-            snapshot.store,
-            f"snapshot {catalog.root}:{explicit}",
-            snapshot,
-        )
-    source = FsPath(path)
-    if not source.exists():
-        raise ReproError(f"no such file: {path}")
-    if source.suffix == ".snap":
-        snapshot = read_snapshot(source)
-        return snapshot.store, f"snapshot {source}", snapshot
-    # The catalog probe runs before the .json branch: bundles built
-    # from JSON images are warm starts too.
-    catalog_root = _catalog_dir(args) if args is not None else None
-    if catalog_root is not None and (catalog_root / "catalog.json").exists():
-        # Best-effort probe: the user asked for the XML file, so a
-        # corrupt or foreign catalog must not break the parse path —
-        # and a bundle whose case mode differs from what this command
-        # will search with must not silently change its answers.
-        requested_case = bool(getattr(args, "case_sensitive", None))
-        try:
-            catalog = Catalog(catalog_root, create=False)
-            name = catalog.find_source(source)
-            if name is not None and (
-                bool(catalog.info(name).get("case_sensitive"))
-                == requested_case
-            ):
-                snapshot = catalog.open(name)
-                return (
-                    snapshot.store,
-                    f"snapshot {catalog.root}:{name}",
-                    snapshot,
-                )
-        except StorageError:
-            pass
-    if source.suffix == ".json":
-        return storage.load(source), "json image", None
-    text = source.read_text(encoding="utf-8")
-    return monet_transform(parse_document(text, first_oid=1)), "parse", None
+
+def _open_database(args, source: Optional[str]) -> Database:
+    return Database.open(
+        source,
+        options=_database_options(args),
+        snapshot=getattr(args, "snapshot", None),
+    )
 
 
 def _cache_capacity(text: str) -> int:
@@ -294,6 +230,39 @@ def build_parser() -> argparse.ArgumentParser:
     snap_drop = snap_sub.add_parser("drop", help="remove a catalog collection")
     snap_drop.add_argument("name", help="collection name")
     snap_drop.add_argument("--catalog", metavar="DIR", default=None)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve collections over HTTP/JSON "
+        "(POST /v1/search|/v1/nearest|/v1/query)",
+    )
+    serve.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="XML file, .json Monet image, .snap bundle or catalog "
+        "collection (omit to serve every catalog collection)",
+    )
+    serve.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="collection name for the served source (default: its stem)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    _add_engine_options(serve)
+    serve.add_argument(
+        "--cache",
+        type=_cache_capacity,
+        default=1024,
+        metavar="N",
+        help="result-cache capacity per collection (0 disables; default 1024)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+    _add_snapshot_source_options(serve)
     return parser
 
 
@@ -315,10 +284,11 @@ def _add_catalog_probe_options(command: argparse.ArgumentParser) -> None:
 def _add_engine_options(command: argparse.ArgumentParser) -> None:
     """Engine knobs whose defaults follow the source.
 
-    Both default to ``None`` so the handlers can tell "not given" from
-    an explicit choice: serving from a snapshot bundle then inherits
-    the bundle's case mode and the ``indexed`` backend (whose index the
-    bundle already carries), keeping the warm start rebuild-free.
+    Both default to ``None`` so :meth:`DatabaseOptions.effective` can
+    tell "not given" from an explicit choice: serving from a snapshot
+    bundle then inherits the bundle's case mode and the ``indexed``
+    backend (whose index the bundle already carries), keeping the warm
+    start rebuild-free.
     """
     command.add_argument(
         "--case-sensitive",
@@ -334,18 +304,6 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
         help="meet execution strategy (default: steered; with --snapshot "
         "or a .snap source, indexed)",
     )
-
-
-def _resolve_engine_options(args, snapshot) -> Tuple[bool, str]:
-    """(case_sensitive, backend) honouring snapshot-bundle defaults."""
-    case_sensitive = args.case_sensitive
-    backend = args.backend
-    if snapshot is not None:
-        if case_sensitive is None:
-            case_sensitive = snapshot.fulltext_index.case_sensitive
-        if backend is None:
-            backend = "indexed"
-    return bool(case_sensitive), backend or "steered"
 
 
 def _add_snapshot_source_options(command: argparse.ArgumentParser) -> None:
@@ -366,15 +324,14 @@ def _add_snapshot_source_options(command: argparse.ArgumentParser) -> None:
 
 
 def _command_describe(args) -> int:
-    load_started = time.perf_counter()
-    store, origin, _snapshot = _load_store(args.source, args)
+    database = _open_database(args, args.source)
     if args.stats:
-        _print_load_stats(origin, time.perf_counter() - load_started)
-    statistics = collect_statistics(store)
+        _print_load_stats(database.origin, database.load_seconds)
+    statistics = collect_statistics(database.store)
     print(statistics.render())
     if args.paths:
         print("\nall paths:")
-        for name in store.relation_names():
+        for name in database.store.relation_names():
             print(f"  {name}")
     return 0
 
@@ -387,14 +344,14 @@ def _print_load_stats(origin: str, seconds: float) -> None:
     )
 
 
-def _print_stats(label: str, seconds: float, cache_info) -> None:
+def _print_stats(label: str, elapsed_ms: float, cache: Optional[Dict]) -> None:
     """One-line serving report on stderr (the ``--stats`` flag)."""
-    line = f"[stats] {label}: {seconds * 1000:.1f} ms"
-    if cache_info is not None:
+    line = f"[stats] {label}: {elapsed_ms:.1f} ms"
+    if cache is not None:
         line += (
-            f"; cache hits={cache_info.hits} misses={cache_info.misses}"
-            f" size={cache_info.currsize}/{cache_info.maxsize}"
-            f" hit_rate={cache_info.hit_rate:.0%}"
+            f"; cache hits={cache['hits']} misses={cache['misses']}"
+            f" size={cache['currsize']}/{cache['maxsize']}"
+            f" hit_rate={cache['hit_rate']:.0%}"
         )
     print(line, file=sys.stderr)
 
@@ -418,46 +375,37 @@ def _command_search(args) -> int:
     if len(terms) < 2:
         print("search needs at least two terms", file=sys.stderr)
         return 2
-    args.terms = terms
-    load_started = time.perf_counter()
-    store, origin, snapshot = _load_store(args.source, args)
+    database = _open_database(args, args.source)
     if args.stats:
-        _print_load_stats(origin, time.perf_counter() - load_started)
-    case_sensitive, backend = _resolve_engine_options(args, snapshot)
-    engine = NearestConceptEngine(
-        store,
-        case_sensitive=case_sensitive,
-        backend=backend,
-        cache=args.cache or None,
-    )
-    started = time.perf_counter()
-    concepts = engine.nearest_concepts(
-        *args.terms,
-        exclude_root=args.exclude_root,
-        require_all_terms=args.all_terms,
-        within=args.within,
-        limit=args.limit,
+        _print_load_stats(database.origin, database.load_seconds)
+    envelope = database.nearest(
+        NearestRequest(
+            terms=tuple(terms),
+            exclude_root=args.exclude_root,
+            require_all_terms=args.all_terms,
+            within=args.within,
+            limit=args.limit,
+            snippets=not args.xml,
+        )
     )
     if args.stats:
-        _print_stats("search", time.perf_counter() - started, engine.cache_info())
-    if not concepts:
+        _print_stats("search", envelope.elapsed_ms, envelope.stats["cache"])
+    if not envelope.answers:
         print("no nearest concepts found")
         return 1
-    for rank, concept in enumerate(concepts, start=1):
+    for rank, answer in enumerate(envelope.answers, start=1):
         print(
-            f"{rank:>3}. <{concept.tag}> oid={concept.oid} "
-            f"joins={concept.joins} path={concept.path}"
+            f"{rank:>3}. <{answer['tag']}> oid={answer['oid']} "
+            f"joins={answer['joins']} path={answer['path']}"
         )
         if args.xml:
-            print(engine.to_xml(concept))
+            print(database.engine.to_xml(answer["oid"]))
         else:
-            print(f"     {engine.snippet(concept)}")
+            print(f"     {answer['snippet']}")
     return 0
 
 
 def _command_query(args) -> int:
-    from .fulltext.search import SearchEngine
-
     if args.snapshot:
         if args.text is not None:
             # Both positionals plus --snapshot is ambiguous: the named
@@ -476,36 +424,65 @@ def _command_query(args) -> int:
     if args.source is None and not args.snapshot:
         print("query needs a source (or --snapshot)", file=sys.stderr)
         return 2
-    load_started = time.perf_counter()
-    store, origin, snapshot = _load_store(args.source, args)
+    database = _open_database(args, args.source)
     if args.stats:
-        _print_load_stats(origin, time.perf_counter() - load_started)
-    case_sensitive, backend = _resolve_engine_options(args, snapshot)
-    processor = QueryProcessor(
-        store,
-        search=SearchEngine(store, case_sensitive=case_sensitive),
-        backend=backend,
-        cache=args.cache or None,
-    )
+        _print_load_stats(database.origin, database.load_seconds)
     if args.explain:
-        print(processor.explain(args.text))
+        print(database.explain(args.text))
         return 0
-    started = time.perf_counter()
-    result = processor.execute(args.text)
+    envelope = database.query(QueryRequest(text=args.text, render=True))
     if args.stats:
-        _print_stats("query", time.perf_counter() - started, processor.cache_info())
-    print(result.render_answer(store))
-    return 0 if result.rows else 1
+        _print_stats("query", envelope.elapsed_ms, envelope.stats["cache"])
+    print(envelope.rendered)
+    return 0 if envelope.count else 1
 
 
 def _command_shred(args) -> int:
-    load_started = time.perf_counter()
-    store, origin, _snapshot = _load_store(args.source, args)
+    database = _open_database(args, args.source)
     if args.stats:
-        _print_load_stats(origin, time.perf_counter() - load_started)
+        _print_load_stats(database.origin, database.load_seconds)
+    store = database.store
     storage.save(store, args.image, indent=args.indent)
     print(f"wrote {args.image}: {store.node_count} nodes, "
           f"{len(store.relation_names())} relations")
+    return 0
+
+
+def _command_serve(args) -> int:
+    options = _database_options(args)
+    if args.source is None and args.snapshot is None:
+        databases = Database.open_all(_catalog_dir(args), options=options)
+    else:
+        database = _open_database(args, args.source)
+        if args.name:
+            name = args.name
+        elif args.snapshot and not str(args.snapshot).endswith(".snap"):
+            name = str(args.snapshot)
+        elif args.source:
+            name = FsPath(args.source).stem
+        else:
+            name = FsPath(str(args.snapshot)).stem
+        databases = {name: database}
+    server = ReproServer(
+        databases, host=args.host, port=args.port, verbose=args.verbose
+    )
+    server.warm_up()
+    for name in server.names():
+        database = server.databases[name]
+        print(
+            f"  {name}: {database.node_count} nodes via {database.origin} "
+            f"({database.backend_name} backend)"
+        )
+    print(
+        f"serving {len(databases)} collection(s) on {server.url()} "
+        "— Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -529,16 +506,14 @@ def _snapshot_build(args) -> int:
 
 
 def _snapshot_load(args) -> int:
-    candidate = FsPath(args.name)
     started = time.perf_counter()
-    if candidate.suffix == ".snap":
-        snapshot = read_snapshot(candidate, use_mmap=args.mmap)
-    else:
-        snapshot = _open_catalog(args, create=False).open(
-            args.name, use_mmap=args.mmap
-        )
+    resolved = resolve_source(
+        snapshot=args.name,
+        catalog=getattr(args, "catalog", None),
+        use_mmap=args.mmap,
+    )
     seconds = time.perf_counter() - started
-    store = snapshot.store
+    store, snapshot = resolved.store, resolved.snapshot
     print(
         f"loaded {args.name}: {store.node_count} nodes, "
         f"{len(store.summary) - 1} paths, "
@@ -585,6 +560,7 @@ _COMMANDS = {
     "query": _command_query,
     "shred": _command_shred,
     "snapshot": _command_snapshot,
+    "serve": _command_serve,
 }
 
 

@@ -20,10 +20,17 @@ answers keyed on ``(store.generation, normalized query, options)``:
 Eviction is plain LRU.  Hit/miss/eviction counters are exposed via
 :meth:`ResultCache.cache_info` so benchmarks and the CLI ``--stats``
 flag can report serving behaviour.
+
+The cache is **thread-safe**: one lock guards the LRU order and the
+counters, so a single instance can back the multi-threaded HTTP
+service (:mod:`repro.api.server`) where concurrent readers share one
+engine.  Values are immutable tuples, so a returned entry needs no
+further protection.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Union
@@ -67,6 +74,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     def sync_generation(self, generation: int) -> None:
         """Drop everything when the store moved to a new generation.
@@ -77,43 +85,49 @@ class ResultCache:
         purging them eagerly keeps the cache from squatting on dead
         results.
         """
-        if self._generation != generation:
-            self._generation = generation
-            self._entries.clear()
+        with self._lock:
+            if self._generation != generation:
+                self._generation = generation
+                self._entries.clear()
 
     def get(self, key: Hashable) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
 
     def put(self, key: Hashable, value: Any) -> None:
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = value
-        if len(entries) > self.maxsize:
-            entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            if len(entries) > self.maxsize:
+                entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters survive; they describe the run)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def cache_info(self) -> ResultCacheInfo:
-        return ResultCacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            maxsize=self.maxsize,
-            currsize=len(self._entries),
-            evictions=self._evictions,
-        )
+        with self._lock:
+            return ResultCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self.maxsize,
+                currsize=len(self._entries),
+                evictions=self._evictions,
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()

@@ -76,6 +76,33 @@ class QueryResult:
         index = self.columns.index(name)
         return [row[index] for row in self.rows]
 
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable table: columns, typed cells, row count.
+
+        Cells keep their Python types (OIDs stay ``int``, strings stay
+        ``str``), which JSON preserves — the one shared representation
+        behind both :meth:`render_answer` and the API envelope codec
+        (:mod:`repro.api.envelopes`), so servers never re-parse
+        rendered text.
+        """
+        return {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "row_count": len(self.rows),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QueryResult":
+        """Rebuild a result table from :meth:`to_dict` output."""
+        columns = payload.get("columns")
+        rows = payload.get("rows")
+        if not isinstance(columns, list) or not isinstance(rows, list):
+            raise ValueError("query result payload needs 'columns' and 'rows' lists")
+        return cls(
+            columns=[str(name) for name in columns],
+            rows=[tuple(row) for row in rows],
+        )
+
     def render_answer(self, store: Optional[MonetXML] = None) -> str:
         """The paper's ``<answer>`` block: tags with OID annotations."""
         lines = ["<answer>"]

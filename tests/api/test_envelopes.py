@@ -1,0 +1,163 @@
+"""The request/envelope JSON codec: round trips and strict validation."""
+
+import json
+
+import pytest
+
+from repro.api.envelopes import (
+    ENVELOPE_FORMAT,
+    EnvelopeError,
+    NearestRequest,
+    QueryRequest,
+    ResultEnvelope,
+    SearchRequest,
+    request_from_dict,
+)
+
+
+def through_json(payload):
+    """Simulate the wire: the dict must survive a JSON round trip."""
+    return json.loads(json.dumps(payload))
+
+
+class TestRequestRoundTrips:
+    def test_search(self):
+        request = SearchRequest(term="Bit", limit=5, collection="bib")
+        rebuilt = SearchRequest.from_dict(through_json(request.to_dict()))
+        assert rebuilt == request
+
+    def test_nearest(self):
+        request = NearestRequest(
+            terms=("Bit", "1999"),
+            exclude_root=True,
+            require_all_terms=True,
+            within=4,
+            limit=3,
+            snippets=True,
+        )
+        rebuilt = NearestRequest.from_dict(through_json(request.to_dict()))
+        assert rebuilt == request
+
+    def test_nearest_terms_normalize_to_tuple(self):
+        assert NearestRequest(terms=["a", "b"]).terms == ("a", "b")
+
+    def test_query(self):
+        request = QueryRequest(text="select $o from # $o", render=True)
+        rebuilt = QueryRequest.from_dict(through_json(request.to_dict()))
+        assert rebuilt == request
+
+    def test_dispatch_on_kind(self):
+        for request in (
+            SearchRequest(term="x"),
+            NearestRequest(terms=("a", "b")),
+            QueryRequest(text="select $o from # $o"),
+        ):
+            assert request_from_dict(request.to_dict()) == request
+
+
+class TestRequestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(EnvelopeError, match="unknown request kind"):
+            request_from_dict({"kind": "teleport"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(EnvelopeError, match="unknown search field"):
+            SearchRequest.from_dict({"term": "x", "termz": "y"})
+
+    def test_search_needs_term(self):
+        with pytest.raises(EnvelopeError, match="non-empty 'term'"):
+            SearchRequest.from_dict({"term": ""})
+
+    def test_nearest_needs_string_terms(self):
+        with pytest.raises(EnvelopeError, match="list of strings"):
+            NearestRequest.from_dict({"terms": ["ok", 3]})
+
+    def test_nearest_type_checks(self):
+        with pytest.raises(EnvelopeError, match="'within' must be an integer"):
+            NearestRequest.from_dict({"terms": ["a", "b"], "within": "4"})
+        with pytest.raises(EnvelopeError, match="'snippets' must be a boolean"):
+            NearestRequest.from_dict({"terms": ["a", "b"], "snippets": 1})
+
+    def test_query_needs_text(self):
+        with pytest.raises(EnvelopeError, match="non-empty 'text'"):
+            QueryRequest.from_dict({"text": "   "})
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(EnvelopeError, match="JSON object"):
+            SearchRequest.from_dict(["term"])
+
+
+def sample_envelope(**overrides):
+    fields = dict(
+        kind="nearest",
+        request=NearestRequest(terms=("Bit", "1999")).to_dict(),
+        answers=(
+            {
+                "oid": 13,
+                "tag": "article",
+                "path": "bibliography/institute/article",
+                "joins": 5,
+                "spread": 5,
+                "depth": 2,
+                "origins": [8, 13],
+                "terms": ["1999", "Bit"],
+            },
+        ),
+        count=1,
+        elapsed_ms=1.25,
+        stats={"origin": "parse", "backend": "steered", "cache": None},
+    )
+    fields.update(overrides)
+    return ResultEnvelope(**fields)
+
+
+class TestEnvelopeRoundTrips:
+    def test_nearest_envelope(self):
+        envelope = sample_envelope()
+        payload = through_json(envelope.to_dict())
+        assert ResultEnvelope.from_dict(payload).to_dict() == payload
+
+    def test_query_envelope_with_rows(self):
+        envelope = sample_envelope(
+            kind="query",
+            answers=(),
+            columns=("meet($a, $b)", "tag($o)"),
+            rows=((13, "article"), (3, "institute")),
+            rendered="<answer>\n</answer>",
+            count=2,
+        )
+        payload = through_json(envelope.to_dict())
+        rebuilt = ResultEnvelope.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        # JSON turns tuples into lists; from_dict re-canonicalizes.
+        assert rebuilt.rows == ((13, "article"), (3, "institute"))
+        assert rebuilt.columns == ("meet($a, $b)", "tag($o)")
+
+    def test_format_marker_present(self):
+        assert sample_envelope().to_dict()["format"] == ENVELOPE_FORMAT
+
+
+class TestEnvelopeValidation:
+    def test_rejects_wrong_format(self):
+        payload = sample_envelope().to_dict()
+        payload["format"] = "something-else"
+        with pytest.raises(EnvelopeError, match="not a result envelope"):
+            ResultEnvelope.from_dict(payload)
+
+    def test_rejects_unknown_version(self):
+        payload = sample_envelope().to_dict()
+        payload["version"] = 99
+        with pytest.raises(EnvelopeError, match="unsupported envelope version"):
+            ResultEnvelope.from_dict(payload)
+
+    def test_rejects_bad_answers(self):
+        payload = sample_envelope().to_dict()
+        payload["answers"] = "nope"
+        with pytest.raises(EnvelopeError, match="'answers'"):
+            ResultEnvelope.from_dict(payload)
+
+    def test_rejects_bad_count(self):
+        payload = sample_envelope().to_dict()
+        payload["count"] = True
+        with pytest.raises(EnvelopeError, match="'count'"):
+            ResultEnvelope.from_dict(payload)

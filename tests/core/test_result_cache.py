@@ -86,3 +86,46 @@ class TestResolve:
     def test_instance_passthrough(self):
         cache = ResultCache(maxsize=3)
         assert resolve_result_cache(cache) is cache
+
+
+class TestThreadSafety:
+    def test_eight_thread_hammer(self):
+        """One cache, 8 threads, mixed get/put/sync: counters stay exact.
+
+        The cache backs the multi-threaded HTTP server, so concurrent
+        access must neither corrupt the LRU order (KeyError /
+        RuntimeError from a racing OrderedDict) nor lose counter
+        updates: with the lock, hits + misses equals the total number
+        of get() calls exactly.
+        """
+        import threading
+
+        cache = ResultCache(maxsize=32)
+        cache.sync_generation(1)
+        gets_per_thread = 2_000
+        errors = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(gets_per_thread):
+                    key = (seed * i) % 48  # some keys shared, some evicted
+                    if cache.get(key) is None:
+                        cache.put(key, (key, seed))
+                    if i % 500 == 0:
+                        cache.sync_generation(1)  # no-op sync under load
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        info = cache.cache_info()
+        assert info.hits + info.misses == 8 * gets_per_thread
+        assert info.currsize <= 32

@@ -4,7 +4,7 @@ import pytest
 
 from repro.datamodel.errors import QueryPlanError
 from repro.datasets.figure1 import FIGURE1_OIDS as O
-from repro.query.executor import QueryProcessor, run_query
+from repro.query.executor import QueryProcessor, QueryResult, run_query
 
 
 @pytest.fixture(scope="module")
@@ -177,3 +177,25 @@ class TestResultTable:
     def test_explain_via_processor(self, qp):
         text = qp.explain("select $o from bibliography/# $o")
         assert "plan over" in text
+
+
+class TestToDict:
+    def test_round_trip(self, qp):
+        result = qp.execute(
+            "select $o, tag($o) from bibliography/institute/article $o"
+        )
+        payload = result.to_dict()
+        assert payload["columns"] == ["$o", "tag($o)"]
+        assert payload["row_count"] == len(result.rows) == 2
+        # Cells keep their types: OIDs are ints, tags are strings.
+        assert all(
+            isinstance(row[0], int) and isinstance(row[1], str)
+            for row in payload["rows"]
+        )
+        rebuilt = QueryResult.from_dict(payload)
+        assert rebuilt.columns == result.columns
+        assert rebuilt.rows == result.rows
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            QueryResult.from_dict({"columns": "oops"})
