@@ -1,0 +1,343 @@
+#!/usr/bin/env python
+"""Bench: sharded scatter-gather serving — serial vs process pool.
+
+PR 5's execution layer shards a collection into independent stores and
+runs per-shard work either in-process (``SerialExecutor``) or on a
+``ProcessPoolExecutor`` whose workers mmap their shard bundles once
+(``ParallelExecutor``).  This bench prices that choice on the largest
+bundled dataset (the 84k-node random tree, indexed backend), all
+regimes uncached and differentially checked first:
+
+* ``mono-inproc``      — monolithic ``Database.nearest``, one thread
+  (the PR 4 ceiling).
+* ``serial-conc8``     — sharded, serial executor, 8 request threads
+  (GIL-bound: the merge and the shard work share one interpreter).
+* ``parallel-conc8``   — sharded, 4 pool workers, 8 request threads:
+  compute crosses the GIL into worker processes.
+* ``http-seq``         — monolithic over HTTP, one persistent client
+  (PR 4's single-client baseline: the number conc8 must beat).
+* ``http-par-conc8``   — the parallel database behind the HTTP server,
+  8 concurrent clients.
+
+**Hardware note**: process pools buy wall-clock only where there are
+cores.  The JSON artefact records ``cpu_count``; on a single-core
+container the parallel rows measure scatter overhead (expect ≈ 1x or
+below), while the same artefact on an N-core box shows the pool
+scaling toward min(workers, cores).  The differential check and the
+zero-rebuild assertion hold regardless.
+
+Output: ``benchmarks/out/bench_parallel.txt`` plus the machine-readable
+``BENCH_parallel.json`` trajectory artefact (CI smoke: ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import Database, DatabaseOptions, NearestRequest, ReproServer
+from repro.bench.report import render_table, write_json_report
+from repro.datamodel.serializer import serialize
+from repro.datasets.randomtree import random_document
+from repro.datasets.textpool import TECH_NOUNS
+from repro.monet.transform import monet_transform
+from repro.snapshot import Catalog
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = Path(__file__).parent / "out" / "bench_parallel.txt"
+JSON_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+LIMIT = 5
+
+
+def _time(task: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def _best_of(task: Callable[[], object], repeat: int) -> float:
+    return min(_time(task) for _ in range(repeat))
+
+
+def _concurrent(
+    database: Database,
+    queries: Sequence[Tuple[str, str]],
+    threads: int,
+) -> None:
+    def worker(index: int) -> None:
+        for position in range(index, len(queries), threads):
+            database.nearest(
+                NearestRequest(terms=queries[position], limit=LIMIT)
+            )
+
+    if threads == 1:
+        worker(0)
+        return
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(worker, range(threads)))
+
+
+class _Client:
+    def __init__(self, host: str, port: int):
+        self.connection = http.client.HTTPConnection(host, port)
+
+    def nearest(self, terms: Sequence[str]) -> Dict[str, object]:
+        self.connection.request(
+            "POST",
+            "/v1/nearest",
+            body=json.dumps({"terms": list(terms), "limit": LIMIT}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = self.connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise AssertionError(
+                f"HTTP {response.status} for {terms!r}: {body[:200]!r}"
+            )
+        return json.loads(body)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def _run_http(
+    server: ReproServer, queries: Sequence[Tuple[str, str]], clients: int
+) -> None:
+    pool_clients = [_Client(server.host, server.port) for _ in range(clients)]
+    try:
+        def worker(index: int) -> None:
+            client = pool_clients[index]
+            for position in range(index, len(queries), clients):
+                client.nearest(queries[position])
+
+        if clients == 1:
+            worker(0)
+            return
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            list(pool.map(worker, range(clients)))
+    finally:
+        for client in pool_clients:
+            client.close()
+
+
+def _check_differential(
+    monolithic: Database,
+    candidates: Dict[str, Database],
+    queries: Sequence[Tuple[str, str]],
+) -> None:
+    """Sharded answers must be byte-identical before anything is timed."""
+    for terms in queries:
+        expected = list(
+            monolithic.nearest(NearestRequest(terms=terms, limit=LIMIT)).answers
+        )
+        for name, database in candidates.items():
+            actual = list(
+                database.nearest(NearestRequest(terms=terms, limit=LIMIT)).answers
+            )
+            if actual != expected:
+                raise AssertionError(
+                    f"differential failure: {name} diverged on {terms!r}"
+                )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: tiny sizes, 1 repeat")
+    parser.add_argument("--nodes", type=int, default=60_000,
+                        help="random-tree size (the largest dataset)")
+    parser.add_argument("--queries", type=int, default=160)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nodes, args.queries, args.repeat = 3_000, 24, 1
+        args.shards, args.workers = 2, 2
+
+    rng = random.Random(17)
+    document = random_document(42, nodes=args.nodes, max_children=3)
+
+    import tempfile
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-parallel-"))
+    xml = workdir / "random.xml"
+    xml.write_text(serialize(document), encoding="utf-8")
+    # The monolithic reference parses the same serialized XML the
+    # catalog ingests, so OID numbering matches bundle-loaded shards.
+    from repro.datamodel.parser import parse_document
+
+    store = monet_transform(
+        parse_document(xml.read_text(encoding="utf-8"), first_oid=1)
+    )
+    print(
+        f"random: {store.node_count} nodes, {len(store.summary) - 1} paths, "
+        f"cpu_count={os.cpu_count()}",
+        file=sys.stderr,
+    )
+    words = list(TECH_NOUNS)[:12]
+    queries = [tuple(rng.sample(words, 2)) for _ in range(args.queries)]
+    catalog = workdir / "catalog"
+    build_started = time.perf_counter()
+    Catalog(catalog).ingest("random", xml, shards=args.shards)
+    build_seconds = time.perf_counter() - build_started
+    print(
+        f"sharded snapshot: {args.shards} bundles in {build_seconds:.1f}s",
+        file=sys.stderr,
+    )
+
+    uncached = DatabaseOptions(backend="indexed", cache=None)
+    monolithic = Database(store, options=uncached)
+    serial = Database.open(
+        options=uncached, snapshot="random", catalog=catalog
+    )
+    parallel = Database.open(
+        options=uncached,
+        snapshot="random",
+        catalog=catalog,
+        workers=args.workers,
+    )
+
+    rows: List[Dict[str, object]] = []
+
+    def add_row(workload: str, clients: int, seconds: float) -> None:
+        rows.append(
+            {
+                "dataset": "random",
+                "workload": workload,
+                "clients": clients,
+                "queries": len(queries),
+                "seconds": round(seconds, 6),
+                "qps": round(len(queries) / seconds, 2),
+            }
+        )
+
+    try:
+        _check_differential(
+            monolithic,
+            {"serial": serial, "parallel": parallel},
+            queries[: min(len(queries), 16)],
+        )
+        print("differential check passed", file=sys.stderr)
+
+        add_row(
+            "mono-inproc", 1,
+            _best_of(lambda: _concurrent(monolithic, queries, 1), args.repeat),
+        )
+        add_row(
+            f"serial-conc{args.clients}", args.clients,
+            _best_of(
+                lambda: _concurrent(serial, queries, args.clients), args.repeat
+            ),
+        )
+        add_row(
+            f"parallel-conc{args.clients}", args.clients,
+            _best_of(
+                lambda: _concurrent(parallel, queries, args.clients),
+                args.repeat,
+            ),
+        )
+
+        with ReproServer(monolithic, port=0) as server:
+            add_row(
+                "http-seq", 1,
+                _best_of(lambda: _run_http(server, queries, 1), args.repeat),
+            )
+        with ReproServer(parallel, port=0) as server:
+            # The bench process built indexes of its own (the reference
+            # engine, the snapshot writes); zero rebuilds is a *delta*
+            # claim over the serving window, workers included.
+            before = server.stats()["index_builds"]
+            add_row(
+                f"http-par-conc{args.clients}", args.clients,
+                _best_of(
+                    lambda: _run_http(server, queries, args.clients),
+                    args.repeat,
+                ),
+            )
+            after = server.stats()["index_builds"]
+            if after != before:
+                raise AssertionError(
+                    f"rebuilds during serving: {before} -> {after}"
+                )
+    finally:
+        parallel.close()
+        serial.close()
+
+    by_name = {row["workload"]: row["qps"] for row in rows}
+    serial_qps = by_name[f"serial-conc{args.clients}"]
+    http_seq_qps = by_name["http-seq"]
+    for row in rows:
+        row["vs_serial"] = round(row["qps"] / serial_qps, 3)
+    summary = {
+        "parallel_vs_serial": round(
+            by_name[f"parallel-conc{args.clients}"] / serial_qps, 3
+        ),
+        "http_conc_vs_single_client": round(
+            by_name[f"http-par-conc{args.clients}"] / http_seq_qps, 3
+        ),
+        "snapshot_build_seconds": round(build_seconds, 3),
+        "zero_rebuilds": True,
+    }
+
+    table = render_table(
+        ["dataset", "workload", "clients", "queries", "qps", "vs serial-conc"],
+        [
+            [
+                row["dataset"],
+                row["workload"],
+                row["clients"],
+                row["queries"],
+                f"{row['qps']:.0f}",
+                f"{row['vs_serial']:.2f}x",
+            ]
+            for row in rows
+        ],
+        title=(
+            f"Sharded serving: serial vs {args.workers}-worker pool "
+            f"(nearest, indexed, uncached, cpu_count={os.cpu_count()})"
+        ),
+    )
+    print(table)
+    print(f"summary: {summary}")
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(table + "\n", encoding="utf-8")
+    written = write_json_report(
+        args.json,
+        "parallel",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "queries": args.queries,
+            "shards": args.shards,
+            "workers": args.workers,
+            "clients": args.clients,
+            "repeat": args.repeat,
+            "backend": "indexed",
+            "limit": LIMIT,
+            "cpu_count": os.cpu_count(),
+            "summary": summary,
+        },
+        rows,
+    )
+    print(f"[report written to {OUT_PATH} and {written}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

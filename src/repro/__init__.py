@@ -37,7 +37,10 @@ Packages:
 * :mod:`repro.baselines` — naive/indexed/offline LCA, intro baseline,
   proximity search.
 * :mod:`repro.datasets`  — Figure 1, synthetic DBLP and multimedia.
-* :mod:`repro.snapshot`  — binary columnar persistence, catalogs.
+* :mod:`repro.snapshot`  — binary columnar persistence, catalogs,
+  shard-aware bundles.
+* :mod:`repro.exec`      — sharded collections, serial and
+  process-pool executors, the scatter-gather coordinator.
 """
 
 from .api import (
@@ -74,11 +77,17 @@ from .datamodel import (
     parse_document,
     serialize,
 )
+from .exec import (
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedCollection,
+    ShardPlan,
+)
 from .fulltext import FullTextIndex, SearchEngine
 from .monet import MonetXML, PathSummary, monet_transform
 from .query import QueryProcessor, parse_query, run_query
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "Database",
@@ -93,9 +102,13 @@ __all__ = [
     "NearestRequest",
     "Node",
     "PairMeet",
+    "ParallelExecutor",
     "Path",
     "PathSummary",
     "QueryProcessor",
+    "SerialExecutor",
+    "ShardPlan",
+    "ShardedCollection",
     "QueryRequest",
     "ResultEnvelope",
     "SearchEngine",

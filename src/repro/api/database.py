@@ -14,12 +14,21 @@ module extends the courtesy to *programmers*.  Instead of wiring
              "where $a contains 'Bit' and $b contains '1999'")
 
 Every entry point returns a :class:`~repro.api.envelopes.ResultEnvelope`
-(answers + ranking keys + timing + cache/backend stats, JSON-codable),
-and every answer is produced by the documented low-level tier —
-``db.engine`` / ``db.processor`` are the very
+(answers + ranking keys + timing + cache/backend stats, JSON-codable).
+For a monolithic open, every answer is produced by the documented
+low-level tier — ``db.engine`` / ``db.processor`` are the very
 :class:`~repro.core.engine.NearestConceptEngine` and
 :class:`~repro.query.executor.QueryProcessor` instances, so facade
 answers are identical (including ranking order) to direct calls.
+
+With ``shards=`` / ``workers=`` (or a catalog collection built with
+``snapshot build --shards N``) the same surfaces run on the execution
+layer instead: per-shard work as a pure function of a shard handle
+(:mod:`repro.exec.service`), executed serially or on a process pool
+(:mod:`repro.exec.executors`), merged by the coordinator
+(:mod:`repro.exec.coordinator`) — with answers and ranking order
+byte-identical to the monolithic path by construction and by the
+differential test suite.
 
 A ``Database`` is **immutable after open** — the store, its
 generation-keyed indexes and the engine wiring never change — which
@@ -34,18 +43,25 @@ the generation-keyed cache keeps one — but paying redundant work.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
+import weakref
 from pathlib import Path as FsPath
 from typing import Dict, List, Optional, Union
 
 from ..core.engine import NearestConceptEngine
 from ..core.result_cache import ResultCache, resolve_result_cache
 from ..datamodel.errors import ReproError
+from ..exec.coordinator import ShardedCollection
+from ..exec.executors import ParallelExecutor, SerialExecutor
+from ..exec.service import ShardService
+from ..exec.sharding import ShardPlan, compute_shard_plan, slice_store
 from ..fulltext.search import SearchEngine
 from ..monet.engine import MonetXML
 from ..query.executor import QueryProcessor, QueryResult
-from ..snapshot.codec import Snapshot
+from ..snapshot.codec import Snapshot, read_snapshot
 from .envelopes import (
     NearestRequest,
     QueryRequest,
@@ -82,29 +98,42 @@ class Database:
 
     def __init__(
         self,
-        store: MonetXML,
+        store: Optional[MonetXML] = None,
         *,
         options: Optional[DatabaseOptions] = None,
         origin: str = "store",
         snapshot: Optional[Snapshot] = None,
         source: Optional[str] = None,
         load_seconds: float = 0.0,
+        sharded: Optional[ShardedCollection] = None,
+        _cleanup=None,
     ):
+        if store is None and sharded is None:
+            raise ReproError("Database needs a store or a sharded collection")
         self.store = store
         self.options = options or DatabaseOptions()
         self.origin = origin
         self.snapshot = snapshot
         self.source = source
         self.load_seconds = load_seconds
-        self.case_sensitive, self.backend_name = self.options.effective(snapshot)
-        #: One lock-guarded result cache shared by the engine and the
-        #: query processor (their key shapes cannot collide).
-        self.result_cache: Optional[ResultCache] = resolve_result_cache(
-            self.options.cache
-        )
+        self.sharded = sharded
+        if sharded is not None:
+            self.case_sensitive = sharded.case_sensitive
+            self.backend_name = sharded.backend_name
+            self.result_cache: Optional[ResultCache] = sharded.result_cache
+        else:
+            self.case_sensitive, self.backend_name = self.options.effective(
+                snapshot
+            )
+            #: One lock-guarded result cache shared by the engine and the
+            #: query processor (their key shapes cannot collide).
+            self.result_cache = resolve_result_cache(self.options.cache)
         self._wiring_lock = threading.Lock()
         self._engine: Optional[NearestConceptEngine] = None
         self._processor: Optional[QueryProcessor] = None
+        self._finalizer = (
+            weakref.finalize(self, _cleanup) if _cleanup is not None else None
+        )
 
     # -- opening --------------------------------------------------------
     @classmethod
@@ -123,7 +152,8 @@ class Database:
         collection; ``snapshot=`` forces bundle/collection resolution
         (the CLI's ``--snapshot``).  Keyword ``overrides`` (``backend=``,
         ``case_sensitive=``, ``cache=``, ``catalog=``, ``mmap=``,
-        ``max_rows=``) are applied on top of ``options``.
+        ``max_rows=``, ``shards=``, ``workers=``) are applied on top of
+        ``options``.
         """
         options = options or DatabaseOptions()
         if overrides:
@@ -136,13 +166,188 @@ class Database:
             case_sensitive=options.case_sensitive,
             use_mmap=options.mmap,
         )
+        source_name = None if source is None else str(source)
+        if resolved.sharded is not None:
+            return cls._open_sharded_bundles(
+                resolved, options, source_name, started
+            )
+        if options.effective_shards is not None:
+            return cls._open_sharded_store(
+                resolved, options, source_name, started
+            )
         return cls(
             resolved.store,
             options=options,
             origin=resolved.origin,
             snapshot=resolved.snapshot,
-            source=None if source is None else str(source),
+            source=source_name,
             load_seconds=time.perf_counter() - started,
+        )
+
+    @classmethod
+    def _open_sharded_bundles(
+        cls,
+        resolved: ResolvedSource,
+        options: DatabaseOptions,
+        source_name: Optional[str],
+        started: float,
+    ) -> "Database":
+        """A catalog collection persisted as shard bundles."""
+        from ..snapshot.sharded import read_snapshot_header
+
+        bundles = resolved.sharded
+        plan = ShardPlan.from_dict(bundles.layout)
+        # Only an *explicit* shards= can conflict with the persisted
+        # layout; the worker count is independent of the shard count.
+        requested = options.shards
+        if requested is not None and requested != plan.shard_count:
+            raise ReproError(
+                f"collection is persisted as {plan.shard_count} shard(s); "
+                f"rebuild it (snapshot build --shards {requested}) to "
+                "change the layout"
+            )
+        case_sensitive = (
+            bundles.case_sensitive
+            if options.case_sensitive is None
+            else bool(options.case_sensitive)
+        )
+        backend_name = options.backend or "indexed"
+
+        def _check_layout(meta: Dict[str, object], path) -> None:
+            # A crash mid-rebuild can leave bundles of one generation
+            # under a manifest of another; refuse loudly rather than
+            # scatter-gather over a mixed set.
+            from ..snapshot.sharded import layout_from_meta
+
+            if layout_from_meta(meta) != plan:
+                raise ReproError(
+                    f"shard bundle {path} does not match the catalog's "
+                    "recorded layout; rebuild the collection "
+                    "(snapshot build --shards N)"
+                )
+
+        if options.workers > 0:
+            meta, summary = read_snapshot_header(bundles.paths[0])
+            _check_layout(meta, bundles.paths[0])
+            executor = ParallelExecutor(
+                bundles.paths,
+                workers=options.workers,
+                case_sensitive=case_sensitive,
+                backend=backend_name,
+                use_mmap=True,
+            )
+            generations = (bundles.generation,) * plan.shard_count
+        else:
+            snapshots = [
+                read_snapshot(path, use_mmap=options.mmap)
+                for path in bundles.paths
+            ]
+            for snapshot, path in zip(snapshots, bundles.paths):
+                _check_layout(snapshot.meta, path)
+            summary = snapshots[0].store.summary
+            executor = SerialExecutor(
+                [
+                    ShardService(
+                        snap.store,
+                        shard_id=index,
+                        case_sensitive=case_sensitive,
+                        backend=backend_name,
+                    )
+                    for index, snap in enumerate(snapshots)
+                ]
+            )
+            generations = tuple(
+                snap.store.generation for snap in snapshots
+            )
+        sharded = ShardedCollection(
+            plan,
+            summary,
+            executor,
+            case_sensitive=case_sensitive,
+            backend_name=backend_name,
+            generations=generations,
+            cache=resolve_result_cache(options.cache),
+            max_rows=options.max_rows,
+        )
+        return cls(
+            options=options,
+            origin=resolved.origin,
+            source=source_name,
+            load_seconds=time.perf_counter() - started,
+            sharded=sharded,
+        )
+
+    @classmethod
+    def _open_sharded_store(
+        cls,
+        resolved: ResolvedSource,
+        options: DatabaseOptions,
+        source_name: Optional[str],
+        started: float,
+    ) -> "Database":
+        """Shard a store resolved in memory (parse / image / bundle)."""
+        store = resolved.store
+        shard_count = options.effective_shards
+        case_sensitive, backend_name = options.effective(resolved.snapshot)
+        cleanup = None
+        if options.workers > 0:
+            # The pool's workers load shards from disk: materialize
+            # warm bundles (store + indexes) into a temp directory.
+            from ..snapshot.sharded import write_shard_bundles
+
+            tempdir = tempfile.mkdtemp(prefix="repro-shards-")
+            cleanup = lambda: shutil.rmtree(tempdir, ignore_errors=True)  # noqa: E731
+            try:
+                plan, paths, _size = write_shard_bundles(
+                    store,
+                    tempdir,
+                    "collection",
+                    shards=shard_count,
+                    case_sensitive=case_sensitive,
+                )
+                executor = ParallelExecutor(
+                    paths,
+                    workers=options.workers,
+                    case_sensitive=case_sensitive,
+                    backend=backend_name,
+                    use_mmap=True,
+                )
+            except BaseException:
+                cleanup()
+                raise
+            generations = (store.generation,) * plan.shard_count
+        else:
+            plan = compute_shard_plan(store, shard_count)
+            slices = slice_store(store, plan)
+            executor = SerialExecutor(
+                [
+                    ShardService(
+                        shard,
+                        shard_id=index,
+                        case_sensitive=case_sensitive,
+                        backend=backend_name,
+                    )
+                    for index, shard in enumerate(slices)
+                ]
+            )
+            generations = tuple(shard.generation for shard in slices)
+        sharded = ShardedCollection(
+            plan,
+            store.summary,
+            executor,
+            case_sensitive=case_sensitive,
+            backend_name=backend_name,
+            generations=generations,
+            cache=resolve_result_cache(options.cache),
+            max_rows=options.max_rows,
+        )
+        return cls(
+            options=options,
+            origin=f"{resolved.origin} ({plan.shard_count} shards)",
+            source=source_name,
+            load_seconds=time.perf_counter() - started,
+            sharded=sharded,
+            _cleanup=cleanup,
         )
 
     @classmethod
@@ -167,10 +372,33 @@ class Database:
             name: cls.open(options=options, snapshot=name) for name in names
         }
 
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release executor processes and temp shard bundles (idempotent)."""
+        if self.sharded is not None:
+            self.sharded.executor.close()
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.sharded is not None
+
     # -- wiring (lazy, built once) --------------------------------------
     @property
     def engine(self) -> NearestConceptEngine:
         """The documented low-level tier, wired to this database."""
+        if self.store is None:
+            raise ReproError(
+                "a sharded database has no single engine; use the facade "
+                "methods (search/nearest/query) or open without shards"
+            )
         if self._engine is None:
             with self._wiring_lock:
                 if self._engine is None:
@@ -185,6 +413,11 @@ class Database:
     @property
     def processor(self) -> QueryProcessor:
         """The query-language tier, sharing this database's wiring."""
+        if self.store is None:
+            raise ReproError(
+                "a sharded database has no single query processor; use "
+                "db.query(...) or open without shards"
+            )
         if self._processor is None:
             with self._wiring_lock:
                 if self._processor is None:
@@ -205,19 +438,28 @@ class Database:
         Touching the full-text index and (on the indexed backend) the
         LCA index through their generation-keyed caches here is what
         lets a multi-threaded server guarantee zero index rebuilds
-        once it starts answering.
+        once it starts answering.  A sharded database pings every
+        shard instead — same effect per shard store, and it spins the
+        worker pool up before the first request.
         """
+        if self.sharded is not None:
+            self.sharded.warm_up()
+            return
         _ = self.engine.index
         _ = self.engine.backend
         _ = self.processor.search.index
 
     # -- introspection --------------------------------------------------
     @property
-    def generation(self) -> int:
+    def generation(self):
+        if self.sharded is not None:
+            return self.sharded.generations
         return self.store.generation
 
     @property
     def node_count(self) -> int:
+        if self.sharded is not None:
+            return self.sharded.node_count
         return self.store.node_count
 
     def cache_info(self):
@@ -226,16 +468,32 @@ class Database:
             return None
         return self.result_cache.cache_info()
 
+    def to_xml(self, oid: int, indent: int = 2) -> str:
+        """Serialize one answer subtree, whichever execution layer."""
+        if self.sharded is not None:
+            return self.sharded.to_xml(oid, indent=indent)
+        return self.engine.to_xml(oid, indent=indent)
+
     def describe(self) -> Dict[str, object]:
         """Static collection metadata (the ``/v1/collections`` row)."""
         meta: Dict[str, object] = {
             "origin": self.origin,
             "source": self.source,
-            "node_count": self.store.node_count,
-            "path_count": len(self.store.summary) - 1,
+            "node_count": self.node_count,
             "backend": self.backend_name,
             "case_sensitive": self.case_sensitive,
         }
+        if self.sharded is not None:
+            plan = self.sharded.plan
+            meta["path_count"] = plan.path_count
+            meta["shards"] = {
+                "count": plan.shard_count,
+                "executor": self.sharded.executor.name,
+                "starts": list(plan.starts),
+                "ends": list(plan.ends),
+            }
+        else:
+            meta["path_count"] = len(self.store.summary) - 1
         if self.snapshot is not None:
             meta["snapshot"] = {
                 "vocabulary_size": self.snapshot.fulltext_index.vocabulary_size,
@@ -248,26 +506,33 @@ class Database:
 
         Index-build counters are process-wide, not per-store, so they
         live one level up — :meth:`ReproServer.stats` reports them
-        once for the whole process.
+        once for the whole process (merging in worker-pool counters
+        for sharded collections).
         """
-        return {
+        stats: Dict[str, object] = {
             "origin": self.origin,
             "backend": self.backend_name,
             "case_sensitive": self.case_sensitive,
-            "generation": self.store.generation,
-            "node_count": self.store.node_count,
+            "generation": self.generation,
+            "node_count": self.node_count,
             "load_ms": round(self.load_seconds * 1000, 3),
             "cache": _cache_info_dict(self.cache_info()),
         }
+        if self.sharded is not None:
+            stats["executor"] = self.sharded.executor.stats()
+        return stats
 
     def _envelope_stats(self) -> Dict[str, object]:
-        return {
+        stats: Dict[str, object] = {
             "origin": self.origin,
             "backend": self.backend_name,
             "case_sensitive": self.case_sensitive,
-            "generation": self.store.generation,
+            "generation": self.generation,
             "cache": _cache_info_dict(self.cache_info()),
         }
+        if self.sharded is not None:
+            stats["shards"] = self.sharded.last_shard_stats()
+        return stats
 
     # -- the three query surfaces ----------------------------------------
     def search(self, request: Union[str, SearchRequest]) -> ResultEnvelope:
@@ -275,19 +540,33 @@ class Database:
         if isinstance(request, str):
             request = SearchRequest(term=request)
         started = time.perf_counter()
-        hits = self.engine.term_hits(request.term)
-        oids = sorted(hits.oids())
-        if request.limit is not None:
-            oids = oids[: request.limit]
-        store = self.store
-        answers = tuple(
-            {
-                "oid": oid,
-                "tag": store.summary.label(store.pid_of(oid)),
-                "path": str(store.path_of(oid)),
-            }
-            for oid in oids
-        )
+        if self.sharded is not None:
+            rows = self.sharded.term_hit_rows(request.term)
+            if request.limit is not None:
+                rows = rows[: request.limit]
+            summary = self.sharded.summary
+            answers = tuple(
+                {
+                    "oid": oid,
+                    "tag": summary.label(pid),
+                    "path": str(summary.path(pid)),
+                }
+                for oid, pid in rows
+            )
+        else:
+            hits = self.engine.term_hits(request.term)
+            oids = sorted(hits.oids())
+            if request.limit is not None:
+                oids = oids[: request.limit]
+            store = self.store
+            answers = tuple(
+                {
+                    "oid": oid,
+                    "tag": store.summary.label(store.pid_of(oid)),
+                    "path": str(store.path_of(oid)),
+                }
+                for oid in oids
+            )
         elapsed = time.perf_counter() - started
         return ResultEnvelope(
             kind=SearchRequest.kind,
@@ -313,13 +592,19 @@ class Database:
                 "pass either a NearestRequest or inline terms, not both"
             )
         started = time.perf_counter()
-        concepts = self.engine.nearest_concepts(
+        surface = self.sharded if self.sharded is not None else self.engine
+        concepts = surface.nearest_concepts(
             *request.terms,
             exclude_root=request.exclude_root,
             require_all_terms=request.require_all_terms,
             within=request.within,
             limit=request.limit,
         )
+        snippets: Dict[int, str] = {}
+        if request.snippets and self.sharded is not None:
+            snippets = self.sharded.snippets(
+                [concept.oid for concept in concepts]
+            )
         answers: List[Dict[str, object]] = []
         for concept in concepts:
             answer: Dict[str, object] = {
@@ -333,7 +618,11 @@ class Database:
                 "terms": list(concept.terms),
             }
             if request.snippets:
-                answer["snippet"] = self.engine.snippet(concept)
+                answer["snippet"] = (
+                    snippets[concept.oid]
+                    if self.sharded is not None
+                    else self.engine.snippet(concept)
+                )
             answers.append(answer)
         elapsed = time.perf_counter() - started
         return ResultEnvelope(
@@ -351,7 +640,7 @@ class Database:
             request = QueryRequest(text=request)
         started = time.perf_counter()
         if request.explain:
-            rendered = self.processor.explain(request.text)
+            rendered = self.explain(request.text)
             elapsed = time.perf_counter() - started
             return ResultEnvelope(
                 kind=QueryRequest.kind,
@@ -363,7 +652,10 @@ class Database:
                 elapsed_ms=round(elapsed * 1000, 3),
                 stats=self._envelope_stats(),
             )
-        result: QueryResult = self.processor.execute(request.text)
+        if self.sharded is not None:
+            result: QueryResult = self.sharded.execute(request.text)
+        else:
+            result = self.processor.execute(request.text)
         elapsed = time.perf_counter() - started
         table = result.to_dict()
         return ResultEnvelope(
@@ -371,23 +663,66 @@ class Database:
             request=request.to_dict(),
             columns=tuple(table["columns"]),
             rows=tuple(tuple(row) for row in table["rows"]),
-            rendered=result.render_answer(self.store)
-            if request.render
-            else None,
+            rendered=self._render_answer(result) if request.render else None,
             count=table["row_count"],
             elapsed_ms=round(elapsed * 1000, 3),
             stats=self._envelope_stats(),
         )
 
+    def _render_answer(self, result: QueryResult) -> str:
+        if self.sharded is not None:
+            in_range = [
+                cell
+                for row in result.rows
+                for cell in row
+                if isinstance(cell, int)
+                and self.sharded.plan.root_oid
+                <= cell
+                < self.sharded.plan.ends[-1]
+            ]
+            return result.render_answer(
+                _SummaryRenderStore(
+                    self.sharded, self.sharded.pids_of(set(in_range))
+                )
+            )
+        return result.render_answer(self.store)
+
     def explain(self, text: str) -> str:
         """The query plan, as the processor renders it."""
+        if self.sharded is not None:
+            return self.sharded.explain(text)
         return self.processor.explain(text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"<Database nodes={self.store.node_count} origin={self.origin!r} "
-            f"backend={self.backend_name!r}>"
+        mode = (
+            f"shards={self.sharded.shard_count}"
+            if self.sharded is not None
+            else "monolithic"
         )
+        return (
+            f"<Database nodes={self.node_count} origin={self.origin!r} "
+            f"backend={self.backend_name!r} {mode}>"
+        )
+
+
+class _SummaryRenderStore:
+    """Just enough store surface for ``QueryResult.render_answer``.
+
+    The renderer needs OID membership, ``pid_of`` and summary labels;
+    the pid map is pre-fetched in one scatter, and membership mirrors
+    the monolithic store's range test (so a non-OID integer cell that
+    happens to land in range renders the same either way).
+    """
+
+    def __init__(self, sharded: ShardedCollection, pid_map: Dict[int, int]):
+        self.summary = sharded.summary
+        self._pid_map = pid_map
+
+    def __contains__(self, oid: object) -> bool:
+        return isinstance(oid, int) and oid in self._pid_map
+
+    def pid_of(self, oid: int) -> int:
+        return self._pid_map[oid]
 
 
 def open_database(

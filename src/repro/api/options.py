@@ -18,7 +18,15 @@ every caller had to re-derive the snapshot-serving defaults by hand.
   source resolution (``None`` = ``$REPRO_CATALOG`` or
   ``.repro-catalog``);
 * ``mmap`` maps snapshot bundles instead of copying them into memory;
-* ``max_rows`` bounds enumeration-mode query results.
+* ``max_rows`` bounds enumeration-mode query results;
+* ``shards`` partitions the collection into N independent shards
+  (:mod:`repro.exec.sharding`) — answers stay byte-identical, work
+  becomes scatter-gather.  ``None`` follows the source: a sharded
+  catalog collection opens sharded, everything else monolithic;
+* ``workers`` > 0 serves shard work from a process pool
+  (:class:`repro.exec.executors.ParallelExecutor`) instead of
+  in-process — true multi-core query serving.  Implies sharding
+  (``shards`` defaults to ``workers`` when unset).
 
 Being frozen, an options object can be shared between databases and
 threads without defensive copies; derive variants with
@@ -48,6 +56,8 @@ class DatabaseOptions:
     catalog: Optional[Union[str, FsPath]] = None
     mmap: bool = False
     max_rows: Optional[int] = 100_000
+    shards: Optional[int] = None
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKEND_NAMES:
@@ -55,6 +65,17 @@ class DatabaseOptions:
                 f"unknown backend {self.backend!r}: "
                 f"choose from {sorted(BACKEND_NAMES)}"
             )
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    @property
+    def effective_shards(self) -> Optional[int]:
+        """The shard count actually requested (workers imply sharding)."""
+        if self.shards is not None:
+            return self.shards
+        return self.workers if self.workers > 0 else None
 
     def replace(self, **overrides) -> "DatabaseOptions":
         """A copy with the given fields replaced (validation re-runs)."""

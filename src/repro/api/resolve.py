@@ -40,6 +40,7 @@ from ..snapshot.codec import Snapshot
 __all__ = [
     "DEFAULT_CATALOG",
     "ResolvedSource",
+    "ShardedBundles",
     "default_catalog_dir",
     "resolve_source",
 ]
@@ -58,12 +59,28 @@ def default_catalog_dir(explicit: Optional[SourceLike] = None) -> FsPath:
 
 
 @dataclass(frozen=True)
+class ShardedBundles:
+    """A resolved *sharded* collection: bundle paths plus the layout.
+
+    The stores stay on disk — whoever opens the database decides
+    whether to load them serially in-process or hand the paths to a
+    worker pool.
+    """
+
+    paths: Tuple[str, ...]
+    layout: Dict[str, object]
+    case_sensitive: bool
+    generation: int
+
+
+@dataclass(frozen=True)
 class ResolvedSource:
     """One resolved source: the store, how it loaded, and the bundle."""
 
-    store: MonetXML
+    store: Optional[MonetXML]
     origin: str
     snapshot: Optional[Snapshot] = None
+    sharded: Optional[ShardedBundles] = None
 
     @property
     def from_snapshot(self) -> bool:
@@ -76,6 +93,26 @@ def _load_bundle(path: FsPath, use_mmap: bool) -> ResolvedSource:
 
 
 def _open_collection(catalog: Catalog, name: str, use_mmap: bool) -> ResolvedSource:
+    meta = catalog.info(name)
+    shards = meta.get("shards")
+    if isinstance(shards, dict):
+        try:
+            generation = int(meta.get("generation", 0))
+        except (TypeError, ValueError):
+            generation = 0
+        return ResolvedSource(
+            store=None,
+            origin=(
+                f"snapshot {catalog.root}:{name} "
+                f"({shards.get('count')} shards)"
+            ),
+            sharded=ShardedBundles(
+                paths=tuple(str(p) for p in catalog.shard_files(name)),
+                layout=dict(shards),
+                case_sensitive=bool(meta.get("case_sensitive")),
+                generation=generation,
+            ),
+        )
     snapshot = catalog.open(name, use_mmap=use_mmap)
     return ResolvedSource(
         snapshot.store, f"snapshot {catalog.root}:{name}", snapshot

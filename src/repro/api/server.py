@@ -39,6 +39,7 @@ from typing import Dict, Mapping, Optional, Union
 from urllib.parse import urlsplit
 
 from ..datamodel.errors import ReproError
+from ..exec.executors import ExecutorError
 from .database import Database
 from .envelopes import (
     EnvelopeError,
@@ -179,6 +180,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(413, str(exc))
         except _UnknownCollection as exc:
             self._send_error_json(404, str(exc))
+        except ExecutorError as exc:
+            # A killed pool worker fails this request cleanly; the
+            # executor respawns its pool for the next one.
+            self._send_error_json(503, str(exc))
         except (EnvelopeError, ReproError, ValueError) as exc:
             self._send_error_json(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
@@ -210,6 +215,7 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         verbose: bool = False,
+        close_databases: bool = False,
     ):
         if isinstance(databases, Database):
             databases = {"default": databases}
@@ -225,6 +231,7 @@ class ReproServer:
             )
         self.default = default
         self.verbose = verbose
+        self._close_databases = close_databases
         self._warmed = False
         self._serving = False
         self._thread: Optional[threading.Thread] = None
@@ -296,6 +303,9 @@ class ReproServer:
             self._thread.join(timeout=5)
             self._thread = None
         self._httpd.server_close()
+        if self._close_databases:
+            for database in self.databases.values():
+                database.close()
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -330,16 +340,37 @@ class ReproServer:
         from ..core.lca_index import lca_index_cache_info
         from ..fulltext.index import fulltext_index_cache_info
 
+        # Process-*tree* counters: the serving process plus every
+        # worker-pool process of every sharded collection (workers
+        # report their process-local counters with each response; the
+        # executors fold them in).  Without the merge a pooled setup
+        # would silently undercount — any build after warm-up means a
+        # request paid for an index, the zero-rebuild invariant the
+        # tests assert, and it must hold across the whole tree.
+        lca_builds = lca_index_cache_info().builds
+        fulltext_builds = fulltext_index_cache_info().builds
+        seen_executors = set()
+        workers = 0
+        for database in self.databases.values():
+            if database.sharded is None:
+                continue
+            executor = database.sharded.executor
+            if id(executor) in seen_executors:
+                continue
+            seen_executors.add(id(executor))
+            executor_stats = executor.stats()
+            workers += executor_stats.get("workers", 0)
+            merged = executor_stats.get("index_builds") or {}
+            lca_builds += merged.get("lca", 0)
+            fulltext_builds += merged.get("fulltext", 0)
         return {
             "default": self.default,
             "collections": {
                 name: db.stats() for name, db in self.databases.items()
             },
-            # Process-wide counters: any build after warm-up means a
-            # request paid for an index — the zero-rebuild invariant
-            # the tests assert.
+            "workers": workers,
             "index_builds": {
-                "lca": lca_index_cache_info().builds,
-                "fulltext": fulltext_index_cache_info().builds,
+                "lca": lca_builds,
+                "fulltext": fulltext_builds,
             },
         }

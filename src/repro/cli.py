@@ -13,6 +13,8 @@ Usage (also via ``python -m repro``)::
     repro snapshot ls                       # list catalog collections
     repro search    --snapshot docs a b     # zero-rebuild warm start
     repro serve     --snapshot docs --port 8080   # HTTP/JSON service
+    repro snapshot build big.xml big --shards 4   # sharded collection
+    repro serve     --snapshot big --workers 4    # multi-core serving
 
 Source resolution (XML vs ``.json`` image vs ``.snap`` bundle vs
 catalog collection, including the fresh-catalog-hit preference over
@@ -73,6 +75,8 @@ def _database_options(args) -> DatabaseOptions:
         case_sensitive=getattr(args, "case_sensitive", None),
         cache=getattr(args, "cache", 0) or None,
         catalog=getattr(args, "catalog", None),
+        shards=getattr(args, "shards", None),
+        workers=getattr(args, "workers", 0) or 0,
     )
 
 
@@ -135,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--within", type=int, default=None, metavar="K")
     search.add_argument("--limit", type=int, default=10)
     _add_engine_options(search)
+    _add_exec_options(search)
     search.add_argument(
         "--cache",
         type=_cache_capacity,
@@ -165,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--explain", action="store_true")
     _add_engine_options(query)
+    _add_exec_options(query)
     query.add_argument(
         "--cache",
         type=_cache_capacity,
@@ -211,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     snap_build.add_argument("--catalog", metavar="DIR", default=None)
     snap_build.add_argument("--case-sensitive", action="store_true")
+    snap_build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition into N shards: one bundle per shard, layout "
+        "recorded in the catalog (serve with --workers M to scale "
+        "past one core)",
+    )
 
     snap_load = snap_sub.add_parser(
         "load", help="load a snapshot (warm-start check) and print its stats"
@@ -252,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     _add_engine_options(serve)
+    _add_exec_options(serve)
     serve.add_argument(
         "--cache",
         type=_cache_capacity,
@@ -303,6 +319,27 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
         default=None,
         help="meet execution strategy (default: steered; with --snapshot "
         "or a .snap source, indexed)",
+    )
+
+
+def _add_exec_options(command: argparse.ArgumentParser) -> None:
+    """Execution-layer knobs: sharding and the worker pool."""
+    command.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the collection into N shards (answers stay "
+        "byte-identical; a sharded catalog collection supplies its own "
+        "layout)",
+    )
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="M",
+        help="serve shard work from M pool processes instead of "
+        "in-process (implies --shards M when --shards is not given)",
     )
 
 
@@ -399,7 +436,7 @@ def _command_search(args) -> int:
             f"joins={answer['joins']} path={answer['path']}"
         )
         if args.xml:
-            print(database.engine.to_xml(answer["oid"]))
+            print(database.to_xml(answer["oid"]))
         else:
             print(f"     {answer['snippet']}")
     return 0
@@ -464,14 +501,28 @@ def _command_serve(args) -> int:
             name = FsPath(str(args.snapshot)).stem
         databases = {name: database}
     server = ReproServer(
-        databases, host=args.host, port=args.port, verbose=args.verbose
+        databases,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        close_databases=True,
     )
     server.warm_up()
     for name in server.names():
         database = server.databases[name]
+        if database.sharded is not None:
+            executor = database.sharded.executor
+            mode = (
+                f", {database.sharded.shard_count} shards via "
+                f"{executor.name} executor"
+            )
+            if executor.name == "parallel":
+                mode += f" ({executor.workers} workers)"
+        else:
+            mode = ""
         print(
             f"  {name}: {database.node_count} nodes via {database.origin} "
-            f"({database.backend_name} backend)"
+            f"({database.backend_name} backend{mode})"
         )
     print(
         f"serving {len(databases)} collection(s) on {server.url()} "
@@ -495,10 +546,23 @@ def _snapshot_build(args) -> int:
     name = args.name or FsPath(args.source).stem
     catalog = _open_catalog(args, create=True)
     started = time.perf_counter()
-    meta = catalog.ingest(name, args.source, case_sensitive=args.case_sensitive)
+    meta = catalog.ingest(
+        name,
+        args.source,
+        case_sensitive=args.case_sensitive,
+        shards=getattr(args, "shards", None),
+    )
     seconds = time.perf_counter() - started
+    shards = meta.get("shards")
+    if isinstance(shards, dict):
+        built = (
+            f"{catalog.root}/{name} "
+            f"({shards['count']} shard bundles)"
+        )
+    else:
+        built = f"{catalog.root}/{meta['file']}"
     print(
-        f"built {catalog.root}/{meta['file']}: {meta['node_count']} nodes, "
+        f"built {built}: {meta['node_count']} nodes, "
         f"{meta['bytes']} bytes, generation {meta['generation']} "
         f"({seconds * 1000:.0f} ms)"
     )
@@ -512,6 +576,27 @@ def _snapshot_load(args) -> int:
         catalog=getattr(args, "catalog", None),
         use_mmap=args.mmap,
     )
+    if resolved.sharded is not None:
+        # The warm-start check of a sharded collection: load every
+        # shard bundle and report the aggregate.
+        from .snapshot import read_snapshot
+
+        snapshots = [
+            read_snapshot(path, use_mmap=args.mmap)
+            for path in resolved.sharded.paths
+        ]
+        seconds = time.perf_counter() - started
+        nodes = sum(s.store.node_count for s in snapshots) - (
+            len(snapshots) - 1
+        )  # stand-in roots counted once
+        terms = sum(s.fulltext_index.vocabulary_size for s in snapshots)
+        print(
+            f"loaded {args.name}: {len(snapshots)} shards, {nodes} nodes, "
+            f"{len(snapshots[0].store.summary) - 1} paths, "
+            f"{terms} terms across shards "
+            f"({seconds * 1000:.1f} ms, zero index rebuilds)"
+        )
+        return 0
     seconds = time.perf_counter() - started
     store, snapshot = resolved.store, resolved.snapshot
     print(
@@ -532,10 +617,16 @@ def _snapshot_ls(args) -> int:
         return 0
     print(f"catalog {catalog.root}:")
     for name, meta in collections.items():
+        shards = meta.get("shards")
+        layout = (
+            f", {shards.get('count')} shards"
+            if isinstance(shards, dict)
+            else ""
+        )
         print(
             f"  {name}: {meta.get('node_count')} nodes, "
-            f"{meta.get('bytes')} bytes, generation {meta.get('generation')}, "
-            f"source={meta.get('source') or '-'}"
+            f"{meta.get('bytes')} bytes, generation {meta.get('generation')}"
+            f"{layout}, source={meta.get('source') or '-'}"
         )
     return 0
 

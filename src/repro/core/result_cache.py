@@ -70,20 +70,23 @@ class ResultCache:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._generation: Optional[int] = None
+        self._generation: Optional[Hashable] = None
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._lock = threading.Lock()
 
-    def sync_generation(self, generation: int) -> None:
+    def sync_generation(self, generation: Hashable) -> None:
         """Drop everything when the store moved to a new generation.
 
         Every entry's key embeds the generation it was computed
         against, so after :meth:`~repro.monet.engine.MonetXML.
         invalidate_caches` no surviving entry could ever hit again —
         purging them eagerly keeps the cache from squatting on dead
-        results.
+        results.  ``generation`` is any hashable token: a store's
+        integer generation, or a sharded collection's layout
+        fingerprint + generation vector (shard count and ranges
+        included, so re-sharding can never serve stale merged results).
         """
         with self._lock:
             if self._generation != generation:

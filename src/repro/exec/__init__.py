@@ -1,0 +1,42 @@
+"""The execution layer: sharded collections and pluggable executors.
+
+``repro.exec`` is the seam every scaling feature plugs into:
+
+* :mod:`repro.exec.sharding` — answer-preserving partitioning of one
+  store into independent per-subtree shards (original OIDs kept);
+* :mod:`repro.exec.service` — the pure per-shard request handlers;
+* :mod:`repro.exec.executors` — where shard work runs: in-process
+  (:class:`SerialExecutor`) or on a process pool that finally scales
+  query serving past the GIL (:class:`ParallelExecutor`);
+* :mod:`repro.exec.coordinator` — scatter-gather merge producing
+  byte-identical global answers, including the root meet no single
+  shard can see.
+"""
+
+from .coordinator import ShardedCollection
+from .executors import (
+    Executor,
+    ExecutorError,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from .service import ShardService
+from .sharding import (
+    ShardingError,
+    ShardPlan,
+    compute_shard_plan,
+    slice_store,
+)
+
+__all__ = [
+    "Executor",
+    "ExecutorError",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ShardPlan",
+    "ShardService",
+    "ShardedCollection",
+    "ShardingError",
+    "compute_shard_plan",
+    "slice_store",
+]

@@ -1,0 +1,731 @@
+"""The coordinator: global answers from per-shard partial results.
+
+One :class:`ShardedCollection` owns a shard layout
+(:class:`~repro.exec.sharding.ShardPlan`), the shared path summary,
+and an :class:`~repro.exec.executors.Executor`; it exposes the same
+three query surfaces as the monolithic engine/processor pair —
+``nearest_concepts``, full-text hits, and the select/from/where
+language — with **byte-identical answers and ranking order**.
+
+The division of labour (the tentpole's refactor):
+
+* a shard performs the pure per-shard work — term search, the meet
+  roll-up, §4 filtering, local top-k with full ranking keys — against
+  its own store and indexes (:mod:`repro.exec.service`);
+* the coordinator merges: concatenates shard-ordered hit lists (shard
+  OID ranges are ascending, so concatenation *is* the global sort
+  order), k-way merges ranked candidates on the §4 key (a strict
+  total order, so per-shard top-k union ⊇ global top-k exactly), and
+  re-derives the one answer no shard can see — the meet at the
+  document root — from the union of shard residues plus per-variable
+  root flags.
+
+Result caching happens here, keyed on the **shard layout fingerprint
+and generation vector** in addition to the usual query/options key, so
+re-sharding or rebuilding a collection can never serve stale merged
+results (the cache satellite).
+"""
+
+from __future__ import annotations
+
+import threading
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.engine import NearestConcept
+from ..core.restrictions import PathLike, resolve_pids
+from ..core.result_cache import (
+    CacheSpec,
+    ResultCache,
+    ResultCacheInfo,
+    resolve_result_cache,
+)
+from ..datamodel.errors import QueryPlanError, ReproError
+from ..monet.pathsummary import PathSummary
+from ..query.ast import (
+    ContainsCondition,
+    DistanceItem,
+    MeetItem,
+    PathVarItem,
+    Query,
+    TagItem,
+    TextItem,
+    VarItem,
+)
+from ..query.executor import (
+    Cell,
+    QueryResult,
+    column_name,
+    referenced_variables,
+)
+from ..query.parser import parse_query
+from ..query.planner import Plan, plan_query
+from .executors import Executor
+from .service import item_variable, term_mode
+from .sharding import ShardPlan
+
+__all__ = ["ShardedCollection"]
+
+_key_of = itemgetter(0)
+
+
+class _SummaryStore:
+    """The coordinator's store stand-in: a summary plus the repr.
+
+    Planning (:func:`repro.query.planner.plan_query`) and path
+    resolution only consult ``store.summary``; the repr reproduces the
+    monolithic :class:`~repro.monet.engine.MonetXML` one byte-for-byte
+    so ``explain`` output does not depend on the execution layer.
+    """
+
+    def __init__(self, summary: PathSummary, plan: ShardPlan):
+        self.summary = summary
+        self._plan = plan
+
+    def __repr__(self) -> str:
+        return (
+            f"<MonetXML nodes={self._plan.node_count} "
+            f"paths={self._plan.path_count} "
+            f"relations={self._plan.relation_count}>"
+        )
+
+
+class ShardedCollection:
+    """Scatter-gather query serving over one sharded collection."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        summary: PathSummary,
+        executor: Executor,
+        *,
+        case_sensitive: bool = False,
+        backend_name: str = "steered",
+        generations: Sequence = (),
+        cache: CacheSpec = None,
+        max_rows: Optional[int] = 100_000,
+    ):
+        if executor.shard_count != plan.shard_count:
+            raise ReproError(
+                f"executor serves {executor.shard_count} shard(s) but the "
+                f"plan has {plan.shard_count}"
+            )
+        self.plan = plan
+        self.summary = summary
+        self.executor = executor
+        self.case_sensitive = bool(case_sensitive)
+        self.backend_name = backend_name
+        self.generations = tuple(generations)
+        self.max_rows = max_rows
+        self.result_cache: Optional[ResultCache] = resolve_result_cache(cache)
+        self._shim = _SummaryStore(summary, plan)
+        #: Shard-layout component of every cache key (the satellite):
+        #: shard count, range boundaries and the generation vector.
+        self.layout_key = (plan.fingerprint(), self.generations)
+        self._last = threading.local()
+
+    # -- observability ---------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self.plan.shard_count
+
+    @property
+    def node_count(self) -> int:
+        return self.plan.node_count
+
+    def cache_info(self) -> Optional[ResultCacheInfo]:
+        if self.result_cache is None:
+            return None
+        return self.result_cache.cache_info()
+
+    def warm_up(self) -> None:
+        """Ping every shard: indexes touched, pool spawned, bundles hot."""
+        self._record(self.executor.broadcast("ping", {}), rounds=1)
+
+    def last_shard_stats(self) -> Dict[str, object]:
+        """Per-shard timings of this thread's most recent operation."""
+        return getattr(
+            self._last,
+            "stats",
+            {"count": self.shard_count, "per_shard_ms": [], "rounds": 0},
+        )
+
+    def _record(
+        self, responses: List[Dict[str, object]], rounds: int
+    ) -> List[Dict[str, object]]:
+        self._last.stats = {
+            "count": self.shard_count,
+            "executor": self.executor.name,
+            "per_shard_ms": [
+                response.get("elapsed_ms") for response in responses
+            ],
+            "rounds": rounds,
+        }
+        return responses
+
+    # -- full-text surface ----------------------------------------------
+    def term_hit_rows(self, term: str) -> List[Tuple[int, int]]:
+        """Global (oid, pid) hit rows of one term, ascending by OID."""
+        mode = term_mode(term, self.case_sensitive)
+        params = {"terms": [(term, mode)], "scan_terms": ()}
+        responses = self.executor.broadcast("hits", params)
+        rounds = 1
+        if mode == "token" and not any(
+            response["index_counts"].get(term, 0) for response in responses
+        ):
+            # The global index has no posting: the monolithic ``find``
+            # would fall back to a substring scan — so do all shards.
+            params["scan_terms"] = (term,)
+            responses = self.executor.broadcast("hits", params)
+            rounds = 2
+        self._record(responses, rounds)
+        rows: List[Tuple[int, int]] = []
+        # Shard OID ranges ascend (and the root, the smallest OID, sits
+        # in shard 0), so shard-order concatenation is globally sorted.
+        for response in responses:
+            rows.extend(tuple(row) for row in response["terms"][term])
+        return rows
+
+    # -- nearest-concept surface ----------------------------------------
+    def nearest_concepts(
+        self,
+        *terms: str,
+        exclude_paths: Sequence[PathLike] = (),
+        exclude_root: bool = False,
+        require_all_terms: bool = False,
+        within: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[NearestConcept]:
+        if len(terms) < 2:
+            raise ValueError("nearest_concepts needs at least two terms")
+        excluded: Set[int] = resolve_pids(self._shim, exclude_paths)
+        if exclude_root:
+            excluded.add(self.plan.root_pid)
+
+        cache = self.result_cache
+        key = None
+        if cache is not None:
+            cache.sync_generation(self.layout_key)
+            key = (
+                self.layout_key,
+                self.case_sensitive,
+                tuple(sorted(set(terms))),
+                frozenset(excluded),
+                require_all_terms,
+                within,
+                limit,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                self._record([], rounds=0)
+                return list(cached)
+
+        moded = [(term, term_mode(term, self.case_sensitive)) for term in terms]
+        params = {
+            "terms": moded,
+            "scan_terms": (),
+            "exclude_pids": sorted(excluded),
+            "require_all_terms": require_all_terms,
+            "within": within,
+            "limit": limit,
+        }
+        responses = self.executor.broadcast("nearest", params)
+        rounds = 1
+        force = self._scan_fallback(moded, responses)
+        if force:
+            params["scan_terms"] = tuple(sorted(force))
+            responses = self.executor.broadcast("nearest", params)
+            rounds = 2
+        self._record(responses, rounds)
+
+        concepts = self._merge_nearest(
+            responses,
+            terms=terms,
+            excluded=excluded,
+            require_all_terms=require_all_terms,
+            within=within,
+            limit=limit,
+        )
+        if cache is not None:
+            cache.put(key, tuple(concepts))
+        return concepts
+
+    def _scan_fallback(
+        self,
+        moded: Sequence[Tuple[str, str]],
+        responses: List[Dict[str, object]],
+    ) -> Set[str]:
+        force: Set[str] = set()
+        for term, mode in moded:
+            if mode == "token" and not any(
+                response["index_counts"].get(term, 0)
+                for response in responses
+            ):
+                force.add(term)
+        return force
+
+    def _merge_nearest(
+        self,
+        responses: List[Dict[str, object]],
+        *,
+        terms: Sequence[str],
+        excluded: Set[int],
+        require_all_terms: bool,
+        within: Optional[int],
+        limit: Optional[int],
+    ) -> List[NearestConcept]:
+        summary = self.summary
+        candidates: List[Tuple[Tuple[int, int, int, int], NearestConcept]] = []
+        residue: Set[Tuple[str, int]] = set()
+        depth_of: Dict[int, int] = {}
+        for response in responses:
+            for row in response["meets"]:
+                concept = NearestConcept(
+                    oid=row["oid"],
+                    path=summary.path(row["pid"]),
+                    origins=tuple(row["origins"]),
+                    terms=tuple(row["terms"]),
+                    joins=row["joins"],
+                    spread=row["spread"],
+                    depth=row["depth"],
+                )
+                candidates.append((concept.sort_key(), concept))
+            for term, oid, depth in response["residue"]:
+                residue.add((term, oid))
+                depth_of[oid] = depth
+
+        root = self._root_meet(
+            residue,
+            depth_of,
+            terms=terms,
+            excluded=excluded,
+            require_all_terms=require_all_terms,
+            within=within,
+        )
+        if root is not None:
+            candidates.append((root.sort_key(), root))
+        candidates.sort(key=_key_of)
+        if limit is not None:
+            candidates = candidates[:limit]
+        return [concept for _key, concept in candidates]
+
+    def _root_meet(
+        self,
+        residue: Set[Tuple[str, int]],
+        depth_of: Dict[int, int],
+        *,
+        terms: Sequence[str],
+        excluded: Set[int],
+        require_all_terms: bool,
+        within: Optional[int],
+    ) -> Optional[NearestConcept]:
+        """The one cross-shard meet: the document root over the residues.
+
+        Every input pair either joined exactly one emitted (shard-local)
+        meet or survived to the root; the union of shard residues is
+        therefore precisely the pending set the monolithic roll-up
+        would deliver there, and the root is a meet iff it covers two
+        distinct pairs (Fig. 5's emission rule, applied once, here).
+        """
+        if len(residue) < 2:
+            return None
+        if self.plan.root_pid in excluded:
+            return None
+        tags = {term for term, _oid in residue}
+        if require_all_terms and not tags >= set(terms):
+            return None
+        origins = tuple(sorted({oid for _term, oid in residue}))
+        joins = sum(depth_of[oid] - 1 for oid in origins)
+        if within is not None and joins > within:
+            return None
+        return NearestConcept(
+            oid=self.plan.root_oid,
+            path=self.summary.path(self.plan.root_pid),
+            origins=origins,
+            terms=tuple(sorted(str(tag) for tag in tags)),
+            joins=joins,
+            spread=origins[-1] - origins[0],
+            depth=1,
+        )
+
+    # -- presentation ----------------------------------------------------
+    def snippets(self, oids: Sequence[int], width: int = 120) -> Dict[int, str]:
+        """Display snippets for answer OIDs, root composed across shards."""
+        root = self.plan.root_oid
+        by_shard: Dict[int, List[int]] = {}
+        want_root = False
+        for oid in oids:
+            if oid == root:
+                want_root = True
+            else:
+                by_shard.setdefault(self.plan.shard_of(oid), []).append(oid)
+        out: Dict[int, str] = {}
+        ops = [
+            (shard, "snippets", {"oids": shard_oids, "width": width})
+            for shard, shard_oids in sorted(by_shard.items())
+        ]
+        if ops:
+            for response in self.executor.scatter(ops):
+                out.update(response["snippets"])
+        if want_root:
+            parts = [
+                response["part"]
+                for response in self.executor.broadcast(
+                    "text_head", {"width": width}
+                )
+            ]
+            text = " ".join(part for part in parts if part)
+            out[root] = (
+                text if len(text) <= width else text[: width - 1] + "…"
+            )
+        return out
+
+    def pids_of(self, oids: Sequence[int]) -> Dict[int, int]:
+        """Batched OID → pid lookup (one scatter), root answered here."""
+        root = self.plan.root_oid
+        by_shard: Dict[int, List[int]] = {}
+        out: Dict[int, int] = {}
+        for oid in oids:
+            if oid == root:
+                out[root] = self.plan.root_pid
+            else:
+                by_shard.setdefault(self.plan.shard_of(oid), []).append(oid)
+        ops = [
+            (shard, "pids", {"oids": shard_oids})
+            for shard, shard_oids in sorted(by_shard.items())
+        ]
+        for response in self.executor.scatter(ops):
+            out.update(response["pids"])
+        return out
+
+    def to_xml(self, oid: int, indent: int = 2) -> str:
+        if oid == self.plan.root_oid:
+            return self._root_xml(indent)
+        shard = self.plan.shard_of(oid)
+        [response] = self.executor.scatter(
+            [(shard, "to_xml", {"oid": oid, "indent": indent})]
+        )
+        return response["xml"]
+
+    def _root_xml(self, indent: Optional[int]) -> str:
+        """Serialize the whole document: shard parts in one root tag.
+
+        Each shard writes its top-level subtrees exactly as the
+        monolithic serializer would (level 1); this method reproduces
+        the serializer's root-level framing — self-closing empty root,
+        the all-cdata inline form, and the padded open/close tags —
+        byte for byte.
+        """
+        from ..datamodel.serializer import escape_attribute
+
+        responses = self.executor.broadcast(
+            "root_xml_parts", {"indent": indent}
+        )
+        label = self.summary.label(self.plan.root_pid)
+        attributes: Dict[str, str] = {}
+        for response in responses:
+            attributes.update(response["root_attributes"])
+        parts = [label] + [
+            f'{name}="{escape_attribute(value)}"'
+            for name, value in attributes.items()
+        ]
+        children = "".join(response["children"] for response in responses)
+        if not children:
+            return "<" + " ".join(parts) + "/>"
+        open_tag = "<" + " ".join(parts) + ">"
+        if all(response["cdata_only"] for response in responses):
+            inline = "".join(
+                text
+                for response in responses
+                for text in response["inline"]
+            )
+            return open_tag + inline + f"</{label}>"
+        close = f"</{label}>"
+        if indent is not None:
+            close = "\n" + close
+        return open_tag + children + close
+
+    # -- query-language surface ------------------------------------------
+    def explain(self, text: str) -> str:
+        return plan_query(parse_query(text), self._shim).explain()
+
+    def execute(self, text: str) -> QueryResult:
+        if not isinstance(text, str):
+            raise ReproError(
+                "sharded query execution takes a query string"
+            )
+        cache = self.result_cache
+        key = None
+        if cache is not None:
+            cache.sync_generation(self.layout_key)
+            key = (
+                self.layout_key,
+                text.strip(),
+                self.case_sensitive,
+                self.backend_name,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                columns, rows = cached
+                self._record([], rounds=0)
+                return QueryResult(columns=list(columns), rows=list(rows))
+
+        # Plan locally first: parse/plan errors surface identically to
+        # the monolithic processor, before any scatter happens.
+        parsed = parse_query(text)
+        plan = plan_query(parsed, self._shim)
+
+        params: Dict[str, object] = {"text": text, "scan_needles": ()}
+        responses = self.executor.broadcast("query", params)
+        rounds = 1
+        needles = [
+            (condition.needle, "token")
+            for condition in parsed.conditions
+            if isinstance(condition, ContainsCondition)
+            and term_mode(condition.needle, self.case_sensitive) == "token"
+        ]
+        force = self._scan_fallback(needles, responses)
+        if force:
+            params["scan_needles"] = tuple(sorted(force))
+            responses = self.executor.broadcast("query", params)
+            rounds = 2
+        self._record(responses, rounds)
+
+        if plan.aggregate:
+            result = self._merge_aggregate(parsed, responses)
+        else:
+            result = self._merge_enumeration(parsed, plan, responses)
+        if key is not None:
+            cache.put(key, (tuple(result.columns), tuple(result.rows)))
+        return result
+
+    # -- query merge: shared root logic ----------------------------------
+    def _root_bound(
+        self,
+        variable: str,
+        responses: List[Dict[str, object]],
+    ) -> bool:
+        """Is the true root in the variable's *global* binding set?
+
+        The root matches the pattern iff any shard says so (only shard
+        0 can vouch for root attributes), and satisfies each condition
+        iff any shard's local closure reached its stand-in root — for
+        ``contains`` that means "some witness exists somewhere", which
+        is exactly the root's global closure membership.
+        """
+        entries = [response["variables"][variable] for response in responses]
+        if not any(entry["root_pattern"] for entry in entries):
+            return False
+        condition_count = len(entries[0]["root_conds"])
+        return all(
+            any(entry["root_conds"][index] for entry in entries)
+            for index in range(condition_count)
+        )
+
+    def _root_in_minimal(
+        self, variable: str, responses: List[Dict[str, object]]
+    ) -> bool:
+        """Root is a minimal binding iff it is the *only* binding."""
+        return self._root_bound(variable, responses) and all(
+            not response["variables"][variable]["minimal"]
+            for response in responses
+        )
+
+    # -- query merge: enumeration mode -----------------------------------
+    def _merge_enumeration(
+        self,
+        parsed: Query,
+        plan: Plan,
+        responses: List[Dict[str, object]],
+    ) -> QueryResult:
+        root = self.plan.root_oid
+        needed = referenced_variables(parsed)
+        bound: Dict[str, List[int]] = {}
+        for variable in needed:
+            oids: List[int] = []
+            if self._root_bound(variable, responses):
+                oids.append(root)  # the smallest OID: sorted order holds
+            for response in responses:
+                oids.extend(response["variables"][variable]["bound"])
+            bound[variable] = oids
+
+        # item index → oid → cell, merged from the shard-aligned lists.
+        cell_maps: Dict[int, Dict[int, Cell]] = {}
+        root_text: Optional[str] = None
+        for index, item in enumerate(parsed.select):
+            variable = item_variable(item, plan)
+            if variable is None:
+                continue
+            mapping: Dict[int, Cell] = {}
+            for response in responses:
+                entry = response["variables"][variable]
+                cells = entry["cells"].get(str(index), ())
+                for oid, cell in zip(entry["bound"], cells):
+                    mapping[oid] = cell
+            if root in bound[variable]:
+                if isinstance(item, TextItem):
+                    if root_text is None:
+                        root_text = self._gather_root_text()
+                    mapping[root] = root_text
+                else:
+                    mapping[root] = self._root_cell(item, plan)
+            cell_maps[index] = mapping
+
+        columns = [column_name(item) for item in parsed.select]
+        result = QueryResult(columns=columns)
+        seen: Set[Tuple[Cell, ...]] = set()
+        variables = list(needed)
+        if not variables:
+            return result
+
+        def emit(assignment: Dict[str, int]) -> None:
+            row = tuple(
+                cell_maps[index][assignment[item_variable(item, plan)]]
+                for index, item in enumerate(parsed.select)
+            )
+            if parsed.distinct:
+                if row in seen:
+                    return
+                seen.add(row)
+            result.rows.append(row)
+            if self.max_rows is not None and len(result.rows) > self.max_rows:
+                raise QueryPlanError(
+                    f"result exceeds max_rows={self.max_rows}; "
+                    "refine the query or use meet(...) aggregation"
+                )
+
+        def recurse(index: int, assignment: Dict[str, int]) -> None:
+            if index == len(variables):
+                emit(assignment)
+                return
+            variable = variables[index]
+            for oid in bound[variable]:
+                assignment[variable] = oid
+                recurse(index + 1, assignment)
+            assignment.pop(variable, None)
+
+        recurse(0, {})
+        return result
+
+    def _root_cell(self, item, plan: Plan) -> Cell:
+        summary = self.summary
+        root_pid = self.plan.root_pid
+        if isinstance(item, VarItem):
+            return self.plan.root_oid
+        if isinstance(item, TagItem):
+            return summary.label(root_pid)
+        if isinstance(item, PathVarItem):
+            owner = plan.path_variable_owner[item.name]
+            bindings = plan.variables[owner].binding.pattern.match(
+                summary.path(root_pid)
+            )
+            return "" if bindings is None else bindings.get(item.name, "")
+        # PathItem (TextItem is handled by the caller).
+        return str(summary.path(root_pid))
+
+    def _gather_root_text(self) -> str:
+        parts = [
+            response["part"]
+            for response in self.executor.broadcast("root_text", {})
+        ]
+        return " ".join(part for part in parts if part)
+
+    # -- query merge: aggregate mode --------------------------------------
+    def _merge_aggregate(
+        self, parsed: Query, responses: List[Dict[str, object]]
+    ) -> QueryResult:
+        columns = [column_name(item) for item in parsed.select]
+        result = QueryResult(columns=columns)
+        cells_per_item: List[List[Cell]] = []
+        for index, item in enumerate(parsed.select):
+            if isinstance(item, MeetItem):
+                cells_per_item.append(
+                    self._merge_meet_cells(index, item, responses)
+                )
+            else:
+                cells_per_item.append(
+                    self._merge_distance_cells(index, item, responses)
+                )
+        height = max((len(cells) for cells in cells_per_item), default=0)
+        for position in range(height):
+            result.rows.append(
+                tuple(
+                    cells[position] if position < len(cells) else ""
+                    for cells in cells_per_item
+                )
+            )
+        return result
+
+    def _merge_meet_cells(
+        self,
+        index: int,
+        item: MeetItem,
+        responses: List[Dict[str, object]],
+    ) -> List[Cell]:
+        key = str(index)
+        cells: List[int] = []
+        residue: Set[Tuple[str, int]] = set()
+        depth_of: Dict[int, int] = {}
+        root_excluded = False
+        for response in responses:
+            entry = response["meet_items"][key]
+            cells.extend(entry["meets"])
+            root_excluded = root_excluded or entry["root_excluded"]
+            for variable, oid, depth in entry["residue"]:
+                residue.add((variable, oid))
+                depth_of[oid] = depth
+        root = self.plan.root_oid
+        for variable in item.variables:
+            if self._root_in_minimal(variable, responses):
+                residue.add((variable, root))
+                depth_of[root] = 1
+        if len(residue) >= 2 and not root_excluded:
+            origins = {oid for _variable, oid in residue}
+            joins = sum(depth_of[oid] - 1 for oid in origins)
+            if item.within is None or joins <= item.within:
+                cells.append(root)
+        cells.sort()
+        return cells
+
+    def _merge_distance_cells(
+        self,
+        index: int,
+        item: DistanceItem,
+        responses: List[Dict[str, object]],
+    ) -> List[Cell]:
+        key = str(index)
+        witnesses: Dict[str, List[Tuple[int, int, int]]] = {
+            item.left: [],
+            item.right: [],
+        }
+        pair_joins: Dict[int, Optional[int]] = {}
+        for shard, response in enumerate(responses):
+            entry = response["distance_items"][key]
+            pair_joins[shard] = entry["pair_joins"]
+            for variable in (item.left, item.right):
+                for oid, depth in entry["witnesses"][variable]:
+                    witnesses[variable].append((shard, oid, depth))
+        root_left = self._root_in_minimal(item.left, responses)
+        root_right = self._root_in_minimal(item.right, responses)
+        count_left = len(witnesses[item.left]) + root_left
+        count_right = len(witnesses[item.right]) + root_right
+        if count_left != 1 or count_right != 1:
+            raise QueryPlanError(
+                "distance($a, $b) requires both variables to bind exactly "
+                f"one witness (got {count_left} and {count_right})"
+            )
+        if root_left and root_right:
+            return [0]
+        if root_left:
+            return [witnesses[item.right][0][2] - 1]
+        if root_right:
+            return [witnesses[item.left][0][2] - 1]
+        shard_left, _oid_left, depth_left = witnesses[item.left][0]
+        shard_right, _oid_right, depth_right = witnesses[item.right][0]
+        if shard_left == shard_right:
+            # Both witnesses local to one shard: it computed the exact
+            # pairwise meet distance already.
+            return [pair_joins[shard_left]]
+        # Different shards means different top-level subtrees, whose
+        # only common ancestor is the root (depth 1).
+        return [(depth_left - 1) + (depth_right - 1)]

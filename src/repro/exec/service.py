@@ -1,0 +1,518 @@
+"""Per-shard request handlers — the pure function a shard executes.
+
+A :class:`ShardService` wraps one shard store (see
+:mod:`repro.exec.sharding`) and answers plain-data requests with
+plain-data responses: every parameter and every response is built from
+JSON/pickle-safe primitives, so the same handler serves the in-process
+:class:`~repro.exec.executors.SerialExecutor` and the process-pool
+workers of :class:`~repro.exec.executors.ParallelExecutor` unchanged.
+Handlers are **stateless and read-only** — one service instance is
+safe under the multi-threaded HTTP server.
+
+The contract with the coordinator (:mod:`repro.exec.coordinator`):
+
+* the shard's stand-in root never appears in a response — meets at it
+  are dissolved back into the **residue** (the input pairs no local
+  meet absorbed), binding sets drop it, and per-variable *root flags*
+  report what the coordinator needs to decide the true root's
+  membership globally;
+* full-text terms arrive with a coordinator-chosen **mode** (``token``
+  / ``multi`` / ``scan``): the index-vs-scan fallback of
+  :meth:`repro.fulltext.search.SearchEngine.find` depends on whether
+  the *global* index has hits, which no single shard can know, so the
+  shard reports its local index counts and the coordinator re-scatters
+  with ``scan_terms`` when the global count is zero.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from operator import itemgetter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.engine import NearestConceptEngine
+from ..core.restrictions import resolve_pids
+from ..datamodel.document import CDATA_LABEL, STRING_ATTRIBUTE
+from ..datamodel.errors import ReproError
+from ..fulltext.index import Hits
+from ..fulltext.search import SearchEngine
+from ..fulltext.tokenizer import tokenize
+from ..monet.engine import MonetXML
+from ..monet.reassembly import object_text
+from ..query.ast import (
+    ContainsCondition,
+    DistanceItem,
+    MeetItem,
+    PathItem,
+    PathVarItem,
+    Query,
+    TagItem,
+    TextItem,
+    VarItem,
+)
+from ..query.executor import QueryProcessor
+from ..query.parser import parse_query
+from ..query.planner import plan_query
+
+__all__ = [
+    "ShardService",
+    "dissolve_stand_in_root",
+    "term_mode",
+    "hits_for_mode",
+    "item_variable",
+]
+
+_key_of = itemgetter(0)
+
+
+def term_mode(term: str, case_sensitive: bool) -> str:
+    """The find-semantics branch a term takes — mirrors ``SearchEngine.find``.
+
+    ``token`` terms consult the inverted index (and fall back to a
+    substring scan only when the *global* index misses); ``multi``
+    terms run the conjunctive-tokens-plus-substring-confirm path;
+    everything else is a straight ``scan``.
+    """
+    tokens = tokenize(term, case_sensitive)
+    if len(tokens) == 1 and all(ch.isalnum() for ch in term.strip()):
+        return "token"
+    if len(tokens) > 1:
+        return "multi"
+    return "scan"
+
+
+def hits_for_mode(
+    search: SearchEngine, term: str, mode: str, force_scan: bool
+) -> Hits:
+    """Local hits for one term under a coordinator-decided mode."""
+    if force_scan or mode == "scan":
+        return search.scan(term)
+    if mode == "token":
+        # No local scan fallback: that decision is global.
+        return search.index.search(term)
+    hits = search.index.search_conjunctive(
+        tokenize(term, search.case_sensitive)
+    )
+    return Hits(term=term, postings=search._confirm_substring(term, hits))
+
+
+def item_variable(item, plan) -> Optional[str]:
+    """The node variable a row-wise select item enumerates over."""
+    if isinstance(item, (VarItem, TagItem, PathItem, TextItem)):
+        return item.variable
+    if isinstance(item, PathVarItem):
+        return plan.path_variable_owner[item.name]
+    return None
+
+
+def dissolve_stand_in_root(store, tagged, results):
+    """Split a shard-local roll-up into (kept meets, residue).
+
+    The correctness-critical heart of the sharding scheme, shared by
+    the nearest pipeline and ``meet(...)`` query items: meets at the
+    shard's stand-in root are dropped (the coordinator re-derives the
+    one true root meet globally), and the residue — every input pair
+    no *kept* meet absorbed, with its depth — is exactly the pending
+    set the monolithic roll-up would deliver to the document root.
+    """
+    root = store.root_oid
+    covered: Set[Tuple[object, int]] = set()
+    kept = []
+    for result in results:
+        if result.oid == root:
+            continue
+        covered.update(result.tokens)
+        kept.append(result)
+    depth_of = store.depth_of
+    residue = sorted(
+        (token, oid, depth_of(oid))
+        for token, oid in set(tagged)
+        if (token, oid) not in covered
+    )
+    return kept, residue
+
+
+def _text_head(store: MonetXML, oid: int, width: int) -> str:
+    """The first characters of ``object_text(store, oid)``, early-stopped.
+
+    Walks the same document order and joins with the same separator,
+    but stops as soon as ``width + 1`` characters are secured — enough
+    for the caller to reproduce both the exact short text and the
+    truncation decision of :meth:`NearestConceptEngine.snippet`.
+    """
+    pieces: List[str] = []
+    length = -1  # join() adds len(pieces) - 1 separators
+    stack = [oid]
+    while stack and length <= width:
+        current = stack.pop()
+        if store.summary.label(store.pid_of(current)) == CDATA_LABEL:
+            value = store.attributes_of(current).get(STRING_ATTRIBUTE)
+            if value:
+                pieces.append(value)
+                length += len(value) + 1
+        stack.extend(reversed(store.children_of(current)))
+    return " ".join(pieces)[: width + 1]
+
+
+class ShardService:
+    """Stateless request handlers over one shard store."""
+
+    def __init__(
+        self,
+        store: MonetXML,
+        *,
+        shard_id: int,
+        case_sensitive: bool = False,
+        backend: Optional[str] = None,
+    ):
+        self.shard_id = shard_id
+        self.store = store
+        self.case_sensitive = bool(case_sensitive)
+        self.backend_name = backend or "steered"
+        self.engine = NearestConceptEngine(
+            store,
+            case_sensitive=self.case_sensitive,
+            backend=self.backend_name,
+        )
+
+    # -- dispatch -------------------------------------------------------
+    def handle(self, op: str, params: Dict[str, object]) -> Dict[str, object]:
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ReproError(f"unknown shard operation {op!r}")
+        started = time.perf_counter()
+        response = handler(params)
+        response["shard"] = self.shard_id
+        response["elapsed_ms"] = round(
+            (time.perf_counter() - started) * 1000, 3
+        )
+        return response
+
+    # -- lifecycle / observability --------------------------------------
+    def _op_ping(self, params: Dict[str, object]) -> Dict[str, object]:
+        # Touching the indexes here is the warm-up: on snapshot-loaded
+        # shards both come from the seeded caches (zero builds).
+        _ = self.engine.index
+        if self.backend_name == "indexed":
+            _ = self.engine.backend.index
+        return {
+            "pid": os.getpid(),
+            "nodes": self.store.node_count,
+            "backend": self.backend_name,
+            "case_sensitive": self.case_sensitive,
+        }
+
+    # -- full-text ------------------------------------------------------
+    def _resolve_hits(
+        self,
+        terms: Iterable[Tuple[str, str]],
+        scan_terms: Set[str],
+    ) -> Tuple[Dict[str, Hits], Dict[str, int]]:
+        hits: Dict[str, Hits] = {}
+        index_counts: Dict[str, int] = {}
+        for term, mode in terms:
+            found = hits_for_mode(
+                self.engine.search, term, mode, term in scan_terms
+            )
+            hits[term] = found
+            if mode == "token" and term not in scan_terms:
+                index_counts[term] = len(found)
+        return hits, index_counts
+
+    def _op_hits(self, params: Dict[str, object]) -> Dict[str, object]:
+        scan_terms = set(params.get("scan_terms", ()))
+        hits, index_counts = self._resolve_hits(params["terms"], scan_terms)
+        pid_of = self.store.pid_of
+        return {
+            "terms": {
+                term: sorted((oid, pid_of(oid)) for oid in found.oids())
+                for term, found in hits.items()
+            },
+            "index_counts": index_counts,
+        }
+
+    # -- nearest concepts -----------------------------------------------
+    def _op_nearest(self, params: Dict[str, object]) -> Dict[str, object]:
+        terms: List[Tuple[str, str]] = [
+            (term, mode) for term, mode in params["terms"]
+        ]
+        scan_terms = set(params.get("scan_terms", ()))
+        exclude_pids = set(params.get("exclude_pids", ()))
+        require_all = bool(params.get("require_all_terms", False))
+        within = params.get("within")
+        limit = params.get("limit")
+        wanted = {term for term, _ in terms}
+
+        hits, index_counts = self._resolve_hits(terms, scan_terms)
+        tagged: List[Tuple[str, int]] = []
+        for term, found in hits.items():
+            for oid in found.oids():
+                tagged.append((term, oid))
+
+        store = self.store
+        engine = self.engine
+        results = engine.backend.meet_tagged(tagged)
+        local, residue = dissolve_stand_in_root(store, tagged, results)
+
+        if exclude_pids:
+            pid_of = store.pid_of
+            local = [r for r in local if pid_of(r.oid) not in exclude_pids]
+        if require_all:
+            local = [r for r in local if set(r.tags) >= wanted]
+        keyed = engine._rank_keys(local)
+        if within is not None:
+            keyed = [(key, r) for key, r in keyed if key[0] <= within]
+        if limit is not None:
+            keyed = heapq.nsmallest(limit, keyed, key=_key_of)
+        else:
+            keyed.sort(key=_key_of)
+
+        meets = []
+        pid_of = store.pid_of
+        for _key, result in keyed:
+            concept = engine._annotate(result)
+            meets.append(
+                {
+                    "oid": concept.oid,
+                    "pid": pid_of(concept.oid),
+                    "origins": list(concept.origins),
+                    "terms": list(concept.terms),
+                    "joins": concept.joins,
+                    "spread": concept.spread,
+                    "depth": concept.depth,
+                }
+            )
+        return {
+            "meets": meets,
+            "residue": residue,
+            "index_counts": index_counts,
+        }
+
+    # -- presentation ----------------------------------------------------
+    def _op_snippets(self, params: Dict[str, object]) -> Dict[str, object]:
+        width = int(params.get("width", 120))
+        return {
+            "snippets": {
+                oid: self.engine.snippet(oid, width=width)
+                for oid in params["oids"]
+            }
+        }
+
+    def _op_text_head(self, params: Dict[str, object]) -> Dict[str, object]:
+        width = int(params.get("width", 120))
+        return {"part": _text_head(self.store, self.store.root_oid, width)}
+
+    def _op_root_text(self, params: Dict[str, object]) -> Dict[str, object]:
+        return {"part": object_text(self.store, self.store.root_oid)}
+
+    def _op_root_xml_parts(self, params: Dict[str, object]) -> Dict[str, object]:
+        """This shard's slice of the serialized document root.
+
+        Each top-level subtree is written exactly as the monolithic
+        serializer would emit it as a child of the root (level 1), so
+        the coordinator only wraps the concatenated parts in the root
+        tag.  The ``only_text`` inline special case of the serializer
+        (all root children are cdata) needs the raw escaped strings
+        instead, so both forms are returned.
+        """
+        from ..datamodel.serializer import _write_node, escape_text
+        from ..monet.reassembly import reassemble_subtree
+
+        indent = params.get("indent")
+        store = self.store
+        root = store.root_oid
+        out: List[str] = []
+        inline: List[str] = []
+        cdata_only = True
+        for child_oid in store.children_of(root):
+            node = reassemble_subtree(store, child_oid)
+            _write_node(node, out, indent, 1)
+            if node.label == CDATA_LABEL:
+                inline.append(escape_text(node.string_value or ""))
+            else:
+                cdata_only = False
+        return {
+            "children": "".join(out),
+            "cdata_only": cdata_only,
+            "inline": inline,
+            "root_attributes": store.attributes_of(root),
+        }
+
+    def _op_pids(self, params: Dict[str, object]) -> Dict[str, object]:
+        pid_of = self.store.pid_of
+        return {"pids": {oid: pid_of(oid) for oid in params["oids"]}}
+
+    def _op_to_xml(self, params: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "xml": self.engine.to_xml(
+                int(params["oid"]), indent=int(params.get("indent", 2))
+            )
+        }
+
+    # -- query language --------------------------------------------------
+    def _op_query(self, params: Dict[str, object]) -> Dict[str, object]:
+        text = str(params["text"])
+        scan_needles = set(params.get("scan_needles", ()))
+        store = self.store
+        root = store.root_oid
+        parsed: Query = parse_query(text)
+        plan = plan_query(parsed, store)
+        search = _CoordinatedSearch(
+            store, case_sensitive=self.case_sensitive, scan_terms=scan_needles
+        )
+        processor = QueryProcessor(
+            store, search=search, max_rows=None, backend=self.engine.backend
+        )
+
+        index_counts: Dict[str, int] = {}
+        for condition in parsed.conditions:
+            if isinstance(condition, ContainsCondition):
+                needle = condition.needle
+                if (
+                    term_mode(needle, self.case_sensitive) == "token"
+                    and needle not in scan_needles
+                ):
+                    index_counts[needle] = len(search.index.search(needle))
+
+        aggregate = plan.aggregate
+        if aggregate:
+            needed = sorted(
+                {
+                    variable
+                    for item in parsed.select
+                    for variable in (
+                        item.variables
+                        if isinstance(item, MeetItem)
+                        else (item.left, item.right)
+                        if isinstance(item, DistanceItem)
+                        else ()
+                    )
+                }
+            )
+        else:
+            needed = processor._referenced_variables(parsed)
+
+        variables: Dict[str, Dict[str, object]] = {}
+        minimal: Dict[str, List[int]] = {}
+        for variable in needed:
+            pattern = processor._pattern_oids(plan, variable)
+            closures = [
+                processor._condition_closure(condition)
+                for condition in parsed.conditions_for(variable)
+            ]
+            bound = set(pattern)
+            for closure in closures:
+                bound &= closure
+            public = sorted(bound - {root})
+            entry: Dict[str, object] = {
+                "bound": public,
+                "root_pattern": root in pattern,
+                "root_conds": [root in closure for closure in closures],
+            }
+            if aggregate:
+                minimal[variable] = sorted(
+                    processor._minimal(bound - {root})
+                )
+                entry["minimal"] = minimal[variable]
+            else:
+                cells: Dict[str, List[object]] = {}
+                for index, item in enumerate(parsed.select):
+                    if item_variable(item, plan) == variable:
+                        cells[str(index)] = [
+                            processor._cell(plan, item, {variable: oid})
+                            for oid in public
+                        ]
+                entry["cells"] = cells
+            variables[variable] = entry
+
+        response: Dict[str, object] = {
+            "variables": variables,
+            "index_counts": index_counts,
+        }
+        if aggregate:
+            response["meet_items"] = {
+                str(index): self._meet_item(plan, item, minimal)
+                for index, item in enumerate(parsed.select)
+                if isinstance(item, MeetItem)
+            }
+            response["distance_items"] = {
+                str(index): self._distance_item(item, minimal)
+                for index, item in enumerate(parsed.select)
+                if isinstance(item, DistanceItem)
+            }
+        return response
+
+    def _meet_item(
+        self, plan, item: MeetItem, minimal: Dict[str, List[int]]
+    ) -> Dict[str, object]:
+        store = self.store
+        root = store.root_oid
+        tagged = [
+            (variable, oid)
+            for variable in item.variables
+            for oid in minimal[variable]
+        ]
+        results = self.engine.backend.meet_tagged(tagged)
+        local, residue = dissolve_stand_in_root(store, tagged, results)
+        depth_of = store.depth_of
+        excluded = resolve_pids(store, item.exclude_paths)
+        root_pid = store.pid_of(root)
+        if item.exclude_root:
+            excluded.add(root_pid)
+        cells: List[int] = []
+        pid_of = store.pid_of
+        for meet in local:
+            if pid_of(meet.oid) in excluded:
+                continue
+            if item.within is not None:
+                meet_depth = depth_of(meet.oid)
+                joins = sum(
+                    depth_of(oid) - meet_depth for oid in meet.origins
+                )
+                if joins > item.within:
+                    continue
+            cells.append(meet.oid)
+        return {
+            "meets": sorted(cells),
+            "residue": residue,
+            "root_excluded": root_pid in excluded,
+        }
+
+    def _distance_item(
+        self, item: DistanceItem, minimal: Dict[str, List[int]]
+    ) -> Dict[str, object]:
+        depth_of = self.store.depth_of
+        left = minimal[item.left]
+        right = minimal[item.right]
+        pair_joins = None
+        if len(left) == 1 and len(right) == 1:
+            pair_joins = self.engine.backend.meet(left[0], right[0]).joins
+        return {
+            "witnesses": {
+                item.left: [(oid, depth_of(oid)) for oid in left],
+                item.right: [(oid, depth_of(oid)) for oid in right],
+            },
+            "pair_joins": pair_joins,
+        }
+
+
+class _CoordinatedSearch(SearchEngine):
+    """A :class:`SearchEngine` whose index-vs-scan choice is imposed.
+
+    The stock ``find`` falls back to a substring scan when the local
+    index misses — a decision that must be made against the *global*
+    index under sharding.  This variant follows the coordinator's
+    per-term verdict instead (``scan_terms`` forces the fallback).
+    """
+
+    def __init__(self, store, *, case_sensitive: bool, scan_terms: Set[str]):
+        super().__init__(store, case_sensitive=case_sensitive)
+        self._scan_terms = frozenset(scan_terms)
+
+    def find(self, term: str) -> Hits:
+        return hits_for_mode(
+            self, term, term_mode(term, self.case_sensitive),
+            term in self._scan_terms,
+        )

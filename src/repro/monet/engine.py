@@ -122,6 +122,16 @@ class MonetXML:
         """Depth of the node = length of π(o); the root has depth 1."""
         return self.summary.depth(self.pid_of(oid))
 
+    def dense_columns(self):
+        """The (pid, parent, rank) columns, indexed by ``oid - first_oid``.
+
+        Read-only by contract — the columns are handed out without a
+        copy so whole-range consumers (the shard slicer of
+        :mod:`repro.exec.sharding`) stay O(range), not O(range) Python
+        calls.
+        """
+        return self._oid_pid, self._oid_parent, self._oid_rank
+
     # -- relations ---------------------------------------------------------
     def edge_relation(self, pid: int) -> BAT:
         """(parent, child) BAT of all nodes on path ``pid`` (may be empty)."""

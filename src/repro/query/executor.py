@@ -54,9 +54,53 @@ from .ast import (
 from .parser import parse_query
 from .planner import Plan, plan_query
 
-__all__ = ["QueryResult", "QueryProcessor", "run_query"]
+__all__ = [
+    "QueryResult",
+    "QueryProcessor",
+    "run_query",
+    "column_name",
+    "referenced_variables",
+]
 
 Cell = Union[int, str]
+
+
+def column_name(item) -> str:
+    """The result-table column header of one select item."""
+    if isinstance(item, VarItem):
+        return f"${item.variable}"
+    if isinstance(item, TagItem):
+        return f"tag(${item.variable})"
+    if isinstance(item, PathItem):
+        return f"path(${item.variable})"
+    if isinstance(item, TextItem):
+        return f"text(${item.variable})"
+    if isinstance(item, PathVarItem):
+        return f"%{item.name}"
+    if isinstance(item, DistanceItem):
+        return f"distance(${item.left}, ${item.right})"
+    if isinstance(item, MeetItem):
+        return "meet(" + ", ".join(f"${v}" for v in item.variables) + ")"
+    raise QueryPlanError(f"unknown select item {item!r}")  # pragma: no cover
+
+
+def referenced_variables(query: Query) -> List[str]:
+    """Variables the select list actually touches, in binding order."""
+    referenced: Set[str] = set()
+    for item in query.select:
+        if isinstance(item, (VarItem, TagItem, PathItem, TextItem)):
+            referenced.add(item.variable)
+        elif isinstance(item, PathVarItem):
+            # Path variables live on the owning binding's pattern.
+            for binding in query.bindings:
+                if item.name in binding.pattern.variables:
+                    referenced.add(binding.variable)
+                    break
+    return [
+        binding.variable
+        for binding in query.bindings
+        if binding.variable in referenced
+    ]
 
 
 @dataclass(slots=True)
@@ -290,38 +334,10 @@ class QueryProcessor:
 
     def _referenced_variables(self, query: Query) -> List[str]:
         """Variables the select list actually touches, in binding order."""
-        referenced: Set[str] = set()
-        for item in query.select:
-            if isinstance(item, (VarItem, TagItem, PathItem, TextItem)):
-                referenced.add(item.variable)
-            elif isinstance(item, PathVarItem):
-                # Path variables live on the owning binding's pattern.
-                for binding in query.bindings:
-                    if item.name in binding.pattern.variables:
-                        referenced.add(binding.variable)
-                        break
-        return [
-            binding.variable
-            for binding in query.bindings
-            if binding.variable in referenced
-        ]
+        return referenced_variables(query)
 
     def _column_name(self, item) -> str:
-        if isinstance(item, VarItem):
-            return f"${item.variable}"
-        if isinstance(item, TagItem):
-            return f"tag(${item.variable})"
-        if isinstance(item, PathItem):
-            return f"path(${item.variable})"
-        if isinstance(item, TextItem):
-            return f"text(${item.variable})"
-        if isinstance(item, PathVarItem):
-            return f"%{item.name}"
-        if isinstance(item, DistanceItem):
-            return f"distance(${item.left}, ${item.right})"
-        if isinstance(item, MeetItem):
-            return "meet(" + ", ".join(f"${v}" for v in item.variables) + ")"
-        raise QueryPlanError(f"unknown select item {item!r}")  # pragma: no cover
+        return column_name(item)
 
     def _cell(self, plan: Plan, item, assignment: Dict[str, int]) -> Cell:
         store = self.store

@@ -14,7 +14,10 @@ start is O(bytes) instead of O(rebuild):
   :func:`read_snapshot` bundling store, LCA index and full-text index,
   with the per-store generation-keyed caches seeded on load;
 * :mod:`repro.snapshot.catalog` — :class:`Catalog`, a directory of
-  named collections with per-collection metadata and generations.
+  named collections with per-collection metadata and generations;
+* :mod:`repro.snapshot.sharded` — the shard-aware extension: one
+  bundle per shard plus a recorded layout, so sharded collections
+  warm-start rebuild-free too (serially or behind a worker pool).
 
 See ``benchmarks/bench_cold_start.py`` for the parse-and-rebuild vs
 snapshot-load comparison across the bundled datasets.
@@ -23,12 +26,20 @@ snapshot-load comparison across the bundled datasets.
 from .catalog import Catalog
 from .codec import Snapshot, read_snapshot, write_snapshot
 from .format import FORMAT_VERSION, MAGIC, SnapshotReader, SnapshotWriter
+from .sharded import (
+    read_snapshot_header,
+    shard_bundle_name,
+    write_shard_bundles,
+)
 
 __all__ = [
     "Catalog",
     "Snapshot",
     "read_snapshot",
     "write_snapshot",
+    "read_snapshot_header",
+    "shard_bundle_name",
+    "write_shard_bundles",
     "SnapshotReader",
     "SnapshotWriter",
     "FORMAT_VERSION",

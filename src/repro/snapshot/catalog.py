@@ -157,10 +157,34 @@ class Catalog:
             if (
                 meta.get("source_bytes") == stat.st_size
                 and meta.get("source_mtime_ns") == stat.st_mtime_ns
-                and self.bundle_path(name).exists()
+                and self._bundles_exist(name, meta)
             ):
                 return name
         return None
+
+    def _bundles_exist(self, name: str, meta: Dict[str, object]) -> bool:
+        shards = meta.get("shards")
+        if isinstance(shards, dict):
+            files = shards.get("files", ())
+            return bool(files) and all(
+                (self.root / str(file)).exists() for file in files
+            )
+        return self.bundle_path(name).exists()
+
+    def shard_files(self, name: str) -> List[FsPath]:
+        """The shard bundle paths of a sharded collection, in order."""
+        meta = self.info(name)
+        shards = meta.get("shards")
+        if not isinstance(shards, dict):
+            raise StorageError(
+                f"collection {name!r} in catalog {self.root} is not sharded"
+            )
+        files = shards.get("files")
+        if not isinstance(files, list) or not files:
+            raise StorageError(
+                f"collection {name!r} records a shard layout without files"
+            )
+        return [self.root / str(file) for file in files]
 
     # -- mutations ------------------------------------------------------
     def build(
@@ -170,17 +194,26 @@ class Catalog:
         *,
         source: Optional[Union[str, FsPath]] = None,
         case_sensitive: bool = False,
+        shards: Optional[int] = None,
         _source_stat: Optional[os.stat_result] = None,
     ) -> Dict[str, object]:
         """Snapshot ``store`` under ``name``; returns the new metadata.
 
         Rebuilding an existing collection bumps its generation and
-        atomically replaces the bundle.  ``_source_stat`` lets
-        :meth:`ingest` record the fingerprint of the content it
-        actually read (stat'ed *before* reading), so a source modified
-        mid-ingest can never fingerprint as fresh.
+        atomically replaces the bundle(s).  With ``shards`` the store
+        is partitioned (:mod:`repro.exec.sharding`) and written as one
+        bundle per shard — ``shards=1`` included, so the layout is
+        persisted and a later ``serve --workers M`` runs from the
+        recorded bundles instead of re-slicing; ``None`` builds the
+        classic monolithic bundle.  The manifest records the layout so
+        openers can scatter-gather without loading anything first.
+        ``_source_stat`` lets :meth:`ingest` record the fingerprint of
+        the content it actually read (stat'ed *before* reading), so a
+        source modified mid-ingest can never fingerprint as fresh.
         """
         _check_name(name)
+        if shards is not None and shards < 1:
+            raise StorageError(f"shard count must be >= 1, got {shards}")
         collections = self._read_manifest()
         previous = collections.get(name, {})
         try:
@@ -191,18 +224,39 @@ class Catalog:
                 f"of {name!r} is not a number"
             ) from None
         bundle = self.bundle_path(name)
-        temp = bundle.with_suffix(".snap.tmp")
-        try:
-            size = write_snapshot(
+        shard_meta: Optional[Dict[str, object]] = None
+        if shards is not None:
+            from .sharded import write_shard_bundles
+
+            plan, paths, size = write_shard_bundles(
                 store,
-                temp,
+                self.root,
+                name,
+                shards=shards,
                 case_sensitive=case_sensitive,
-                extra_meta={"collection": name, "collection_generation": generation},
+                extra_meta={
+                    "collection": name,
+                    "collection_generation": generation,
+                },
             )
-            temp.replace(bundle)
-        except BaseException:
-            temp.unlink(missing_ok=True)
-            raise
+            shard_meta = plan.to_dict()
+            shard_meta["files"] = [path.name for path in paths]
+        else:
+            temp = bundle.with_suffix(".snap.tmp")
+            try:
+                size = write_snapshot(
+                    store,
+                    temp,
+                    case_sensitive=case_sensitive,
+                    extra_meta={
+                        "collection": name,
+                        "collection_generation": generation,
+                    },
+                )
+                temp.replace(bundle)
+            except BaseException:
+                temp.unlink(missing_ok=True)
+                raise
         source_fingerprint: Dict[str, object] = {}
         if source is not None:
             try:
@@ -214,7 +268,7 @@ class Catalog:
             except OSError:
                 pass  # unreadable source: recorded without a fingerprint
         meta: Dict[str, object] = {
-            "file": bundle.name,
+            "file": None if shard_meta is not None else bundle.name,
             "source": str(FsPath(source).resolve()) if source is not None else None,
             **source_fingerprint,
             "node_count": store.node_count,
@@ -224,9 +278,34 @@ class Catalog:
             "case_sensitive": case_sensitive,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         }
+        if shard_meta is not None:
+            meta["shards"] = shard_meta
         collections[name] = meta
         self._write_manifest(collections)
+        # Destructive cleanup strictly *after* the manifest flip: a
+        # crash anywhere above leaves the previous build fully
+        # servable (its bundles untouched, the old manifest intact); a
+        # crash below leaves only harmless orphan files.
+        self._remove_stale_files(name, previous, shard_meta)
         return meta
+
+    def _remove_stale_files(
+        self,
+        name: str,
+        previous: Dict[str, object],
+        current: Optional[Dict[str, object]],
+    ) -> None:
+        """Unlink files of the previous build the new one did not
+        replace: surplus shard bundles (fewer shards, or back to
+        monolithic) and the monolithic bundle after a sharded build."""
+        keep = set((current or {}).get("files", ()))
+        old = previous.get("shards")
+        if isinstance(old, dict):
+            for file in old.get("files", ()):
+                if isinstance(file, str) and file not in keep:
+                    (self.root / file).unlink(missing_ok=True)
+        if current is not None:
+            self.bundle_path(name).unlink(missing_ok=True)
 
     def ingest(
         self,
@@ -234,6 +313,7 @@ class Catalog:
         source: Union[str, FsPath],
         *,
         case_sensitive: bool = False,
+        shards: Optional[int] = None,
     ) -> Dict[str, object]:
         """Parse an XML file (or legacy ``.json`` image) and snapshot it."""
         from ..datamodel.parser import parse_document
@@ -257,12 +337,22 @@ class Catalog:
             store,
             source=source,
             case_sensitive=case_sensitive,
+            shards=shards,
             _source_stat=source_stat,
         )
+
+    def is_sharded(self, name: str) -> bool:
+        return isinstance(self.info(name).get("shards"), dict)
 
     def open(self, name: str, *, use_mmap: bool = False) -> Snapshot:
         """Load one collection's bundle; caches come back pre-seeded."""
         meta = self.info(name)
+        if isinstance(meta.get("shards"), dict):
+            raise StorageError(
+                f"collection {name!r} is sharded ("
+                f"{meta['shards'].get('count')} shards); open it through "
+                "repro.open / Database, which scatter-gathers the shards"
+            )
         bundle = self.bundle_path(name)
         if not bundle.exists():
             raise StorageError(
@@ -276,14 +366,19 @@ class Catalog:
         return snapshot
 
     def drop(self, name: str) -> None:
-        """Remove a collection's bundle and manifest entry."""
+        """Remove a collection's bundle(s) and manifest entry."""
         collections = self._read_manifest()
         if name not in collections:
             raise StorageError(f"no collection {name!r} in catalog {self.root}")
-        del collections[name]
+        meta = collections.pop(name)
         bundle = self.bundle_path(name)
         if bundle.exists():
             bundle.unlink()
+        shards = meta.get("shards")
+        if isinstance(shards, dict):
+            for file in shards.get("files", ()):
+                if isinstance(file, str):
+                    (self.root / file).unlink(missing_ok=True)
         self._write_manifest(collections)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,127 @@
+"""HTTP serving over the parallel execution layer.
+
+The server must stay rebuild-free under concurrent traffic with the
+compute running in pool workers, merge worker counters into one
+process-tree ``/v1/stats`` view, and survive a worker being killed
+mid-flight: the in-flight request fails cleanly (503), the pool
+respawns, the server keeps serving.
+"""
+
+import http.client
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.api import Database, NearestRequest, ReproServer
+from repro.datamodel.serializer import serialize
+from repro.datasets import DblpConfig, dblp_document
+from repro.monet.transform import monet_transform
+from repro.snapshot import Catalog
+
+
+@pytest.fixture(scope="module")
+def catalog_dir(tmp_path_factory):
+    document = dblp_document(
+        DblpConfig(papers_per_proceedings=3, articles_per_year=2)
+    )
+    root = tmp_path_factory.mktemp("catalog")
+    xml = root / "dblp.xml"
+    xml.write_text(serialize(document), encoding="utf-8")
+    Catalog(root / "cat").ingest("dblp", xml, shards=2)
+    return root / "cat", document
+
+
+def _post(server, payload, path="/v1/nearest"):
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _get(server, path):
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def test_parallel_serving_zero_rebuilds_and_merged_stats(catalog_dir):
+    root, document = catalog_dir
+    reference = Database(monet_transform(document))
+    expected = reference.nearest(NearestRequest(terms=("ICDE", "1999")))
+    # The fixtures above built indexes in *this* process (snapshot
+    # writes, the reference engine); zero the process-global counters
+    # so the assertion measures serving only.
+    from repro.core.lca_index import clear_lca_index_cache
+    from repro.fulltext.index import clear_fulltext_index_cache
+
+    clear_lca_index_cache()
+    clear_fulltext_index_cache()
+    with repro.open(snapshot="dblp", catalog=root, workers=2) as database:
+        with ReproServer(database, port=0) as server:
+            def hammer(_index):
+                status, payload = _post(
+                    server, {"terms": ["ICDE", "1999"], "limit": 10}
+                )
+                assert status == 200
+                return payload["answers"]
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(hammer, range(24)))
+            for answers in results:
+                assert answers == [dict(a) for a in expected.answers]
+
+            status, stats = _get(server, "/v1/stats")
+            assert status == 200
+            # One process-tree view: serving process + both workers.
+            assert stats["workers"] == 2
+            assert stats["index_builds"]["lca"] == 0
+            assert stats["index_builds"]["fulltext"] == 0
+            executor = stats["collections"]["default"]["executor"]
+            assert executor["mode"] == "parallel"
+            assert len(executor["worker_pids"]) == 2
+
+
+def test_worker_killed_mid_query_fails_cleanly_server_stays_up(catalog_dir):
+    root, _document = catalog_dir
+    with repro.open(snapshot="dblp", catalog=root, workers=1) as database:
+        with ReproServer(database, port=0) as server:
+            status, _payload = _post(server, {"terms": ["ICDE", "1999"]})
+            assert status == 200
+            pids = database.sharded.executor.stats()["worker_pids"]
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            # The first request to notice the corpse fails cleanly.
+            deadline = time.monotonic() + 10
+            saw_failure = False
+            while time.monotonic() < deadline:
+                status, payload = _post(server, {"terms": ["ICDE", "1999"]})
+                if status == 503:
+                    saw_failure = True
+                    assert "worker died" in payload["error"]
+                    break
+                time.sleep(0.05)
+            assert saw_failure, "killed worker never produced a 503"
+            # ... and the server is still up: the pool respawned.
+            status, payload = _post(server, {"terms": ["ICDE", "1999"]})
+            assert status == 200
+            assert payload["count"] >= 1
+            status, _health = _get(server, "/healthz")
+            assert status == 200
+            assert database.sharded.executor.stats()["respawns"] == 1

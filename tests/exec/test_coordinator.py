@@ -1,0 +1,249 @@
+"""Coordinator specifics: root meets, residue, caching, presentation."""
+
+import pytest
+
+from repro.core.engine import NearestConceptEngine
+from repro.core.result_cache import ResultCache
+from repro.datamodel.errors import ReproError
+from repro.datamodel.parser import parse_document
+from repro.datasets import DblpConfig, dblp_document
+from repro.exec import (
+    SerialExecutor,
+    ShardService,
+    ShardedCollection,
+    compute_shard_plan,
+    slice_store,
+)
+from repro.monet.transform import monet_transform
+
+ROOT_HIT_XML = """
+<bib owner="Bob Byte">
+  <article><author>Alice Bit</author><year>1999</year></article>
+  <article><author>Carol Code</author><year>2001</year></article>
+  <article><author>Dan Data</author><year>1999</year></article>
+</bib>
+"""
+
+
+def _sharded(store, shards, *, backend="steered", cache=None):
+    plan = compute_shard_plan(store, shards)
+    slices = slice_store(store, plan)
+    services = [
+        ShardService(shard, shard_id=index, backend=backend)
+        for index, shard in enumerate(slices)
+    ]
+    return ShardedCollection(
+        plan,
+        store.summary,
+        SerialExecutor(services),
+        backend_name=backend,
+        generations=[shard.generation for shard in slices],
+        cache=cache,
+    )
+
+
+@pytest.fixture(scope="module")
+def root_store():
+    return monet_transform(parse_document(ROOT_HIT_XML, first_oid=1))
+
+
+@pytest.fixture(scope="module")
+def dblp_store():
+    return monet_transform(
+        dblp_document(DblpConfig(papers_per_proceedings=3, articles_per_year=2))
+    )
+
+
+def test_root_attribute_hits_meet_at_root(root_store):
+    """Two terms hitting only the root's own attribute ("Bob Byte"):
+
+    the meet *is* the root, and only shard 0 holds the association —
+    the coordinator must assemble it from the residue."""
+    engine = NearestConceptEngine(root_store)
+    for shards in (1, 2, 3):
+        sharded = _sharded(root_store, shards)
+        expected = engine.nearest_concepts("Bob", "Byte")
+        actual = sharded.nearest_concepts("Bob", "Byte")
+        assert actual == expected
+        assert actual and actual[0].oid == root_store.root_oid
+
+
+def test_cross_shard_residue_forms_root_meet(root_store):
+    """Terms whose witnesses live in different top-level subtrees meet
+    at the root; per-shard roll-ups can never see that node."""
+    engine = NearestConceptEngine(root_store)
+    sharded = _sharded(root_store, 3)
+    expected = engine.nearest_concepts("Alice", "Carol")
+    actual = sharded.nearest_concepts("Alice", "Carol")
+    assert actual == expected
+    assert any(c.oid == root_store.root_oid for c in actual)
+
+
+def test_exclude_root_suppresses_the_root_meet(root_store):
+    engine = NearestConceptEngine(root_store)
+    sharded = _sharded(root_store, 3)
+    assert sharded.nearest_concepts(
+        "Alice", "Carol", exclude_root=True
+    ) == engine.nearest_concepts("Alice", "Carol", exclude_root=True)
+
+
+def test_nearest_requires_two_terms(root_store):
+    sharded = _sharded(root_store, 2)
+    with pytest.raises(ValueError):
+        sharded.nearest_concepts("Alice")
+
+
+def test_cache_hits_and_layout_isolation(dblp_store):
+    """One shared cache across two layouts: keys must never collide."""
+    cache = ResultCache(maxsize=64)
+    two = _sharded(dblp_store, 2, cache=cache)
+    first = two.nearest_concepts("ICDE", "1999", limit=5)
+    again = two.nearest_concepts("ICDE", "1999", limit=5)
+    assert again == first
+    info = cache.cache_info()
+    assert info.hits == 1 and info.misses == 1
+
+    # A different layout (re-sharding) must miss, not serve stale rows:
+    # its generation vector differs, so sync_generation purges.
+    three = _sharded(dblp_store, 3, cache=cache)
+    rebuilt = three.nearest_concepts("ICDE", "1999", limit=5)
+    assert rebuilt == first
+    assert cache.cache_info().misses == 2
+
+
+def test_query_cache_round_trip(dblp_store):
+    cache = ResultCache(maxsize=8)
+    sharded = _sharded(dblp_store, 2, cache=cache)
+    text = (
+        "select meet($a,$b) from # $a, # $b "
+        "where $a contains 'ICDE' and $b contains '1999'"
+    )
+    first = sharded.execute(text)
+    second = sharded.execute(text)
+    assert second.columns == first.columns and second.rows == first.rows
+    assert cache.cache_info().hits == 1
+
+
+def test_snippets_match_engine(dblp_store):
+    engine = NearestConceptEngine(dblp_store)
+    sharded = _sharded(dblp_store, 3)
+    concepts = engine.nearest_concepts("ICDE", "1999", limit=5)
+    oids = [concept.oid for concept in concepts]
+    snippets = sharded.snippets(oids)
+    for concept in concepts:
+        assert snippets[concept.oid] == engine.snippet(concept)
+
+
+def test_root_snippet_composes_across_shards(root_store):
+    engine = NearestConceptEngine(root_store)
+    sharded = _sharded(root_store, 3)
+    root = root_store.root_oid
+    assert sharded.snippets([root])[root] == engine.snippet(root)
+    # Narrow widths exercise the truncation path.
+    assert sharded.snippets([root], width=10)[root] == engine.snippet(
+        root, width=10
+    )
+
+
+def test_to_xml_matches_engine(dblp_store):
+    engine = NearestConceptEngine(dblp_store)
+    sharded = _sharded(dblp_store, 3)
+    [concept] = engine.nearest_concepts("ICDE", "1999", limit=1)
+    assert sharded.to_xml(concept.oid) == engine.to_xml(concept.oid)
+
+
+@pytest.mark.parametrize("shards", (1, 2, 3))
+@pytest.mark.parametrize("indent", (2, 4, None))
+def test_root_to_xml_composes_across_shards(
+    root_store, dblp_store, shards, indent
+):
+    """Serializing the root — the whole document — is a cross-shard
+    assembly and must match the monolithic serializer byte for byte."""
+    for store in (root_store, dblp_store):
+        engine = NearestConceptEngine(store)
+        sharded = _sharded(store, shards)
+        assert sharded.to_xml(store.root_oid, indent=indent) == (
+            engine.to_xml(store.root_oid, indent=indent)
+        )
+
+
+def test_root_to_xml_edge_shapes():
+    """Self-closing and all-cdata roots frame identically."""
+    from repro.datamodel.parser import parse_document
+
+    for xml in ("<bib key='x'/>", "<bib>only text here</bib>"):
+        store = monet_transform(parse_document(xml, first_oid=1))
+        engine = NearestConceptEngine(store)
+        sharded = _sharded(store, 2)
+        for indent in (2, None):
+            assert sharded.to_xml(store.root_oid, indent=indent) == (
+                engine.to_xml(store.root_oid, indent=indent)
+            )
+
+
+def test_pids_of_batches_across_shards(dblp_store):
+    sharded = _sharded(dblp_store, 3)
+    oids = [dblp_store.root_oid, *range(2, 30, 7)]
+    pids = sharded.pids_of(oids)
+    for oid in oids:
+        assert pids[oid] == dblp_store.pid_of(oid)
+
+
+def test_last_shard_stats_records_rounds(dblp_store):
+    sharded = _sharded(dblp_store, 2)
+    sharded.nearest_concepts("ICDE", "1999", limit=3)
+    stats = sharded.last_shard_stats()
+    assert stats["count"] == 2
+    assert stats["rounds"] == 1
+    assert len(stats["per_shard_ms"]) == 2
+    # A term absent from the token index forces the second round.
+    sharded.nearest_concepts("Hac", "1999")
+    assert sharded.last_shard_stats()["rounds"] == 2
+
+
+ROOT_QUERY_CASES = [
+    # Root binds via the ancestor closure; text(root) spans all shards.
+    "select $a, tag($a), text($a) from bib $a where $a contains 'Alice'",
+    # Root binds via equals on its own attribute (shard 0 only).
+    "select $a, path($a) from bib $a where $a = 'Bob Byte'",
+    # Enumeration where the root is one bound node among many.
+    "select tag($a) from # $a where $a contains '1999'",
+    # Distance where one witness is the root itself.
+    "select distance($a,$b) from bib $a, #/author $b "
+    "where $a = 'Bob Byte' and $b contains 'Alice'",
+    # Meet aggregation where one variable binds only the root.
+    "select meet($a,$b) from bib $a, #/author $b "
+    "where $a = 'Bob Byte' and $b contains 'Carol'",
+]
+
+
+@pytest.mark.parametrize("shards", (1, 2, 3))
+def test_root_binding_query_paths(root_store, shards):
+    """Every way the true root can enter a query binds identically."""
+    from repro.query.executor import QueryProcessor
+
+    processor = QueryProcessor(root_store)
+    sharded = _sharded(root_store, shards)
+    for text in ROOT_QUERY_CASES:
+        expected = processor.execute(text)
+        actual = sharded.execute(text)
+        assert (actual.columns, actual.rows) == (
+            expected.columns,
+            expected.rows,
+        ), (shards, text)
+
+
+def test_executor_shard_count_must_match(dblp_store):
+    plan = compute_shard_plan(dblp_store, 2)
+    slices = slice_store(dblp_store, plan)
+    services = [
+        ShardService(shard, shard_id=index)
+        for index, shard in enumerate(slices[:1])
+    ]
+    with pytest.raises(ReproError):
+        ShardedCollection(
+            plan,
+            dblp_store.summary,
+            SerialExecutor(services),
+            generations=(1,),
+        )

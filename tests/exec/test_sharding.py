@@ -1,0 +1,138 @@
+"""Structural invariants of the shard plan and the store slicer."""
+
+import pytest
+
+from repro.datasets import DblpConfig, dblp_document, figure1_document
+from repro.datasets.randomtree import random_document
+from repro.exec import ShardPlan, ShardingError, compute_shard_plan, slice_store
+from repro.monet.transform import monet_transform
+
+
+@pytest.fixture(scope="module")
+def dblp_store():
+    return monet_transform(
+        dblp_document(DblpConfig(papers_per_proceedings=3, articles_per_year=2))
+    )
+
+
+def test_plan_tiles_the_oid_range(dblp_store):
+    plan = compute_shard_plan(dblp_store, 4)
+    assert plan.shard_count == 4
+    assert plan.starts[0] == dblp_store.root_oid + 1
+    assert plan.ends[-1] == dblp_store.last_oid + 1
+    for previous_end, start in zip(plan.ends, plan.starts[1:]):
+        assert start == previous_end
+    assert plan.node_count == dblp_store.node_count
+
+
+def test_plan_balances_shards(dblp_store):
+    plan = compute_shard_plan(dblp_store, 4)
+    sizes = [end - start for start, end in zip(plan.starts, plan.ends)]
+    assert sum(sizes) == dblp_store.node_count - 1
+    # Balanced within a factor: no shard dominates the run.
+    assert max(sizes) <= 2 * (sum(sizes) / len(sizes))
+
+
+def test_requested_count_clamps_to_subtrees():
+    store = monet_transform(figure1_document())
+    subtrees = len(store.children_of(store.root_oid))
+    plan = compute_shard_plan(store, 64)
+    assert plan.shard_count == min(64, subtrees)
+
+
+def test_shard_of_routes_every_oid(dblp_store):
+    plan = compute_shard_plan(dblp_store, 3)
+    assert plan.shard_of(dblp_store.root_oid) == 0
+    for oid in dblp_store.iter_oids():
+        shard = plan.shard_of(oid)
+        if oid != dblp_store.root_oid:
+            assert plan.starts[shard] <= oid < plan.ends[shard]
+    with pytest.raises(ShardingError):
+        plan.shard_of(dblp_store.last_oid + 1)
+
+
+def test_plan_round_trips_through_dict(dblp_store):
+    plan = compute_shard_plan(dblp_store, 2)
+    assert ShardPlan.from_dict(plan.to_dict()) == plan
+    with pytest.raises(ShardingError):
+        ShardPlan.from_dict({"count": 2})
+
+
+def test_invalid_shard_count(dblp_store):
+    with pytest.raises(ShardingError):
+        compute_shard_plan(dblp_store, 0)
+
+
+def test_slices_are_valid_stores_with_original_oids(dblp_store):
+    plan = compute_shard_plan(dblp_store, 3)
+    shards = slice_store(dblp_store, plan)
+    assert len(shards) == 3
+    for shard_id, shard in enumerate(shards):
+        shard.validate()
+        assert shard.summary is dblp_store.summary
+        lo, hi = plan.starts[shard_id], plan.ends[shard_id]
+        assert shard.root_oid == lo - 1
+        assert shard.node_count == hi - lo + 1
+        for oid in range(lo, hi):
+            assert shard.pid_of(oid) == dblp_store.pid_of(oid)
+            assert shard.depth_of(oid) == dblp_store.depth_of(oid)
+            parent = dblp_store.parent_of(oid)
+            expected = shard.root_oid if parent == dblp_store.root_oid else parent
+            assert shard.parent_of(oid) == expected
+    # Shard 0's stand-in root *is* the true root.
+    assert shards[0].root_oid == dblp_store.root_oid
+
+
+def test_string_rows_partition_exactly(dblp_store):
+    plan = compute_shard_plan(dblp_store, 4)
+    shards = slice_store(dblp_store, plan)
+    total = sum(
+        len(relation)
+        for shard in shards
+        for relation in shard.strings.values()
+    )
+    expected = sum(len(r) for r in dblp_store.strings.values())
+    assert total == expected
+    # Root associations live in shard 0 only.
+    root = dblp_store.root_oid
+    for shard_id, shard in enumerate(shards):
+        root_rows = sum(
+            1
+            for relation in shard.strings.values()
+            for head, _value in relation
+            if head == root
+        )
+        if shard_id == 0:
+            assert root_rows == sum(
+                1
+                for relation in dblp_store.strings.values()
+                for head, _value in relation
+                if head == root
+            )
+        else:
+            assert root_rows == 0
+
+
+def test_wrong_plan_is_rejected(dblp_store):
+    other = monet_transform(figure1_document())
+    plan = compute_shard_plan(other, 1)
+    with pytest.raises(ShardingError):
+        slice_store(dblp_store, plan)
+
+
+def test_childless_root_shards_to_root_only():
+    from repro.datamodel.parser import parse_document
+
+    store = monet_transform(parse_document("<bib key='x'/>", first_oid=1))
+    plan = compute_shard_plan(store, 4)
+    assert plan.shard_count == 1
+    [shard] = slice_store(store, plan)
+    assert shard.node_count == 1
+    assert shard.root_oid == store.root_oid
+
+
+def test_random_tree_slices_validate():
+    store = monet_transform(random_document(11, nodes=600, max_children=4))
+    plan = compute_shard_plan(store, 4)
+    for shard in slice_store(store, plan):
+        shard.validate()

@@ -1,0 +1,133 @@
+"""Shard-aware persistence: bundles, catalog layout, warm starts."""
+
+import pytest
+
+from repro.core.lca_index import clear_lca_index_cache, lca_index_cache_info
+from repro.datamodel.errors import StorageError
+from repro.datamodel.serializer import serialize
+from repro.datasets import DblpConfig, dblp_document
+from repro.exec.sharding import ShardPlan
+from repro.fulltext.index import (
+    clear_fulltext_index_cache,
+    fulltext_index_cache_info,
+)
+from repro.monet.transform import monet_transform
+from repro.snapshot import Catalog, read_snapshot
+from repro.snapshot.sharded import (
+    layout_from_meta,
+    read_snapshot_header,
+    shard_bundle_name,
+    write_shard_bundles,
+)
+
+
+@pytest.fixture(scope="module")
+def document():
+    return dblp_document(
+        DblpConfig(papers_per_proceedings=3, articles_per_year=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def store(document):
+    return monet_transform(document)
+
+
+def test_write_shard_bundles_layout(store, tmp_path):
+    plan, paths, total = write_shard_bundles(
+        store, tmp_path, "dblp", shards=3
+    )
+    assert plan.shard_count == 3
+    assert [path.name for path in paths] == [
+        shard_bundle_name("dblp", index) for index in range(3)
+    ]
+    assert total == sum(path.stat().st_size for path in paths)
+    for index, path in enumerate(paths):
+        meta, summary = read_snapshot_header(path)
+        assert meta["shard_index"] == index
+        assert meta["shard_count"] == 3
+        assert layout_from_meta(meta) == plan
+        # Every bundle carries the complete global summary.
+        assert len(summary) == len(store.summary)
+
+
+def test_shard_bundles_load_seeded(store, tmp_path):
+    _plan, paths, _total = write_shard_bundles(
+        store, tmp_path, "dblp", shards=2
+    )
+    clear_lca_index_cache()
+    clear_fulltext_index_cache()
+    snapshots = [read_snapshot(path) for path in paths]
+    for snapshot in snapshots:
+        engine = snapshot.engine()
+        engine.nearest_concepts("ICDE", "1999", limit=2)
+    assert lca_index_cache_info().builds == 0
+    assert fulltext_index_cache_info().builds == 0
+
+
+def test_catalog_sharded_build_and_drop(document, tmp_path):
+    xml = tmp_path / "dblp.xml"
+    xml.write_text(serialize(document), encoding="utf-8")
+    catalog = Catalog(tmp_path / "catalog")
+    meta = catalog.ingest("dblp", xml, shards=2)
+    shards = meta["shards"]
+    assert shards["count"] == 2
+    assert meta["file"] is None
+    assert catalog.is_sharded("dblp")
+    files = catalog.shard_files("dblp")
+    assert all(path.exists() for path in files)
+    assert ShardPlan.from_dict(shards) is not None
+    # The monolithic open path refuses with a pointer to the facade.
+    with pytest.raises(StorageError, match="sharded"):
+        catalog.open("dblp")
+    # The fresh-hit probe recognizes sharded bundles too.
+    assert catalog.find_source(xml) == "dblp"
+    catalog.drop("dblp")
+    assert not any(path.exists() for path in files)
+    assert "dblp" not in catalog
+
+
+def test_rebuild_cleans_stale_shard_files(document, store, tmp_path):
+    xml = tmp_path / "dblp.xml"
+    xml.write_text(serialize(document), encoding="utf-8")
+    catalog = Catalog(tmp_path / "catalog")
+    catalog.ingest("dblp", xml, shards=4)
+    four = set(catalog.shard_files("dblp"))
+    meta = catalog.ingest("dblp", xml, shards=2)
+    assert meta["generation"] == 2
+    two = set(catalog.shard_files("dblp"))
+    assert all(path.exists() for path in two)
+    for stale in four - two:
+        assert not stale.exists()
+    # Back to monolithic: shard files gone, plain bundle back.
+    meta = catalog.ingest("dblp", xml)
+    assert "shards" not in meta
+    assert catalog.bundle_path("dblp").exists()
+    for stale in two:
+        assert not stale.exists()
+
+
+def test_shard_files_errors(tmp_path, store):
+    catalog = Catalog(tmp_path / "catalog")
+    catalog.build("mono", store)
+    with pytest.raises(StorageError, match="not sharded"):
+        catalog.shard_files("mono")
+
+
+def test_single_shard_build_persists_layout(tmp_path, store):
+    """shards=1 is a *sharded* build: the layout is recorded so later
+    worker-pool serves run from the persisted bundle, not a re-slice."""
+    catalog = Catalog(tmp_path / "catalog")
+    meta = catalog.build("one", store, shards=1)
+    assert meta["shards"]["count"] == 1
+    assert catalog.is_sharded("one")
+    [bundle] = catalog.shard_files("one")
+    assert bundle.exists()
+
+
+def test_invalid_shard_count_rejected(tmp_path, store):
+    catalog = Catalog(tmp_path / "catalog")
+    with pytest.raises(StorageError, match="shard count"):
+        catalog.build("bad", store, shards=0)
+    with pytest.raises(StorageError, match="shard count"):
+        catalog.build("bad", store, shards=-3)
