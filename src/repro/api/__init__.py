@@ -21,8 +21,11 @@ from .database import Database, open_database
 from .envelopes import (
     ENVELOPE_FORMAT,
     ENVELOPE_VERSION,
+    CompactRequest,
+    DeleteDocumentRequest,
     EnvelopeError,
     NearestRequest,
+    PutDocumentRequest,
     QueryRequest,
     Request,
     ResultEnvelope,
@@ -43,13 +46,16 @@ from .server import ReproServer
 open = open_database
 
 __all__ = [
+    "CompactRequest",
     "DEFAULT_CATALOG",
     "Database",
     "DatabaseOptions",
+    "DeleteDocumentRequest",
     "ENVELOPE_FORMAT",
     "ENVELOPE_VERSION",
     "EnvelopeError",
     "NearestRequest",
+    "PutDocumentRequest",
     "QueryRequest",
     "ReproServer",
     "Request",

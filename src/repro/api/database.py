@@ -30,15 +30,22 @@ layer instead: per-shard work as a pure function of a shard handle
 byte-identical to the monolithic path by construction and by the
 differential test suite.
 
-A ``Database`` is **immutable after open** — the store, its
-generation-keyed indexes and the engine wiring never change — which
-is what makes one instance safe to share across server threads: lazy
-engine/processor wiring is built under a lock, and the result cache
-locks internally.  Call :meth:`Database.warm_up` (the server does,
-before accepting traffic) to force the derived indexes to exist
-first; threads racing an *un-warmed* database may duplicate an index
-build — never corrupting state, since every build is equivalent and
-the generation-keyed cache keeps one — but paying redundant work.
+A ``Database`` is a **live collection**: reads share a
+writer-preference readers–writer lock, and :meth:`put` /
+:meth:`delete` / :meth:`replace` mutate the store under the exclusive
+side while queries keep answering between mutations.  A mutation bumps
+the store generation, so every generation-keyed cache (LCA, full-text,
+results) invalidates precisely — the full-text index rolls forward
+through the mutation journal instead of rebuilding.  Snapshot-backed
+opens get durability for free: each acknowledged mutation appends one
+delta section to the ``.snap`` bundle (:mod:`repro.snapshot.deltas`)
+before it is applied, and :meth:`compact` folds tombstones and the
+delta tail back into a dense base bundle behind the catalog's
+crash-safe manifest flip.  Lazy engine/processor wiring is still built
+under its own lock; threads racing an *un-warmed* database may
+duplicate an index build — never corrupting state, since every build
+is equivalent and the generation-keyed cache keeps one — but paying
+redundant work (call :meth:`warm_up` first, as the server does).
 """
 
 from __future__ import annotations
@@ -48,20 +55,35 @@ import tempfile
 import threading
 import time
 import weakref
+from contextlib import contextmanager
 from pathlib import Path as FsPath
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.engine import NearestConceptEngine
 from ..core.result_cache import ResultCache, resolve_result_cache
-from ..datamodel.errors import ReproError
+from ..datamodel.errors import (
+    DuplicateDocumentError,
+    ReproError,
+    StorageError,
+    UnknownDocumentError,
+)
+from ..datamodel.parser import parse_fragment
 from ..exec.coordinator import ShardedCollection
 from ..exec.executors import ParallelExecutor, SerialExecutor
 from ..exec.service import ShardService
 from ..exec.sharding import ShardPlan, compute_shard_plan, slice_store
 from ..fulltext.search import SearchEngine
 from ..monet.engine import MonetXML
+from ..monet.mutate import (
+    compact_store,
+    delete_document,
+    ensure_document_registry,
+    put_document,
+    replace_document,
+)
 from ..query.executor import QueryProcessor, QueryResult
-from ..snapshot.codec import Snapshot, read_snapshot
+from ..snapshot.codec import Snapshot, read_snapshot, write_snapshot
+from ..snapshot.deltas import DeltaOp, append_delta
 from .envelopes import (
     NearestRequest,
     QueryRequest,
@@ -72,6 +94,65 @@ from .options import DatabaseOptions
 from .resolve import ResolvedSource, SourceLike, resolve_source
 
 __all__ = ["Database", "open_database"]
+
+
+class _RWLock:
+    """A writer-preference readers–writer lock.
+
+    Readers share; a writer excludes everyone.  Arriving writers block
+    *new* readers, so a mutation cannot starve behind a stream of
+    overlapping queries.  Not reentrant — the facade takes it exactly
+    once per public call.
+    """
+
+    __slots__ = (
+        "_lock",
+        "_readers_ok",
+        "_writers_ok",
+        "_readers",
+        "_writers_waiting",
+        "_writing",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._readers_ok = threading.Condition(self._lock)
+        self._writers_ok = threading.Condition(self._lock)
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._lock:
+            while self._writing or self._writers_waiting:
+                self._readers_ok.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._readers -= 1
+                if not self._readers:
+                    self._writers_ok.notify()
+
+    @contextmanager
+    def write(self):
+        with self._lock:
+            self._writers_waiting += 1
+            while self._writing or self._readers:
+                self._writers_ok.wait()
+            self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._writing = False
+                if self._writers_waiting:
+                    self._writers_ok.notify()
+                else:
+                    self._readers_ok.notify_all()
 
 
 def _cache_info_dict(info) -> Optional[Dict[str, object]]:
@@ -131,9 +212,31 @@ class Database:
         self._wiring_lock = threading.Lock()
         self._engine: Optional[NearestConceptEngine] = None
         self._processor: Optional[QueryProcessor] = None
+        #: Readers share; put/delete/replace/compact take the write side.
+        self._rw = _RWLock()
+        #: For in-memory sharded serving (workers=0): the unsliced store
+        #: mutations apply to before the shard fabric is rebuilt.
+        self._base_store: Optional[MonetXML] = None
+        self._delta_path: Optional[FsPath] = None
+        self._mutable_catalog: Optional[Tuple[FsPath, str]] = None
+        self._pending_deltas = 0
+        self._mutations = 0
+        if snapshot is not None:
+            self._bind_write_through(snapshot)
         self._finalizer = (
             weakref.finalize(self, _cleanup) if _cleanup is not None else None
         )
+
+    def _bind_write_through(self, snapshot: Snapshot) -> None:
+        """Route future mutations to the bundle this store loaded from."""
+        if snapshot.path is None:
+            return
+        self._delta_path = FsPath(snapshot.path)
+        self._pending_deltas = snapshot.delta_count
+        catalog_root = snapshot.meta.get("catalog")
+        collection = snapshot.meta.get("collection")
+        if isinstance(catalog_root, str) and isinstance(collection, str):
+            self._mutable_catalog = (FsPath(catalog_root), collection)
 
     # -- opening --------------------------------------------------------
     @classmethod
@@ -290,14 +393,18 @@ class Database:
         shard_count = options.effective_shards
         case_sensitive, backend_name = options.effective(resolved.snapshot)
         cleanup = None
-        if options.workers > 0:
-            # The pool's workers load shards from disk: materialize
-            # warm bundles (store + indexes) into a temp directory.
-            from ..snapshot.sharded import write_shard_bundles
+        # One try covers everything from temp-dir creation to instance
+        # construction: a failure anywhere after materialization (plan
+        # validation, executor spin-up, ShardedCollection wiring) must
+        # not leave the temp shard bundles behind.
+        try:
+            if options.workers > 0:
+                # The pool's workers load shards from disk: materialize
+                # warm bundles (store + indexes) into a temp directory.
+                from ..snapshot.sharded import write_shard_bundles
 
-            tempdir = tempfile.mkdtemp(prefix="repro-shards-")
-            cleanup = lambda: shutil.rmtree(tempdir, ignore_errors=True)  # noqa: E731
-            try:
+                tempdir = tempfile.mkdtemp(prefix="repro-shards-")
+                cleanup = lambda: shutil.rmtree(tempdir, ignore_errors=True)  # noqa: E731
                 plan, paths, _size = write_shard_bundles(
                     store,
                     tempdir,
@@ -312,43 +419,51 @@ class Database:
                     backend=backend_name,
                     use_mmap=True,
                 )
-            except BaseException:
-                cleanup()
-                raise
-            generations = (store.generation,) * plan.shard_count
-        else:
-            plan = compute_shard_plan(store, shard_count)
-            slices = slice_store(store, plan)
-            executor = SerialExecutor(
-                [
-                    ShardService(
-                        shard,
-                        shard_id=index,
-                        case_sensitive=case_sensitive,
-                        backend=backend_name,
-                    )
-                    for index, shard in enumerate(slices)
-                ]
+                generations = (store.generation,) * plan.shard_count
+            else:
+                plan = compute_shard_plan(store, shard_count)
+                slices = slice_store(store, plan)
+                executor = SerialExecutor(
+                    [
+                        ShardService(
+                            shard,
+                            shard_id=index,
+                            case_sensitive=case_sensitive,
+                            backend=backend_name,
+                        )
+                        for index, shard in enumerate(slices)
+                    ]
+                )
+                generations = tuple(shard.generation for shard in slices)
+            sharded = ShardedCollection(
+                plan,
+                store.summary,
+                executor,
+                case_sensitive=case_sensitive,
+                backend_name=backend_name,
+                generations=generations,
+                cache=resolve_result_cache(options.cache),
+                max_rows=options.max_rows,
             )
-            generations = tuple(shard.generation for shard in slices)
-        sharded = ShardedCollection(
-            plan,
-            store.summary,
-            executor,
-            case_sensitive=case_sensitive,
-            backend_name=backend_name,
-            generations=generations,
-            cache=resolve_result_cache(options.cache),
-            max_rows=options.max_rows,
-        )
-        return cls(
-            options=options,
-            origin=f"{resolved.origin} ({plan.shard_count} shards)",
-            source=source_name,
-            load_seconds=time.perf_counter() - started,
-            sharded=sharded,
-            _cleanup=cleanup,
-        )
+            database = cls(
+                options=options,
+                origin=f"{resolved.origin} ({plan.shard_count} shards)",
+                source=source_name,
+                load_seconds=time.perf_counter() - started,
+                sharded=sharded,
+                _cleanup=cleanup,
+            )
+        except BaseException:
+            if cleanup is not None:
+                cleanup()
+            raise
+        if options.workers == 0:
+            # Serial in-process shards stay writable: mutations land on
+            # the unsliced base store, then the fabric is re-sliced.
+            database._base_store = store
+            if resolved.snapshot is not None:
+                database._bind_write_through(resolved.snapshot)
+        return database
 
     @classmethod
     def open_all(
@@ -442,12 +557,13 @@ class Database:
         shard instead — same effect per shard store, and it spins the
         worker pool up before the first request.
         """
-        if self.sharded is not None:
-            self.sharded.warm_up()
-            return
-        _ = self.engine.index
-        _ = self.engine.backend
-        _ = self.processor.search.index
+        with self._rw.read():
+            if self.sharded is not None:
+                self.sharded.warm_up()
+                return
+            _ = self.engine.index
+            _ = self.engine.backend
+            _ = self.processor.search.index
 
     # -- introspection --------------------------------------------------
     @property
@@ -470,9 +586,10 @@ class Database:
 
     def to_xml(self, oid: int, indent: int = 2) -> str:
         """Serialize one answer subtree, whichever execution layer."""
-        if self.sharded is not None:
-            return self.sharded.to_xml(oid, indent=indent)
-        return self.engine.to_xml(oid, indent=indent)
+        with self._rw.read():
+            if self.sharded is not None:
+                return self.sharded.to_xml(oid, indent=indent)
+            return self.engine.to_xml(oid, indent=indent)
 
     def describe(self) -> Dict[str, object]:
         """Static collection metadata (the ``/v1/collections`` row)."""
@@ -518,6 +635,15 @@ class Database:
             "load_ms": round(self.load_seconds * 1000, 3),
             "cache": _cache_info_dict(self.cache_info()),
         }
+        base = self._base_store if self._base_store is not None else self.store
+        if base is not None:
+            stats["writes"] = {
+                "mutations": self._mutations,
+                "documents": len(base.documents),
+                "live_nodes": base.live_node_count,
+                "dead_fraction": round(base.dead_fraction, 4),
+                "pending_deltas": self._pending_deltas,
+            }
         if self.sharded is not None:
             stats["executor"] = self.sharded.executor.stats()
         return stats
@@ -540,33 +666,34 @@ class Database:
         if isinstance(request, str):
             request = SearchRequest(term=request)
         started = time.perf_counter()
-        if self.sharded is not None:
-            rows = self.sharded.term_hit_rows(request.term)
-            if request.limit is not None:
-                rows = rows[: request.limit]
-            summary = self.sharded.summary
-            answers = tuple(
-                {
-                    "oid": oid,
-                    "tag": summary.label(pid),
-                    "path": str(summary.path(pid)),
-                }
-                for oid, pid in rows
-            )
-        else:
-            hits = self.engine.term_hits(request.term)
-            oids = sorted(hits.oids())
-            if request.limit is not None:
-                oids = oids[: request.limit]
-            store = self.store
-            answers = tuple(
-                {
-                    "oid": oid,
-                    "tag": store.summary.label(store.pid_of(oid)),
-                    "path": str(store.path_of(oid)),
-                }
-                for oid in oids
-            )
+        with self._rw.read():
+            if self.sharded is not None:
+                rows = self.sharded.term_hit_rows(request.term)
+                if request.limit is not None:
+                    rows = rows[: request.limit]
+                summary = self.sharded.summary
+                answers = tuple(
+                    {
+                        "oid": oid,
+                        "tag": summary.label(pid),
+                        "path": str(summary.path(pid)),
+                    }
+                    for oid, pid in rows
+                )
+            else:
+                hits = self.engine.term_hits(request.term)
+                oids = sorted(hits.oids())
+                if request.limit is not None:
+                    oids = oids[: request.limit]
+                store = self.store
+                answers = tuple(
+                    {
+                        "oid": oid,
+                        "tag": store.summary.label(store.pid_of(oid)),
+                        "path": str(store.path_of(oid)),
+                    }
+                    for oid in oids
+                )
         elapsed = time.perf_counter() - started
         return ResultEnvelope(
             kind=SearchRequest.kind,
@@ -592,38 +719,39 @@ class Database:
                 "pass either a NearestRequest or inline terms, not both"
             )
         started = time.perf_counter()
-        surface = self.sharded if self.sharded is not None else self.engine
-        concepts = surface.nearest_concepts(
-            *request.terms,
-            exclude_root=request.exclude_root,
-            require_all_terms=request.require_all_terms,
-            within=request.within,
-            limit=request.limit,
-        )
-        snippets: Dict[int, str] = {}
-        if request.snippets and self.sharded is not None:
-            snippets = self.sharded.snippets(
-                [concept.oid for concept in concepts]
+        with self._rw.read():
+            surface = self.sharded if self.sharded is not None else self.engine
+            concepts = surface.nearest_concepts(
+                *request.terms,
+                exclude_root=request.exclude_root,
+                require_all_terms=request.require_all_terms,
+                within=request.within,
+                limit=request.limit,
             )
-        answers: List[Dict[str, object]] = []
-        for concept in concepts:
-            answer: Dict[str, object] = {
-                "oid": concept.oid,
-                "tag": concept.tag,
-                "path": str(concept.path),
-                "joins": concept.joins,
-                "spread": concept.spread,
-                "depth": concept.depth,
-                "origins": list(concept.origins),
-                "terms": list(concept.terms),
-            }
-            if request.snippets:
-                answer["snippet"] = (
-                    snippets[concept.oid]
-                    if self.sharded is not None
-                    else self.engine.snippet(concept)
+            snippets: Dict[int, str] = {}
+            if request.snippets and self.sharded is not None:
+                snippets = self.sharded.snippets(
+                    [concept.oid for concept in concepts]
                 )
-            answers.append(answer)
+            answers: List[Dict[str, object]] = []
+            for concept in concepts:
+                answer: Dict[str, object] = {
+                    "oid": concept.oid,
+                    "tag": concept.tag,
+                    "path": str(concept.path),
+                    "joins": concept.joins,
+                    "spread": concept.spread,
+                    "depth": concept.depth,
+                    "origins": list(concept.origins),
+                    "terms": list(concept.terms),
+                }
+                if request.snippets:
+                    answer["snippet"] = (
+                        snippets[concept.oid]
+                        if self.sharded is not None
+                        else self.engine.snippet(concept)
+                    )
+                answers.append(answer)
         elapsed = time.perf_counter() - started
         return ResultEnvelope(
             kind=NearestRequest.kind,
@@ -639,23 +767,25 @@ class Database:
         if isinstance(request, str):
             request = QueryRequest(text=request)
         started = time.perf_counter()
-        if request.explain:
-            rendered = self.explain(request.text)
-            elapsed = time.perf_counter() - started
-            return ResultEnvelope(
-                kind=QueryRequest.kind,
-                request=request.to_dict(),
-                columns=(),
-                rows=(),
-                rendered=rendered,
-                count=0,
-                elapsed_ms=round(elapsed * 1000, 3),
-                stats=self._envelope_stats(),
-            )
-        if self.sharded is not None:
-            result: QueryResult = self.sharded.execute(request.text)
-        else:
-            result = self.processor.execute(request.text)
+        with self._rw.read():
+            if request.explain:
+                rendered = self._explain_impl(request.text)
+                elapsed = time.perf_counter() - started
+                return ResultEnvelope(
+                    kind=QueryRequest.kind,
+                    request=request.to_dict(),
+                    columns=(),
+                    rows=(),
+                    rendered=rendered,
+                    count=0,
+                    elapsed_ms=round(elapsed * 1000, 3),
+                    stats=self._envelope_stats(),
+                )
+            if self.sharded is not None:
+                result: QueryResult = self.sharded.execute(request.text)
+            else:
+                result = self.processor.execute(request.text)
+            rendered = self._render_answer(result) if request.render else None
         elapsed = time.perf_counter() - started
         table = result.to_dict()
         return ResultEnvelope(
@@ -663,7 +793,7 @@ class Database:
             request=request.to_dict(),
             columns=tuple(table["columns"]),
             rows=tuple(tuple(row) for row in table["rows"]),
-            rendered=self._render_answer(result) if request.render else None,
+            rendered=rendered,
             count=table["row_count"],
             elapsed_ms=round(elapsed * 1000, 3),
             stats=self._envelope_stats(),
@@ -689,9 +819,211 @@ class Database:
 
     def explain(self, text: str) -> str:
         """The query plan, as the processor renders it."""
+        with self._rw.read():
+            return self._explain_impl(text)
+
+    def _explain_impl(self, text: str) -> str:
         if self.sharded is not None:
             return self.sharded.explain(text)
         return self.processor.explain(text)
+
+    # -- the live write path ---------------------------------------------
+    def put(self, name: str, xml: str) -> Dict[str, object]:
+        """Add ``xml`` as a new named document; rejects duplicates."""
+        return self._mutate("put", name, xml)
+
+    def delete(self, name: str) -> Dict[str, object]:
+        """Tombstone the named document's OID range."""
+        return self._mutate("delete", name, None)
+
+    def replace(self, name: str, xml: str) -> Dict[str, object]:
+        """Upsert: delete ``name`` if present, then put ``xml`` under it."""
+        return self._mutate("replace", name, xml)
+
+    def documents(self) -> Dict[str, List[int]]:
+        """The live registry: document name → ``[first OID, last OID]``.
+
+        Takes the write side because the first call on a freshly
+        opened pre-registry store seeds the seed-NNNN names.
+        """
+        with self._rw.write():
+            store = self._writable_store()
+            return {
+                name: list(span)
+                for name, span in sorted(
+                    ensure_document_registry(store).items()
+                )
+            }
+
+    def _writable_store(self) -> MonetXML:
+        if self._base_store is not None:
+            return self._base_store
+        if self.store is not None:
+            return self.store
+        raise ReproError(
+            "this database serves read-only shard bundles; live writes "
+            "need a monolithic open or in-process shards (workers=0)"
+        )
+
+    def _mutate(self, op: str, name: str, xml: Optional[str]) -> Dict[str, object]:
+        with self._rw.write():
+            store = self._writable_store()
+            registry = ensure_document_registry(store)
+            # Everything that can reject the mutation is checked before
+            # the durable append: a delta must never record an
+            # operation the in-memory apply then refuses.
+            if op == "put" and name in registry:
+                raise DuplicateDocumentError(name)
+            if op == "delete" and name not in registry:
+                raise UnknownDocumentError(name)
+            if xml is not None:
+                parse_fragment(xml)
+            self._write_through(DeltaOp(op, name, xml))
+            if op == "put":
+                records = [put_document(store, name, xml)]
+            elif op == "delete":
+                records = [delete_document(store, name)]
+            else:
+                records = replace_document(store, name, xml)
+            if self.sharded is not None:
+                self._reshard_locked()
+            self._mutations += 1
+            current = self._writable_store()
+            span = (
+                list(current.documents[name])
+                if name in current.documents
+                # A delete's span is the tombstoned range, pre-compaction.
+                else list(records[-1].span)
+            )
+            return {
+                "op": op,
+                "name": name,
+                "span": span,
+                "generation": self.generation,
+                "documents": len(current.documents),
+                "live_nodes": current.live_node_count,
+                "dead_fraction": round(current.dead_fraction, 4),
+            }
+
+    def compact(self) -> Dict[str, object]:
+        """Renumber live nodes densely; fold the bundle's delta tail.
+
+        In memory, tombstoned slots are reclaimed and OIDs return to
+        exactly what a rebuild from the surviving documents would
+        assign.  Snapshot-backed databases also rewrite their bundle —
+        catalog collections through the catalog's crash-safe
+        temp-write → rename → manifest-flip (the previous generation
+        keeps serving until the flip), direct ``.snap`` files through
+        an atomic replace — which drops the accumulated delta
+        sections.
+        """
+        with self._rw.write():
+            store = self._writable_store()
+            before = store.node_count
+            if self.sharded is not None:
+                self._reshard_locked()
+                store = self._base_store
+            else:
+                compacted, mapping = compact_store(store)
+                if mapping is not None:
+                    self.store = compacted
+                    self.snapshot = None  # its store/indexes are stale now
+                    with self._wiring_lock:
+                        self._engine = None
+                        self._processor = None
+                store = compacted
+            self._rewrite_bundle(store)
+            return {
+                "op": "compact",
+                "node_count": store.node_count,
+                "reclaimed": before - store.node_count,
+                "documents": len(ensure_document_registry(store)),
+                "generation": self.generation,
+            }
+
+    def _write_through(self, op: DeltaOp) -> None:
+        """Durably journal one mutation before it applies in memory.
+
+        A crash after the append replays the delta on the next open; a
+        crash *during* it leaves a torn tail that tolerant readers drop
+        — either way the bundle holds exactly the acknowledged prefix.
+        """
+        if self._delta_path is None:
+            return
+        if self._mutable_catalog is not None:
+            # Drop the source fingerprint *before* the delta lands: a
+            # crash between the two must never leave a mutated bundle
+            # that find_source still serves as fresh for its source
+            # file.  The reverse loss (fingerprint gone, delta never
+            # written) only costs a warm-start preference.
+            from ..snapshot import Catalog
+
+            root, name = self._mutable_catalog
+            try:
+                Catalog(root, create=False).note_mutation(name)
+            except StorageError:
+                pass  # manifest gone mid-serve; writes stay in-memory-safe
+        append_delta(self._delta_path, op)
+        self._pending_deltas += 1
+
+    def _reshard_locked(self) -> None:
+        """Rebuild the in-process shard fabric over the mutated base.
+
+        Shard plans slice contiguous OID ranges, so the base store is
+        first compacted back to dense pre-order; the new
+        :class:`ShardedCollection` reuses this database's result cache,
+        whose layout-fingerprint + generation key drops stale entries
+        by itself.
+        """
+        base, _ = compact_store(self._base_store)
+        self._base_store = base
+        plan = compute_shard_plan(base, self.sharded.plan.shard_count)
+        slices = slice_store(base, plan)
+        executor = SerialExecutor(
+            [
+                ShardService(
+                    shard,
+                    shard_id=index,
+                    case_sensitive=self.case_sensitive,
+                    backend=self.backend_name,
+                )
+                for index, shard in enumerate(slices)
+            ]
+        )
+        previous = self.sharded
+        self.sharded = ShardedCollection(
+            plan,
+            base.summary,
+            executor,
+            case_sensitive=self.case_sensitive,
+            backend_name=self.backend_name,
+            generations=tuple(shard.generation for shard in slices),
+            cache=self.result_cache,
+            max_rows=self.options.max_rows,
+        )
+        previous.executor.close()
+
+    def _rewrite_bundle(self, store: MonetXML) -> None:
+        if self._delta_path is None or not self._pending_deltas:
+            return
+        if self._mutable_catalog is not None:
+            from ..snapshot import Catalog
+
+            root, name = self._mutable_catalog
+            Catalog(root).build(
+                name, store, case_sensitive=self.case_sensitive
+            )
+        else:
+            temp = self._delta_path.with_suffix(".snap.tmp")
+            try:
+                write_snapshot(
+                    store, temp, case_sensitive=self.case_sensitive
+                )
+                temp.replace(self._delta_path)
+            except BaseException:
+                temp.unlink(missing_ok=True)
+                raise
+        self._pending_deltas = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = (

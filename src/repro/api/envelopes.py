@@ -32,8 +32,11 @@ from ..datamodel.errors import ReproError
 __all__ = [
     "ENVELOPE_FORMAT",
     "ENVELOPE_VERSION",
+    "CompactRequest",
+    "DeleteDocumentRequest",
     "EnvelopeError",
     "NearestRequest",
+    "PutDocumentRequest",
     "QueryRequest",
     "Request",
     "ResultEnvelope",
@@ -222,12 +225,115 @@ class QueryRequest:
         )
 
 
-Request = Union[SearchRequest, NearestRequest, QueryRequest]
+@dataclass(frozen=True, slots=True)
+class PutDocumentRequest:
+    """Add (or, with ``replace``, upsert) one named document."""
+
+    kind: ClassVar[str] = "put_document"
+
+    name: str
+    xml: str
+    replace: bool = False
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "xml": self.xml,
+            "replace": self.replace,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PutDocumentRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(
+            payload, ("name", "xml", "replace", "collection"), cls.kind
+        )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise EnvelopeError(
+                "put_document request needs a non-empty 'name' string"
+            )
+        xml = payload.get("xml")
+        if not isinstance(xml, str) or not xml.strip():
+            raise EnvelopeError(
+                "put_document request needs a non-empty 'xml' string"
+            )
+        return cls(
+            name=name,
+            xml=xml,
+            replace=_flag(payload, "replace", cls.kind),
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteDocumentRequest:
+    """Remove one named document (its OID range is tombstoned)."""
+
+    kind: ClassVar[str] = "delete_document"
+
+    name: str
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DeleteDocumentRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(payload, ("name", "collection"), cls.kind)
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise EnvelopeError(
+                "delete_document request needs a non-empty 'name' string"
+            )
+        return cls(
+            name=name,
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CompactRequest:
+    """Fold tombstones and the delta tail into a dense base."""
+
+    kind: ClassVar[str] = "compact"
+
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "collection": self.collection}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CompactRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(payload, ("collection",), cls.kind)
+        return cls(collection=_opt_str(payload, "collection", cls.kind))
+
+
+Request = Union[
+    SearchRequest,
+    NearestRequest,
+    QueryRequest,
+    PutDocumentRequest,
+    DeleteDocumentRequest,
+    CompactRequest,
+]
 
 _REQUEST_KINDS: Dict[str, type] = {
     SearchRequest.kind: SearchRequest,
     NearestRequest.kind: NearestRequest,
     QueryRequest.kind: QueryRequest,
+    PutDocumentRequest.kind: PutDocumentRequest,
+    DeleteDocumentRequest.kind: DeleteDocumentRequest,
+    CompactRequest.kind: CompactRequest,
 }
 
 

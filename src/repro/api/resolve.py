@@ -88,7 +88,11 @@ class ResolvedSource:
 
 
 def _load_bundle(path: FsPath, use_mmap: bool) -> ResolvedSource:
-    snapshot = read_snapshot(path, use_mmap=use_mmap)
+    # Tolerate a torn delta tail: an append interrupted mid-crash was
+    # never acknowledged, and dropping it is the only way the bundle
+    # opens at all.  A truncated *base* section still fails loudly —
+    # the codec requires every base section to be present.
+    snapshot = read_snapshot(path, use_mmap=use_mmap, tolerate_torn_tail=True)
     return ResolvedSource(snapshot.store, f"snapshot {path}", snapshot)
 
 
@@ -113,7 +117,7 @@ def _open_collection(catalog: Catalog, name: str, use_mmap: bool) -> ResolvedSou
                 generation=generation,
             ),
         )
-    snapshot = catalog.open(name, use_mmap=use_mmap)
+    snapshot = catalog.open(name, use_mmap=use_mmap, tolerate_torn_tail=True)
     return ResolvedSource(
         snapshot.store, f"snapshot {catalog.root}:{name}", snapshot
     )

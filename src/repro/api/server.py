@@ -10,17 +10,24 @@ and the one mutable structure, the shared
 
 Endpoints (all JSON)::
 
-    POST /v1/search       SearchRequest   → ResultEnvelope
-    POST /v1/nearest      NearestRequest  → ResultEnvelope
-    POST /v1/query        QueryRequest    → ResultEnvelope
-    GET  /v1/collections  collection metadata (Database.describe)
-    GET  /v1/stats        live serving stats (Database.stats)
-    GET  /healthz         liveness: {"status": "ok", ...}
+    POST   /v1/search       SearchRequest        → ResultEnvelope
+    POST   /v1/nearest      NearestRequest       → ResultEnvelope
+    POST   /v1/query        QueryRequest         → ResultEnvelope
+    PUT    /v1/documents    PutDocumentRequest   → mutation receipt
+    DELETE /v1/documents    DeleteDocumentRequest → mutation receipt
+    GET    /v1/documents    name → [low, high] OID spans per document
+    POST   /v1/compact      CompactRequest       → compaction receipt
+    GET    /v1/collections  collection metadata (Database.describe)
+    GET    /v1/stats        live serving stats (Database.stats)
+    GET    /healthz         liveness: {"status": "ok", ...}
 
 A request body may name a ``"collection"``; with one collection the
 field is optional.  Errors come back as ``{"error": ..., "status": N}``
-with 400 (malformed request / query error), 404 (unknown route or
-collection), 413 (oversized body) or 500.
+with 400 (malformed request / query error), 404 (unknown route,
+collection or document), 409 (duplicate document on put), 413
+(oversized body) or 500.  Writes serialize behind each database's
+readers–writer lock, so in-flight queries always see either the
+pre- or the post-mutation store — never a torn state.
 
 Programmatic use (the tests and benchmarks drive it this way)::
 
@@ -36,14 +43,21 @@ import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Union
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
-from ..datamodel.errors import ReproError
+from ..datamodel.errors import (
+    DuplicateDocumentError,
+    ReproError,
+    UnknownDocumentError,
+)
 from ..exec.executors import ExecutorError
 from .database import Database
 from .envelopes import (
+    CompactRequest,
+    DeleteDocumentRequest,
     EnvelopeError,
     NearestRequest,
+    PutDocumentRequest,
     QueryRequest,
     Request,
     SearchRequest,
@@ -58,7 +72,12 @@ _POST_KINDS = {
     "/v1/search": SearchRequest,
     "/v1/nearest": NearestRequest,
     "/v1/query": QueryRequest,
+    "/v1/compact": CompactRequest,
 }
+
+_PUT_KINDS = {"/v1/documents": PutDocumentRequest}
+
+_DELETE_KINDS = {"/v1/documents": DeleteDocumentRequest}
 
 
 class _UnknownCollection(ReproError):
@@ -153,15 +172,25 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif route == "/v1/stats":
                 self._send_json(200, app.stats())
+            elif route == "/v1/documents":
+                query = parse_qs(urlsplit(self.path).query)
+                collection = (query.get("collection") or [None])[0]
+                database = app.database_for(collection)
+                self._send_json(200, {"documents": database.documents()})
             else:
                 self._send_error_json(404, f"unknown route: {route}")
+        except _UnknownCollection as exc:
+            self._send_error_json(404, str(exc))
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             self._send_error_json(500, f"internal error: {exc}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+    def _handle_request(self, route_table: Dict[str, type]) -> None:
+        """Parse body → envelope → dispatch, mapping errors to codes."""
         app = self.server.app
         route = urlsplit(self.path).path
-        request_cls = _POST_KINDS.get(route)
+        request_cls = route_table.get(route)
         if request_cls is None:
             self._send_error_json(404, f"unknown route: {route}")
             return
@@ -174,11 +203,14 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             request: Request = request_cls.from_dict(payload)
             database = app.database_for(request.collection)
-            envelope = app.dispatch(database, request)
-            self._send_json(200, envelope.to_dict())
+            result = app.dispatch(database, request)
+            body = result.to_dict() if hasattr(result, "to_dict") else result
+            self._send_json(200, body)
         except _BodyTooLarge as exc:
             self._send_error_json(413, str(exc))
-        except _UnknownCollection as exc:
+        except DuplicateDocumentError as exc:
+            self._send_error_json(409, str(exc))
+        except (_UnknownCollection, UnknownDocumentError) as exc:
             self._send_error_json(404, str(exc))
         except ExecutorError as exc:
             # A killed pool worker fails this request cleanly; the
@@ -188,6 +220,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             self._send_error_json(500, f"internal error: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._handle_request(_POST_KINDS)
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server contract
+        self._handle_request(_PUT_KINDS)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+        self._handle_request(_DELETE_KINDS)
 
 
 class _BodyTooLarge(Exception):
@@ -332,6 +373,14 @@ class ReproServer:
             return database.nearest(request)
         if isinstance(request, QueryRequest):
             return database.query(request)
+        if isinstance(request, PutDocumentRequest):
+            if request.replace:
+                return database.replace(request.name, request.xml)
+            return database.put(request.name, request.xml)
+        if isinstance(request, DeleteDocumentRequest):
+            return database.delete(request.name)
+        if isinstance(request, CompactRequest):
+            return database.compact()
         raise EnvelopeError(
             f"unsupported request type {type(request).__name__}"
         )  # pragma: no cover - the route table prevents this

@@ -15,6 +15,15 @@ Usage (also via ``python -m repro``)::
     repro serve     --snapshot docs --port 8080   # HTTP/JSON service
     repro snapshot build big.xml big --shards 4   # sharded collection
     repro serve     --snapshot big --workers 4    # multi-core serving
+    repro put       docs memo new.xml       # add a document (live write)
+    repro put       docs memo new.xml --replace   # upsert in place
+    repro delete    docs memo               # tombstone its OID range
+    repro compact   docs                    # fold tombstones + deltas
+    repro compact   docs --shards 4         # ... and re-balance sharded
+
+Live writes append delta sections to the collection's bundle and are
+replayed on the next open; ``compact`` folds them into a fresh dense
+base generation behind the catalog's crash-safe manifest flip.
 
 Source resolution (XML vs ``.json`` image vs ``.snap`` bundle vs
 catalog collection, including the fresh-catalog-hit preference over
@@ -245,6 +254,43 @@ def build_parser() -> argparse.ArgumentParser:
     snap_drop = snap_sub.add_parser("drop", help="remove a catalog collection")
     snap_drop.add_argument("name", help="collection name")
     snap_drop.add_argument("--catalog", metavar="DIR", default=None)
+
+    put = sub.add_parser(
+        "put", help="add (or, with --replace, upsert) a document live"
+    )
+    put.add_argument("collection", help="catalog collection or .snap bundle")
+    put.add_argument("name", help="document name within the collection")
+    put.add_argument(
+        "xml", help="XML fragment file ('-' reads standard input)"
+    )
+    put.add_argument(
+        "--replace",
+        action="store_true",
+        help="replace an existing document instead of requiring a new name",
+    )
+    put.add_argument("--catalog", metavar="DIR", default=None)
+
+    delete = sub.add_parser(
+        "delete", help="delete a document live (tombstones its OID range)"
+    )
+    delete.add_argument("collection", help="catalog collection or .snap bundle")
+    delete.add_argument("name", help="document name within the collection")
+    delete.add_argument("--catalog", metavar="DIR", default=None)
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold tombstones and delta sections into a fresh dense "
+        "generation",
+    )
+    compact.add_argument("collection", help="catalog collection name")
+    compact.add_argument("--catalog", metavar="DIR", default=None)
+    compact.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-balance the compacted store into N shard bundles",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -537,6 +583,71 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _open_writable(args) -> Database:
+    """Open a collection for live writes (monolithic, in-process)."""
+    return Database.open(
+        options=DatabaseOptions(catalog=getattr(args, "catalog", None)),
+        snapshot=args.collection,
+    )
+
+
+def _print_receipt(collection: str, receipt: Dict) -> None:
+    span = receipt.get("span")
+    spanned = f" span={span[0]}..{span[1]}" if span else ""
+    print(
+        f"{receipt['op']} {receipt.get('name', collection)}:{spanned} "
+        f"generation={receipt['generation']} "
+        f"documents={receipt['documents']} "
+        f"live_nodes={receipt.get('live_nodes', '-')}"
+    )
+
+
+def _command_put(args) -> int:
+    if args.xml == "-":
+        xml = sys.stdin.read()
+    else:
+        xml = FsPath(args.xml).read_text(encoding="utf-8")
+    database = _open_writable(args)
+    try:
+        if args.replace:
+            receipt = database.replace(args.name, xml)
+        else:
+            receipt = database.put(args.name, xml)
+    finally:
+        database.close()
+    _print_receipt(args.collection, receipt)
+    return 0
+
+
+def _command_delete(args) -> int:
+    database = _open_writable(args)
+    try:
+        receipt = database.delete(args.name)
+    finally:
+        database.close()
+    _print_receipt(args.collection, receipt)
+    return 0
+
+
+def _command_compact(args) -> int:
+    catalog = _open_catalog(args, create=False)
+    started = time.perf_counter()
+    meta = catalog.compact(args.collection, shards=args.shards)
+    seconds = time.perf_counter() - started
+    shards = meta.get("shards")
+    layout = (
+        f", {shards.get('count')} shard bundles"
+        if isinstance(shards, dict)
+        else ""
+    )
+    print(
+        f"compacted {catalog.root}/{args.collection}: "
+        f"{meta['node_count']} nodes, generation {meta['generation']}"
+        f"{layout} ({seconds * 1000:.0f} ms)"
+    )
+    return 0
+
+
 def _command_snapshot(args) -> int:
     handler = _SNAPSHOT_COMMANDS[args.snapshot_command]
     return handler(args)
@@ -652,6 +763,9 @@ _COMMANDS = {
     "shred": _command_shred,
     "snapshot": _command_snapshot,
     "serve": _command_serve,
+    "put": _command_put,
+    "delete": _command_delete,
+    "compact": _command_compact,
 }
 
 

@@ -313,6 +313,7 @@ class NearestConceptEngine:
         """(sort_key, result) pairs computed without full annotation."""
         pid_of = self.store.pid_of
         depth_of_pid = self.store.summary.depth
+        spread_of = self.store.live_distance
         keyed = []
         for result in results:
             origins = result.origins
@@ -322,7 +323,12 @@ class NearestConceptEngine:
                 joins += depth_of_pid(pid_of(oid))
             keyed.append(
                 (
-                    (joins, max(origins) - min(origins), -meet_depth, result.oid),
+                    (
+                        joins,
+                        spread_of(min(origins), max(origins)),
+                        -meet_depth,
+                        result.oid,
+                    ),
                     result,
                 )
             )
@@ -354,7 +360,11 @@ class NearestConceptEngine:
             origins=origins,
             terms=tuple(sorted(str(tag) for tag in result.tags)),
             joins=joins,
-            spread=max(origins) - min(origins),
+            # Spread counts *live* nodes between the outermost origins,
+            # so ranking is identical before and after deletes open
+            # tombstone gaps in the OID space (== plain OID distance on
+            # an unmutated store).
+            spread=self.store.live_distance(origins[0], origins[-1]),
             depth=meet_depth,
         )
 

@@ -70,3 +70,25 @@ class QueryPlanError(QueryError):
 
 class StorageError(ReproError):
     """Persisting or loading a database image failed."""
+
+
+class DocumentError(ReproError):
+    """A document-level mutation (put/delete/replace) was rejected."""
+
+
+class UnknownDocumentError(DocumentError):
+    """A named document was referenced that the collection does not hold."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown document: {name!r}")
+
+
+class DuplicateDocumentError(DocumentError):
+    """``put`` was asked to create a document name that already exists."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(
+            f"document {name!r} already exists (use replace to overwrite)"
+        )

@@ -300,6 +300,79 @@ class FullTextIndex:
         }
         return self
 
+    # -- incremental maintenance ----------------------------------------
+    def patched(self, records: Iterable[object]) -> "FullTextIndex":
+        """A copy of this index rolled forward over mutation records.
+
+        Put records contribute their ``added_strings`` associations
+        (tokenized exactly like a build); delete records prune postings
+        by tombstoned OID span.  The receiver is left untouched — the
+        copy shares the posting columns of unaffected terms — so racing
+        readers can each patch the cached index and install their copy
+        without ever observing a half-patched structure.
+        """
+        clone = FullTextIndex.__new__(FullTextIndex)
+        clone.store = self.store
+        clone.case_sensitive = self.case_sensitive
+        clone.generation = self.generation
+        clone._indexed_associations = self._indexed_associations
+        clone._terms = dict(self._terms)
+        intern = sys.intern
+        summary = self.store.summary
+        for record in records:
+            kind = getattr(record, "kind", None)
+            if kind == "put":
+                pending: Dict[str, Tuple[List[int], List[int]]] = {}
+                for attr_pid, oid, value in record.added_strings:
+                    element_pid = summary.parent(attr_pid)
+                    clone._indexed_associations += 1
+                    seen: Set[str] = set()
+                    for token in tokenize(value, clone.case_sensitive):
+                        if token in seen:
+                            continue
+                        seen.add(token)
+                        columns = pending.get(token)
+                        if columns is None:
+                            pending[intern(token)] = columns = ([], [])
+                        columns[0].append(element_pid)
+                        columns[1].append(oid)
+                for token, (pids, oids) in pending.items():
+                    entry = clone._terms.get(token)
+                    if entry is None:
+                        clone._terms[token] = _TermPostings(
+                            array("q", pids), array("q", oids)
+                        )
+                    else:
+                        merged_pids = array("q", entry.pids)
+                        merged_pids.extend(pids)
+                        merged_oids = array("q", entry.oids)
+                        merged_oids.extend(oids)
+                        clone._terms[token] = _TermPostings(
+                            merged_pids, merged_oids
+                        )
+            elif kind == "delete":
+                low, high = record.span
+                clone._indexed_associations -= record.removed_associations
+                for token, entry in list(clone._terms.items()):
+                    if not any(low <= oid <= high for oid in entry.oids):
+                        continue
+                    kept = [
+                        (pid, oid)
+                        for pid, oid in zip(entry.pids, entry.oids)
+                        if not low <= oid <= high
+                    ]
+                    if kept:
+                        clone._terms[token] = _TermPostings(
+                            array("q", (pid for pid, _ in kept)),
+                            array("q", (oid for _, oid in kept)),
+                        )
+                    else:
+                        del clone._terms[token]
+            else:  # pragma: no cover - journal only holds put/delete
+                raise ValueError(f"unknown mutation record {record!r}")
+            clone.generation = record.to_generation
+        return clone
+
     # -- statistics ------------------------------------------------------
     @property
     def vocabulary_size(self) -> int:
@@ -418,6 +491,7 @@ class FullTextIndexCacheInfo:
     builds: int
     hits: int
     currsize: int
+    patches: int = 0
 
 
 _cache: "WeakKeyDictionary[MonetXML, Dict[bool, FullTextIndex]]" = (
@@ -425,6 +499,38 @@ _cache: "WeakKeyDictionary[MonetXML, Dict[bool, FullTextIndex]]" = (
 )
 _builds = 0
 _hits = 0
+_patches = 0
+
+#: Above this tombstone density an invalidated index rebuilds from the
+#: (already pruned) relations instead of patching forward — the patch
+#: would carry too much dead weight.
+REBUILD_DENSITY = 0.25
+
+
+def _journal_chain(store: MonetXML, generation: int):
+    """Mutation records bridging ``generation`` → the store's current one.
+
+    ``None`` when no contiguous chain exists (journal evicted, store
+    without a journal, or a gap) — the caller must rebuild.
+    """
+    current = getattr(store, "generation", 0)
+    if generation == current:
+        return []
+    chain = []
+    expected = generation
+    for record in getattr(store, "journal", ()):
+        from_generation = getattr(record, "from_generation", None)
+        if from_generation is None:
+            return None
+        if not chain and from_generation != expected:
+            continue
+        if chain and from_generation != expected:
+            return None
+        chain.append(record)
+        expected = record.to_generation
+    if not chain or expected != current:
+        return None
+    return chain
 
 
 def get_fulltext_index(
@@ -435,9 +541,13 @@ def get_fulltext_index(
     Keyed on the store object (weakly), its ``generation`` and the case
     mode: every engine / processor serving the same store shares one
     index, and :meth:`~repro.monet.engine.MonetXML.invalidate_caches`
-    transparently yields a rebuilt one on next use.
+    transparently yields a fresh one on next use.  When the store's
+    mutation journal bridges the cached index's generation to the
+    current one and tombstone density is below :data:`REBUILD_DENSITY`,
+    the index is patched forward (appends add postings, deletes prune
+    by OID span) instead of rebuilt.
     """
-    global _hits
+    global _hits, _patches
     per_store = _cache.get(store)
     if per_store is None:
         per_store = _cache[store] = {}
@@ -445,6 +555,13 @@ def get_fulltext_index(
     if cached is not None and cached.generation == getattr(store, "generation", 0):
         _hits += 1
         return cached
+    if cached is not None and getattr(store, "dead_fraction", 1.0) <= REBUILD_DENSITY:
+        chain = _journal_chain(store, cached.generation)
+        if chain is not None:
+            index = cached.patched(chain)
+            per_store[case_sensitive] = index
+            _patches += 1
+            return index
     index = FullTextIndex(store, case_sensitive=case_sensitive)
     per_store[case_sensitive] = index
     return index
@@ -470,10 +587,11 @@ def seed_fulltext_index(store: MonetXML, index: FullTextIndex) -> None:
 
 def clear_fulltext_index_cache() -> None:
     """Drop every cached index and reset the counters (test isolation)."""
-    global _builds, _hits
+    global _builds, _hits, _patches
     _cache.clear()
     _builds = 0
     _hits = 0
+    _patches = 0
 
 
 def fulltext_index_cache_info() -> FullTextIndexCacheInfo:
@@ -481,4 +599,5 @@ def fulltext_index_cache_info() -> FullTextIndexCacheInfo:
         builds=_builds,
         hits=_hits,
         currsize=sum(len(entry) for entry in _cache.values()),
+        patches=_patches,
     )

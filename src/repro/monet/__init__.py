@@ -18,6 +18,14 @@ from .reassembly import (
     reassemble_object,
     reassemble_subtree,
 )
+from .mutate import (
+    MutationRecord,
+    compact_store,
+    delete_document,
+    ensure_document_registry,
+    put_document,
+    replace_document,
+)
 from .stats import StoreStatistics, collect_statistics
 from .storage import dumps, load, loads, save
 from .transform import monet_transform
@@ -25,7 +33,13 @@ from .transform import monet_transform
 __all__ = [
     "BAT",
     "MonetXML",
+    "MutationRecord",
     "PathSummary",
+    "compact_store",
+    "delete_document",
+    "ensure_document_registry",
+    "put_document",
+    "replace_document",
     "StoreStatistics",
     "collect_statistics",
     "associations_of",

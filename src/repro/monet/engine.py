@@ -20,6 +20,7 @@ the paper via functional-join techniques, ref. [8]).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from itertools import count
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -72,6 +73,17 @@ class MonetXML:
         self._children_index: Optional[Dict[int, List[int]]] = None
         #: Cache token for externally derived indexes (see class doc).
         self.generation = next(MonetXML._generations)
+        #: Named top-level documents: name → (first OID, last OID) of the
+        #: document's contiguous pre-order run (see repro.monet.mutate).
+        self.documents: Dict[str, Tuple[int, int]] = {}
+        #: Sorted, disjoint, inclusive OID ranges of deleted documents.
+        self._tombstones: List[Tuple[int, int]] = []
+        #: Dead-OID count in self._tombstones[:i] (prefix sums for
+        #: live_position); rebuilt whenever a tombstone range is added.
+        self._dead_prefix: List[int] = [0]
+        #: Recent mutations, newest last (see repro.monet.mutate); index
+        #: maintainers roll forward from it instead of rebuilding.
+        self.journal: List[object] = []
 
     # -- size -----------------------------------------------------------
     @property
@@ -209,6 +221,91 @@ class MonetXML:
             if values:
                 result[self.summary.label(attr_pid)] = values[0]
         return result
+
+    # -- tombstones & live positions --------------------------------------
+    @property
+    def dead_count(self) -> int:
+        """Number of tombstoned (deleted but not compacted) OIDs."""
+        return self._dead_prefix[-1]
+
+    @property
+    def live_node_count(self) -> int:
+        return self.node_count - self.dead_count
+
+    @property
+    def dead_fraction(self) -> float:
+        """Tombstone density — drives the lazy index-rebuild threshold."""
+        return self.dead_count / self.node_count if self.node_count else 0.0
+
+    def is_live(self, oid: int) -> bool:
+        """``True`` iff the OID denotes a node that has not been deleted."""
+        if not self.first_oid <= oid <= self.last_oid:
+            return False
+        ranges = self._tombstones
+        if not ranges:
+            return True
+        index = bisect_right(ranges, (oid, self.last_oid + 1)) - 1
+        return index < 0 or ranges[index][1] < oid
+
+    def add_tombstone_range(self, low: int, high: int) -> None:
+        """Mark the inclusive OID range dead (whole-document deletes only)."""
+        if not (self.first_oid <= low <= high <= self.last_oid):
+            raise ModelError(f"tombstone range [{low}, {high}] out of bounds")
+        ranges = self._tombstones
+        ranges.append((low, high))
+        ranges.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, end in ranges:
+            if merged and start <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        self._tombstones = merged
+        prefix = [0]
+        for start, end in merged:
+            prefix.append(prefix[-1] + end - start + 1)
+        self._dead_prefix = prefix
+
+    def tombstone_ranges(self) -> List[Tuple[int, int]]:
+        return list(self._tombstones)
+
+    def _dead_before(self, oid: int) -> int:
+        """Dead OIDs strictly below ``oid`` (``oid`` itself must be live)."""
+        ranges = self._tombstones
+        if not ranges:
+            return 0
+        index = bisect_right(ranges, (oid, self.last_oid + 1)) - 1
+        if index < 0:
+            return 0
+        start, end = ranges[index]
+        # A live oid never sits inside a range, so the range at ``index``
+        # lies entirely below it.
+        return self._dead_prefix[index] + end - start + 1
+
+    def live_position(self, oid: int) -> int:
+        """Rank of a live OID among all live OIDs (0-based, document order).
+
+        On a tombstone-free store this is exactly ``oid - first_oid``;
+        after deletes it is the OID the node *would* carry in a store
+        rebuilt from the surviving documents — the bridge that keeps
+        ranking (the spread heuristic of §4) identical between a mutated
+        store and a rebuild from scratch.
+        """
+        return oid - self.first_oid - self._dead_before(oid)
+
+    def live_distance(self, low_oid: int, high_oid: int) -> int:
+        """Distance between two live OIDs counted over live nodes only."""
+        if not self._tombstones:
+            return high_oid - low_oid
+        return self.live_position(high_oid) - self.live_position(low_oid)
+
+    def iter_live_oids(self) -> Iterator[int]:
+        if not self._tombstones:
+            yield from self.iter_oids()
+            return
+        for oid in self.iter_oids():
+            if self.is_live(oid):
+                yield oid
 
     # -- cache control -----------------------------------------------------
     def invalidate_caches(self) -> None:

@@ -25,7 +25,14 @@ snapshot-load comparison across the bundled datasets.
 
 from .catalog import Catalog
 from .codec import Snapshot, read_snapshot, write_snapshot
-from .format import FORMAT_VERSION, MAGIC, SnapshotReader, SnapshotWriter
+from .deltas import DeltaOp, append_delta, read_delta_ops
+from .format import (
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotReader,
+    SnapshotWriter,
+    append_section,
+)
 from .sharded import (
     read_snapshot_header,
     shard_bundle_name,
@@ -34,7 +41,11 @@ from .sharded import (
 
 __all__ = [
     "Catalog",
+    "DeltaOp",
     "Snapshot",
+    "append_delta",
+    "append_section",
+    "read_delta_ops",
     "read_snapshot",
     "write_snapshot",
     "read_snapshot_header",

@@ -344,8 +344,20 @@ class Catalog:
     def is_sharded(self, name: str) -> bool:
         return isinstance(self.info(name).get("shards"), dict)
 
-    def open(self, name: str, *, use_mmap: bool = False) -> Snapshot:
-        """Load one collection's bundle; caches come back pre-seeded."""
+    def open(
+        self,
+        name: str,
+        *,
+        use_mmap: bool = False,
+        tolerate_torn_tail: bool = False,
+    ) -> Snapshot:
+        """Load one collection's bundle; caches come back pre-seeded.
+
+        Any delta tail is replayed by :func:`read_snapshot`;
+        ``tolerate_torn_tail`` is what write-capable openers pass so an
+        interrupted delta append (never acknowledged) is dropped
+        instead of failing the load.
+        """
         meta = self.info(name)
         if isinstance(meta.get("shards"), dict):
             raise StorageError(
@@ -359,11 +371,77 @@ class Catalog:
                 f"collection {name!r} is registered but its bundle "
                 f"{bundle.name} is missing from {self.root}"
             )
-        snapshot = read_snapshot(bundle, use_mmap=use_mmap)
+        snapshot = read_snapshot(
+            bundle, use_mmap=use_mmap, tolerate_torn_tail=tolerate_torn_tail
+        )
         snapshot.meta.setdefault("catalog", str(self.root))
         snapshot.meta.setdefault("collection", name)
         snapshot.meta.setdefault("collection_meta", meta)
         return snapshot
+
+    def note_mutation(self, name: str) -> None:
+        """Record that ``name``'s bundle diverged from its source file.
+
+        Called when the first delta lands on a collection built from a
+        source document: the bundle no longer reproduces that file, so
+        the source fingerprint is dropped — :meth:`find_source` must
+        send future opens of the file back to parsing instead of
+        serving the mutated collection.  The source path itself stays
+        for provenance.  Idempotent; a missing entry is an error.
+        """
+        collections = self._read_manifest()
+        meta = collections.get(name)
+        if meta is None:
+            raise StorageError(f"no collection {name!r} in catalog {self.root}")
+        if meta.get("mutated") and "source_bytes" not in meta:
+            return
+        meta.pop("source_bytes", None)
+        meta.pop("source_mtime_ns", None)
+        meta["mutated"] = True
+        self._write_manifest(collections)
+
+    def compact(
+        self,
+        name: str,
+        *,
+        shards: Optional[int] = None,
+        use_mmap: bool = False,
+    ) -> Dict[str, object]:
+        """Fold a collection's delta tail into a fresh base bundle.
+
+        Loads the bundle (replaying its deltas, forgiving a torn
+        tail), compacts the store to dense pre-order and rebuilds the
+        collection through :meth:`build` — i.e. behind the same
+        crash-safe temp-write → rename → manifest-flip sequence as any
+        rebuild, so the previous build keeps serving until the flip
+        and a crash at any point leaves a fully servable bundle.
+        ``shards`` re-balances the layout (``None`` keeps the
+        collection monolithic and writable; ``N`` writes per-shard
+        bundles for ``serve --workers``).  The new metadata drops the
+        source association: the compacted content comes from the live
+        collection, not from any file on disk.
+
+        Sharded collections are refused — they are read-only (no delta
+        tail accumulates) and their original monolithic store is gone;
+        re-ingest from source to re-balance those.
+        """
+        meta = self.info(name)
+        if isinstance(meta.get("shards"), dict):
+            raise StorageError(
+                f"collection {name!r} is sharded; sharded bundles are "
+                "read-only and carry no deltas — re-ingest from source "
+                "to re-balance"
+            )
+        from ..monet.mutate import compact_store
+
+        snapshot = self.open(name, use_mmap=use_mmap, tolerate_torn_tail=True)
+        store, _ = compact_store(snapshot.store)
+        return self.build(
+            name,
+            store,
+            case_sensitive=bool(meta.get("case_sensitive", False)),
+            shards=shards,
+        )
 
     def drop(self, name: str) -> None:
         """Remove a collection's bundle(s) and manifest entry."""

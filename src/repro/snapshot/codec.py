@@ -46,6 +46,7 @@ from ..fulltext.index import (
 from ..monet.bat import BAT
 from ..monet.engine import MonetXML
 from ..monet.pathsummary import ColumnarPathSummary, PathSummary
+from .deltas import apply_delta_ops, read_delta_ops
 from .format import SnapshotReader, SnapshotWriter
 
 __all__ = ["Snapshot", "write_snapshot", "read_snapshot"]
@@ -65,6 +66,8 @@ class Snapshot:
     fulltext_index: FullTextIndex
     meta: Dict[str, object] = field(default_factory=dict)
     path: Optional[FsPath] = None
+    #: Mutations replayed from the bundle's delta tail on load.
+    delta_count: int = 0
 
     def engine(self, **options):
         """A warm :class:`~repro.core.engine.NearestConceptEngine`."""
@@ -112,6 +115,11 @@ def write_snapshot(
     so snapshotting a warm server costs only serialization.
     ``case_sensitive`` selects which full-text variant is bundled.
     """
+    if getattr(store, "dead_count", 0):
+        raise StorageError(
+            "store has tombstoned nodes; compact_store() it before writing "
+            "a snapshot (bundles are dense pre-order)"
+        )
     summary = store.summary
     lca = get_lca_index(store)
     fulltext = get_fulltext_index(store, case_sensitive)
@@ -145,6 +153,13 @@ def write_snapshot(
         "indexed_associations": fulltext.indexed_associations,
         "vocabulary_size": fulltext.vocabulary_size,
     }
+    documents = getattr(store, "documents", None)
+    if documents:
+        # Persist the live-write registry so a reloaded collection can
+        # keep accepting put/delete under the same document names.
+        meta["documents"] = {
+            name: [low, high] for name, (low, high) in sorted(documents.items())
+        }
     if extra_meta:
         meta.update(extra_meta)
     writer.add_json("meta", meta)
@@ -393,6 +408,28 @@ def _rebuild_store(reader: SnapshotReader, meta: Dict[str, object]) -> MonetXML:
     )
 
 
+def _restore_registry(store: MonetXML, meta: Dict[str, object]) -> None:
+    documents = meta.get("documents")
+    if documents is None:
+        return
+    if not isinstance(documents, dict):
+        raise StorageError("snapshot meta field 'documents' is not an object")
+    registry: Dict[str, Tuple[int, int]] = {}
+    for name, span in documents.items():
+        if (
+            not isinstance(span, (list, tuple))
+            or len(span) != 2
+            or not all(
+                isinstance(oid, int) and not isinstance(oid, bool) for oid in span
+            )
+        ):
+            raise StorageError(
+                f"snapshot document span for {name!r} is malformed: {span!r}"
+            )
+        registry[str(name)] = (span[0], span[1])
+    store.documents = registry
+
+
 def _rebuild_lca_index(
     reader: SnapshotReader, store: MonetXML, meta: Dict[str, object]
 ) -> LcaIndex:
@@ -448,6 +485,7 @@ def read_snapshot(
     source: Union[str, FsPath, bytes, bytearray, memoryview],
     *,
     use_mmap: bool = False,
+    tolerate_torn_tail: bool = False,
 ) -> Snapshot:
     """Load a bundle and seed the store's derived-index caches.
 
@@ -456,21 +494,40 @@ def read_snapshot(
     and :func:`~repro.fulltext.index.get_fulltext_index` answer from
     the deserialized indexes — zero constructions — for any engine
     bound to the returned store.
+
+    Any ``delta/*`` sections (live mutations appended after the base
+    build, see :mod:`repro.snapshot.deltas`) are replayed over the
+    store in sequence order before returning; the seeded full-text
+    index rolls forward through the mutation journal on first use.
+    ``tolerate_torn_tail`` additionally forgives a torn final section
+    left by an interrupted delta append — that mutation was never
+    acknowledged — and is the mode write-capable openers should use.
     """
     if isinstance(source, (bytes, bytearray, memoryview)):
-        reader = SnapshotReader(source)
+        reader = SnapshotReader(source, tolerate_torn_tail=tolerate_torn_tail)
         path: Optional[FsPath] = None
     else:
         path = FsPath(source)
-        reader = SnapshotReader.open(path, use_mmap=use_mmap)
+        reader = SnapshotReader.open(
+            path, use_mmap=use_mmap, tolerate_torn_tail=tolerate_torn_tail
+        )
     meta = reader.json("meta")
     if not isinstance(meta, dict):
         raise StorageError("snapshot meta section is not a JSON object")
     store = _rebuild_store(reader, meta)
+    _restore_registry(store, meta)
     lca = _rebuild_lca_index(reader, store, meta)
     fulltext = _rebuild_fulltext_index(reader, store, meta)
     seed_lca_index(store, lca)
     seed_fulltext_index(store, fulltext)
+    deltas = read_delta_ops(reader)
+    if deltas:
+        apply_delta_ops(store, deltas)
     return Snapshot(
-        store=store, lca_index=lca, fulltext_index=fulltext, meta=meta, path=path
+        store=store,
+        lca_index=lca,
+        fulltext_index=fulltext,
+        meta=meta,
+        path=path,
+        delta_count=len(deltas),
     )

@@ -1,0 +1,173 @@
+"""Delta sections: the write-ahead tail of a live snapshot bundle.
+
+A mutation against a snapshot-backed collection must not rewrite the
+whole bundle — that would turn every ``put`` into an O(store) stall.
+Instead each acknowledged mutation appends one ``delta/NNNNNNNN``
+section to the existing ``.snap`` container: the original operation
+(kind, document name, XML payload) as JSON, CRC-framed exactly like
+every base section.  Opening the bundle loads the base store and
+replays the delta tail in sequence order through
+:mod:`repro.monet.mutate` — puts re-append at the same OID tail they
+first landed on, so replay reproduces the mutated collection exactly.
+Compaction (:meth:`repro.snapshot.catalog.Catalog.compact`) folds the
+tail back into a fresh dense base bundle.
+
+Torn tails: an append interrupted mid-write leaves trailing bytes that
+fail framing or checksum at end-of-file.  Write-capable openers pass
+``tolerate_torn_tail=True`` so the torn section is dropped — that
+mutation was never acknowledged — and the next append truncates the
+garbage away before framing its own section.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path as FsPath
+from typing import List, Optional, Union
+
+from ..datamodel.errors import StorageError
+from ..monet.engine import MonetXML
+from .format import SnapshotReader, append_section
+
+__all__ = [
+    "DELTA_PREFIX",
+    "DeltaOp",
+    "append_delta",
+    "apply_delta_ops",
+    "delta_section_name",
+    "next_delta_sequence",
+    "read_delta_ops",
+]
+
+#: Section-name prefix of every delta; the base codec ignores them.
+DELTA_PREFIX = "delta/"
+
+_DELTA_RE = re.compile(r"^delta/(\d{8,})$")
+_KINDS = ("put", "delete", "replace")
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One durable mutation: the operation as the caller issued it.
+
+    Deltas persist operations, not column diffs — replay goes through
+    the same :mod:`repro.monet.mutate` code path as the original call,
+    so the on-disk format stays independent of the store layout.
+    ``xml`` is the document payload for ``put``/``replace`` and
+    ``None`` for ``delete``.
+    """
+
+    op: str
+    name: str
+    xml: Optional[str] = None
+
+    def to_payload(self) -> bytes:
+        if self.op not in _KINDS:
+            raise StorageError(f"unknown delta operation {self.op!r}")
+        if (self.xml is None) != (self.op == "delete"):
+            raise StorageError(
+                f"delta operation {self.op!r} on {self.name!r} has "
+                f"{'no' if self.xml is None else 'an'} XML payload"
+            )
+        body = {"op": self.op, "name": self.name}
+        if self.xml is not None:
+            body["xml"] = self.xml
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes, section: str, source: str) -> "DeltaOp":
+        try:
+            body = json.loads(bytes(payload).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"corrupt delta section {section!r} in {source}: {exc}"
+            ) from exc
+        if (
+            not isinstance(body, dict)
+            or body.get("op") not in _KINDS
+            or not isinstance(body.get("name"), str)
+        ):
+            raise StorageError(
+                f"malformed delta section {section!r} in {source}"
+            )
+        xml = body.get("xml")
+        if (xml is None) != (body["op"] == "delete") or not isinstance(
+            xml, (str, type(None))
+        ):
+            raise StorageError(
+                f"malformed delta section {section!r} in {source}: "
+                f"operation {body['op']!r} with xml={type(xml).__name__}"
+            )
+        return cls(op=body["op"], name=body["name"], xml=xml)
+
+
+def delta_section_name(sequence: int) -> str:
+    return f"{DELTA_PREFIX}{sequence:08d}"
+
+
+def _delta_sections(reader: SnapshotReader) -> List[tuple]:
+    """(sequence, section name) pairs in replay (sequence) order."""
+    found = []
+    for name in reader.section_names():
+        match = _DELTA_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), name))
+        elif name.startswith(DELTA_PREFIX):
+            raise StorageError(f"malformed delta section name {name!r}")
+    found.sort()
+    return found
+
+
+def next_delta_sequence(reader: SnapshotReader) -> int:
+    sections = _delta_sections(reader)
+    return sections[-1][0] + 1 if sections else 1
+
+
+def read_delta_ops(reader: SnapshotReader) -> List[DeltaOp]:
+    """The bundle's delta tail, decoded, in replay order."""
+    source = getattr(reader, "_source", "<bytes>")
+    return [
+        DeltaOp.from_payload(reader.raw(name), name, source)
+        for _, name in _delta_sections(reader)
+    ]
+
+
+def append_delta(
+    path: Union[str, FsPath],
+    op: DeltaOp,
+    *,
+    reader: Optional[SnapshotReader] = None,
+) -> str:
+    """Durably append one mutation to the bundle; returns its section name.
+
+    Re-reads the bundle (tolerantly) to find the next sequence number
+    and the clean tail offset unless the caller passes a fresh
+    ``reader`` — a torn tail from a previous interrupted append is
+    truncated away before the new section is framed.
+    """
+    if reader is None:
+        reader = SnapshotReader.open(path, tolerate_torn_tail=True)
+    name = delta_section_name(next_delta_sequence(reader))
+    append_section(
+        path,
+        name,
+        op.to_payload(),
+        truncate_to=reader.valid_size if reader.torn_tail else None,
+    )
+    return name
+
+
+def apply_delta_ops(store: MonetXML, ops: List[DeltaOp]) -> int:
+    """Replay decoded deltas over the freshly loaded base store."""
+    from ..monet.mutate import delete_document, put_document, replace_document
+
+    for op in ops:
+        if op.op == "put":
+            put_document(store, op.name, op.xml)
+        elif op.op == "delete":
+            delete_document(store, op.name)
+        else:
+            replace_document(store, op.name, op.xml)
+    return len(ops)

@@ -18,12 +18,21 @@ Every corruption mode — bad magic, unsupported version, a checksum
 mismatch, a section running past end-of-file — raises
 :class:`~repro.datamodel.errors.StorageError` with a precise reason;
 ``KeyError``/``struct.error`` never escape this module.
+
+Live bundles grow in place: :func:`append_section` adds one framed
+section to an existing file (the delta tail of
+:mod:`repro.snapshot.deltas`).  A crash mid-append leaves a *torn
+tail* — trailing bytes that fail framing or checksum at the very end
+of the file.  ``tolerate_torn_tail=True`` makes the reader drop
+exactly that (an unacknowledged append), while corruption anywhere
+before the tail stays fatal.
 """
 
 from __future__ import annotations
 
 import json
 import mmap
+import os
 import struct
 import sys
 import zlib
@@ -38,6 +47,7 @@ __all__ = [
     "FORMAT_VERSION",
     "SnapshotWriter",
     "SnapshotReader",
+    "append_section",
     "pack_strings",
 ]
 
@@ -163,15 +173,33 @@ class SnapshotReader:
     section of the wrong shape.
     """
 
-    def __init__(self, buffer: Union[bytes, bytearray, memoryview], source: str = "<bytes>"):
+    def __init__(
+        self,
+        buffer: Union[bytes, bytearray, memoryview],
+        source: str = "<bytes>",
+        *,
+        tolerate_torn_tail: bool = False,
+    ):
         self._view = memoryview(buffer)
         self._source = source
         self._sections: Dict[str, Tuple[int, int]] = {}
-        self._parse()
+        #: True when a torn tail was dropped (tolerant mode only).
+        self.torn_tail = False
+        #: Byte offset up to which the file parsed cleanly — the whole
+        #: file normally, the torn section's start after a drop.  The
+        #: next :func:`append_section` truncates to this offset.
+        self.valid_size = 0
+        self._parse(tolerate_torn_tail)
 
     # -- construction ---------------------------------------------------
     @classmethod
-    def open(cls, path: Union[str, FsPath], *, use_mmap: bool = False) -> "SnapshotReader":
+    def open(
+        cls,
+        path: Union[str, FsPath],
+        *,
+        use_mmap: bool = False,
+        tolerate_torn_tail: bool = False,
+    ) -> "SnapshotReader":
         """Open a snapshot file, optionally mapping it into memory.
 
         With ``use_mmap=True`` column accessors return views straight
@@ -182,15 +210,23 @@ class SnapshotReader:
             if use_mmap:
                 with open(path, "rb") as handle:
                     mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-                return cls(memoryview(mapped), source=str(path))
-            return cls(path.read_bytes(), source=str(path))
+                return cls(
+                    memoryview(mapped),
+                    source=str(path),
+                    tolerate_torn_tail=tolerate_torn_tail,
+                )
+            return cls(
+                path.read_bytes(),
+                source=str(path),
+                tolerate_torn_tail=tolerate_torn_tail,
+            )
         except OSError as exc:
             raise StorageError(f"cannot read snapshot {path}: {exc}") from exc
         except ValueError as exc:
             # mmap refuses zero-length files with a bare ValueError.
             raise StorageError(f"cannot map snapshot {path}: {exc}") from exc
 
-    def _parse(self) -> None:
+    def _parse(self, tolerant: bool = False) -> None:
         view = self._view
         if len(view) < _FILE_HEADER.size:
             raise StorageError(
@@ -215,13 +251,26 @@ class SnapshotReader:
         position = _FILE_HEADER.size
         total = len(view)
         while position < total:
+            section_start = position
+            self.valid_size = section_start
+            # The first three failure modes below can only occur in the
+            # final bytes of the file (each runs past end-of-file), so
+            # tolerant mode may drop them as a torn append; a checksum
+            # failure qualifies only when the bad section itself ends at
+            # end-of-file.  Everything else is real corruption.
             if position + _SECTION_HEADER.size > total:
+                if tolerant:
+                    self.torn_tail = True
+                    return
                 raise StorageError(
                     f"truncated section header at offset {position} in {self._source}"
                 )
             name_len, crc, payload_len = _SECTION_HEADER.unpack_from(view, position)
             position += _SECTION_HEADER.size
             if position + name_len > total:
+                if tolerant:
+                    self.torn_tail = True
+                    return
                 raise StorageError(
                     f"truncated section name at offset {position} in {self._source}"
                 )
@@ -234,12 +283,18 @@ class SnapshotReader:
             position += name_len
             position += _pad_to(position)
             if position + payload_len > total:
+                if tolerant:
+                    self.torn_tail = True
+                    return
                 raise StorageError(
                     f"truncated section {name!r} in {self._source}: payload of "
                     f"{payload_len} bytes runs past end-of-file"
                 )
             payload = view[position : position + payload_len]
             if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                if tolerant and position + payload_len == total:
+                    self.torn_tail = True
+                    return
                 raise StorageError(
                     f"checksum failure in section {name!r} of {self._source}"
                 )
@@ -249,6 +304,7 @@ class SnapshotReader:
                 )
             self._sections[name] = (position, payload_len)
             position += payload_len
+        self.valid_size = position
 
     # -- accessors ------------------------------------------------------
     def section_names(self) -> List[str]:
@@ -340,3 +396,65 @@ class SnapshotReader:
             raise StorageError(
                 f"corrupt string boundaries in section {name!r} of {self._source}"
             ) from exc
+
+
+def append_section(
+    path: Union[str, FsPath],
+    name: str,
+    payload: Union[bytes, bytearray, memoryview],
+    *,
+    truncate_to: Union[int, None] = None,
+) -> int:
+    """Append one framed section to an existing snapshot file.
+
+    The section is framed exactly as :class:`SnapshotWriter` frames it
+    (header, name, pad to an 8-byte file offset, CRC-32 over the
+    payload), so a strict reader accepts the grown file as-is.  The
+    payload must be byte-order independent (JSON or raw bytes) — int64
+    columns appended to a cross-endian file would read back swapped.
+
+    ``truncate_to`` first discards a torn tail left by an interrupted
+    append (pass :attr:`SnapshotReader.valid_size`).  The append itself
+    is one write plus fsync; a crash mid-append leaves a torn tail that
+    ``tolerate_torn_tail`` readers drop and the next append truncates.
+    Returns the number of bytes appended.
+    """
+    path = FsPath(path)
+    encoded = name.encode("utf-8")
+    data = bytes(payload)
+    try:
+        with open(path, "r+b") as handle:
+            header = handle.read(_FILE_HEADER.size)
+            if len(header) < _FILE_HEADER.size:
+                raise StorageError(
+                    f"truncated snapshot {path}: shorter than the file header"
+                )
+            magic, version, _ = _FILE_HEADER.unpack(header)
+            if magic != MAGIC or version != FORMAT_VERSION:
+                raise StorageError(
+                    f"{path} is not a version-{FORMAT_VERSION} snapshot; "
+                    "refusing to append"
+                )
+            if truncate_to is not None:
+                if truncate_to < _FILE_HEADER.size:
+                    raise StorageError(
+                        f"refusing to truncate snapshot {path} into its header "
+                        f"(offset {truncate_to})"
+                    )
+                handle.truncate(truncate_to)
+            handle.seek(0, os.SEEK_END)
+            offset = handle.tell()
+            chunk = bytearray(
+                _SECTION_HEADER.pack(
+                    len(encoded), zlib.crc32(data) & 0xFFFFFFFF, len(data)
+                )
+            )
+            chunk += encoded
+            chunk += b"\0" * _pad_to(offset + len(chunk))
+            chunk += data
+            handle.write(chunk)
+            handle.flush()
+            os.fsync(handle.fileno())
+            return len(chunk)
+    except OSError as exc:
+        raise StorageError(f"cannot append to snapshot {path}: {exc}") from exc

@@ -88,6 +88,82 @@ class TestResolve:
         assert resolve_result_cache(cache) is cache
 
 
+class TestLayoutFingerprintKeys:
+    """The sharded serving path keys entries on the *layout* — shard
+    plan fingerprint plus per-shard generations — so a mutation that
+    re-shards the collection must drop every cached answer by itself.
+    """
+
+    def test_tuple_layout_keys_sync(self):
+        cache = ResultCache(maxsize=8)
+        layout_v1 = (("starts", (1, 10)), (3, 3))
+        cache.sync_generation(layout_v1)
+        cache.put((layout_v1, "q"), "answer")
+        cache.sync_generation(layout_v1)  # identical layout: survives
+        assert len(cache) == 1
+        # Same plan, bumped shard generations — a mutation re-shard.
+        layout_v2 = (("starts", (1, 10)), (4, 4))
+        cache.sync_generation(layout_v2)
+        assert len(cache) == 0
+
+    def test_mutation_and_reshard_cycle_never_serves_stale(self, tmp_path):
+        """End-to-end: cached sharded answers die with each mutation."""
+        from repro.api import Database, DatabaseOptions, NearestRequest
+        from repro.datamodel.serializer import serialize
+        from repro.datasets import figure1_document
+
+        source = tmp_path / "figure1.xml"
+        source.write_text(serialize(figure1_document()), encoding="utf-8")
+        db = Database.open(
+            str(source),
+            options=DatabaseOptions(shards=2, cache=32, backend="indexed"),
+        )
+        try:
+            request = NearestRequest(terms=("Bit", "1999"), limit=10)
+            before = db.nearest(request).answers
+            repeat = db.nearest(request).answers
+            assert repeat == before
+            assert db.cache_info().hits >= 1  # second ask was served cached
+
+            fragment = "<book><title>Bit</title><year>1999</year></book>"
+            db.put("memo", fragment)
+            after = db.nearest(request).answers
+            assert after != before, "mutation must invalidate cached answers"
+            assert any(a["tag"] == "book" for a in after)
+
+            # The cycle again through compaction (fresh layout key).
+            db.compact()
+            assert db.nearest(request).answers == after
+            db.delete("memo")
+            assert db.nearest(request).answers == before
+        finally:
+            db.close()
+
+    def test_monolithic_generation_bump_invalidates(self, tmp_path):
+        """The unsharded path keys on store generation: same contract."""
+        from repro.api import Database, DatabaseOptions, NearestRequest
+        from repro.datamodel.serializer import serialize
+        from repro.datasets import figure1_document
+
+        source = tmp_path / "figure1.xml"
+        source.write_text(serialize(figure1_document()), encoding="utf-8")
+        db = Database.open(
+            str(source), options=DatabaseOptions(cache=32, backend="indexed")
+        )
+        try:
+            request = NearestRequest(terms=("Bit", "1999"), limit=10)
+            before = db.nearest(request).answers
+            db.nearest(request)
+            assert db.cache_info().hits >= 1
+            db.put(
+                "memo", "<book><title>Bit</title><year>1999</year></book>"
+            )
+            after = db.nearest(request).answers
+            assert after != before
+        finally:
+            db.close()
+
+
 class TestThreadSafety:
     def test_eight_thread_hammer(self):
         """One cache, 8 threads, mixed get/put/sync: counters stay exact.

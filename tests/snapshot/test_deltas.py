@@ -1,0 +1,192 @@
+"""Unit tests for delta sections and the append/torn-tail primitives."""
+
+import pytest
+
+from repro.datamodel.errors import StorageError
+from repro.datamodel.parser import parse_document
+from repro.monet.mutate import compact_store, ensure_document_registry
+from repro.monet.transform import monet_transform
+from repro.snapshot import (
+    DeltaOp,
+    append_delta,
+    append_section,
+    read_delta_ops,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.snapshot.deltas import delta_section_name, next_delta_sequence
+from repro.snapshot.format import SnapshotReader
+
+XML = (
+    "<library><book><title>Alpha</title></book>"
+    "<book><title>Beta</title></book></library>"
+)
+FRAGMENT = "<book><title>Gamma</title></book>"
+
+
+def _bundle(tmp_path):
+    store = monet_transform(parse_document(XML, first_oid=1))
+    ensure_document_registry(store)
+    path = tmp_path / "lib.snap"
+    write_snapshot(store, path)
+    return path, store
+
+
+# -- DeltaOp codec ------------------------------------------------------
+def test_delta_op_payload_round_trip():
+    for op in (
+        DeltaOp("put", "memo", FRAGMENT),
+        DeltaOp("replace", "memo", FRAGMENT),
+        DeltaOp("delete", "memo"),
+    ):
+        decoded = DeltaOp.from_payload(op.to_payload(), "delta/1", "<test>")
+        assert decoded == op
+
+
+@pytest.mark.parametrize(
+    "op",
+    [
+        DeltaOp("rename", "memo", FRAGMENT),  # unknown operation
+        DeltaOp("put", "memo", None),  # put without payload
+        DeltaOp("delete", "memo", FRAGMENT),  # delete with payload
+    ],
+)
+def test_delta_op_invalid_shapes_rejected(op):
+    with pytest.raises(StorageError):
+        op.to_payload()
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"not json",
+        b'"a string"',
+        b'{"op": "rename", "name": "x"}',
+        b'{"op": "put", "name": "x"}',
+        b'{"op": "delete", "name": "x", "xml": "<a/>"}',
+        b'{"op": "put", "xml": "<a/>"}',
+    ],
+)
+def test_delta_payload_corruption_rejected(payload):
+    with pytest.raises(StorageError):
+        DeltaOp.from_payload(payload, "delta/00000001", "<test>")
+
+
+# -- sequence numbering -------------------------------------------------
+def test_sequence_numbers_and_section_names(tmp_path):
+    path, _store = _bundle(tmp_path)
+    assert delta_section_name(1) == "delta/00000001"
+    reader = SnapshotReader.open(path)
+    assert next_delta_sequence(reader) == 1
+    assert append_delta(path, DeltaOp("put", "a", FRAGMENT)) == "delta/00000001"
+    assert append_delta(path, DeltaOp("delete", "a")) == "delta/00000002"
+    reader = SnapshotReader.open(path)
+    assert next_delta_sequence(reader) == 3
+    assert [op.op for op in read_delta_ops(reader)] == ["put", "delete"]
+
+
+def test_malformed_delta_section_name_is_fatal(tmp_path):
+    path, _store = _bundle(tmp_path)
+    append_section(path, "delta/not-a-number", b"{}")
+    with pytest.raises(StorageError, match="malformed delta section name"):
+        read_delta_ops(SnapshotReader.open(path))
+
+
+# -- append_section guard rails ----------------------------------------
+def test_append_section_refuses_non_bundles(tmp_path):
+    path = tmp_path / "not.snap"
+    path.write_bytes(b"PLAINTEXT, definitely not a bundle header")
+    with pytest.raises(StorageError):
+        append_section(path, "delta/00000001", b"{}")
+
+
+def test_append_section_refuses_truncation_below_header(tmp_path):
+    path, _store = _bundle(tmp_path)
+    with pytest.raises(StorageError):
+        append_section(path, "delta/00000001", b"{}", truncate_to=2)
+
+
+def test_appended_sections_survive_strict_reads(tmp_path):
+    path, _store = _bundle(tmp_path)
+    append_delta(path, DeltaOp("put", "memo", FRAGMENT))
+    reader = SnapshotReader.open(path)  # strict: CRC framing intact
+    assert not reader.torn_tail
+    snapshot = read_snapshot(path)
+    assert snapshot.delta_count == 1
+    assert "memo" in snapshot.store.documents
+
+
+# -- replay semantics ---------------------------------------------------
+def test_replay_reproduces_mutated_state(tmp_path):
+    path, store = _bundle(tmp_path)
+    from repro.monet.mutate import delete_document, put_document
+
+    put_document(store, "memo", FRAGMENT)
+    delete_document(store, "seed-0000")
+    append_delta(path, DeltaOp("put", "memo", FRAGMENT))
+    append_delta(path, DeltaOp("delete", "seed-0000"))
+
+    replayed = read_snapshot(path).store
+    assert replayed.documents == store.documents
+    assert replayed.live_node_count == store.live_node_count
+    assert sorted(replayed.iter_live_oids()) == sorted(store.iter_live_oids())
+
+
+def test_write_snapshot_refuses_tombstoned_store(tmp_path):
+    path, store = _bundle(tmp_path)
+    from repro.monet.mutate import delete_document
+
+    delete_document(store, "seed-0000")
+    with pytest.raises(StorageError, match="compact_store"):
+        write_snapshot(store, tmp_path / "dirty.snap")
+    compacted, _mapping = compact_store(store)
+    write_snapshot(compacted, tmp_path / "clean.snap")
+    reopened = read_snapshot(tmp_path / "clean.snap").store
+    assert reopened.documents == compacted.documents
+
+
+def test_registry_persists_in_bundle_meta(tmp_path):
+    path, store = _bundle(tmp_path)
+    snapshot = read_snapshot(path)
+    assert snapshot.store.documents == store.documents
+    assert snapshot.meta["documents"] == {
+        name: [low, high] for name, (low, high) in store.documents.items()
+    }
+
+
+# -- torn tails ---------------------------------------------------------
+def test_mid_file_corruption_stays_fatal_even_tolerant(tmp_path):
+    path, _store = _bundle(tmp_path)
+    append_delta(path, DeltaOp("put", "a", FRAGMENT))
+    append_delta(path, DeltaOp("put", "b", FRAGMENT))
+    data = bytearray(path.read_bytes())
+    # Flip one byte inside the FIRST delta's payload: its CRC fails but
+    # its section does not end at EOF, so tolerance must not apply.
+    marker = data.find(b'"name": "a"')
+    assert marker != -1
+    data[marker + 9] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(StorageError):
+        SnapshotReader.open(path, tolerate_torn_tail=True)
+
+
+def test_torn_tail_tolerated_and_truncated_by_next_append(tmp_path):
+    path, _store = _bundle(tmp_path)
+    append_delta(path, DeltaOp("put", "a", FRAGMENT))
+    clean = path.stat().st_size
+    append_delta(path, DeltaOp("put", "b", FRAGMENT))
+    torn = path.read_bytes()
+    path.write_bytes(torn[: clean + (len(torn) - clean) // 2])
+
+    with pytest.raises(StorageError):
+        SnapshotReader.open(path)
+    reader = SnapshotReader.open(path, tolerate_torn_tail=True)
+    assert reader.torn_tail and reader.valid_size == clean
+    assert [op.name for op in read_delta_ops(reader)] == ["a"]
+
+    # The next append truncates the garbage: strict reads work again
+    # and the sequence number reuses the torn slot.
+    name = append_delta(path, DeltaOp("put", "c", FRAGMENT))
+    assert name == "delta/00000002"
+    reader = SnapshotReader.open(path)
+    assert [op.name for op in read_delta_ops(reader)] == ["a", "c"]

@@ -1,0 +1,75 @@
+"""Regression: a failed sharded open must not leak temp shard bundles.
+
+``Database._open_sharded_store`` with ``workers > 0`` materializes warm
+shard bundles into a ``repro-shards-*`` temp directory before the pool
+spins up.  A failure anywhere after that materialization — executor
+spin-up, plan validation, ``ShardedCollection`` wiring — used to leave
+the directory behind, because cleanup only ran through ``close()`` on
+a successfully constructed instance.
+"""
+
+import pytest
+
+import repro.api.database as database_module
+from repro.api import Database, DatabaseOptions
+
+from .harness import write_source
+
+
+def _recorded_tempdirs(monkeypatch):
+    """Record every repro-shards temp dir the open creates."""
+    import tempfile as tempfile_module
+
+    created = []
+    real_mkdtemp = tempfile_module.mkdtemp
+
+    def recording_mkdtemp(*args, **kwargs):
+        path = real_mkdtemp(*args, **kwargs)
+        created.append(path)
+        return path
+
+    monkeypatch.setattr(
+        database_module.tempfile, "mkdtemp", recording_mkdtemp
+    )
+    return created
+
+
+def test_failed_pool_spinup_removes_temp_bundles(tmp_path, monkeypatch):
+    source, _model = write_source(tmp_path, "figure1")
+    created = _recorded_tempdirs(monkeypatch)
+
+    class Boom(RuntimeError):
+        pass
+
+    def exploding_executor(*args, **kwargs):
+        raise Boom("pool failed to spawn")
+
+    monkeypatch.setattr(database_module, "ParallelExecutor", exploding_executor)
+    with pytest.raises(Boom):
+        Database.open(
+            str(source),
+            options=DatabaseOptions(shards=2, workers=2),
+        )
+    assert created, "test never reached bundle materialization"
+    import os
+
+    for path in created:
+        assert not os.path.exists(path), f"temp shard bundles leaked: {path}"
+
+
+def test_successful_open_cleans_up_on_close(tmp_path, monkeypatch):
+    source, _model = write_source(tmp_path, "figure1")
+    created = _recorded_tempdirs(monkeypatch)
+    db = Database.open(
+        str(source), options=DatabaseOptions(shards=2, workers=1)
+    )
+    try:
+        assert created and all(
+            __import__("os").path.exists(path) for path in created
+        )
+    finally:
+        db.close()
+    import os
+
+    for path in created:
+        assert not os.path.exists(path), f"temp shard bundles leaked: {path}"
