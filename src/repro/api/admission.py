@@ -1,0 +1,176 @@
+"""Admission control for the front door: bounded queueing, shedding.
+
+A server without admission control has an unbounded implicit queue
+(every accepted connection parks a thread) and, under overload, serves
+*every* request late instead of *some* requests on time.  The
+:class:`AdmissionController` makes the queue explicit and bounded:
+
+* up to ``max_concurrency`` requests run at once;
+* up to ``max_queue`` more wait, each at most ``queue_timeout``
+  seconds (never past its own request deadline);
+* everything beyond that is **shed immediately** with
+  :class:`OverloadedError` (``code="overloaded"``, retryable), which
+  the server maps to ``503`` + ``Retry-After`` — the honest answer,
+  because a request that would wait longer than its deadline is
+  already lost and queueing it just steals capacity from the rest.
+
+The controller also keeps the latency ring (:class:`LatencyWindow`)
+behind the ``/v1/stats`` percentiles, so saturation is visible before
+it becomes shedding.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, Optional
+
+from ..datamodel.errors import ReproError
+from ..exec.deadline import Deadline
+
+__all__ = ["AdmissionController", "LatencyWindow", "OverloadedError"]
+
+
+class OverloadedError(ReproError):
+    """The server shed this request to protect the ones in flight."""
+
+    code = "overloaded"
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = max(retry_after, 0.0)
+        super().__init__(message)
+
+
+class LatencyWindow:
+    """Percentiles over the last ``size`` request latencies.
+
+    A bounded ring, not a histogram: at the window sizes that matter
+    here (hundreds), sorting on read is cheaper than maintaining
+    buckets, and the percentiles are exact.
+    """
+
+    def __init__(self, size: int = 512):
+        self._samples: deque = deque(maxlen=size)
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def percentiles(self) -> Dict[str, object]:
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return {"count": 0, "p50_ms": None, "p95_ms": None, "p99_ms": None}
+
+        def at(q: float) -> float:
+            index = min(len(samples) - 1, int(q * len(samples)))
+            return round(samples[index] * 1000, 3)
+
+        return {
+            "count": len(samples),
+            "p50_ms": at(0.50),
+            "p95_ms": at(0.95),
+            "p99_ms": at(0.99),
+        }
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded queue + load shedding."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrency: int = 8,
+        max_queue: int = 16,
+        queue_timeout: float = 2.0,
+        latency_window: int = 512,
+    ):
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrency = int(max_concurrency)
+        self.max_queue = int(max_queue)
+        self.queue_timeout = float(queue_timeout)
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._queued = 0
+        self._admitted = 0
+        self._shed = 0
+        self._timed_out = 0
+        self.latency = LatencyWindow(latency_window)
+
+    # -- admission -------------------------------------------------------
+    def admit(self, deadline: Optional[Deadline] = None) -> None:
+        """Block until a slot frees, or shed.
+
+        Raises :class:`OverloadedError` when the queue is full, or when
+        this request's wait exceeds ``queue_timeout`` / its deadline —
+        whichever budget is tighter.
+        """
+        wait_budget = self.queue_timeout
+        if deadline is not None:
+            wait_budget = min(wait_budget, deadline.remaining())
+        give_up_at = time.monotonic() + wait_budget
+        with self._slot_freed:
+            if self._in_flight < self.max_concurrency:
+                self._in_flight += 1
+                self._admitted += 1
+                return
+            if self._queued >= self.max_queue:
+                self._shed += 1
+                raise OverloadedError(
+                    f"request queue is full "
+                    f"({self._in_flight} in flight, {self._queued} queued)",
+                    retry_after=self._retry_after_locked(),
+                )
+            self._queued += 1
+            try:
+                while self._in_flight >= self.max_concurrency:
+                    remaining = give_up_at - time.monotonic()
+                    if remaining <= 0 or not self._slot_freed.wait(remaining):
+                        if time.monotonic() >= give_up_at:
+                            self._timed_out += 1
+                            self._shed += 1
+                            raise OverloadedError(
+                                "request waited too long in the "
+                                "admission queue",
+                                retry_after=self._retry_after_locked(),
+                            )
+                self._in_flight += 1
+                self._admitted += 1
+            finally:
+                self._queued -= 1
+
+    def release(self, latency_seconds: Optional[float] = None) -> None:
+        if latency_seconds is not None:
+            self.latency.record(latency_seconds)
+        with self._slot_freed:
+            self._in_flight -= 1
+            self._slot_freed.notify()
+
+    def _retry_after_locked(self) -> float:
+        """A Retry-After hint scaled to the backlog (at least 1s)."""
+        backlog = self._in_flight + self._queued
+        return max(1.0, round(backlog * 0.1, 1))
+
+    # -- observability ---------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counters = {
+                "in_flight": self._in_flight,
+                "queued": self._queued,
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "queue_timeouts": self._timed_out,
+            }
+        counters["latency"] = self.latency.percentiles()
+        return counters

@@ -329,7 +329,22 @@ class Database:
                     "(snapshot build --shards N)"
                 )
 
-        if options.workers > 0:
+        if options.cluster is not None or options.replicas > 0:
+            meta, summary = read_snapshot_header(bundles.paths[0])
+            _check_layout(meta, bundles.paths[0])
+            if options.cluster is not None:
+                executor = cls._cluster_executor_from_addresses(
+                    options.cluster, plan.shard_count
+                )
+            else:
+                executor = cls._replicated_executor(
+                    bundles.paths,
+                    options.replicas,
+                    case_sensitive=case_sensitive,
+                    backend=backend_name,
+                )
+            generations = (bundles.generation,) * plan.shard_count
+        elif options.workers > 0:
             meta, summary = read_snapshot_header(bundles.paths[0])
             _check_layout(meta, bundles.paths[0])
             executor = ParallelExecutor(
@@ -380,6 +395,62 @@ class Database:
             sharded=sharded,
         )
 
+    @staticmethod
+    def _cluster_executor_from_addresses(cluster, shard_count: int):
+        """A :class:`ClusterExecutor` over already-running workers.
+
+        ``cluster`` is the options-level tuple of per-shard address
+        groups; the workers are *unmanaged* — never respawned here,
+        only health-checked and failed over.
+        """
+        from ..exec.cluster import ClusterExecutor, ReplicaSpec
+
+        if len(cluster) != shard_count:
+            raise ReproError(
+                f"the cluster map has {len(cluster)} shard group(s) but "
+                f"the collection has {shard_count} shard(s)"
+            )
+        return ClusterExecutor(
+            [
+                [ReplicaSpec(address=(str(host), int(port)))
+                 for host, port in group]
+                for group in cluster
+            ]
+        )
+
+    @staticmethod
+    def _replicated_executor(
+        bundle_paths,
+        replicas: int,
+        *,
+        case_sensitive: bool,
+        backend: Optional[str],
+    ):
+        """Spawn and supervise ``replicas`` socket workers per shard.
+
+        Each worker process loads exactly one shard's bundle, so a
+        kill takes out one replica of one shard — the blast radius
+        the failover machinery is built around.  The specs carry the
+        spawn recipe, so the cluster's prober can respawn a dead
+        worker from the same bundle.
+        """
+        import functools
+
+        from ..exec.cluster import ClusterExecutor, ReplicaSpec
+        from ..exec.remote import spawn_worker_process
+
+        specs = []
+        for shard_id, path in enumerate(bundle_paths):
+            spawn = functools.partial(
+                spawn_worker_process,
+                [str(path)],
+                shard_ids=[shard_id],
+                case_sensitive=case_sensitive,
+                backend=backend,
+            )
+            specs.append([ReplicaSpec(spawn=spawn) for _ in range(replicas)])
+        return ClusterExecutor(specs)
+
     @classmethod
     def _open_sharded_store(
         cls,
@@ -398,8 +469,17 @@ class Database:
         # validation, executor spin-up, ShardedCollection wiring) must
         # not leave the temp shard bundles behind.
         try:
-            if options.workers > 0:
-                # The pool's workers load shards from disk: materialize
+            if options.cluster is not None:
+                # Remote workers already hold the data; the local
+                # store only supplies the plan and path summary the
+                # coordinator merges with.
+                plan = compute_shard_plan(store, shard_count)
+                executor = cls._cluster_executor_from_addresses(
+                    options.cluster, plan.shard_count
+                )
+                generations = (store.generation,) * plan.shard_count
+            elif options.workers > 0 or options.replicas > 0:
+                # Worker processes load shards from disk: materialize
                 # warm bundles (store + indexes) into a temp directory.
                 from ..snapshot.sharded import write_shard_bundles
 
@@ -412,13 +492,21 @@ class Database:
                     shards=shard_count,
                     case_sensitive=case_sensitive,
                 )
-                executor = ParallelExecutor(
-                    paths,
-                    workers=options.workers,
-                    case_sensitive=case_sensitive,
-                    backend=backend_name,
-                    use_mmap=True,
-                )
+                if options.replicas > 0:
+                    executor = cls._replicated_executor(
+                        paths,
+                        options.replicas,
+                        case_sensitive=case_sensitive,
+                        backend=backend_name,
+                    )
+                else:
+                    executor = ParallelExecutor(
+                        paths,
+                        workers=options.workers,
+                        case_sensitive=case_sensitive,
+                        backend=backend_name,
+                        use_mmap=True,
+                    )
                 generations = (store.generation,) * plan.shard_count
             else:
                 plan = compute_shard_plan(store, shard_count)
@@ -457,9 +545,15 @@ class Database:
             if cleanup is not None:
                 cleanup()
             raise
-        if options.workers == 0:
+        if (
+            options.workers == 0
+            and options.replicas == 0
+            and options.cluster is None
+        ):
             # Serial in-process shards stay writable: mutations land on
             # the unsliced base store, then the fabric is re-sliced.
+            # Out-of-process shards (pool, replicas, cluster) serve
+            # read-only bundles.
             database._base_store = store
             if resolved.snapshot is not None:
                 database._bind_write_through(resolved.snapshot)
@@ -647,6 +741,22 @@ class Database:
         if self.sharded is not None:
             stats["executor"] = self.sharded.executor.stats()
         return stats
+
+    def health(self) -> Dict[str, object]:
+        """Readiness of this collection (the ``/readyz`` row).
+
+        Monolithic and serial-sharded databases are ready whenever
+        the process is alive; executor-backed ones delegate, so a
+        replicated cluster reports ``degraded`` (last healthy replica
+        on some shard) or ``unavailable`` (a shard with none left).
+        """
+        if self.sharded is not None:
+            executor = self.sharded.executor
+            health_fn = getattr(executor, "health", None)
+            if callable(health_fn):
+                return health_fn()
+            return {"status": "ok", "shards": []}  # pragma: no cover
+        return {"status": "ok", "shards": []}
 
     def _envelope_stats(self) -> Dict[str, object]:
         stats: Dict[str, object] = {

@@ -26,7 +26,18 @@ every caller had to re-derive the snapshot-serving defaults by hand.
 * ``workers`` > 0 serves shard work from a process pool
   (:class:`repro.exec.executors.ParallelExecutor`) instead of
   in-process — true multi-core query serving.  Implies sharding
-  (``shards`` defaults to ``workers`` when unset).
+  (``shards`` defaults to ``workers`` when unset);
+* ``replicas`` > 0 serves each shard from that many **socket worker
+  processes** with health-checked failover
+  (:class:`repro.exec.cluster.ClusterExecutor`) — the database spawns
+  and supervises them.  Implies sharding like ``workers``;
+* ``cluster`` points at *already-running* shard workers instead: a
+  tuple of per-shard address tuples, e.g.
+  ``((("127.0.0.1", 9101), ("127.0.0.1", 9201)), ...)`` — shard ``i``
+  is served by the ``i``-th group, failing over inside it.
+
+``workers``, ``replicas`` and ``cluster`` are mutually exclusive —
+each names a different executor.
 
 Being frozen, an options object can be shared between databases and
 threads without defensive copies; derive variants with
@@ -58,6 +69,8 @@ class DatabaseOptions:
     max_rows: Optional[int] = 100_000
     shards: Optional[int] = None
     workers: int = 0
+    replicas: int = 0
+    cluster: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKEND_NAMES:
@@ -69,13 +82,54 @@ class DatabaseOptions:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        chosen = [
+            name
+            for name, active in (
+                ("workers", self.workers > 0),
+                ("replicas", self.replicas > 0),
+                ("cluster", self.cluster is not None),
+            )
+            if active
+        ]
+        if len(chosen) > 1:
+            raise ValueError(
+                f"{' and '.join(chosen)} are mutually exclusive: "
+                f"each selects a different executor"
+            )
+        if self.cluster is not None:
+            if not self.cluster:
+                raise ValueError("cluster needs at least one shard group")
+            for shard_id, group in enumerate(self.cluster):
+                if not group:
+                    raise ValueError(
+                        f"cluster shard {shard_id} has no worker addresses"
+                    )
+            if self.shards is not None and self.shards != len(self.cluster):
+                raise ValueError(
+                    f"shards={self.shards} disagrees with the cluster "
+                    f"map's {len(self.cluster)} shard groups"
+                )
 
     @property
     def effective_shards(self) -> Optional[int]:
-        """The shard count actually requested (workers imply sharding)."""
+        """The shard count actually requested.
+
+        ``workers``/``replicas`` imply sharding; a ``cluster`` map
+        fixes the count to its number of shard groups.
+        """
+        if self.cluster is not None:
+            return len(self.cluster)
         if self.shards is not None:
             return self.shards
-        return self.workers if self.workers > 0 else None
+        if self.workers > 0:
+            return self.workers
+        if self.replicas > 0:
+            # Replicas are per shard; without an explicit shard count
+            # a replicated single shard is still a meaningful cluster.
+            return 1
+        return None
 
     def replace(self, **overrides) -> "DatabaseOptions":
         """A copy with the given fields replaced (validation re-runs)."""

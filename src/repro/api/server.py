@@ -18,16 +18,27 @@ Endpoints (all JSON)::
     GET    /v1/documents    name → [low, high] OID spans per document
     POST   /v1/compact      CompactRequest       → compaction receipt
     GET    /v1/collections  collection metadata (Database.describe)
-    GET    /v1/stats        live serving stats (Database.stats)
-    GET    /healthz         liveness: {"status": "ok", ...}
+    GET    /v1/stats        live serving stats + admission/latency
+    GET    /healthz         liveness: the process is up
+    GET    /readyz          readiness: per-shard replica health
+                            (200 ok/degraded, 503 unavailable)
 
 A request body may name a ``"collection"``; with one collection the
-field is optional.  Errors come back as ``{"error": ..., "status": N}``
-with 400 (malformed request / query error), 404 (unknown route,
-collection or document), 409 (duplicate document on put), 413
-(oversized body) or 500.  Writes serialize behind each database's
-readers–writer lock, so in-flight queries always see either the
-pre- or the post-mutation store — never a torn state.
+field is optional.  Errors come back as ``{"error": ..., "status": N,
+"code": ..., "retryable": ...}`` — the ``code`` is a stable
+machine-readable string (``overloaded``, ``shard_unavailable``,
+``deadline_exceeded``, ``query_error``, ...) — with 400 (malformed
+request / query error), 404 (unknown route, collection or document),
+409 (duplicate document on put), 413 (oversized body), 503 (shed or
+no healthy replica, with ``Retry-After``), 504 (deadline exceeded) or
+500.  Writes serialize behind each database's readers–writer lock, so
+in-flight queries always see either the pre- or the post-mutation
+store — never a torn state.
+
+Every POST/PUT/DELETE passes **admission control** (bounded
+concurrency, bounded queue, load shedding) and may carry an
+``X-Repro-Deadline-Ms`` header: the remaining budget rides down the
+whole scatter-gather tree and bounds every blocking wait under it.
 
 Programmatic use (the tests and benchmarks drive it this way)::
 
@@ -39,8 +50,10 @@ Programmatic use (the tests and benchmarks drive it this way)::
 from __future__ import annotations
 
 import json
+import logging
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Union
 from urllib.parse import parse_qs, urlsplit
@@ -50,7 +63,9 @@ from ..datamodel.errors import (
     ReproError,
     UnknownDocumentError,
 )
+from ..exec.deadline import Deadline, DeadlineExceededError, deadline_scope
 from ..exec.executors import ExecutorError
+from .admission import AdmissionController, OverloadedError
 from .database import Database
 from .envelopes import (
     CompactRequest,
@@ -63,10 +78,17 @@ from .envelopes import (
     SearchRequest,
 )
 
-__all__ = ["ReproServer", "MAX_BODY_BYTES"]
+__all__ = ["ReproServer", "MAX_BODY_BYTES", "DEADLINE_HEADER"]
+
+logger = logging.getLogger("repro.serve")
 
 #: Requests larger than this are refused with 413 before parsing.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Per-request deadline override, in milliseconds.  Clients state how
+#: long an answer is still useful; the budget rides down the whole
+#: scatter-gather tree (admission queue, executors, socket transport).
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 _POST_KINDS = {
     "/v1/search": SearchRequest,
@@ -88,6 +110,11 @@ class _ReproHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the app object for its handlers."""
 
     daemon_threads = True
+    #: The socketserver default listen backlog (5) resets connections
+    #: the moment a few dozen clients connect at once — admission
+    #: control never even sees them.  A deep backlog lets every burst
+    #: reach the controller, which is where accept/shed is decided.
+    request_queue_size = 128
 
     def __init__(self, address, handler, app: "ReproServer"):
         self.app = app
@@ -116,12 +143,47 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: str = "error",
+        retryable: bool = False,
+        retry_after: Optional[float] = None,
+    ) -> None:
         # Close the connection on every error: a request refused before
         # its body was read (413, bad Content-Length) would otherwise
         # leave those bytes on the keep-alive stream, where they would
         # be misparsed as the next request line.
-        self._send_json(status, {"error": message, "status": status}, close=True)
+        body = json.dumps(
+            {
+                "error": message,
+                "status": status,
+                "code": code,
+                "retryable": retryable,
+            }
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Retry-After is an integer count of seconds; round up so
+            # a sub-second hint never becomes "retry immediately".
+            self.send_header("Retry-After", str(max(1, int(retry_after + 0.999))))
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_repro_error(self, status: int, exc: ReproError, **kw) -> None:
+        self._send_error_json(
+            status,
+            str(exc),
+            code=getattr(exc, "code", "error"),
+            retryable=getattr(exc, "retryable", False),
+            **kw,
+        )
 
     def log_message(self, format: str, *args) -> None:
         if self.server.app.verbose:
@@ -145,12 +207,34 @@ class _Handler(BaseHTTPRequestHandler):
             raise EnvelopeError("request body must be a JSON object")
         return payload
 
+    def _request_deadline(self) -> Optional[Deadline]:
+        """The deadline governing this request, header over default."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is not None:
+            try:
+                millis = float(raw)
+            except ValueError:
+                raise EnvelopeError(
+                    f"invalid {DEADLINE_HEADER} header: {raw!r}"
+                ) from None
+            if millis <= 0:
+                raise EnvelopeError(
+                    f"{DEADLINE_HEADER} must be positive, got {raw!r}"
+                )
+            return Deadline.after(millis / 1000.0)
+        default = self.server.app.default_deadline
+        return None if default is None else Deadline.after(default)
+
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         app = self.server.app
         route = urlsplit(self.path).path
         try:
             if route == "/healthz":
+                # Liveness only: the process is up and can answer.
+                # Readiness (shard replica health) lives at /readyz so
+                # a restart-the-process supervisor and a
+                # drain-the-traffic balancer watch different signals.
                 self._send_json(
                     200,
                     {
@@ -159,6 +243,10 @@ class _Handler(BaseHTTPRequestHandler):
                         "default": app.default,
                     },
                 )
+            elif route == "/readyz":
+                readiness = app.readiness()
+                status = 200 if readiness["status"] in ("ok", "degraded") else 503
+                self._send_json(status, readiness)
             elif route == "/v1/collections":
                 self._send_json(
                     200,
@@ -180,21 +268,33 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_error_json(404, f"unknown route: {route}")
         except _UnknownCollection as exc:
-            self._send_error_json(404, str(exc))
+            self._send_repro_error(404, exc)
         except ReproError as exc:
-            self._send_error_json(400, str(exc))
+            self._send_repro_error(400, exc)
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {exc}")
+            self._send_error_json(
+                500, f"internal error: {exc}", code="internal"
+            )
 
     def _handle_request(self, route_table: Dict[str, type]) -> None:
-        """Parse body → envelope → dispatch, mapping errors to codes."""
+        """Admit → parse body → envelope → dispatch, errors to codes."""
         app = self.server.app
         route = urlsplit(self.path).path
         request_cls = route_table.get(route)
         if request_cls is None:
-            self._send_error_json(404, f"unknown route: {route}")
+            self._send_error_json(
+                404, f"unknown route: {route}", code="unknown_route"
+            )
             return
+        admitted = False
+        started = time.monotonic()
         try:
+            deadline = self._request_deadline()
+            # Admission happens before the body is read: a shed
+            # request costs the server a queue check and one small
+            # write, never parsing or planning work.
+            app.admission.admit(deadline)
+            admitted = True
             payload = self._read_body()
             kind = payload.get("kind")
             if kind is not None and kind != request_cls.kind:
@@ -203,23 +303,42 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             request: Request = request_cls.from_dict(payload)
             database = app.database_for(request.collection)
-            result = app.dispatch(database, request)
+            with deadline_scope(deadline):
+                # Cooperative check at dispatch entry: even an engine
+                # with no other blocking points (a monolithic store)
+                # must honor an already-spent budget with 504.
+                if deadline is not None:
+                    deadline.check("request dispatch")
+                result = app.dispatch(database, request)
             body = result.to_dict() if hasattr(result, "to_dict") else result
             self._send_json(200, body)
         except _BodyTooLarge as exc:
-            self._send_error_json(413, str(exc))
+            self._send_error_json(413, str(exc), code="body_too_large")
+        except OverloadedError as exc:
+            self._send_repro_error(503, exc, retry_after=exc.retry_after)
+        except DeadlineExceededError as exc:
+            self._send_repro_error(504, exc)
         except DuplicateDocumentError as exc:
-            self._send_error_json(409, str(exc))
+            self._send_repro_error(409, exc)
         except (_UnknownCollection, UnknownDocumentError) as exc:
-            self._send_error_json(404, str(exc))
+            self._send_repro_error(404, exc)
         except ExecutorError as exc:
-            # A killed pool worker fails this request cleanly; the
-            # executor respawns its pool for the next one.
-            self._send_error_json(503, str(exc))
+            # A dead worker (or a shard with no healthy replica) fails
+            # this request cleanly; recovery — pool respawn, replica
+            # failover — happens underneath for the next one.
+            self._send_repro_error(503, exc, retry_after=1.0)
         except (EnvelopeError, ReproError, ValueError) as exc:
-            self._send_error_json(400, str(exc))
+            if isinstance(exc, ReproError):
+                self._send_repro_error(400, exc)
+            else:
+                self._send_error_json(400, str(exc), code="bad_request")
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {exc}")
+            self._send_error_json(
+                500, f"internal error: {exc}", code="internal"
+            )
+        finally:
+            if admitted:
+                app.admission.release(time.monotonic() - started)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         self._handle_request(_POST_KINDS)
@@ -257,6 +376,10 @@ class ReproServer:
         port: int = 8080,
         verbose: bool = False,
         close_databases: bool = False,
+        max_concurrency: int = 8,
+        max_queue: int = 16,
+        queue_timeout: float = 2.0,
+        default_deadline: Optional[float] = None,
     ):
         if isinstance(databases, Database):
             databases = {"default": databases}
@@ -272,6 +395,14 @@ class ReproServer:
             )
         self.default = default
         self.verbose = verbose
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue=max_queue,
+            queue_timeout=queue_timeout,
+        )
+        #: Seconds granted to a request that states no deadline of its
+        #: own (``None``: unbounded, the embedded-use default).
+        self.default_deadline = default_deadline
         self._close_databases = close_databases
         self._warmed = False
         self._serving = False
@@ -323,30 +454,51 @@ class ReproServer:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
+    def shutdown(self) -> bool:
         """Stop serving and release the port; never hangs.
 
         ``BaseServer.shutdown()`` blocks on an event that only the
         serve loop sets — calling it when the loop never ran (a Ctrl-C
         before startup completes, an exception out of warm-up) would
         deadlock.  The guard skips it entirely in that state, and the
-        bounded wait covers the window where the loop is still
+        bounded waits cover the window where the loop is still
         starting.
+
+        Returns ``True`` on a clean stop.  A thread surviving its
+        bounded join (a handler wedged past the 5 s grace) is **not**
+        silent: it is logged as a warning and reported as ``False`` so
+        operators and tests can tell a clean shutdown from an
+        abandoned thread.
         """
+        clean = True
         if self._serving:
             stopper = threading.Thread(
                 target=self._httpd.shutdown, daemon=True
             )
             stopper.start()
             stopper.join(timeout=5)
+            if stopper.is_alive():
+                clean = False
+                logger.warning(
+                    "server shutdown did not complete within 5s; "
+                    "the serve loop is being abandoned (daemon thread)"
+                )
             self._serving = False
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                clean = False
+                logger.warning(
+                    "serve thread %r did not exit within 5s after "
+                    "shutdown; abandoning it (daemon thread)",
+                    self._thread.name,
+                )
             self._thread = None
         self._httpd.server_close()
         if self._close_databases:
             for database in self.databases.values():
                 database.close()
+        return clean
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -385,6 +537,28 @@ class ReproServer:
             f"unsupported request type {type(request).__name__}"
         )  # pragma: no cover - the route table prevents this
 
+    def readiness(self) -> Dict[str, object]:
+        """Aggregate readiness: the worst collection wins.
+
+        ``ok`` — every shard of every collection has replica headroom;
+        ``degraded`` — some shard is on its *last* healthy replica
+        (still serving, but the next failure loses availability);
+        ``unavailable`` — some shard has no healthy replica at all.
+        """
+        rank = {"ok": 0, "degraded": 1, "unavailable": 2}
+        worst = "ok"
+        collections = {}
+        for name, database in self.databases.items():
+            health = database.health()
+            collections[name] = health
+            if rank.get(health["status"], 2) > rank[worst]:
+                worst = health["status"]
+        return {
+            "status": worst,
+            "collections": collections,
+            "admission": self.admission.snapshot(),
+        }
+
     def stats(self) -> Dict[str, object]:
         from ..core.lca_index import lca_index_cache_info
         from ..fulltext.index import fulltext_index_cache_info
@@ -422,4 +596,5 @@ class ReproServer:
                 "lca": lca_builds,
                 "fulltext": fulltext_builds,
             },
+            "admission": self.admission.snapshot(),
         }

@@ -77,6 +77,23 @@ def _open_catalog(args, *, create: bool = False) -> Catalog:
     return Catalog(_catalog_dir(args), create=create)
 
 
+def _parse_cluster(groups) -> Optional[tuple]:
+    """``--cluster`` values → the options-level address tuple.
+
+    Each ``--cluster`` names one shard's replica group as a
+    comma-separated ``HOST:PORT[,HOST:PORT...]`` list; the flag
+    repeats once per shard, in shard order.
+    """
+    if not groups:
+        return None
+    from .exec.remote import parse_address
+
+    return tuple(
+        tuple(parse_address(part.strip()) for part in group.split(","))
+        for group in groups
+    )
+
+
 def _database_options(args) -> DatabaseOptions:
     """The facade options encoded by this command's flags."""
     return DatabaseOptions(
@@ -86,6 +103,8 @@ def _database_options(args) -> DatabaseOptions:
         catalog=getattr(args, "catalog", None),
         shards=getattr(args, "shards", None),
         workers=getattr(args, "workers", 0) or 0,
+        replicas=getattr(args, "replicas", 0) or 0,
+        cluster=_parse_cluster(getattr(args, "cluster", None)),
     )
 
 
@@ -324,7 +343,67 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission control: requests served at once (default 8)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission control: requests allowed to wait (default 16; "
+        "beyond this the server sheds with 503 + Retry-After)",
+    )
+    serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="longest a request may wait for admission (default 2.0)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline granted to requests that state none via the "
+        "X-Repro-Deadline-Ms header (default: unbounded)",
+    )
     _add_snapshot_source_options(serve)
+
+    worker = sub.add_parser(
+        "shard-worker",
+        help="serve shard bundles over the socket protocol "
+        "(a cluster replica; normally spawned by serve --replicas)",
+    )
+    worker.add_argument(
+        "--bundle",
+        action="append",
+        required=True,
+        metavar="PATH",
+        help=".snap shard bundle to serve (repeatable; the shard id "
+        "follows the bundle's recorded shard_index)",
+    )
+    worker.add_argument(
+        "--shard-id",
+        action="append",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard id override per --bundle, in order",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: ephemeral, printed on stdout)",
+    )
+    _add_engine_options(worker)
     return parser
 
 
@@ -386,6 +465,24 @@ def _add_exec_options(command: argparse.ArgumentParser) -> None:
         metavar="M",
         help="serve shard work from M pool processes instead of "
         "in-process (implies --shards M when --shards is not given)",
+    )
+    command.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="R",
+        help="spawn R supervised socket workers per shard with "
+        "health-checked failover (implies sharding; exclusive with "
+        "--workers and --cluster)",
+    )
+    command.add_argument(
+        "--cluster",
+        action="append",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="serve one shard from these already-running shard "
+        "workers (repeat once per shard, in shard order; replicas "
+        "within a group fail over)",
     )
 
 
@@ -552,6 +649,14 @@ def _command_serve(args) -> int:
         port=args.port,
         verbose=args.verbose,
         close_databases=True,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        default_deadline=(
+            None
+            if args.default_deadline_ms is None
+            else args.default_deadline_ms / 1000.0
+        ),
     )
     server.warm_up()
     for name in server.names():
@@ -564,6 +669,11 @@ def _command_serve(args) -> int:
             )
             if executor.name == "parallel":
                 mode += f" ({executor.workers} workers)"
+            elif executor.name == "cluster":
+                replica_counts = [
+                    len(group) for group in executor.replicas
+                ]
+                mode += f" ({'x'.join(map(str, replica_counts))} replicas)"
         else:
             mode = ""
         print(
@@ -573,6 +683,46 @@ def _command_serve(args) -> int:
     print(
         f"serving {len(databases)} collection(s) on {server.url()} "
         "— Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _command_shard_worker(args) -> int:
+    """Serve shard bundles over the framed socket protocol.
+
+    Prints the ready line (``shard-worker listening on HOST:PORT``)
+    once the listener is bound — spawners block on it — then serves
+    until interrupted.
+    """
+    from .exec.remote import READY_PREFIX, ShardWorkerServer, format_address
+    from .exec.remote import services_from_bundles
+
+    if args.shard_id is not None and len(args.shard_id) != len(args.bundle):
+        raise ReproError(
+            f"{len(args.shard_id)} --shard-id value(s) for "
+            f"{len(args.bundle)} --bundle value(s); give one per bundle"
+        )
+    services = services_from_bundles(
+        args.bundle,
+        shard_ids=args.shard_id,
+        case_sensitive=args.case_sensitive,
+        backend=args.backend,
+    )
+    server = ShardWorkerServer(services, host=args.host, port=args.port)
+    print(
+        f"{READY_PREFIX} {format_address(server.address)}",
+        flush=True,
+    )
+    print(
+        f"hosting shard(s) {sorted(services)} from {len(args.bundle)} "
+        "bundle(s) — Ctrl-C to stop",
+        file=sys.stderr,
     )
     try:
         server.serve_forever()
@@ -763,6 +913,7 @@ _COMMANDS = {
     "shred": _command_shred,
     "snapshot": _command_snapshot,
     "serve": _command_serve,
+    "shard-worker": _command_shard_worker,
     "put": _command_put,
     "delete": _command_delete,
     "compact": _command_compact,

@@ -4,13 +4,33 @@ All exceptions raised by the library derive from :class:`ReproError`
 so callers can catch a single base class.  Parsing problems carry the
 position in the source text; model problems carry the offending OID or
 path where available.
+
+Every class carries a machine-readable :attr:`ReproError.code` (a
+stable snake_case string) and a :attr:`ReproError.retryable` flag.
+The HTTP error envelope exposes both, so clients can tell a fault
+worth retrying (``shard_unavailable``, ``deadline_exceeded``,
+``overloaded`` — raised by the execution and admission layers) from a
+fatal one (``query_error``, ``unknown_document``, ...) without
+parsing prose.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the :mod:`repro` library."""
+    """Base class for every error raised by the :mod:`repro` library.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier of the error class.
+    retryable:
+        Whether an identical request may succeed if simply retried
+        (transient serving-side faults, not client mistakes).
+    """
+
+    code: str = "error"
+    retryable: bool = False
 
 
 class XMLParseError(ReproError):
@@ -22,6 +42,8 @@ class XMLParseError(ReproError):
         1-based position of the problem in the source text.
     """
 
+    code = "xml_parse_error"
+
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
@@ -32,6 +54,8 @@ class XMLParseError(ReproError):
 
 class ModelError(ReproError):
     """A structural violation of the conceptual data model (Def. 1)."""
+
+    code = "model_error"
 
 
 class UnknownOIDError(ModelError):
@@ -53,6 +77,8 @@ class UnknownPathError(ModelError):
 class QueryError(ReproError):
     """Base class for query-language front-end errors."""
 
+    code = "query_error"
+
 
 class QuerySyntaxError(QueryError):
     """The query text could not be tokenized or parsed."""
@@ -71,13 +97,19 @@ class QueryPlanError(QueryError):
 class StorageError(ReproError):
     """Persisting or loading a database image failed."""
 
+    code = "storage_error"
+
 
 class DocumentError(ReproError):
     """A document-level mutation (put/delete/replace) was rejected."""
 
+    code = "document_error"
+
 
 class UnknownDocumentError(DocumentError):
     """A named document was referenced that the collection does not hold."""
+
+    code = "unknown_document"
 
     def __init__(self, name: str):
         self.name = name
@@ -86,6 +118,8 @@ class UnknownDocumentError(DocumentError):
 
 class DuplicateDocumentError(DocumentError):
     """``put`` was asked to create a document name that already exists."""
+
+    code = "duplicate_document"
 
     def __init__(self, name: str):
         self.name = name

@@ -10,15 +10,39 @@
   query serving past the GIL (:class:`ParallelExecutor`);
 * :mod:`repro.exec.coordinator` — scatter-gather merge producing
   byte-identical global answers, including the root meet no single
-  shard can see.
+  shard can see;
+* :mod:`repro.exec.transport` — the length-prefixed, CRC-checked
+  socket frame protocol between shard peers;
+* :mod:`repro.exec.remote` — shard workers as standalone socket
+  servers (:class:`ShardWorkerServer`) and their client;
+* :mod:`repro.exec.cluster` — N-way shard replicas with circuit
+  breakers, heartbeat probing and failover
+  (:class:`ClusterExecutor`);
+* :mod:`repro.exec.deadline` — per-request time budgets propagated
+  through the whole tree via a context variable.
 """
 
+from .cluster import ClusterExecutor, Replica, ReplicaSpec
 from .coordinator import ShardedCollection
+from .deadline import (
+    Deadline,
+    DeadlineExceededError,
+    current_deadline,
+    deadline_scope,
+)
 from .executors import (
     Executor,
     ExecutorError,
     ParallelExecutor,
     SerialExecutor,
+)
+from .remote import (
+    RemoteOpError,
+    RemoteShardClient,
+    ShardWorkerServer,
+    WorkerProcess,
+    services_from_bundles,
+    spawn_worker_process,
 )
 from .service import ShardService
 from .sharding import (
@@ -27,16 +51,34 @@ from .sharding import (
     compute_shard_plan,
     slice_store,
 )
+from .transport import ConnectionClosedError, FrameError, TransportError
 
 __all__ = [
+    "ClusterExecutor",
+    "ConnectionClosedError",
+    "Deadline",
+    "DeadlineExceededError",
     "Executor",
     "ExecutorError",
+    "FrameError",
     "ParallelExecutor",
+    "RemoteOpError",
+    "RemoteShardClient",
+    "Replica",
+    "ReplicaSpec",
     "SerialExecutor",
     "ShardPlan",
     "ShardService",
+    "ShardWorkerServer",
     "ShardedCollection",
     "ShardingError",
+    "TransportError",
+    "WorkerProcess",
     "compute_shard_plan",
+    "current_deadline",
+    "deadline_scope",
+    "services_from_bundles",
     "slice_store",
+    "spawn_worker_process",
+    "transport",
 ]

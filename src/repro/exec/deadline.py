@@ -1,0 +1,107 @@
+"""Per-request deadlines, propagated without threading a parameter.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  The
+front door opens a :func:`deadline_scope` around each admitted
+request; every layer underneath — the coordinator, the executors, the
+socket transport — reads :func:`current_deadline` and bounds its own
+blocking operations by :meth:`Deadline.remaining`, so one budget
+covers the whole scatter-gather tree without every call signature
+growing a ``deadline=`` parameter.  The scope rides a
+:class:`contextvars.ContextVar`, which threads started *inside* the
+scope do not inherit automatically — the executors capture and re-pin
+the deadline when they fan work out to their own pools.
+
+Pure-python compute cannot be preempted, so enforcement is
+cooperative: executors check between shard operations, and the socket
+transport turns the remaining budget into socket timeouts (the one
+place a request can genuinely block unboundedly).  A spent budget
+raises :class:`DeadlineExceededError` (``code="deadline_exceeded"``,
+retryable), which the server maps to 504.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..datamodel.errors import ReproError
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceededError",
+    "current_deadline",
+    "deadline_scope",
+    "remaining_budget",
+]
+
+
+class DeadlineExceededError(ReproError):
+    """The request's time budget ran out before an answer was ready."""
+
+    code = "deadline_exceeded"
+    retryable = True
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        return cls(time.monotonic() + float(seconds))
+
+    def remaining(self) -> float:
+        """Seconds left; never negative (0.0 means expired)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its deadline"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Deadline remaining={self.remaining():.3f}s>"
+
+
+_current: contextvars.ContextVar[Optional[Deadline]] = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline governing this context, or ``None`` (unbounded)."""
+    return _current.get()
+
+
+def remaining_budget(default: float = math.inf) -> float:
+    """Seconds left on the current deadline (``default`` when unbounded)."""
+    deadline = _current.get()
+    return default if deadline is None else deadline.remaining()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Pin ``deadline`` as the current one for the dynamic extent.
+
+    ``None`` explicitly clears any inherited deadline (a background
+    task spawned from a request-scoped context must not inherit the
+    request's budget).
+    """
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)

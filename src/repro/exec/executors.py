@@ -37,10 +37,12 @@ import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..datamodel.errors import ReproError
+from .deadline import DeadlineExceededError, current_deadline
 from .service import ShardService
 
 __all__ = [
@@ -55,6 +57,9 @@ ShardOp = Tuple[int, str, Dict[str, object]]
 
 class ExecutorError(ReproError):
     """A scatter that could not complete (e.g. a worker died)."""
+
+    code = "shard_unavailable"
+    retryable = True
 
 
 class Executor(Protocol):
@@ -75,6 +80,10 @@ class Executor(Protocol):
         """Executor-level observability (mode, workers, merged counters)."""
         ...
 
+    def health(self) -> Dict[str, object]:
+        """Readiness: overall ``status`` plus per-shard detail."""
+        ...
+
     def close(self) -> None:
         ...
 
@@ -89,10 +98,16 @@ class SerialExecutor:
         self.shard_count = len(self.services)
 
     def scatter(self, ops: Sequence[ShardOp]) -> List[Dict[str, object]]:
-        return [
-            self.services[shard_id].handle(op, params)
-            for shard_id, op, params in ops
-        ]
+        deadline = current_deadline()
+        results = []
+        for shard_id, op, params in ops:
+            # Cooperative enforcement: a serial scatter checks the
+            # budget between shards (mid-shard compute cannot be
+            # preempted, but a multi-shard pile-up is cut short).
+            if deadline is not None:
+                deadline.check(f"shard {shard_id} op {op!r}")
+            results.append(self.services[shard_id].handle(op, params))
+        return results
 
     def broadcast(self, op: str, params: Dict[str, object]) -> List[Dict[str, object]]:
         return self.scatter([(i, op, dict(params)) for i in range(self.shard_count)])
@@ -102,6 +117,16 @@ class SerialExecutor:
             "mode": self.name,
             "shards": self.shard_count,
             "workers": 0,
+        }
+
+    def health(self) -> Dict[str, object]:
+        # In-process shards cannot partially fail: alive means ready.
+        return {
+            "status": "ok",
+            "shards": [
+                {"shard": i, "status": "ok", "healthy_replicas": 1}
+                for i in range(self.shard_count)
+            ],
         }
 
     def close(self) -> None:
@@ -266,6 +291,7 @@ class ParallelExecutor:
 
     # -- the executor surface -------------------------------------------
     def scatter(self, ops: Sequence[ShardOp]) -> List[Dict[str, object]]:
+        deadline = current_deadline()
         pool: Optional[ProcessPoolExecutor] = None
         try:
             # _ensure_pool sits inside the try: a worker dying during
@@ -276,7 +302,22 @@ class ParallelExecutor:
                 pool.submit(_worker_call, shard_id, op, params)
                 for shard_id, op, params in ops
             ]
-            return [self._harvest(future.result()) for future in futures]
+            results = []
+            for future in futures:
+                # Bound each gather by the remaining request budget;
+                # the worker-side compute keeps running (it cannot be
+                # preempted), but the caller gets its 504 on time.
+                timeout = None if deadline is None else deadline.remaining()
+                try:
+                    results.append(self._harvest(future.result(timeout)))
+                except FuturesTimeoutError:
+                    for pending in futures:
+                        pending.cancel()
+                    raise DeadlineExceededError(
+                        "scatter exceeded its deadline waiting on a "
+                        "shard worker"
+                    ) from None
+            return results
         except BrokenProcessPool:
             self._discard_pool(pool)
             raise ExecutorError(
@@ -303,6 +344,22 @@ class ParallelExecutor:
                     w["fulltext_builds"] for w in workers.values()
                 ),
             },
+        }
+
+    def health(self) -> Dict[str, object]:
+        with self._lock:
+            pool_up = self._pool is not None and not self._closed
+        status = "ok" if pool_up else "degraded"
+        return {
+            "status": status,
+            "shards": [
+                {
+                    "shard": i,
+                    "status": status,
+                    "healthy_replicas": 1 if pool_up else 0,
+                }
+                for i in range(self.shard_count)
+            ],
         }
 
     def close(self) -> None:

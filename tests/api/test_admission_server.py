@@ -1,0 +1,280 @@
+"""Front-door hardening: admission, deadlines, coded errors, readiness."""
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.api import Database, ReproServer
+from repro.api.admission import AdmissionController, LatencyWindow, OverloadedError
+from repro.datamodel.parser import parse_document
+from repro.monet.transform import monet_transform
+from repro.exec.deadline import Deadline
+
+FIGURE1_XML = """
+<bib owner="Bob Byte">
+  <article><author>Alice Bit</author><year>1999</year></article>
+  <article><author>Carol Code</author><year>2001</year></article>
+</bib>
+"""
+
+
+def _post(server, payload, path="/v1/nearest", headers=None):
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        response = connection.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            dict(response.getheaders()),
+        )
+    finally:
+        connection.close()
+
+
+def _get(server, path):
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def server():
+    database = Database(monet_transform(parse_document(FIGURE1_XML)))
+    with ReproServer(database, port=0) as srv:
+        yield srv
+
+
+# -- the admission controller in isolation ------------------------------
+
+
+def test_admission_bounds_concurrency_and_queue():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=0, queue_timeout=0.1
+    )
+    controller.admit()
+    with pytest.raises(OverloadedError) as excinfo:
+        controller.admit()
+    assert excinfo.value.code == "overloaded"
+    assert excinfo.value.retryable
+    assert excinfo.value.retry_after >= 1.0
+    controller.release(0.01)
+    controller.admit()  # slot freed: admitted again
+    controller.release(0.01)
+    snapshot = controller.snapshot()
+    assert snapshot["admitted"] == 2
+    assert snapshot["shed"] == 1
+    assert snapshot["in_flight"] == 0
+
+
+def test_admission_queued_request_gets_freed_slot():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=4, queue_timeout=5.0
+    )
+    controller.admit()
+    admitted = threading.Event()
+
+    def waiter():
+        controller.admit()
+        admitted.set()
+
+    thread = threading.Thread(target=waiter, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not admitted.is_set()
+    assert controller.snapshot()["queued"] == 1
+    controller.release(0.01)
+    assert admitted.wait(timeout=2.0)
+    thread.join(timeout=2.0)
+
+
+def test_admission_queue_timeout_sheds():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=4, queue_timeout=0.05
+    )
+    controller.admit()
+    with pytest.raises(OverloadedError):
+        controller.admit()
+    assert controller.snapshot()["queue_timeouts"] == 1
+
+
+def test_admission_respects_request_deadline():
+    controller = AdmissionController(
+        max_concurrency=1, max_queue=4, queue_timeout=30.0
+    )
+    controller.admit()
+    started = time.monotonic()
+    with pytest.raises(OverloadedError):
+        # The request's own budget (50 ms) is tighter than the queue
+        # timeout: it must give up on the tight one.
+        controller.admit(Deadline.after(0.05))
+    assert time.monotonic() - started < 5.0
+
+
+def test_latency_window_percentiles():
+    window = LatencyWindow(size=100)
+    assert window.percentiles()["count"] == 0
+    for millis in range(1, 101):
+        window.record(millis / 1000.0)
+    p = window.percentiles()
+    assert p["count"] == 100
+    assert p["p50_ms"] == pytest.approx(51.0)
+    assert p["p95_ms"] == pytest.approx(96.0)
+    assert p["p99_ms"] == pytest.approx(100.0)
+
+
+# -- over HTTP ----------------------------------------------------------
+
+
+def test_error_envelope_carries_code_and_retryable(server):
+    status, body, _headers = _post(server, {"kind": "nearest", "terms": []})
+    assert status == 400
+    assert body["code"]
+    assert body["retryable"] is False
+
+    status, body, _headers = _post(
+        server, {"text": "select nonsense((("}, path="/v1/query"
+    )
+    assert status == 400
+    assert body["code"] == "query_error"
+
+
+def test_overload_sheds_with_retry_after():
+    database = Database(monet_transform(parse_document(FIGURE1_XML)))
+    with ReproServer(
+        database,
+        port=0,
+        max_concurrency=1,
+        max_queue=0,
+        queue_timeout=0.2,
+    ) as server:
+        release = threading.Event()
+        entered = threading.Event()
+        original = server.dispatch
+
+        def slow_dispatch(db, request):
+            entered.set()
+            release.wait(timeout=10)
+            return original(db, request)
+
+        server.dispatch = slow_dispatch
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                blocker = pool.submit(
+                    _post, server, {"terms": ["Bit", "1999"]}
+                )
+                assert entered.wait(timeout=5)
+                status, body, headers = _post(
+                    server, {"terms": ["Bit", "1999"]}
+                )
+                assert status == 503
+                assert body["code"] == "overloaded"
+                assert body["retryable"] is True
+                assert int(headers["Retry-After"]) >= 1
+                release.set()
+                status, _body, _headers = blocker.result(timeout=10)
+                assert status == 200
+        finally:
+            release.set()
+            server.dispatch = original
+        status, stats = _get(server, "/v1/stats")
+        assert stats["admission"]["shed"] == 1
+        assert stats["admission"]["latency"]["count"] >= 1
+
+
+def test_deadline_header_maps_to_504(server):
+    status, body, _headers = _post(
+        server,
+        {"terms": ["Bit", "1999"]},
+        headers={"X-Repro-Deadline-Ms": "0.001"},
+    )
+    assert status == 504
+    assert body["code"] == "deadline_exceeded"
+    assert body["retryable"] is True
+
+
+def test_invalid_deadline_header_is_400(server):
+    for bad in ("abc", "-5", "0"):
+        status, body, _headers = _post(
+            server,
+            {"terms": ["Bit", "1999"]},
+            headers={"X-Repro-Deadline-Ms": bad},
+        )
+        assert status == 400, bad
+
+
+def test_healthz_is_liveness_readyz_is_readiness(server):
+    status, live = _get(server, "/healthz")
+    assert status == 200
+    assert live["status"] == "ok"
+    assert live["collections"] == ["default"]
+
+    status, ready = _get(server, "/readyz")
+    assert status == 200
+    assert ready["status"] == "ok"
+    assert "default" in ready["collections"]
+    assert "admission" in ready
+
+
+def test_stats_exposes_queue_depth_and_percentiles(server):
+    for _ in range(3):
+        status, _body, _headers = _post(server, {"terms": ["Bit", "1999"]})
+        assert status == 200
+    # The handler writes the response *before* releasing its admission
+    # slot, so an immediate read may still see the last POST in flight.
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        status, stats = _get(server, "/v1/stats")
+        assert status == 200
+        if stats["admission"]["in_flight"] == 0:
+            break
+        time.sleep(0.01)
+    admission = stats["admission"]
+    assert admission["in_flight"] == 0
+    assert admission["queued"] == 0
+    assert admission["max_concurrency"] == 8
+    latency = admission["latency"]
+    assert latency["count"] >= 3
+    assert latency["p50_ms"] is not None
+    assert latency["p95_ms"] >= latency["p50_ms"] >= 0
+    assert latency["p99_ms"] >= latency["p95_ms"]
+
+
+def test_shutdown_reports_clean_stop():
+    database = Database(monet_transform(parse_document(FIGURE1_XML)))
+    server = ReproServer(database, port=0)
+    server.start()
+    assert server.shutdown() is True
+    # Idempotent: a second shutdown of a stopped server is clean too.
+    assert server.shutdown() is True
+
+
+def test_get_routes_bypass_admission():
+    # Liveness and stats must answer even when the request path is
+    # saturated — a health check that queues behind traffic is useless.
+    database = Database(monet_transform(parse_document(FIGURE1_XML)))
+    with ReproServer(
+        database, port=0, max_concurrency=1, max_queue=0
+    ) as server:
+        server.admission.admit()  # saturate the one slot
+        try:
+            status, _live = _get(server, "/healthz")
+            assert status == 200
+            status, _stats = _get(server, "/v1/stats")
+            assert status == 200
+        finally:
+            server.admission.release()

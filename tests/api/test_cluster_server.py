@@ -1,0 +1,233 @@
+"""Acceptance: a 2×2 localhost cluster survives replica kills under load.
+
+The ISSUE-7 acceptance scenario end to end: a 2-shard catalog served by
+2 socket-worker replicas per shard, hammered by 64 concurrent clients
+while one replica of *every* shard is SIGKILLed mid-run.  The bar:
+
+* zero wrong answers — every 200 is byte-identical to the baseline;
+* failures are graceful — only 503s, each with a ``Retry-After``
+  header and a machine-readable ``code``;
+* the cluster heals — traffic recovers, ``/readyz`` returns to ``ok``
+  once the prober respawns the dead replicas;
+* the run is observable — ``/v1/stats`` exposes queue depth, latency
+  percentiles and per-replica health rows.
+"""
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.api import Database, NearestRequest, ReproServer
+from repro.datamodel.serializer import serialize
+from repro.datasets import DblpConfig, dblp_document
+from repro.monet.transform import monet_transform
+from repro.snapshot import Catalog
+
+HAMMER_CLIENTS = 64
+REQUESTS_PER_CLIENT = 6
+
+
+@pytest.fixture(scope="module")
+def catalog_dir(tmp_path_factory):
+    document = dblp_document(
+        DblpConfig(papers_per_proceedings=3, articles_per_year=2)
+    )
+    root = tmp_path_factory.mktemp("catalog")
+    xml = root / "dblp.xml"
+    xml.write_text(serialize(document), encoding="utf-8")
+    Catalog(root / "cat").ingest("dblp", xml, shards=2)
+    return root / "cat", document
+
+
+def _post(server, payload, path="/v1/nearest"):
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            dict(response.getheaders()),
+        )
+    finally:
+        connection.close()
+
+
+def _get(server, path):
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def test_replica_kill_under_conc64_hammer(catalog_dir):
+    root, document = catalog_dir
+    reference = Database(monet_transform(document))
+    expected = reference.nearest(NearestRequest(terms=("ICDE", "1999")))
+    baseline = [dict(a) for a in expected.answers]
+
+    with repro.open(snapshot="dblp", catalog=root, replicas=2) as database:
+        executor = database.sharded.executor
+        assert [len(group) for group in executor.replicas] == [2, 2]
+        with ReproServer(
+            database,
+            port=0,
+            max_concurrency=8,
+            max_queue=HAMMER_CLIENTS * 2,
+            queue_timeout=10.0,
+        ) as server:
+            # Prove the path before injecting any faults.
+            status, body, _headers = _post(
+                server, {"terms": ["ICDE", "1999"], "limit": 10}
+            )
+            assert status == 200
+            assert body["answers"] == baseline
+
+            kill_gate = threading.Barrier(HAMMER_CLIENTS + 1, timeout=60)
+            results = []  # (status, body, headers) triples
+            results_lock = threading.Lock()
+
+            def hammer(_client_index):
+                kill_gate.wait()  # all clients + assassin start together
+                for _ in range(REQUESTS_PER_CLIENT):
+                    outcome = _post(server, {"terms": ["ICDE", "1999"], "limit": 10})
+                    with results_lock:
+                        results.append(outcome)
+
+            def assassin():
+                kill_gate.wait()
+                time.sleep(0.3)  # let the hammer land mid-flight
+                killed = []
+                for group in executor.replicas:
+                    victim = group[0]
+                    assert victim.process is not None
+                    killed.append(victim.process.pid)
+                    os.kill(victim.process.pid, signal.SIGKILL)
+                return killed
+
+            with ThreadPoolExecutor(max_workers=HAMMER_CLIENTS + 1) as pool:
+                futures = [
+                    pool.submit(hammer, index)
+                    for index in range(HAMMER_CLIENTS)
+                ]
+                killed_pids = pool.submit(assassin).result()
+                for future in futures:
+                    future.result()
+
+            assert len(killed_pids) == 2, "one replica per shard"
+            assert len(results) == HAMMER_CLIENTS * REQUESTS_PER_CLIENT
+
+            statuses = {status for status, _body, _headers in results}
+            assert statuses <= {200, 503}, f"unexpected statuses: {statuses}"
+            # Zero wrong answers: every success is byte-identical.
+            wrong = [
+                body
+                for status, body, _headers in results
+                if status == 200 and body["answers"] != baseline
+            ]
+            assert not wrong, f"{len(wrong)} divergent answers"
+            # Every failure is graceful: coded, retryable, Retry-After.
+            for status, body, headers in results:
+                if status != 503:
+                    continue
+                assert body["code"] in ("shard_unavailable", "overloaded")
+                assert body["retryable"] is True
+                assert int(headers["Retry-After"]) >= 1
+            successes = sum(
+                1 for status, _body, _headers in results if status == 200
+            )
+            assert successes > 0, "the hammer never got a single answer"
+
+            # The cluster absorbed the kills: failovers were taken, and
+            # traffic recovered — the next request answers correctly.
+            status, body, _headers = _post(
+                server, {"terms": ["ICDE", "1999"], "limit": 10}
+            )
+            assert status == 200
+            assert body["answers"] == baseline
+            assert executor.stats()["failovers"] >= 1
+
+            # ... and heals: the prober respawns the dead replicas
+            # until /readyz reports full headroom again.
+            deadline = time.monotonic() + 30
+            ready = {}
+            while time.monotonic() < deadline:
+                status, ready = _get(server, "/readyz")
+                if status == 200 and ready["status"] == "ok":
+                    break
+                time.sleep(0.2)
+            assert ready["status"] == "ok", f"never healed: {ready}"
+
+            # Observability: queue depth, percentiles, replica rows.
+            status, stats = _get(server, "/v1/stats")
+            assert status == 200
+            admission = stats["admission"]
+            assert admission["max_concurrency"] == 8
+            assert {"in_flight", "queued", "admitted", "shed"} <= set(
+                admission
+            )
+            latency = admission["latency"]
+            assert latency["count"] > 0
+            assert latency["p50_ms"] is not None
+            assert latency["p99_ms"] >= latency["p95_ms"] >= latency["p50_ms"]
+            executor_stats = stats["collections"]["default"]["executor"]
+            assert executor_stats["mode"] == "cluster"
+            assert executor_stats["respawns"] >= 2
+            for shard_rows in executor_stats["replicas"]:
+                assert shard_rows["healthy_replicas"] >= 1
+                for row in shard_rows["replicas"]:
+                    assert {"state", "pid", "failures"} <= set(row)
+
+
+def test_cluster_readyz_degrades_while_replica_down(catalog_dir):
+    """A shard on its last healthy replica reads as ``degraded``."""
+    root, _document = catalog_dir
+    with repro.open(snapshot="dblp", catalog=root, replicas=2) as database:
+        executor = database.sharded.executor
+        with ReproServer(database, port=0) as server:
+            status, ready = _get(server, "/readyz")
+            assert status == 200
+            assert ready["status"] == "ok"
+
+            victim = executor.replicas[0][0]
+            pid = victim.process.pid
+            os.kill(pid, signal.SIGKILL)
+            # Drive traffic until the breaker notices the corpse.
+            saw_degraded = False
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                _post(server, {"terms": ["ICDE", "1999"], "limit": 10})
+                status, ready = _get(server, "/readyz")
+                assert status == 200  # degraded still serves
+                if ready["status"] == "degraded":
+                    saw_degraded = True
+                    break
+                time.sleep(0.05)
+            assert saw_degraded, f"readiness never degraded: {ready}"
+            shard0 = ready["collections"]["default"]["shards"][0]
+            assert shard0["status"] == "degraded"
+            assert shard0["healthy_replicas"] == 1
+
+            # The prober respawns the replica; readiness returns to ok.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status, ready = _get(server, "/readyz")
+                if ready["status"] == "ok":
+                    break
+                time.sleep(0.2)
+            assert ready["status"] == "ok", f"never healed: {ready}"

@@ -11,6 +11,7 @@ import http.client
 import json
 import os
 import signal
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -124,4 +125,97 @@ def test_worker_killed_mid_query_fails_cleanly_server_stays_up(catalog_dir):
             assert payload["count"] >= 1
             status, _health = _get(server, "/healthz")
             assert status == 200
+
+
+def test_respawn_under_sustained_concurrent_traffic(catalog_dir):
+    """SIGKILL mid-hammer: bounded failure window, no duplicate builds.
+
+    Concurrent traffic keeps flowing while every pool worker is killed.
+    Requests in the failure window 503 cleanly; once any request
+    succeeds again (the pool respawned), **no later request may fail**
+    — and the respawned workers must reload their bundles with
+    pre-seeded indexes, so the index-build counters stay at zero.
+    """
+    from concurrent.futures import ThreadPoolExecutor as _TPE
+
+    root, _document = catalog_dir
+    from repro.core.lca_index import clear_lca_index_cache
+    from repro.fulltext.index import clear_fulltext_index_cache
+
+    clear_lca_index_cache()
+    clear_fulltext_index_cache()
+    with repro.open(snapshot="dblp", catalog=root, workers=2) as database:
+        with ReproServer(database, port=0) as server:
+            stop_at = time.monotonic() + 12
+            kill_at = time.monotonic() + 1.0
+            killed = threading.Event()
+
+            def hammer(worker_index):
+                # (monotonic_time, status) per request, in order.
+                timeline = []
+                while time.monotonic() < stop_at:
+                    status, _payload = _post(
+                        server, {"terms": ["ICDE", "1999"], "limit": 5}
+                    )
+                    timeline.append((time.monotonic(), status))
+                    if killed.is_set() and status == 200:
+                        # Traffic has provably recovered; a couple more
+                        # successes and this thread can stop.
+                        if [s for _, s in timeline[-3:]] == [200] * 3:
+                            break
+                return timeline
+
+            def assassin():
+                while time.monotonic() < kill_at:
+                    time.sleep(0.01)
+                pids = database.sharded.executor.stats()["worker_pids"]
+                for pid in pids:
+                    os.kill(pid, signal.SIGKILL)
+                killed.set()
+                return pids
+
+            with _TPE(max_workers=7) as pool:
+                futures = [pool.submit(hammer, index) for index in range(6)]
+                killed_pids = pool.submit(assassin).result()
+                timelines = [future.result() for future in futures]
+
+            assert killed_pids, "nothing was killed; the test proved nothing"
+            merged = sorted(
+                entry for timeline in timelines for entry in timeline
+            )
+            assert merged, "no traffic flowed"
+            statuses = {status for _, status in merged}
+            assert statuses <= {200, 503}, f"unexpected statuses: {statuses}"
+            # Failures are *contained*: nothing after the last success
+            # preceded by a failure window may fail again — i.e. once
+            # the pool respawned and served, it stayed up.
+            last_failure = max(
+                (stamp for stamp, status in merged if status == 503),
+                default=None,
+            )
+            successes_after = [
+                stamp
+                for stamp, status in merged
+                if status == 200 and (last_failure is None or stamp > last_failure)
+            ]
+            assert successes_after, (
+                "traffic never recovered after the kill "
+                f"(last_failure={last_failure})"
+            )
+
+            status, stats = _get(server, "/v1/stats")
+            assert status == 200
+            executor_stats = stats["collections"]["default"]["executor"]
+            # Exactly one respawn: concurrent failures must not each
+            # tear down and rebuild the pool.
+            assert executor_stats["respawns"] == 1
+            # The respawned workers reloaded warm bundles: zero index
+            # rebuilds anywhere in the process tree.
+            assert stats["index_builds"]["lca"] == 0
+            assert stats["index_builds"]["fulltext"] == 0
+            # The replacement pool is a different set of processes
+            # (worker_pids is cumulative: it keeps the dead workers'
+            # counter rows, so check for *new* pids, not absence).
+            fresh = set(executor_stats["worker_pids"]) - set(killed_pids)
+            assert len(fresh) >= 2
             assert database.sharded.executor.stats()["respawns"] == 1

@@ -1,0 +1,187 @@
+"""A reusable fault-injection harness for the shard socket protocol.
+
+:class:`ChaosProxy` sits between a cluster executor and a real
+:class:`~repro.exec.remote.ShardWorkerServer`, forwarding whole frames
+(via :func:`~repro.exec.transport.read_raw_frame`, so it never has to
+understand payloads) and injecting faults from a **seeded** schedule:
+
+* ``ok``     — forward the request and its response untouched;
+* ``delay``  — forward, but stall the response by a random pause
+  (drives deadline and failover-timeout paths);
+* ``drop``   — read the request, never answer, close the connection
+  (a worker death after receiving work);
+* ``torn``   — answer with a prefix of the real response frame, then
+  close (a mid-frame crash; the CRC/framing layer must catch it);
+* ``corrupt``— answer with the real frame, payload bytes flipped
+  (the checksum must catch it);
+* ``kill``   — close the connection *before* reading the request.
+
+The schedule derives from ``random.Random(seed)``, so every run is
+reproducible from its seed alone — tests print the seed on failure.
+Determinism caveat: the *sequence* of faults is seeded per
+connection-handling thread; under concurrent callers the interleaving
+across connections still varies, which is exactly the point (answers
+must be right under any interleaving).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exec.transport import (
+    ConnectionClosedError,
+    TransportError,
+    connect,
+    read_raw_frame,
+)
+
+__all__ = ["ChaosProxy", "FAULT_KINDS"]
+
+FAULT_KINDS = ("ok", "delay", "drop", "torn", "corrupt", "kill")
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of one shard worker.
+
+    ``weights`` maps fault kinds to relative probabilities (missing
+    kinds get 0; everything unlisted defaults to ``ok``).  The proxy
+    listens on an ephemeral port; point replica specs at
+    :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        *,
+        seed: int,
+        weights: Optional[Dict[str, float]] = None,
+        max_delay: float = 0.2,
+        host: str = "127.0.0.1",
+    ):
+        self.upstream = upstream
+        self.seed = seed
+        self.max_delay = max_delay
+        weights = dict(weights or {"ok": 1.0})
+        unknown = set(weights) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self._kinds = tuple(weights)
+        self._weights = tuple(weights[k] for k in self._kinds)
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(32)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"chaos-proxy-{self.address[1]}",
+            daemon=True,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- fault schedule --------------------------------------------------
+    def _next_fault(self) -> Tuple[str, float]:
+        """The next scheduled fault and (for delays) its pause."""
+        with self._rng_lock:
+            kind = self._rng.choices(self._kinds, weights=self._weights)[0]
+            pause = self._rng.uniform(0.0, self.max_delay)
+        self.injected[kind] += 1
+        return kind, pause
+
+    # -- proxying ---------------------------------------------------------
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._shutdown.is_set():
+            try:
+                downstream, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(downstream,), daemon=True
+            ).start()
+
+    def _serve(self, downstream: socket.socket) -> None:
+        """One caller connection: per-frame forwarding with faults."""
+        upstream: Optional[socket.socket] = None
+        try:
+            upstream = connect(self.upstream, timeout=5.0)
+            while not self._shutdown.is_set():
+                fault, pause = self._next_fault()
+                if fault == "kill":
+                    return  # close before even reading the request
+                try:
+                    request = read_raw_frame(downstream, timeout=30.0)
+                except (ConnectionClosedError, TransportError, OSError):
+                    return  # caller went away / gave up
+                if fault == "drop":
+                    return  # swallow the request, close both sides
+                try:
+                    upstream.sendall(request)
+                    response = read_raw_frame(upstream, timeout=30.0)
+                except (TransportError, OSError):
+                    return  # upstream worker is gone
+                if fault == "delay":
+                    self._shutdown.wait(pause)
+                elif fault == "torn":
+                    cut = max(1, len(response) // 2)
+                    try:
+                        downstream.sendall(response[:cut])
+                    except OSError:
+                        pass
+                    return
+                elif fault == "corrupt":
+                    # Flip bits in the payload, keep the header: the
+                    # receiver must reject it by checksum, not by
+                    # framing.
+                    mangled = bytearray(response)
+                    for offset in range(len(mangled) - 4, len(mangled)):
+                        mangled[offset] ^= 0xFF
+                    try:
+                        downstream.sendall(bytes(mangled))
+                    except OSError:
+                        pass
+                    return  # stream is poisoned either way
+                try:
+                    downstream.sendall(response)
+                except OSError:
+                    return
+        finally:
+            for sock in (downstream, upstream):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ChaosProxy {self.address} -> {self.upstream} "
+            f"seed={self.seed}>"
+        )
