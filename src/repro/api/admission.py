@@ -16,7 +16,9 @@ A server without admission control has an unbounded implicit queue
 
 The controller also keeps the latency ring (:class:`LatencyWindow`)
 behind the ``/v1/stats`` percentiles, so saturation is visible before
-it becomes shedding.
+it becomes shedding.  Its counters are typed metric objects
+(:mod:`repro.obs.metrics`) shared between the ``/v1/stats`` snapshot
+and the Prometheus exposition at ``/v1/metrics``.
 """
 
 from __future__ import annotations
@@ -24,10 +26,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..datamodel.errors import ReproError
 from ..exec.deadline import Deadline
+from ..obs.metrics import Counter, Gauge
 
 __all__ = ["AdmissionController", "LatencyWindow", "OverloadedError"]
 
@@ -101,30 +104,51 @@ class AdmissionController:
         self._slot_freed = threading.Condition(self._lock)
         self._in_flight = 0
         self._queued = 0
-        self._admitted = 0
-        self._shed = 0
-        self._timed_out = 0
+        self._admitted = Counter(
+            "repro_admission_admitted_total",
+            "Requests that received an execution slot.",
+        )
+        self._shed = Counter(
+            "repro_admission_shed_total",
+            "Requests shed by admission control (queue full or timed out).",
+        )
+        self._timed_out = Counter(
+            "repro_admission_queue_timeouts_total",
+            "Requests that gave up waiting in the admission queue.",
+        )
+        self._in_flight_gauge = Gauge(
+            "repro_admission_in_flight", "Requests currently executing."
+        )
+        self._in_flight_gauge.set_function(lambda: self._in_flight)
+        self._queued_gauge = Gauge(
+            "repro_admission_queued",
+            "Requests waiting in the admission queue.",
+        )
+        self._queued_gauge.set_function(lambda: self._queued)
         self.latency = LatencyWindow(latency_window)
 
     # -- admission -------------------------------------------------------
-    def admit(self, deadline: Optional[Deadline] = None) -> None:
+    def admit(self, deadline: Optional[Deadline] = None) -> float:
         """Block until a slot frees, or shed.
 
-        Raises :class:`OverloadedError` when the queue is full, or when
-        this request's wait exceeds ``queue_timeout`` / its deadline —
-        whichever budget is tighter.
+        Returns the time spent waiting for a slot, in seconds (0.0 for
+        an immediate admit) — the server turns this into the
+        ``admission.wait`` trace span.  Raises :class:`OverloadedError`
+        when the queue is full, or when this request's wait exceeds
+        ``queue_timeout`` / its deadline — whichever budget is tighter.
         """
         wait_budget = self.queue_timeout
         if deadline is not None:
             wait_budget = min(wait_budget, deadline.remaining())
-        give_up_at = time.monotonic() + wait_budget
+        entered = time.monotonic()
+        give_up_at = entered + wait_budget
         with self._slot_freed:
             if self._in_flight < self.max_concurrency:
                 self._in_flight += 1
-                self._admitted += 1
-                return
+                self._admitted.inc()
+                return 0.0
             if self._queued >= self.max_queue:
-                self._shed += 1
+                self._shed.inc()
                 raise OverloadedError(
                     f"request queue is full "
                     f"({self._in_flight} in flight, {self._queued} queued)",
@@ -136,17 +160,18 @@ class AdmissionController:
                     remaining = give_up_at - time.monotonic()
                     if remaining <= 0 or not self._slot_freed.wait(remaining):
                         if time.monotonic() >= give_up_at:
-                            self._timed_out += 1
-                            self._shed += 1
+                            self._timed_out.inc()
+                            self._shed.inc()
                             raise OverloadedError(
                                 "request waited too long in the "
                                 "admission queue",
                                 retry_after=self._retry_after_locked(),
                             )
                 self._in_flight += 1
-                self._admitted += 1
+                self._admitted.inc()
             finally:
                 self._queued -= 1
+        return time.monotonic() - entered
 
     def release(self, latency_seconds: Optional[float] = None) -> None:
         if latency_seconds is not None:
@@ -161,6 +186,16 @@ class AdmissionController:
         return max(1.0, round(backlog * 0.1, 1))
 
     # -- observability ---------------------------------------------------
+    def metric_objects(self) -> List[object]:
+        """The typed metrics backing this controller's counters."""
+        return [
+            self._admitted,
+            self._shed,
+            self._timed_out,
+            self._in_flight_gauge,
+            self._queued_gauge,
+        ]
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             counters = {
@@ -168,9 +203,9 @@ class AdmissionController:
                 "queued": self._queued,
                 "max_concurrency": self.max_concurrency,
                 "max_queue": self.max_queue,
-                "admitted": self._admitted,
-                "shed": self._shed,
-                "queue_timeouts": self._timed_out,
+                "admitted": self._admitted.value,
+                "shed": self._shed.value,
+                "queue_timeouts": self._timed_out.value,
             }
         counters["latency"] = self.latency.percentiles()
         return counters

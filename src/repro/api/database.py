@@ -678,6 +678,21 @@ class Database:
             return None
         return self.result_cache.cache_info()
 
+    def metrics(self) -> List[object]:
+        """The typed metric objects this database owns (cache and
+        executor counters), for registration in a server's
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        objects: List[object] = []
+        if self.result_cache is not None:
+            objects.extend(self.result_cache.metric_objects())
+        if self.sharded is not None:
+            collect = getattr(
+                self.sharded.executor, "metric_objects", None
+            )
+            if callable(collect):
+                objects.extend(collect())
+        return objects
+
     def to_xml(self, oid: int, indent: int = 2) -> str:
         """Serialize one answer subtree, whichever execution layer."""
         with self._rw.read():

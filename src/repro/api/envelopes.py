@@ -359,7 +359,12 @@ class ResultEnvelope:
     :meth:`QueryResult.to_dict` representation), with ``rendered``
     optionally holding the paper's ``<answer>`` block when the request
     asked for it.  ``stats`` reports origin, backend, case mode, store
-    generation and result-cache counters.
+    generation and result-cache counters; when the caller opted into
+    tracing (the ``X-Repro-Trace`` header over HTTP, ``--trace`` on
+    the CLI), ``stats["trace"]`` carries the request's spans —
+    ``{"trace_id", "spans": [{"name", "ms", ...}], "span_count"}`` —
+    including spans produced inside remote shard-worker processes
+    (those carry a ``pid`` attribute).
     """
 
     kind: str

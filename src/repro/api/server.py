@@ -19,12 +19,18 @@ Endpoints (all JSON)::
     POST   /v1/compact      CompactRequest       → compaction receipt
     GET    /v1/collections  collection metadata (Database.describe)
     GET    /v1/stats        live serving stats + admission/latency
+    GET    /v1/metrics      Prometheus text exposition (version 0.0.4)
     GET    /healthz         liveness: the process is up
     GET    /readyz          readiness: per-shard replica health
                             (200 ok/degraded, 503 unavailable)
 
 A request body may name a ``"collection"``; with one collection the
-field is optional.  Errors come back as ``{"error": ..., "status": N,
+field is optional.  Sending ``X-Repro-Trace: 1`` opts a request into
+span collection: the response's ``stats["trace"]`` then carries the
+named spans (``admission.wait``, ``parse``, ``plan``,
+``shard.scatter``, ``shard[i].<op>`` — produced inside the worker
+process — ``merge``, ``serialize``), and every response carries its
+``X-Repro-Trace-Id`` header so errors join against the access log.  Errors come back as ``{"error": ..., "status": N,
 "code": ..., "retryable": ...}`` — the ``code`` is a stable
 machine-readable string (``overloaded``, ``shard_unavailable``,
 ``deadline_exceeded``, ``query_error``, ...) — with 400 (malformed
@@ -51,7 +57,6 @@ from __future__ import annotations
 
 import json
 import logging
-import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -65,6 +70,9 @@ from ..datamodel.errors import (
 )
 from ..exec.deadline import Deadline, DeadlineExceededError, deadline_scope
 from ..exec.executors import ExecutorError
+from ..obs.logs import log_event
+from ..obs.metrics import Counter, Histogram, MetricsRegistry
+from ..obs.trace import Trace, new_trace_id, trace_scope
 from .admission import AdmissionController, OverloadedError
 from .database import Database
 from .envelopes import (
@@ -78,9 +86,16 @@ from .envelopes import (
     SearchRequest,
 )
 
-__all__ = ["ReproServer", "MAX_BODY_BYTES", "DEADLINE_HEADER"]
+__all__ = [
+    "ReproServer",
+    "MAX_BODY_BYTES",
+    "DEADLINE_HEADER",
+    "TRACE_HEADER",
+    "TRACE_ID_HEADER",
+]
 
 logger = logging.getLogger("repro.serve")
+access_logger = logging.getLogger("repro.serve.access")
 
 #: Requests larger than this are refused with 413 before parsing.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -89,6 +104,14 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: long an answer is still useful; the budget rides down the whole
 #: scatter-gather tree (admission queue, executors, socket transport).
 DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Request header opting into span collection: any truthy value makes
+#: the response carry ``stats["trace"]`` with the named spans.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Response header carrying the request's trace id (always present, so
+#: an error report can be joined against the access log).
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
 
 _POST_KINDS = {
     "/v1/search": SearchRequest,
@@ -130,13 +153,31 @@ class _Handler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     # -- plumbing -------------------------------------------------------
+    def _begin(self) -> str:
+        """Per-request bookkeeping: clock, trace id, opt-in trace."""
+        self._started = time.monotonic()
+        self._trace_id = new_trace_id()
+        raw = self.headers.get(TRACE_HEADER)
+        wants_trace = raw is not None and raw.strip().lower() not in (
+            "", "0", "false", "no",
+        )
+        self._trace = Trace(self._trace_id) if wants_trace else None
+        self._queue_wait: Optional[float] = None
+        self._shards: Optional[int] = None
+        return urlsplit(self.path).path
+
     def _send_json(
         self, status: int, payload: Dict[str, object], close: bool = False
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        # Observe (metrics + access log) before the body goes out: the
+        # moment the client finishes reading, the log line exists.
+        self._observe(status, len(body))
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_trace_id", None) is not None:
+            self.send_header(TRACE_ID_HEADER, self._trace_id)
         if close:
             self.send_header("Connection", "close")
             self.close_connection = True
@@ -156,17 +197,21 @@ class _Handler(BaseHTTPRequestHandler):
         # its body was read (413, bad Content-Length) would otherwise
         # leave those bytes on the keep-alive stream, where they would
         # be misparsed as the next request line.
-        body = json.dumps(
-            {
-                "error": message,
-                "status": status,
-                "code": code,
-                "retryable": retryable,
-            }
-        ).encode("utf-8")
+        payload = {
+            "error": message,
+            "status": status,
+            "code": code,
+            "retryable": retryable,
+        }
+        if getattr(self, "_trace_id", None) is not None:
+            payload["trace_id"] = self._trace_id
+        body = json.dumps(payload).encode("utf-8")
+        self._observe(status, len(body), code=code)
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_trace_id", None) is not None:
+            self.send_header(TRACE_ID_HEADER, self._trace_id)
         if retry_after is not None:
             # Retry-After is an integer count of seconds; round up so
             # a sub-second hint never becomes "retry immediately".
@@ -185,11 +230,55 @@ class _Handler(BaseHTTPRequestHandler):
             **kw,
         )
 
-    def log_message(self, format: str, *args) -> None:
-        if self.server.app.verbose:
-            sys.stderr.write(
-                "[serve] %s %s\n" % (self.address_string(), format % args)
+    def _observe(
+        self, status: int, bytes_out: int, code: Optional[str] = None
+    ) -> None:
+        """The per-response choke point: metrics + the access log."""
+        app = self.server.app
+        route = urlsplit(self.path).path
+        started = getattr(self, "_started", None)
+        elapsed = 0.0 if started is None else time.monotonic() - started
+        app.observe_request(route, status, elapsed)
+        fields: Dict[str, object] = {
+            "trace_id": getattr(self, "_trace_id", None),
+            "method": self.command,
+            "route": route,
+            "status": status,
+            "latency_ms": round(elapsed * 1000, 3),
+            "bytes": bytes_out,
+            "client": self.address_string(),
+        }
+        if code is not None:
+            fields["code"] = code
+        if getattr(self, "_queue_wait", None) is not None:
+            fields["queue_wait_ms"] = round(self._queue_wait * 1000, 3)
+        if getattr(self, "_shards", None) is not None:
+            fields["shards"] = self._shards
+        log_event(access_logger, logging.INFO, "access", **fields)
+        slow_ms = app.slow_query_ms
+        if slow_ms is not None and elapsed * 1000 >= slow_ms:
+            trace = getattr(self, "_trace", None)
+            log_event(
+                access_logger,
+                logging.WARNING,
+                "slow query",
+                threshold_ms=slow_ms,
+                spans=trace.spans if trace is not None else None,
+                **fields,
             )
+
+    def log_request(self, code="-", size="-") -> None:
+        """Replaced by the structured access log in :meth:`_observe`."""
+
+    def log_message(self, format: str, *args) -> None:
+        # Stray http.server diagnostics (malformed request lines, broken
+        # pipes) go through the structured logger, never raw stderr.
+        log_event(
+            logger,
+            logging.WARNING,
+            format % args,
+            client=self.address_string(),
+        )
 
     def _read_body(self) -> Dict[str, object]:
         try:
@@ -225,10 +314,24 @@ class _Handler(BaseHTTPRequestHandler):
         default = self.server.app.default_deadline
         return None if default is None else Deadline.after(default)
 
+    def _send_metrics(self, app: "ReproServer") -> None:
+        """``GET /v1/metrics``: the Prometheus text exposition."""
+        self._observe(200, 0)
+        body = app.metrics.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_trace_id", None) is not None:
+            self.send_header(TRACE_ID_HEADER, self._trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         app = self.server.app
-        route = urlsplit(self.path).path
+        route = self._begin()
         try:
             if route == "/healthz":
                 # Liveness only: the process is up and can answer.
@@ -260,6 +363,8 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif route == "/v1/stats":
                 self._send_json(200, app.stats())
+            elif route == "/v1/metrics":
+                self._send_metrics(app)
             elif route == "/v1/documents":
                 query = parse_qs(urlsplit(self.path).query)
                 collection = (query.get("collection") or [None])[0]
@@ -279,7 +384,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_request(self, route_table: Dict[str, type]) -> None:
         """Admit → parse body → envelope → dispatch, errors to codes."""
         app = self.server.app
-        route = urlsplit(self.path).path
+        route = self._begin()
         request_cls = route_table.get(route)
         if request_cls is None:
             self._send_error_json(
@@ -288,13 +393,17 @@ class _Handler(BaseHTTPRequestHandler):
             return
         admitted = False
         started = time.monotonic()
+        trace = self._trace
         try:
             deadline = self._request_deadline()
             # Admission happens before the body is read: a shed
             # request costs the server a queue check and one small
             # write, never parsing or planning work.
-            app.admission.admit(deadline)
+            waited = app.admission.admit(deadline)
             admitted = True
+            self._queue_wait = waited
+            if trace is not None:
+                trace.add("admission.wait", waited * 1000)
             payload = self._read_body()
             kind = payload.get("kind")
             if kind is not None and kind != request_cls.kind:
@@ -303,20 +412,40 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             request: Request = request_cls.from_dict(payload)
             database = app.database_for(request.collection)
-            with deadline_scope(deadline):
+            with deadline_scope(deadline), trace_scope(trace):
                 # Cooperative check at dispatch entry: even an engine
                 # with no other blocking points (a monolithic store)
                 # must honor an already-spent budget with 504.
                 if deadline is not None:
                     deadline.check("request dispatch")
                 result = app.dispatch(database, request)
-            body = result.to_dict() if hasattr(result, "to_dict") else result
+                if hasattr(result, "to_dict"):
+                    if trace is not None:
+                        with trace.span("serialize"):
+                            body = result.to_dict()
+                    else:
+                        body = result.to_dict()
+                else:
+                    body = result
+            if isinstance(body, dict):
+                stats = body.get("stats")
+                if isinstance(stats, dict):
+                    shards = stats.get("shards")
+                    if isinstance(shards, dict):
+                        self._shards = shards.get("count")
+                    if trace is not None:
+                        stats["trace"] = trace.to_dict()
+                elif trace is not None:
+                    # Mutation receipts carry no stats dict; the trace
+                    # rides at the top level instead.
+                    body["trace"] = trace.to_dict()
             self._send_json(200, body)
         except _BodyTooLarge as exc:
             self._send_error_json(413, str(exc), code="body_too_large")
         except OverloadedError as exc:
             self._send_repro_error(503, exc, retry_after=exc.retry_after)
         except DeadlineExceededError as exc:
+            app.deadline_exhaustions.inc()
             self._send_repro_error(504, exc)
         except DuplicateDocumentError as exc:
             self._send_repro_error(409, exc)
@@ -380,6 +509,7 @@ class ReproServer:
         max_queue: int = 16,
         queue_timeout: float = 2.0,
         default_deadline: Optional[float] = None,
+        slow_query_ms: Optional[float] = None,
     ):
         if isinstance(databases, Database):
             databases = {"default": databases}
@@ -403,10 +533,42 @@ class ReproServer:
         #: Seconds granted to a request that states no deadline of its
         #: own (``None``: unbounded, the embedded-use default).
         self.default_deadline = default_deadline
+        #: Requests slower than this (milliseconds) get a WARNING line
+        #: in the access log, with their spans when traced.  ``None``
+        #: disables the slow-query log.
+        self.slow_query_ms = slow_query_ms
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status.",
+            labels=("route", "status"),
+        )
+        self._request_latency = self.metrics.histogram(
+            "repro_http_request_duration_seconds",
+            "Wall-clock request latency, by route.",
+            labels=("route",),
+        )
+        self.deadline_exhaustions = self.metrics.counter(
+            "repro_deadline_exhaustions_total",
+            "Requests that ran out of their deadline budget.",
+        )
         self._close_databases = close_databases
         self._warmed = False
         self._serving = False
         self._thread: Optional[threading.Thread] = None
+        for metric in self.admission.metric_objects():
+            self.metrics.register(metric)
+        # Component metrics are per-collection — constant `collection`
+        # labels keep one family per name.  Databases may share a
+        # result cache or an executor; each shared object is
+        # registered once, under the first collection that owns it.
+        seen: set = set()
+        for name, database in self.databases.items():
+            for metric in database.metrics():
+                if id(metric) in seen:
+                    continue
+                seen.add(id(metric))
+                self.metrics.register(metric, labels={"collection": name})
         self._httpd = _ReproHTTPServer((host, port), _Handler, self)
 
     # -- addressing -----------------------------------------------------
@@ -507,6 +669,13 @@ class ReproServer:
         self.shutdown()
 
     # -- request handling ------------------------------------------------
+    def observe_request(
+        self, route: str, status: int, elapsed_seconds: float
+    ) -> None:
+        """Fold one finished response into the request metrics."""
+        self._requests_total.labels(route=route, status=status).inc()
+        self._request_latency.labels(route=route).observe(elapsed_seconds)
+
     def database_for(self, collection: Optional[str]) -> Database:
         if collection is None:
             return self.databases[self.default]
@@ -597,4 +766,5 @@ class ReproServer:
                 "fulltext": fulltext_builds,
             },
             "admission": self.admission.snapshot(),
+            "metrics": self.metrics.snapshot(),
         }

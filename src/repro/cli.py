@@ -64,6 +64,7 @@ from .core.backends import BACKEND_NAMES
 from .datamodel.errors import ReproError
 from .monet import storage
 from .monet.stats import collect_statistics
+from .obs import Trace, configure_logging, span as trace_span, trace_scope
 from .snapshot import Catalog
 
 __all__ = ["main", "build_parser"]
@@ -183,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--xml", action="store_true", help="print each result subtree as XML"
     )
+    search.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-stage spans and print them to stderr",
+    )
     _add_snapshot_source_options(search)
 
     query = sub.add_parser("query", help="run a select/from/where query")
@@ -210,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print timing and cache statistics to stderr",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-stage spans and print them to stderr",
     )
     _add_snapshot_source_options(query)
 
@@ -341,7 +352,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity per collection (0 disables; default 1024)",
     )
     serve.add_argument(
-        "--verbose", action="store_true", help="log every request to stderr"
+        "--verbose",
+        action="store_true",
+        help="log every request to stderr (same as --log-level info)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as one JSON object per line",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="log threshold (default: info with --verbose, else warning); "
+        "access logs are info, failover detail is debug",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a WARNING (with spans, when traced) for requests "
+        "slower than MS (default: off)",
     )
     serve.add_argument(
         "--max-concurrency",
@@ -536,6 +569,21 @@ def _print_stats(label: str, elapsed_ms: float, cache: Optional[Dict]) -> None:
     print(line, file=sys.stderr)
 
 
+def _print_trace(trace: Trace) -> None:
+    """Render collected spans on stderr (the ``--trace`` flag)."""
+    print(f"[trace] {trace.trace_id}", file=sys.stderr)
+    for span in trace.spans:
+        attrs = "".join(
+            f" {key}={value}"
+            for key, value in span.items()
+            if key not in ("name", "ms")
+        )
+        print(
+            f"[trace]   {span['name']:<20} {span['ms']:>9.3f} ms{attrs}",
+            file=sys.stderr,
+        )
+
+
 def _command_search(args) -> int:
     terms = list(args.terms)
     if args.snapshot:
@@ -558,16 +606,22 @@ def _command_search(args) -> int:
     database = _open_database(args, args.source)
     if args.stats:
         _print_load_stats(database.origin, database.load_seconds)
-    envelope = database.nearest(
-        NearestRequest(
-            terms=tuple(terms),
-            exclude_root=args.exclude_root,
-            require_all_terms=args.all_terms,
-            within=args.within,
-            limit=args.limit,
-            snippets=not args.xml,
-        )
-    )
+    trace = Trace() if args.trace else None
+    with trace_scope(trace):
+        with trace_span("db.nearest"):
+            envelope = database.nearest(
+                NearestRequest(
+                    terms=tuple(terms),
+                    exclude_root=args.exclude_root,
+                    require_all_terms=args.all_terms,
+                    within=args.within,
+                    limit=args.limit,
+                    snippets=not args.xml,
+                )
+            )
+    if trace is not None:
+        envelope.stats["trace"] = trace.to_dict()
+        _print_trace(trace)
     if args.stats:
         _print_stats("search", envelope.elapsed_ms, envelope.stats["cache"])
     if not envelope.answers:
@@ -610,7 +664,15 @@ def _command_query(args) -> int:
     if args.explain:
         print(database.explain(args.text))
         return 0
-    envelope = database.query(QueryRequest(text=args.text, render=True))
+    trace = Trace() if getattr(args, "trace", False) else None
+    with trace_scope(trace):
+        with trace_span("db.query"):
+            envelope = database.query(
+                QueryRequest(text=args.text, render=True)
+            )
+    if trace is not None:
+        envelope.stats["trace"] = trace.to_dict()
+        _print_trace(trace)
     if args.stats:
         _print_stats("query", envelope.elapsed_ms, envelope.stats["cache"])
     print(envelope.rendered)
@@ -629,6 +691,8 @@ def _command_shred(args) -> int:
 
 
 def _command_serve(args) -> int:
+    level = args.log_level or ("info" if args.verbose else "warning")
+    configure_logging(json_logs=args.log_json, level=level)
     options = _database_options(args)
     if args.source is None and args.snapshot is None:
         databases = Database.open_all(_catalog_dir(args), options=options)
@@ -657,6 +721,7 @@ def _command_serve(args) -> int:
             if args.default_deadline_ms is None
             else args.default_deadline_ms / 1000.0
         ),
+        slow_query_ms=args.slow_query_ms,
     )
     server.warm_up()
     for name in server.names():

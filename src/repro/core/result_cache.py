@@ -33,7 +33,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Union
+from typing import Any, Hashable, List, Optional, Union
+
+from ..obs.metrics import Counter, Gauge
 
 __all__ = ["ResultCache", "ResultCacheInfo", "resolve_result_cache"]
 
@@ -71,9 +73,20 @@ class ResultCache:
         self.maxsize = maxsize
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._generation: Optional[Hashable] = None
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = Counter(
+            "repro_cache_hits_total", "Result-cache lookups that hit."
+        )
+        self._misses = Counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed."
+        )
+        self._evictions = Counter(
+            "repro_cache_evictions_total",
+            "Result-cache entries evicted by the LRU policy.",
+        )
+        self._size_gauge = Gauge(
+            "repro_cache_entries", "Result-cache entries currently held."
+        )
+        self._size_gauge.set_function(lambda: len(self._entries))
         self._lock = threading.Lock()
 
     def sync_generation(self, generation: Hashable) -> None:
@@ -97,10 +110,10 @@ class ResultCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
             self._entries.move_to_end(key)
-            self._hits += 1
+            self._hits.inc()
             return entry
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -111,21 +124,30 @@ class ResultCache:
             entries[key] = value
             if len(entries) > self.maxsize:
                 entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
 
     def clear(self) -> None:
         """Drop all entries (counters survive; they describe the run)."""
         with self._lock:
             self._entries.clear()
 
+    def metric_objects(self) -> List[object]:
+        """The typed metrics backing :meth:`cache_info`."""
+        return [
+            self._hits,
+            self._misses,
+            self._evictions,
+            self._size_gauge,
+        ]
+
     def cache_info(self) -> ResultCacheInfo:
         with self._lock:
             return ResultCacheInfo(
-                hits=self._hits,
-                misses=self._misses,
+                hits=self._hits.value,
+                misses=self._misses.value,
                 maxsize=self.maxsize,
                 currsize=len(self._entries),
-                evictions=self._evictions,
+                evictions=self._evictions.value,
             )
 
     def __len__(self) -> int:

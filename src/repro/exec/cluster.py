@@ -31,12 +31,15 @@ answers never affects the response — the chaos suite
 
 from __future__ import annotations
 
+import logging
 import random
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datamodel.errors import ReproError
+from ..obs.logs import log_event
+from ..obs.metrics import CallbackGauge, Counter
 from .deadline import Deadline, DeadlineExceededError, current_deadline
 from .executors import ExecutorError, ShardOp
 from .remote import (
@@ -50,6 +53,11 @@ from .transport import TransportError, sleep_within_deadline
 __all__ = ["ClusterExecutor", "ReplicaSpec", "Replica"]
 
 #: Replica circuit states.
+_logger = logging.getLogger("repro.exec.cluster")
+
+#: Circuit state as a numeric gauge level for ``/v1/metrics``.
+_STATE_LEVELS = {"healthy": 0, "open": 1, "evicted": 2}
+
 _HEALTHY = "healthy"
 _OPEN = "open"  # circuit open: skipped by requests, probed by heartbeat
 _EVICTED = "evicted"  # permanent: a managed replica out of respawns
@@ -201,8 +209,24 @@ class ClusterExecutor:
         self._lock = threading.Lock()
         self._rr: List[int] = [0] * self.shard_count
         self._worker_stats: Dict[Tuple[str, int], Dict[str, int]] = {}
-        self._failovers = 0
-        self._shed = 0
+        self._failovers = Counter(
+            "repro_failovers_total",
+            "Requests retried on another replica after a transport failure.",
+        )
+        self._shed = Counter(
+            "repro_cluster_shed_total",
+            "Requests that failed because a shard had no healthy replica.",
+        )
+        self._respawn_count = Counter(
+            "repro_respawns_total",
+            "Managed replica worker processes respawned after dying.",
+        )
+        self._circuit_gauge = CallbackGauge(
+            "repro_replica_circuit_state",
+            "Replica circuit state (0=healthy, 1=open, 2=evicted).",
+            ("shard", "replica"),
+            self._circuit_levels,
+        )
         self._closed = False
         self.replicas: List[List[Replica]] = [
             [
@@ -310,8 +334,18 @@ class ClusterExecutor:
                 self._mark_failure(replica)
                 last_error = exc
                 attempt += 1
-                with self._lock:
-                    self._failovers += 1
+                self._failovers.inc()
+                log_event(
+                    _logger,
+                    logging.DEBUG,
+                    "failover",
+                    trace_id=params.get("_trace"),
+                    shard=shard_id,
+                    op=op,
+                    replica=replica.name,
+                    attempt=attempt,
+                    error=str(exc),
+                )
                 # Jittered exponential backoff before the next replica
                 # (bounded by the deadline: shedding beats hanging).
                 pause = min(
@@ -330,8 +364,17 @@ class ClusterExecutor:
                     replica.release(client)
                 self._mark_ok(replica)
                 raise
-        with self._lock:
-            self._shed += 1
+        self._shed.inc()
+        log_event(
+            _logger,
+            logging.WARNING,
+            "shard unavailable",
+            trace_id=params.get("_trace"),
+            shard=shard_id,
+            op=op,
+            replicas=len(shard),
+            error=str(last_error) if last_error else None,
+        )
         detail = f": last error: {last_error}" if last_error else ""
         raise ExecutorError(
             f"shard {shard_id} has no healthy replica "
@@ -359,6 +402,7 @@ class ClusterExecutor:
                 replica.state = _HEALTHY
 
     def _mark_failure(self, replica: Replica) -> None:
+        opened = False
         with self._lock:
             replica.failures += 1
             replica.consecutive_failures += 1
@@ -368,7 +412,16 @@ class ClusterExecutor:
             ):
                 replica.state = _OPEN
                 replica.open_until = time.monotonic() + self._open_seconds
+                opened = True
         replica.discard_pool()
+        if opened:
+            log_event(
+                _logger,
+                logging.DEBUG,
+                "circuit opened",
+                replica=replica.name,
+                consecutive_failures=replica.consecutive_failures,
+            )
 
     # -- heartbeat prober ------------------------------------------------
     def _probe_loop(self) -> None:
@@ -420,8 +473,27 @@ class ClusterExecutor:
         with self._lock:
             if replica.respawns >= self._max_respawns:
                 replica.state = _EVICTED
-                return
-            replica.respawns += 1
+                evicted = True
+            else:
+                replica.respawns += 1
+                evicted = False
+        if evicted:
+            log_event(
+                _logger,
+                logging.WARNING,
+                "replica evicted",
+                replica=replica.name,
+                respawns=replica.respawns,
+            )
+            return
+        self._respawn_count.inc()
+        log_event(
+            _logger,
+            logging.DEBUG,
+            "respawning replica",
+            replica=replica.name,
+            respawn=replica.respawns,
+        )
         replica.discard_pool()
         old = replica.process
         if old is not None and old.alive:  # pragma: no cover - defensive
@@ -449,6 +521,26 @@ class ClusterExecutor:
         replica.last_heartbeat = time.monotonic()
 
     # -- observability ----------------------------------------------------
+    def _circuit_levels(self) -> List[Tuple[Dict[str, object], float]]:
+        with self._lock:
+            return [
+                (
+                    {"shard": shard_id, "replica": replica.index},
+                    _STATE_LEVELS.get(replica.state, 1),
+                )
+                for shard_id, shard in enumerate(self.replicas)
+                for replica in shard
+            ]
+
+    def metric_objects(self) -> List[object]:
+        """Typed metrics: failovers, sheds, respawns, circuit states."""
+        return [
+            self._failovers,
+            self._shed,
+            self._respawn_count,
+            self._circuit_gauge,
+        ]
+
     def _harvest(
         self, replica: Replica, response: Dict[str, object]
     ) -> Dict[str, object]:
@@ -499,8 +591,6 @@ class ClusterExecutor:
     def stats(self) -> Dict[str, object]:
         with self._lock:
             workers = dict(self._worker_stats)
-            failovers = self._failovers
-            shed = self._shed
             live = sum(
                 1
                 for shard in self.replicas
@@ -519,8 +609,8 @@ class ClusterExecutor:
             "workers": live,
             "replicas": health["shards"],
             "status": health["status"],
-            "failovers": failovers,
-            "shed": shed,
+            "failovers": self._failovers.value,
+            "shed": self._shed.value,
             "respawns": respawns,
             "index_builds": {
                 "lca": sum(w["lca_builds"] for w in workers.values()),

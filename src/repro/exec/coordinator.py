@@ -42,6 +42,7 @@ from ..core.result_cache import (
 )
 from ..datamodel.errors import QueryPlanError, ReproError
 from ..monet.pathsummary import PathSummary
+from ..obs.trace import current_trace, span as trace_span
 from ..query.ast import (
     ContainsCondition,
     DistanceItem,
@@ -140,7 +141,7 @@ class ShardedCollection:
 
     def warm_up(self) -> None:
         """Ping every shard: indexes touched, pool spawned, bundles hot."""
-        self._record(self.executor.broadcast("ping", {}), rounds=1)
+        self._record(self._broadcast("ping", {}), rounds=1)
 
     def last_shard_stats(self) -> Dict[str, object]:
         """Per-shard timings of this thread's most recent operation."""
@@ -163,12 +164,42 @@ class ShardedCollection:
         }
         return responses
 
+    # -- traced scatter-gather -------------------------------------------
+    def _scatter(
+        self, ops: Sequence[Tuple[int, str, Dict[str, object]]]
+    ) -> List[Dict[str, object]]:
+        """``executor.scatter`` with the current trace riding along.
+
+        The trace id is stamped into each op's params (crossing pipes
+        and socket frames as plain payload data); worker-produced
+        spans come home in the responses and are folded back here, in
+        the request thread — the executors' own fan-out threads never
+        need to inherit the trace contextvar.
+        """
+        trace = current_trace()
+        if trace is None:
+            return self.executor.scatter(ops)
+        for _shard_id, _op, params in ops:
+            params["_trace"] = trace.trace_id
+        with trace.span("shard.scatter", ops=len(ops)):
+            responses = self.executor.scatter(ops)
+        for response in responses:
+            trace.absorb(response.pop("_spans", None))
+        return responses
+
+    def _broadcast(
+        self, op: str, params: Dict[str, object]
+    ) -> List[Dict[str, object]]:
+        return self._scatter(
+            [(i, op, dict(params)) for i in range(self.shard_count)]
+        )
+
     # -- full-text surface ----------------------------------------------
     def term_hit_rows(self, term: str) -> List[Tuple[int, int]]:
         """Global (oid, pid) hit rows of one term, ascending by OID."""
         mode = term_mode(term, self.case_sensitive)
         params = {"terms": [(term, mode)], "scan_terms": ()}
-        responses = self.executor.broadcast("hits", params)
+        responses = self._broadcast("hits", params)
         rounds = 1
         if mode == "token" and not any(
             response["index_counts"].get(term, 0) for response in responses
@@ -176,7 +207,7 @@ class ShardedCollection:
             # The global index has no posting: the monolithic ``find``
             # would fall back to a substring scan — so do all shards.
             params["scan_terms"] = (term,)
-            responses = self.executor.broadcast("hits", params)
+            responses = self._broadcast("hits", params)
             rounds = 2
         self._record(responses, rounds)
         rows: List[Tuple[int, int]] = []
@@ -215,7 +246,8 @@ class ShardedCollection:
                 within,
                 limit,
             )
-            cached = cache.get(key)
+            with trace_span("cache.lookup"):
+                cached = cache.get(key)
             if cached is not None:
                 self._record([], rounds=0)
                 return list(cached)
@@ -229,23 +261,24 @@ class ShardedCollection:
             "within": within,
             "limit": limit,
         }
-        responses = self.executor.broadcast("nearest", params)
+        responses = self._broadcast("nearest", params)
         rounds = 1
         force = self._scan_fallback(moded, responses)
         if force:
             params["scan_terms"] = tuple(sorted(force))
-            responses = self.executor.broadcast("nearest", params)
+            responses = self._broadcast("nearest", params)
             rounds = 2
         self._record(responses, rounds)
 
-        concepts = self._merge_nearest(
-            responses,
-            terms=terms,
-            excluded=excluded,
-            require_all_terms=require_all_terms,
-            within=within,
-            limit=limit,
-        )
+        with trace_span("merge", shards=len(responses)):
+            concepts = self._merge_nearest(
+                responses,
+                terms=terms,
+                excluded=excluded,
+                require_all_terms=require_all_terms,
+                within=within,
+                limit=limit,
+            )
         if cache is not None:
             cache.put(key, tuple(concepts))
         return concepts
@@ -365,12 +398,12 @@ class ShardedCollection:
             for shard, shard_oids in sorted(by_shard.items())
         ]
         if ops:
-            for response in self.executor.scatter(ops):
+            for response in self._scatter(ops):
                 out.update(response["snippets"])
         if want_root:
             parts = [
                 response["part"]
-                for response in self.executor.broadcast(
+                for response in self._broadcast(
                     "text_head", {"width": width}
                 )
             ]
@@ -394,7 +427,7 @@ class ShardedCollection:
             (shard, "pids", {"oids": shard_oids})
             for shard, shard_oids in sorted(by_shard.items())
         ]
-        for response in self.executor.scatter(ops):
+        for response in self._scatter(ops):
             out.update(response["pids"])
         return out
 
@@ -402,7 +435,7 @@ class ShardedCollection:
         if oid == self.plan.root_oid:
             return self._root_xml(indent)
         shard = self.plan.shard_of(oid)
-        [response] = self.executor.scatter(
+        [response] = self._scatter(
             [(shard, "to_xml", {"oid": oid, "indent": indent})]
         )
         return response["xml"]
@@ -418,7 +451,7 @@ class ShardedCollection:
         """
         from ..datamodel.serializer import escape_attribute
 
-        responses = self.executor.broadcast(
+        responses = self._broadcast(
             "root_xml_parts", {"indent": indent}
         )
         label = self.summary.label(self.plan.root_pid)
@@ -464,7 +497,8 @@ class ShardedCollection:
                 self.case_sensitive,
                 self.backend_name,
             )
-            cached = cache.get(key)
+            with trace_span("cache.lookup"):
+                cached = cache.get(key)
             if cached is not None:
                 columns, rows = cached
                 self._record([], rounds=0)
@@ -472,11 +506,13 @@ class ShardedCollection:
 
         # Plan locally first: parse/plan errors surface identically to
         # the monolithic processor, before any scatter happens.
-        parsed = parse_query(text)
-        plan = plan_query(parsed, self._shim)
+        with trace_span("parse"):
+            parsed = parse_query(text)
+        with trace_span("plan"):
+            plan = plan_query(parsed, self._shim)
 
         params: Dict[str, object] = {"text": text, "scan_needles": ()}
-        responses = self.executor.broadcast("query", params)
+        responses = self._broadcast("query", params)
         rounds = 1
         needles = [
             (condition.needle, "token")
@@ -487,14 +523,15 @@ class ShardedCollection:
         force = self._scan_fallback(needles, responses)
         if force:
             params["scan_needles"] = tuple(sorted(force))
-            responses = self.executor.broadcast("query", params)
+            responses = self._broadcast("query", params)
             rounds = 2
         self._record(responses, rounds)
 
-        if plan.aggregate:
-            result = self._merge_aggregate(parsed, responses)
-        else:
-            result = self._merge_enumeration(parsed, plan, responses)
+        with trace_span("merge", shards=len(responses)):
+            if plan.aggregate:
+                result = self._merge_aggregate(parsed, responses)
+            else:
+                result = self._merge_enumeration(parsed, plan, responses)
         if key is not None:
             cache.put(key, (tuple(result.columns), tuple(result.rows)))
         return result
@@ -626,7 +663,7 @@ class ShardedCollection:
     def _gather_root_text(self) -> str:
         parts = [
             response["part"]
-            for response in self.executor.broadcast("root_text", {})
+            for response in self._broadcast("root_text", {})
         ]
         return " ".join(part for part in parts if part)
 

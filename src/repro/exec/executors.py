@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..datamodel.errors import ReproError
+from ..obs.metrics import Counter
 from .deadline import DeadlineExceededError, current_deadline
 from .service import ShardService
 
@@ -214,7 +215,11 @@ class ParallelExecutor:
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._worker_stats: Dict[int, Dict[str, int]] = {}
-        self._respawns = -1
+        self._respawns = Counter(
+            "repro_respawns_total",
+            "Worker pools respawned after a worker process died.",
+        )
+        self._spawned_once = False
         self._closed = False
         # Spawn (and load bundles into) every worker now, before any
         # server thread exists — both the fork-safety argument above
@@ -249,7 +254,9 @@ class ParallelExecutor:
                         self._use_mmap,
                     ),
                 )
-                self._respawns += 1
+                if self._spawned_once:
+                    self._respawns.inc()
+                self._spawned_once = True
                 # One submit per worker slot forces the pool to spawn
                 # its full complement immediately.
                 futures = [
@@ -328,10 +335,14 @@ class ParallelExecutor:
     def broadcast(self, op: str, params: Dict[str, object]) -> List[Dict[str, object]]:
         return self.scatter([(i, op, dict(params)) for i in range(self.shard_count)])
 
+    def metric_objects(self) -> List[object]:
+        """Typed metrics: pool respawns."""
+        return [self._respawns]
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             workers = dict(self._worker_stats)
-            respawns = max(self._respawns, 0)
+            respawns = self._respawns.value
         return {
             "mode": self.name,
             "shards": self.shard_count,

@@ -26,6 +26,7 @@ transport faults.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import subprocess
@@ -36,6 +37,7 @@ from pathlib import Path as FsPath
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..datamodel.errors import ReproError
+from ..obs.logs import log_event
 from .deadline import Deadline, DeadlineExceededError
 from .service import ShardService
 from .transport import (
@@ -60,6 +62,8 @@ __all__ = [
     "services_from_bundles",
     "spawn_worker_process",
 ]
+
+_logger = logging.getLogger("repro.exec.remote")
 
 #: The one line a worker process prints once it is accepting
 #: connections: ``READY_PREFIX host:port`` (parsed by spawners).
@@ -198,10 +202,23 @@ class ShardWorkerServer:
                     kind, request_id, message = recv_frame(connection)
                 except ConnectionClosedError:
                     return
-                except TransportError:
-                    return  # torn/corrupt frame: stream state unknown
+                except TransportError as exc:
+                    # Torn/corrupt frame: stream state unknown.
+                    log_event(
+                        _logger,
+                        logging.DEBUG,
+                        "dropping connection on torn frame",
+                        error=str(exc),
+                    )
+                    return
                 if kind != KIND_REQUEST or not isinstance(message, dict):
-                    return  # protocol violation: drop the connection
+                    log_event(
+                        _logger,
+                        logging.DEBUG,
+                        "dropping connection on protocol violation",
+                        kind=kind,
+                    )
+                    return
                 response = self._answer(message)
                 try:
                     send_frame(connection, KIND_RESPONSE, request_id, response)

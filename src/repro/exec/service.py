@@ -179,15 +179,33 @@ class ShardService:
 
     # -- dispatch -------------------------------------------------------
     def handle(self, op: str, params: Dict[str, object]) -> Dict[str, object]:
+        # The coordinator stamps the trace id into the op payload
+        # (riding the same frames/pipes as the params themselves);
+        # popping it here keeps every _op_* handler trace-oblivious.
+        trace_id = params.pop("_trace", None)
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise ReproError(f"unknown shard operation {op!r}")
         started = time.perf_counter()
         response = handler(params)
+        elapsed_ms = round((time.perf_counter() - started) * 1000, 3)
         response["shard"] = self.shard_id
-        response["elapsed_ms"] = round(
-            (time.perf_counter() - started) * 1000, 3
-        )
+        response["elapsed_ms"] = elapsed_ms
+        if trace_id is not None:
+            # One span per handled op, produced *in this process* (the
+            # worker, for pool/cluster executors) — the coordinator
+            # absorbs it back into the request's trace the same way it
+            # folds worker index-build counters.
+            response["_spans"] = {
+                "trace_id": trace_id,
+                "spans": [
+                    {
+                        "name": f"shard[{self.shard_id}].{op}",
+                        "ms": elapsed_ms,
+                        "pid": os.getpid(),
+                    }
+                ],
+            }
         return response
 
     # -- lifecycle / observability --------------------------------------

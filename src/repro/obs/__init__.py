@@ -1,0 +1,44 @@
+"""Observability: request tracing, typed metrics, structured logs.
+
+The instrumentation backbone of the serving tier (PR 8):
+
+* :mod:`repro.obs.trace` — contextvar-carried per-request spans that
+  survive the socket hop to remote shard workers and fold back into
+  the coordinator's trace;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms behind
+  ``/v1/stats`` and the Prometheus text exposition at ``/v1/metrics``;
+* :mod:`repro.obs.logs` — the JSON/text structured-log convention and
+  the one-handler configuration the ``serve`` CLI flags drive.
+"""
+
+from .logs import (
+    JsonLogFormatter,
+    TextLogFormatter,
+    configure_logging,
+    log_event,
+)
+from .metrics import (
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Trace, current_trace, new_trace_id, span, trace_scope
+
+__all__ = [
+    "CallbackGauge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "TextLogFormatter",
+    "Trace",
+    "configure_logging",
+    "current_trace",
+    "log_event",
+    "new_trace_id",
+    "span",
+    "trace_scope",
+]

@@ -1,0 +1,130 @@
+"""Structured logging for the serving path.
+
+One convention: log records carry their structured payload in a
+``fields`` dict (``logger.info("access", extra={"fields": {...}})``,
+or the :func:`log_event` shorthand).  Two formatters render it:
+
+* :class:`JsonLogFormatter` — one JSON object per line (``ts``,
+  ``level``, ``logger``, ``message``, then the fields flattened in),
+  the machine-joinable form: an access line, a slow-query line and a
+  failover line that share a ``trace_id`` are one request's story;
+* :class:`TextLogFormatter` — the same record as
+  ``HH:MM:SS LEVEL logger: message key=value ...`` for humans.
+
+:func:`configure_logging` installs exactly one handler on the
+``repro`` logger namespace (idempotent — reconfiguring replaces it,
+so tests and repeated ``serve`` invocations never stack handlers) and
+leaves propagation to the root off, keeping application logs out of
+whatever the embedding process does with its own root handler.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Dict, Optional, TextIO
+
+__all__ = [
+    "JsonLogFormatter",
+    "TextLogFormatter",
+    "configure_logging",
+    "log_event",
+]
+
+#: The handler name used to find (and replace) our own handler.
+_HANDLER_NAME = "repro-obs"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def _record_fields(record: logging.LogRecord) -> Dict[str, object]:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, dict) else {}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line; ``fields`` flattened into the object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "ts": round(record.created, 3),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_record_fields(record))
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable: timestamp, level, logger, message, key=value."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{stamp} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        fields = _record_fields(record)
+        if fields:
+            line += " " + " ".join(
+                f"{key}={value}" for key, value in fields.items()
+            )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(
+    *,
+    json_logs: bool = False,
+    level: str = "warning",
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Install (or replace) the one ``repro`` log handler.
+
+    ``level`` names the threshold (``debug``/``info``/``warning``/
+    ``error``); access logs are INFO, failover detail is DEBUG, slow
+    queries are WARNING.  Returns the handler so tests can capture or
+    detach it.
+    """
+    try:
+        threshold = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}: choose from {sorted(_LEVELS)}"
+        ) from None
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.name = _HANDLER_NAME
+    handler.setFormatter(
+        JsonLogFormatter() if json_logs else TextLogFormatter()
+    )
+    logger = logging.getLogger("repro")
+    for existing in list(logger.handlers):
+        if existing.name == _HANDLER_NAME:
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(threshold)
+    logger.propagate = False
+    return handler
+
+
+def log_event(
+    logger: logging.Logger, level: int, message: str, **fields: object
+) -> None:
+    """Emit one structured record (skips formatting when disabled)."""
+    if logger.isEnabledFor(level):
+        logger.log(level, message, extra={"fields": fields})

@@ -1,0 +1,444 @@
+"""Typed metrics — counters, gauges, histograms — with a Prometheus view.
+
+The serving tier used to keep its counters as ad-hoc ints scattered
+across :mod:`repro.api.admission`, :mod:`repro.exec.executors`,
+:mod:`repro.exec.cluster` and :mod:`repro.core.result_cache`; this
+module gives them one vocabulary:
+
+* :class:`Counter` — monotonically increasing (requests, hits, sheds);
+* :class:`Gauge` — a level, settable or read through a callback at
+  scrape time (queue depth, in-flight requests);
+* :class:`Histogram` — cumulative-bucket latency distributions;
+* :class:`CallbackGauge` — a multi-sample gauge whose labelled values
+  are computed when scraped (per-replica circuit state).
+
+Metric objects are **standalone and lock-guarded**: a component
+creates its own (so construction never needs a registry parameter
+threaded through every layer) and the server *registers* them —
+optionally with constant labels such as ``collection="plays"`` — into
+one :class:`MetricsRegistry`, whose :meth:`~MetricsRegistry.render`
+emits the Prometheus text exposition format (``# HELP`` / ``# TYPE``
+headers once per family, escaped label values, cumulative ``_bucket``
+series with the ``+Inf`` bucket equal to ``_count``) and whose
+:meth:`~MetricsRegistry.snapshot` feeds the JSON ``/v1/stats`` view.
+
+Everything is stdlib; the text format is written by hand and held to
+the spec by a strict parser in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "CallbackGauge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Seconds-denominated latency buckets: sub-millisecond cache hits up
+#: to multi-second scatter pile-ups, then +Inf.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: One exposition sample: (name suffix, labels, value).  The suffix is
+#: empty for scalar metrics and "_bucket"/"_sum"/"_count" for
+#: histogram series.
+Sample = Tuple[str, Dict[str, str], float]
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_VALID_REST = _VALID_FIRST | set("0123456789")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0] not in _VALID_FIRST or any(
+        ch not in _VALID_REST for ch in name
+    ):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - never produced here
+        return "NaN"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_key(
+    label_names: Sequence[str], labels: Mapping[str, object]
+) -> Tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class Counter:
+    """A monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.label_names:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} is labelled; use .labels(...).inc()"
+            )
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._values[()] += amount
+
+    def labels(self, **labels: object) -> "_BoundCounter":
+        return _BoundCounter(self, _label_key(self.label_names, labels))
+
+    def _inc_key(self, key: Tuple[str, ...], amount: float) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """The unlabelled value (labelled counters: sum of children).
+
+        Integral counts come back as ``int`` so snapshots that used to
+        expose plain integer counters stay byte-identical.
+        """
+        with self._lock:
+            total = sum(self._values.values())
+        return int(total) if float(total).is_integer() else total
+
+    def collect(self) -> List[Sample]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            ("", dict(zip(self.label_names, key)), value)
+            for key, value in items
+        ]
+
+
+class _BoundCounter:
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: Counter, key: Tuple[str, ...]):
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._counter._inc_key(self._key, amount)
+
+
+class Gauge:
+    """A level that can go up and down — or be computed when scraped."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str):
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names: Tuple[str, ...] = ()
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> "Gauge":
+        """Read the level live at scrape time (queue depth, sizes)."""
+        self._fn = fn
+        return self
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def collect(self) -> List[Sample]:
+        return [("", {}, self.value)]
+
+
+class CallbackGauge:
+    """A gauge family whose labelled samples are computed per scrape.
+
+    ``fn`` returns ``[(labels_dict, value), ...]`` — e.g. one row per
+    replica with its circuit state.  The label *names* are fixed at
+    construction so the exposition stays a consistent family.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        fn: Callable[[], List[Tuple[Dict[str, str], float]]],
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._fn = fn
+
+    def collect(self) -> List[Sample]:
+        samples: List[Sample] = []
+        for labels, value in self._fn():
+            key = _label_key(self.label_names, labels)
+            samples.append(
+                ("", dict(zip(self.label_names, key)), float(value))
+            )
+        return samples
+
+
+class Histogram:
+    """Cumulative-bucket observations (Prometheus histogram semantics).
+
+    ``buckets`` are upper bounds in ascending order; ``+Inf`` is
+    implicit.  ``observe`` is O(len(buckets)) with one lock — cheap
+    enough for the per-request path.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must ascend strictly")
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        # key -> (per-bucket counts (exclusive of +Inf), sum, count)
+        self._series: Dict[
+            Tuple[str, ...], Tuple[List[int], float, int]
+        ] = {}
+        if not self.label_names:
+            self._series[()] = ([0] * len(bounds), 0.0, 0)
+
+    def observe(self, value: float) -> None:
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} is labelled; use .labels(...).observe()"
+            )
+        self._observe_key((), value)
+
+    def labels(self, **labels: object) -> "_BoundHistogram":
+        return _BoundHistogram(self, _label_key(self.label_names, labels))
+
+    def _observe_key(self, key: Tuple[str, ...], value: float) -> None:
+        value = float(value)
+        with self._lock:
+            counts, total, count = self._series.get(
+                key, ([0] * len(self.buckets), 0.0, 0)
+            )
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._series[key] = (counts, total + value, count + 1)
+
+    def snapshot_key(
+        self, key: Tuple[str, ...] = ()
+    ) -> Tuple[List[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            counts, total, count = self._series.get(
+                key, ([0] * len(self.buckets), 0.0, 0)
+            )
+            counts = list(counts)
+        cumulative: List[int] = []
+        running = 0
+        for bucket_count in counts:
+            running += bucket_count
+            cumulative.append(running)
+        cumulative.append(count)  # +Inf
+        return cumulative, total, count
+
+    def collect(self) -> List[Sample]:
+        with self._lock:
+            keys = sorted(self._series)
+        samples: List[Sample] = []
+        for key in keys:
+            cumulative, total, count = self.snapshot_key(key)
+            base = dict(zip(self.label_names, key))
+            for bound, running in zip(self.buckets, cumulative):
+                labels = dict(base)
+                labels["le"] = _format_value(bound)
+                samples.append(("_bucket", labels, running))
+            labels = dict(base)
+            labels["le"] = "+Inf"
+            samples.append(("_bucket", labels, count))
+            samples.append(("_sum", dict(base), total))
+            samples.append(("_count", dict(base), count))
+        return samples
+
+
+class _BoundHistogram:
+    __slots__ = ("_histogram", "_key")
+
+    def __init__(self, histogram: Histogram, key: Tuple[str, ...]):
+        self._histogram = histogram
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._histogram._observe_key(self._key, value)
+
+
+class MetricsRegistry:
+    """Collects metric objects; renders one exposition per scrape.
+
+    The same family name may be registered more than once (one result
+    cache per collection, distinguished by constant labels) as long as
+    kind and help agree — the renderer emits the ``# HELP`` / ``#
+    TYPE`` header once and the samples of every instance under it.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # name -> (kind, help, [(metric, const_labels), ...])
+        self._families: Dict[
+            str, Tuple[str, str, List[Tuple[object, Dict[str, str]]]]
+        ] = {}
+
+    def register(
+        self, metric, labels: Optional[Mapping[str, object]] = None
+    ) -> None:
+        const = {str(k): str(v) for k, v in (labels or {}).items()}
+        with self._lock:
+            family = self._families.get(metric.name)
+            if family is None:
+                self._families[metric.name] = (
+                    metric.kind, metric.help, [(metric, const)]
+                )
+                return
+            kind, help_text, members = family
+            if kind != metric.kind or help_text != metric.help:
+                raise ValueError(
+                    f"metric {metric.name!r} re-registered with a "
+                    f"different kind or help text"
+                )
+            if not any(existing is metric and existing_labels == const
+                       for existing, existing_labels in members):
+                members.append((metric, const))
+
+    # -- creating-and-registering conveniences ---------------------------
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        metric = Counter(name, help, label_names=labels)
+        self.register(metric)
+        return metric
+
+    def gauge(self, name: str, help: str) -> Gauge:
+        metric = Gauge(name, help)
+        self.register(metric)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        metric = Histogram(name, help, label_names=labels, buckets=buckets)
+        self.register(metric)
+        return metric
+
+    # -- exposition ------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            families = sorted(
+                (name, kind, help_text, list(members))
+                for name, (kind, help_text, members) in self._families.items()
+            )
+        lines: List[str] = []
+        for name, kind, help_text, members in families:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+            for metric, const in members:
+                for suffix, labels, value in metric.collect():
+                    merged = dict(const)
+                    merged.update(labels)
+                    if merged:
+                        rendered = ",".join(
+                            f'{key}="{_escape_label(val)}"'
+                            for key, val in merged.items()
+                        )
+                        series = f"{name}{suffix}{{{rendered}}}"
+                    else:
+                        series = f"{name}{suffix}"
+                    lines.append(f"{series} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view of every family (the ``/v1/stats`` feed)."""
+        with self._lock:
+            families = sorted(
+                (name, kind, list(members))
+                for name, (kind, _help, members) in self._families.items()
+            )
+        out: Dict[str, object] = {}
+        for name, kind, members in families:
+            samples = []
+            for metric, const in members:
+                for suffix, labels, value in metric.collect():
+                    merged = dict(const)
+                    merged.update(labels)
+                    samples.append(
+                        {"suffix": suffix, "labels": merged, "value": value}
+                    )
+            out[name] = {"kind": kind, "samples": samples}
+        return out

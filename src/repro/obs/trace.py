@@ -1,0 +1,169 @@
+"""Per-request tracing: where a query's milliseconds go, per stage.
+
+A :class:`Trace` is a flat bag of named spans — ``admission.wait``,
+``cache.lookup``, ``shard.scatter``, ``shard[i].nearest``, ``merge``,
+``serialize`` — each a single ``(name, ms)`` measurement on the
+monotonic clock plus optional attributes (the worker ``pid`` for spans
+produced out of process).  It rides the same
+:class:`contextvars.ContextVar` pattern as
+:mod:`repro.exec.deadline`: the front door opens a
+:func:`trace_scope` around an admitted request, and every layer
+underneath records through :func:`span` / :func:`current_trace`
+without any call signature growing a ``trace=`` parameter.
+
+Tracing is **opt-in per request** (the ``X-Repro-Trace: 1`` header or
+the CLI ``--trace`` flag) and the disabled path is one contextvar
+read returning ``None`` — cheap enough to leave compiled in on the
+hot path.
+
+Cross-process propagation mirrors how index-build counters already
+travel: the coordinator stamps the trace id into each op's params
+(``_trace``), the shard side measures its handler under
+:meth:`~repro.exec.service.ShardService.handle` and attaches the
+resulting spans to its response (``_spans``), and the coordinator
+folds them back with :meth:`Trace.absorb` — the ``RXFM`` frame's
+request-id matching already guarantees a response (and therefore its
+spans) belongs to the request that asked.  Threads the executors fan
+out to do not inherit the contextvar, and do not need to: the trace
+id rides the op payload, and spans come home in the response.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Trace",
+    "current_trace",
+    "new_trace_id",
+    "span",
+    "trace_scope",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (unique enough to join logs on)."""
+    return uuid.uuid4().hex[:16]
+
+
+class Trace:
+    """One request's span collection; thread-safe for scatter fan-out."""
+
+    __slots__ = ("trace_id", "_spans", "_lock")
+
+    def __init__(self, trace_id: Optional[str] = None):
+        self.trace_id = trace_id or new_trace_id()
+        self._spans: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------
+    def add(self, name: str, ms: float, **attrs: object) -> None:
+        """Record one finished span (milliseconds, rounded)."""
+        entry: Dict[str, object] = {"name": name, "ms": round(float(ms), 3)}
+        if attrs:
+            entry.update(attrs)
+        with self._lock:
+            self._spans.append(entry)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(
+                name, (time.perf_counter() - started) * 1000, **attrs
+            )
+
+    def absorb(self, payload: object) -> None:
+        """Fold spans produced elsewhere (a worker process) back in.
+
+        ``payload`` is the ``_spans`` response envelope:
+        ``{"trace_id": ..., "spans": [{"name", "ms", ...}, ...]}``.
+        A missing payload is a non-traced response; a mismatched trace
+        id is a stale answer and is dropped (the transport's
+        request-id matching makes this unreachable in practice — the
+        check is a correctness backstop, not a recovery path).
+        """
+        if not isinstance(payload, dict):
+            return
+        if payload.get("trace_id") != self.trace_id:
+            return
+        spans = payload.get("spans")
+        if not isinstance(spans, (list, tuple)):
+            return
+        with self._lock:
+            for entry in spans:
+                if isinstance(entry, dict) and "name" in entry and "ms" in entry:
+                    self._spans.append(dict(entry))
+
+    # -- reading --------------------------------------------------------
+    @property
+    def spans(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [dict(entry) for entry in self._spans]
+
+    def span_names(self) -> List[str]:
+        return [str(entry["name"]) for entry in self.spans]
+
+    def total_ms(self, name: str) -> float:
+        """Sum of every span with this exact name."""
+        return sum(
+            float(entry["ms"]) for entry in self.spans if entry["name"] == name
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON payload surfaced as ``stats["trace"]``."""
+        spans = self.spans
+        return {
+            "trace_id": self.trace_id,
+            "spans": spans,
+            "span_count": len(spans),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.trace_id} spans={len(self._spans)}>"
+
+
+_current: contextvars.ContextVar[Optional[Trace]] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace collecting this context, or ``None`` (tracing off)."""
+    return _current.get()
+
+
+@contextmanager
+def trace_scope(trace: Optional[Trace]) -> Iterator[Optional[Trace]]:
+    """Pin ``trace`` as the current one for the dynamic extent.
+
+    ``None`` explicitly clears any inherited trace (a background task
+    spawned from a request-scoped context must not keep appending to
+    the request's spans).
+    """
+    token = _current.set(trace)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Measure one stage into the current trace; a no-op when off."""
+    trace = _current.get()
+    if trace is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        trace.add(name, (time.perf_counter() - started) * 1000, **attrs)

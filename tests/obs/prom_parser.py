@@ -1,0 +1,207 @@
+"""A strict Prometheus text-exposition (0.0.4) parser for the tests.
+
+Stricter than a scraper needs to be, on purpose: every rule the format
+document states is enforced, so a regression in the renderer fails
+loudly here rather than silently in some monitoring stack.
+
+* ``# HELP`` then ``# TYPE`` precede a family's samples, once each;
+* metric and label names match the Prometheus charsets;
+* label values use only the three escapes ``\\\\``, ``\\n``, ``\\"``;
+* sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
+* a family's samples are contiguous and match its declared name
+  (histograms may append ``_bucket``/``_sum``/``_count``);
+* histogram buckets are cumulative and non-decreasing, end at ``+Inf``,
+  and the ``+Inf`` bucket equals ``_count``.
+"""
+
+import math
+import re
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+
+
+class PromParseError(AssertionError):
+    """The exposition violated the text format."""
+
+
+def _parse_value(text, line):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PromParseError(f"unparseable sample value {text!r}: {line!r}")
+
+
+def _parse_labels(raw, line):
+    """``a="b",c="d"`` → dict, enforcing names, quoting and escapes."""
+    labels = {}
+    index = 0
+    while index < len(raw):
+        try:
+            eq = raw.index("=", index)
+        except ValueError:
+            raise PromParseError(f"label without '=': {line!r}") from None
+        name = raw[index:eq]
+        if not LABEL_NAME.match(name):
+            raise PromParseError(f"bad label name {name!r}: {line!r}")
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            raise PromParseError(f"label value not quoted: {line!r}")
+        value_chars = []
+        index = eq + 2
+        while True:
+            if index >= len(raw):
+                raise PromParseError(f"unterminated label value: {line!r}")
+            char = raw[index]
+            if char == "\\":
+                escape = raw[index : index + 2]
+                if escape == "\\\\":
+                    value_chars.append("\\")
+                elif escape == "\\n":
+                    value_chars.append("\n")
+                elif escape == '\\"':
+                    value_chars.append('"')
+                else:
+                    raise PromParseError(
+                        f"invalid escape {escape!r}: {line!r}"
+                    )
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            elif char == "\n":
+                raise PromParseError(f"raw newline in label value: {line!r}")
+            else:
+                value_chars.append(char)
+                index += 1
+        if name in labels:
+            raise PromParseError(f"duplicate label {name!r}: {line!r}")
+        labels[name] = "".join(value_chars)
+        if index < len(raw):
+            if raw[index] != ",":
+                raise PromParseError(
+                    f"expected ',' between labels: {line!r}"
+                )
+            index += 1
+    return labels
+
+
+def parse_prometheus_text(text):
+    """Parse one exposition; returns {family: {"kind", "help", "samples"}}.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``.
+    Raises :class:`PromParseError` on any format violation.
+    """
+    if not text.endswith("\n"):
+        raise PromParseError("exposition must end with a newline")
+    families = {}
+    current = None  # family name whose samples may follow
+    pending_help = None  # family that has HELP but not yet TYPE
+    for line in text.split("\n")[:-1]:
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                raise PromParseError(f"malformed comment line: {line!r}")
+            keyword, name = parts[1], parts[2]
+            if keyword == "HELP":
+                if not METRIC_NAME.match(name):
+                    raise PromParseError(f"bad family name: {line!r}")
+                if name in families:
+                    raise PromParseError(f"family {name!r} repeated")
+                families[name] = {
+                    "kind": None,
+                    "help": parts[3] if len(parts) == 4 else "",
+                    "samples": [],
+                }
+                pending_help = name
+                current = None
+            elif keyword == "TYPE":
+                if name != pending_help:
+                    raise PromParseError(
+                        f"TYPE without immediately preceding HELP: {line!r}"
+                    )
+                kind = parts[3] if len(parts) == 4 else ""
+                if kind not in KNOWN_KINDS:
+                    raise PromParseError(f"unknown kind {kind!r}: {line!r}")
+                families[name]["kind"] = kind
+                current = name
+                pending_help = None
+            else:
+                raise PromParseError(f"unknown comment keyword: {line!r}")
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PromParseError(f"malformed sample line: {line!r}")
+        sample_name = match.group("name")
+        if current is None:
+            raise PromParseError(f"sample before HELP/TYPE: {line!r}")
+        kind = families[current]["kind"]
+        allowed = {current}
+        if kind == "histogram":
+            allowed = {
+                current + "_bucket", current + "_sum", current + "_count"
+            }
+        elif kind == "summary":
+            allowed = {current, current + "_sum", current + "_count"}
+        if sample_name not in allowed:
+            raise PromParseError(
+                f"sample {sample_name!r} outside family {current!r}"
+            )
+        raw_labels = match.group("labels")
+        labels = (
+            _parse_labels(raw_labels, line) if raw_labels is not None else {}
+        )
+        value = _parse_value(match.group("value"), line)
+        families[current]["samples"].append((sample_name, labels, value))
+    for name, family in families.items():
+        if family["kind"] is None:
+            raise PromParseError(f"family {name!r} has HELP but no TYPE")
+        if family["kind"] == "histogram":
+            _check_histogram(name, family["samples"])
+    return families
+
+
+def _check_histogram(name, samples):
+    """Cumulative, non-decreasing buckets; +Inf equals _count."""
+    by_series = {}
+    counts = {}
+    for sample_name, labels, value in samples:
+        if sample_name == name + "_bucket":
+            if "le" not in labels:
+                raise PromParseError(f"{name} bucket without 'le' label")
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            by_series.setdefault(key, []).append(
+                (_parse_value(labels["le"], labels["le"]), value)
+            )
+        elif sample_name == name + "_count":
+            key = tuple(sorted(labels.items()))
+            counts[key] = value
+    for key, buckets in by_series.items():
+        bounds = [bound for bound, _ in buckets]
+        if bounds != sorted(bounds):
+            raise PromParseError(f"{name} buckets out of order: {bounds}")
+        if not bounds or bounds[-1] != math.inf:
+            raise PromParseError(f"{name} histogram missing +Inf bucket")
+        values = [value for _, value in buckets]
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise PromParseError(f"{name} buckets not cumulative: {values}")
+        if counts.get(key) != values[-1]:
+            raise PromParseError(
+                f"{name} +Inf bucket != _count: {values[-1]} vs "
+                f"{counts.get(key)}"
+            )

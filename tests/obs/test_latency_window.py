@@ -1,0 +1,107 @@
+"""LatencyWindow: ring wraparound, percentile oracle, thread safety."""
+
+import random
+import threading
+
+import pytest
+
+from repro.api.admission import LatencyWindow
+
+
+def _oracle(samples):
+    """The window's percentile definition, computed independently."""
+    ordered = sorted(samples)
+
+    def at(q):
+        return round(ordered[min(len(ordered) - 1, int(q * len(ordered)))] * 1000, 3)
+
+    return {
+        "count": len(ordered),
+        "p50_ms": at(0.50),
+        "p95_ms": at(0.95),
+        "p99_ms": at(0.99),
+    }
+
+
+class TestRingWraparound:
+    def test_empty_window(self):
+        window = LatencyWindow(size=8)
+        assert window.percentiles() == {
+            "count": 0,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+        }
+
+    def test_keeps_exactly_the_last_size_samples(self):
+        window = LatencyWindow(size=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            window.record(value)
+        # The ring holds 3..6; older samples fell off exactly.
+        stats = window.percentiles()
+        assert stats == _oracle([3.0, 4.0, 5.0, 6.0])
+        assert stats["count"] == 4
+
+    def test_wraparound_many_times_over(self):
+        window = LatencyWindow(size=16)
+        values = [float(i) for i in range(1000)]
+        for value in values:
+            window.record(value)
+        assert window.percentiles() == _oracle(values[-16:])
+
+
+class TestPercentileOracle:
+    @pytest.mark.parametrize("count", [1, 2, 3, 10, 100, 512])
+    def test_matches_sorted_oracle(self, count):
+        rng = random.Random(count)
+        window = LatencyWindow(size=512)
+        values = [rng.expovariate(100.0) for _ in range(count)]
+        for value in values:
+            window.record(value)
+        assert window.percentiles() == _oracle(values)
+
+    def test_single_sample_is_every_percentile(self):
+        window = LatencyWindow()
+        window.record(0.25)
+        stats = window.percentiles()
+        assert stats["p50_ms"] == stats["p95_ms"] == stats["p99_ms"] == 250.0
+
+
+class TestThreadHammer:
+    def test_eight_threads_record_and_read_concurrently(self):
+        window = LatencyWindow(size=512)
+        stop = threading.Event()
+        errors = []
+
+        def writer(index):
+            try:
+                for step in range(5_000):
+                    window.record(index + step * 1e-6)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    stats = window.percentiles()
+                    assert stats["count"] <= 512
+                    if stats["count"]:
+                        assert stats["p50_ms"] <= stats["p99_ms"]
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        writers = [
+            threading.Thread(target=writer, args=(i,)) for i in range(8)
+        ]
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        watcher.join()
+        assert errors == []
+        stats = window.percentiles()
+        assert stats["count"] == 512
+        assert stats["p50_ms"] is not None

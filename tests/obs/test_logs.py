@@ -1,0 +1,136 @@
+"""Structured logging: formatters, the one-handler rule, log_event."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    JsonLogFormatter,
+    TextLogFormatter,
+    configure_logging,
+    log_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    """Leave the ``repro`` logger exactly as we found it."""
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:] = saved[0]
+    logger.setLevel(saved[1])
+    logger.propagate = saved[2]
+
+
+def _capture(json_logs=False, level="info"):
+    stream = io.StringIO()
+    configure_logging(json_logs=json_logs, level=level, stream=stream)
+    return stream
+
+
+class TestJsonFormatter:
+    def test_record_is_one_json_object_with_fields_flattened(self):
+        stream = _capture(json_logs=True)
+        log_event(
+            logging.getLogger("repro.serve.access"),
+            logging.INFO,
+            "access",
+            trace_id="abc123",
+            route="/v1/query",
+            status=200,
+            latency_ms=1.5,
+        )
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "access"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.serve.access"
+        assert record["trace_id"] == "abc123"
+        assert record["route"] == "/v1/query"
+        assert record["status"] == 200
+        assert record["latency_ms"] == 1.5
+        assert "ts" in record and "time" in record
+
+    def test_exception_is_included(self):
+        stream = _capture(json_logs=True, level="error")
+        logger = logging.getLogger("repro.test")
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            logger.exception("failed")
+        record = json.loads(stream.getvalue())
+        assert "kaboom" in record["exception"]
+
+    def test_non_serializable_fields_fall_back_to_str(self):
+        stream = _capture(json_logs=True)
+        log_event(
+            logging.getLogger("repro.test"),
+            logging.INFO,
+            "msg",
+            payload=object(),
+        )
+        assert "object object at" in json.loads(stream.getvalue())["payload"]
+
+
+class TestTextFormatter:
+    def test_line_carries_key_values(self):
+        stream = _capture(json_logs=False)
+        log_event(
+            logging.getLogger("repro.test"),
+            logging.INFO,
+            "access",
+            route="/v1/query",
+            status=200,
+        )
+        line = stream.getvalue().strip()
+        assert "access" in line
+        assert "route=/v1/query" in line
+        assert "status=200" in line
+        assert "INFO" in line
+
+    def test_formatters_share_the_fields_convention(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "msg", (), None
+        )
+        record.fields = {"a": 1}
+        assert "a=1" in TextLogFormatter().format(record)
+        assert json.loads(JsonLogFormatter().format(record))["a"] == 1
+
+
+class TestConfigureLogging:
+    def test_installs_exactly_one_handler(self):
+        configure_logging(stream=io.StringIO())
+        configure_logging(stream=io.StringIO())
+        configure_logging(stream=io.StringIO())
+        logger = logging.getLogger("repro")
+        ours = [h for h in logger.handlers if h.name == "repro-obs"]
+        assert len(ours) == 1
+        assert logger.propagate is False
+
+    def test_level_threshold_filters(self):
+        stream = _capture(level="warning")
+        log_event(
+            logging.getLogger("repro.serve.access"),
+            logging.INFO,
+            "access",
+        )
+        assert stream.getvalue() == ""
+        log_event(
+            logging.getLogger("repro.serve.access"),
+            logging.WARNING,
+            "slow query",
+        )
+        assert "slow query" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="chatty")
+
+    def test_log_event_skips_formatting_when_disabled(self):
+        stream = _capture(level="error")
+        log_event(
+            logging.getLogger("repro.test"), logging.DEBUG, "not shown"
+        )
+        assert stream.getvalue() == ""

@@ -1,0 +1,269 @@
+"""Typed metrics and the hand-written Prometheus text exposition.
+
+The renderer is validated with the strict 0.0.4 parser in
+``prom_parser`` — every HELP/TYPE rule, the label escaping rules and
+histogram cumulativity are enforced, not eyeballed.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+from .prom_parser import PromParseError, parse_prometheus_text
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("repro_test_total", "help")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+
+    def test_value_is_int_for_integral_counts(self):
+        counter = Counter("repro_test_total", "help")
+        counter.inc(5)
+        assert isinstance(counter.value, int)
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("repro_test_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_counter_sums_children(self):
+        counter = Counter("repro_test_total", "help", label_names=("route",))
+        counter.labels(route="/a").inc()
+        counter.labels(route="/a").inc()
+        counter.labels(route="/b").inc(3)
+        assert counter.value == 5
+        samples = dict(
+            ((labels["route"]), value)
+            for _suffix, labels, value in counter.collect()
+        )
+        assert samples == {"/a": 2, "/b": 3}
+
+    def test_labelled_counter_refuses_bare_inc(self):
+        counter = Counter("repro_test_total", "help", label_names=("route",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_labels_require_exact_names(self):
+        counter = Counter("repro_test_total", "help", label_names=("route",))
+        with pytest.raises(ValueError):
+            counter.labels(nope="x")
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("0bad-name", "help")
+
+    def test_thread_hammer_loses_no_increment(self):
+        counter = Counter("repro_test_total", "help")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_depth", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_callback_function_wins(self):
+        gauge = Gauge("repro_depth", "help")
+        gauge.set_function(lambda: 42)
+        gauge.set(7)  # ignored once a function is installed
+        assert gauge.value == 42
+
+
+class TestCallbackGauge:
+    def test_labelled_samples_computed_per_scrape(self):
+        rows = [({"shard": 0, "replica": 0}, 0), ({"shard": 0, "replica": 1}, 2)]
+        gauge = CallbackGauge(
+            "repro_state", "help", ("shard", "replica"), lambda: rows
+        )
+        collected = gauge.collect()
+        assert len(collected) == 2
+        assert collected[1][1] == {"shard": "0", "replica": "1"}
+        assert collected[1][2] == 2.0
+
+
+class TestHistogram:
+    def test_bucket_counts_match_sorted_oracle(self):
+        histogram = Histogram(
+            "repro_lat_seconds", "help", buckets=(0.1, 1.0, 10.0)
+        )
+        values = [0.05, 0.1, 0.5, 2.0, 50.0]
+        for value in values:
+            histogram.observe(value)
+        cumulative, total, count = histogram.snapshot_key()
+        # Oracle: cumulative count of values <= each bound, then +Inf.
+        assert cumulative == [
+            sum(1 for v in values if v <= 0.1),
+            sum(1 for v in values if v <= 1.0),
+            sum(1 for v in values if v <= 10.0),
+            len(values),
+        ]
+        assert total == pytest.approx(sum(values))
+        assert count == len(values)
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_lat_seconds", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("repro_lat_seconds", "help", buckets=(2.0, 1.0))
+
+    def test_collect_emits_cumulative_buckets_sum_count(self):
+        histogram = Histogram("repro_lat_seconds", "help", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        samples = {
+            (suffix, labels.get("le")): value
+            for suffix, labels, value in histogram.collect()
+        }
+        assert samples[("_bucket", "1")] == 1
+        assert samples[("_bucket", "+Inf")] == 2
+        assert samples[("_sum", None)] == pytest.approx(3.5)
+        assert samples[("_count", None)] == 2
+
+    def test_labelled_histogram(self):
+        histogram = Histogram(
+            "repro_lat_seconds", "help", label_names=("route",), buckets=(1.0,)
+        )
+        histogram.labels(route="/v1/query").observe(0.2)
+        cumulative, _total, count = histogram.snapshot_key(("/v1/query",))
+        assert cumulative == [1, 1]
+        assert count == 1
+
+
+class TestRegistry:
+    def _registry(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_http_requests_total", "Requests.", labels=("route",)
+        )
+        requests.labels(route="/v1/query").inc(4)
+        latency = registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        latency.observe(0.25)
+        gauge = registry.gauge("repro_depth", "Depth.")
+        gauge.set(3)
+        return registry
+
+    def test_render_parses_strictly(self):
+        families = parse_prometheus_text(self._registry().render())
+        assert families["repro_http_requests_total"]["kind"] == "counter"
+        assert families["repro_lat_seconds"]["kind"] == "histogram"
+        assert families["repro_depth"]["kind"] == "gauge"
+        [sample] = families["repro_http_requests_total"]["samples"]
+        assert sample == ("repro_http_requests_total", {"route": "/v1/query"}, 4.0)
+
+    def test_const_labels_merge_into_samples(self):
+        registry = MetricsRegistry()
+        hits = Counter("repro_cache_hits_total", "Hits.")
+        hits.inc(2)
+        registry.register(hits, labels={"collection": "plays"})
+        families = parse_prometheus_text(registry.render())
+        [sample] = families["repro_cache_hits_total"]["samples"]
+        assert sample[1] == {"collection": "plays"}
+        assert sample[2] == 2.0
+
+    def test_same_family_multiple_collections_single_header(self):
+        registry = MetricsRegistry()
+        for name in ("a", "b"):
+            counter = Counter("repro_cache_hits_total", "Hits.")
+            counter.inc()
+            registry.register(counter, labels={"collection": name})
+        text = registry.render()
+        assert text.count("# HELP repro_cache_hits_total") == 1
+        assert text.count("# TYPE repro_cache_hits_total") == 1
+        families = parse_prometheus_text(text)
+        assert len(families["repro_cache_hits_total"]["samples"]) == 2
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("repro_x_total", "One help."))
+        with pytest.raises(ValueError):
+            registry.register(Counter("repro_x_total", "Another help."))
+        with pytest.raises(ValueError):
+            registry.register(Gauge("repro_x_total", "One help."))
+
+    def test_duplicate_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        counter = Counter("repro_x_total", "help")
+        counter.inc()
+        registry.register(counter)
+        registry.register(counter)
+        families = parse_prometheus_text(registry.render())
+        assert len(families["repro_x_total"]["samples"]) == 1
+
+    def test_label_value_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        counter = Counter("repro_x_total", "help", label_names=("q",))
+        nasty = 'quote " slash \\ newline \n end'
+        counter.labels(q=nasty).inc()
+        registry.register(counter)
+        families = parse_prometheus_text(registry.render())
+        [sample] = families["repro_x_total"]["samples"]
+        assert sample[1]["q"] == nasty
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("repro_x_total", "line one\nline two"))
+        text = registry.render()
+        assert "line one\\nline two" in text
+        parse_prometheus_text(text)
+
+    def test_snapshot_is_json_ready(self):
+        snapshot = self._registry().snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["repro_depth"]["samples"][0]["value"] == 3
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(PromParseError):
+            parse_prometheus_text("repro_x_total 1\n")  # no HELP/TYPE
+        with pytest.raises(PromParseError):
+            parse_prometheus_text(
+                "# HELP repro_x_total h\nrepro_x_total 1\n"  # no TYPE
+            )
+        with pytest.raises(PromParseError):
+            parse_prometheus_text(
+                "# HELP repro_x_total h\n# TYPE repro_x_total counter\n"
+                "repro_x_total nope\n"
+            )
+
+    def test_inf_bucket_rendering(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.5,)
+        )
+        histogram.observe(7.0)
+        families = parse_prometheus_text(registry.render())
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in families["repro_lat_seconds"]["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert buckets == [("0.5", 0.0), ("+Inf", 1.0)]
+        assert math.isinf(float("inf"))

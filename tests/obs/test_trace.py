@@ -1,0 +1,158 @@
+"""The trace layer: spans, contextvar scoping, cross-process absorb."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    Trace,
+    current_trace,
+    new_trace_id,
+    span,
+    trace_scope,
+)
+
+
+class TestTraceBasics:
+    def test_new_trace_id_shape(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert len(first) == 16
+        assert int(first, 16) >= 0  # hex
+        assert first != second
+
+    def test_add_rounds_and_keeps_attrs(self):
+        trace = Trace("abc")
+        trace.add("merge", 1.23456, shards=2)
+        [entry] = trace.spans
+        assert entry == {"name": "merge", "ms": 1.235, "shards": 2}
+
+    def test_span_contextmanager_measures(self):
+        trace = Trace()
+        with trace.span("stage"):
+            pass
+        [entry] = trace.spans
+        assert entry["name"] == "stage"
+        assert entry["ms"] >= 0
+
+    def test_span_records_even_on_exception(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("doomed"):
+                raise RuntimeError("boom")
+        assert trace.span_names() == ["doomed"]
+
+    def test_total_ms_sums_matching_names(self):
+        trace = Trace()
+        trace.add("shard.scatter", 1.0)
+        trace.add("shard.scatter", 2.5)
+        trace.add("merge", 10.0)
+        assert trace.total_ms("shard.scatter") == pytest.approx(3.5)
+
+    def test_to_dict_payload(self):
+        trace = Trace("feed")
+        trace.add("parse", 0.5)
+        payload = trace.to_dict()
+        assert payload["trace_id"] == "feed"
+        assert payload["span_count"] == 1
+        assert payload["spans"][0]["name"] == "parse"
+
+    def test_spans_returns_copies(self):
+        trace = Trace()
+        trace.add("parse", 1.0)
+        trace.spans[0]["name"] = "mutated"
+        assert trace.span_names() == ["parse"]
+
+
+class TestAbsorb:
+    def test_absorb_worker_spans(self):
+        trace = Trace("t1")
+        trace.absorb(
+            {
+                "trace_id": "t1",
+                "spans": [{"name": "shard[0].nearest", "ms": 3.0, "pid": 7}],
+            }
+        )
+        [entry] = trace.spans
+        assert entry["pid"] == 7
+
+    def test_absorb_rejects_mismatched_trace_id(self):
+        trace = Trace("t1")
+        trace.absorb({"trace_id": "other", "spans": [{"name": "x", "ms": 1}]})
+        assert trace.spans == []
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            "nope",
+            {"trace_id": "t1"},
+            {"trace_id": "t1", "spans": "nope"},
+            {"trace_id": "t1", "spans": [{"name": "missing-ms"}, 17]},
+        ],
+    )
+    def test_absorb_ignores_malformed_payloads(self, payload):
+        trace = Trace("t1")
+        trace.absorb(payload)
+        assert trace.spans == []
+
+
+class TestContextScoping:
+    def test_no_trace_by_default(self):
+        assert current_trace() is None
+
+    def test_trace_scope_pins_and_restores(self):
+        trace = Trace()
+        with trace_scope(trace):
+            assert current_trace() is trace
+            inner = Trace()
+            with trace_scope(inner):
+                assert current_trace() is inner
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_trace_scope_none_clears(self):
+        outer = Trace()
+        with trace_scope(outer):
+            with trace_scope(None):
+                assert current_trace() is None
+            assert current_trace() is outer
+
+    def test_module_span_records_into_current(self):
+        trace = Trace()
+        with trace_scope(trace):
+            with span("merge", shards=3):
+                pass
+        [entry] = trace.spans
+        assert entry["name"] == "merge"
+        assert entry["shards"] == 3
+
+    def test_module_span_is_noop_without_trace(self):
+        with span("ignored"):
+            pass  # must not raise, must not record anywhere
+
+    def test_threads_do_not_inherit_scope(self):
+        trace = Trace()
+        seen = []
+        with trace_scope(trace):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_concurrent_adds_are_safe(self):
+        trace = Trace()
+
+        def hammer(index):
+            for _ in range(500):
+                trace.add(f"worker{index}", 0.1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trace.spans) == 8 * 500
