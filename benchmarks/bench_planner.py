@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Bench: value-index probes vs scans, and prepared vs ad-hoc queries.
+
+Two questions, answered on the bundled datasets up to the ~84k-node
+random tree:
+
+* **Access paths** — for equality and range predicates, how much does
+  the planner's value-index probe buy over the forced string-relation
+  scan (``force_scan=True``), with the fulltext-postings ``contains``
+  path alongside for scale?  Before anything is timed, every query is
+  executed down both paths and the rows asserted byte-identical — the
+  planner's correctness contract, restated here so a broken probe can
+  never post a good number.
+* **Prepared statements** — for a parameterized template executed with
+  a stream of distinct bindings, how does plan-once/bind-per-call
+  (``execute_template``) compare to parsing and planning every call?
+  Both streams are checked row-identical first.
+
+Output: a fixed-width table (``benchmarks/out/bench_planner.txt``)
+plus the machine-readable ``BENCH_planner.json`` trajectory artefact
+at the repo root (CI smoke: ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.report import render_table, write_json_report
+from repro.datasets import PlaysConfig, figure1_document, plays_document
+from repro.datasets.randomtree import random_document
+from repro.monet.transform import monet_transform
+from repro.query.executor import QueryProcessor
+from repro.query.parser import parse_query
+from repro.valueindex import get_value_index
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = Path(__file__).parent / "out" / "bench_planner.txt"
+JSON_PATH = REPO_ROOT / "BENCH_planner.json"
+
+TEMPLATE = "select $a from # $a where $a = $v"
+
+
+def _time(task: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def _best_of(task: Callable[[], object], repeat: int) -> float:
+    return min(_time(task) for _ in range(repeat))
+
+
+def _sample_values(store, rng: random.Random, count: int) -> List[str]:
+    values = sorted(
+        {
+            value
+            for _pid, relation in store.string_relations()
+            for _oid, value in relation
+            if value and "'" not in value
+        }
+    )
+    return [rng.choice(values) for _ in range(count)]
+
+
+def bench_dataset(
+    name: str, store, rng: random.Random, queries: int, repeat: int
+) -> List[Dict[str, object]]:
+    values = _sample_values(store, rng, queries)
+    midpoint = sorted(values)[len(values) // 2]
+    eq_texts = [
+        f"select $a from # $a where $a = '{value}'" for value in values
+    ]
+    range_texts = [
+        f"select $a from # $a where $a >= '{midpoint}' and $a <= '{value}'"
+        for value in values
+    ]
+    contains_texts = [
+        f"select $a from # $a where $a contains '{value.split()[0]}'"
+        for value in values
+        if value.split() and value.split()[0].isalnum()
+    ] or [f"select $a from # $a where $a contains '{values[0]}'"]
+
+    planner = QueryProcessor(store, None)
+    scanner = QueryProcessor(store, None, force_scan=True)
+    get_value_index(store)  # probes timed warm, like a served snapshot
+
+    # Differential gate: identical rows down both paths, every query.
+    for text in eq_texts + range_texts:
+        planned, scanned = planner.execute(text), scanner.execute(text)
+        assert planned.rows == scanned.rows, (name, text)
+
+    rows: List[Dict[str, object]] = []
+
+    def run(texts: List[str], processor: QueryProcessor) -> Callable:
+        return lambda: [processor.execute(text) for text in texts]
+
+    workloads = [
+        ("eq probe", run(eq_texts, planner)),
+        ("eq scan", run(eq_texts, scanner)),
+        ("range probe", run(range_texts, planner)),
+        ("range scan", run(range_texts, scanner)),
+        ("contains fulltext", run(contains_texts, planner)),
+    ]
+    seconds: Dict[str, float] = {}
+    for label, task in workloads:
+        seconds[label] = _best_of(task, repeat)
+        rows.append(
+            {
+                "dataset": name,
+                "workload": label,
+                "queries": queries,
+                "qps": queries / seconds[label],
+                "speedup_vs_scan": None,
+            }
+        )
+    for kind in ("eq", "range"):
+        probe = next(r for r in rows if r["workload"] == f"{kind} probe")
+        probe["speedup_vs_scan"] = (
+            seconds[f"{kind} scan"] / seconds[f"{kind} probe"]
+        )
+
+    # Prepared vs ad-hoc: same binding stream, no result cache.
+    template = parse_query(TEMPLATE)
+    prepared_processor = QueryProcessor(store, None)
+    adhoc_processor = QueryProcessor(store, None)
+    bindings = [{"v": value} for value in values]
+    for binding in bindings[: min(8, len(bindings))]:
+        prepared = prepared_processor.execute_template(
+            template, text=TEMPLATE, bindings=binding
+        )
+        adhoc = adhoc_processor.execute(TEMPLATE, bindings=binding)
+        assert prepared.rows == adhoc.rows, (name, binding)
+
+    prepared_seconds = _best_of(
+        lambda: [
+            prepared_processor.execute_template(
+                template, text=TEMPLATE, bindings=binding
+            )
+            for binding in bindings
+        ],
+        repeat,
+    )
+    adhoc_seconds = _best_of(
+        lambda: [
+            adhoc_processor.execute(TEMPLATE, bindings=binding)
+            for binding in bindings
+        ],
+        repeat,
+    )
+    rows.append(
+        {
+            "dataset": name,
+            "workload": "execute prepared",
+            "queries": queries,
+            "qps": queries / prepared_seconds,
+            "speedup_vs_scan": None,
+            "speedup_vs_adhoc": adhoc_seconds / prepared_seconds,
+        }
+    )
+    rows.append(
+        {
+            "dataset": name,
+            "workload": "execute ad-hoc",
+            "queries": queries,
+            "qps": queries / adhoc_seconds,
+            "speedup_vs_scan": None,
+        }
+    )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny sizes, 1 repeat"
+    )
+    parser.add_argument("--nodes", type=int, default=60_000,
+                        help="random-tree element budget "
+                             "(60k elements -> the 84k-node store)")
+    parser.add_argument("--queries", type=int, default=36)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nodes, args.queries, args.repeat = 3_000, 12, 1
+
+    rng = random.Random(29)
+    rows: List[Dict[str, object]] = []
+
+    rows += bench_dataset(
+        "figure1",
+        monet_transform(figure1_document()),
+        rng,
+        args.queries,
+        args.repeat,
+    )
+
+    plays_store = monet_transform(
+        plays_document(
+            PlaysConfig(plays=2 if args.quick else 8)
+        )
+    )
+    print(f"plays: {plays_store.node_count} nodes", file=sys.stderr)
+    rows += bench_dataset("plays", plays_store, rng, args.queries, args.repeat)
+
+    random_store = monet_transform(
+        random_document(42, nodes=args.nodes, max_children=3)
+    )
+    print(f"random: {random_store.node_count} nodes", file=sys.stderr)
+    rows += bench_dataset(
+        "random", random_store, rng, args.queries, args.repeat
+    )
+
+    table = render_table(
+        ["dataset", "workload", "queries", "qps", "speedup"],
+        [
+            [
+                row["dataset"],
+                row["workload"],
+                row["queries"],
+                f"{row['qps']:.0f}",
+                (
+                    f"{row['speedup_vs_scan']:.2f}x vs scan"
+                    if row.get("speedup_vs_scan")
+                    else (
+                        f"{row['speedup_vs_adhoc']:.2f}x vs ad-hoc"
+                        if row.get("speedup_vs_adhoc")
+                        else "-"
+                    )
+                ),
+            ]
+            for row in rows
+        ],
+        title="planner access paths and prepared execution",
+    )
+    print(table)
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(table + "\n", encoding="utf-8")
+
+    write_json_report(
+        args.json,
+        "planner",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "queries": args.queries,
+            "repeat": args.repeat,
+        },
+        rows,
+    )
+    print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ redundant work (call :meth:`warm_up` first, as the server does).
 
 from __future__ import annotations
 
+import hashlib
 import shutil
 import tempfile
 import threading
@@ -63,6 +64,7 @@ from ..core.engine import NearestConceptEngine
 from ..core.result_cache import ResultCache, resolve_result_cache
 from ..datamodel.errors import (
     DuplicateDocumentError,
+    QueryPlanError,
     ReproError,
     StorageError,
     UnknownDocumentError,
@@ -81,11 +83,16 @@ from ..monet.mutate import (
     put_document,
     replace_document,
 )
+from ..obs.metrics import Counter, Gauge
+from ..query.ast import Query
 from ..query.executor import QueryProcessor, QueryResult
+from ..query.parser import parse_query
 from ..snapshot.codec import Snapshot, read_snapshot, write_snapshot
 from ..snapshot.deltas import DeltaOp, append_delta
 from .envelopes import (
+    ExecuteRequest,
     NearestRequest,
+    PrepareRequest,
     QueryRequest,
     ResultEnvelope,
     SearchRequest,
@@ -221,6 +228,17 @@ class Database:
         self._mutable_catalog: Optional[Tuple[FsPath, str]] = None
         self._pending_deltas = 0
         self._mutations = 0
+        #: Declared value-index path patterns (recorded in the bundle's
+        #: manifest meta); preserved across compaction rewrites.
+        self._value_indexes: Optional[List[str]] = None
+        #: Prepared statements: handle → (normalized text, parsed template).
+        self._prepared: Dict[str, Tuple[str, Query]] = {}
+        self._prepared_lock = threading.Lock()
+        self._metric_objects: Optional[List[object]] = None
+        self._prepared_executions = Counter(
+            "repro_prepared_executions_total",
+            "Executions of prepared statements.",
+        )
         if snapshot is not None:
             self._bind_write_through(snapshot)
         self._finalizer = (
@@ -233,6 +251,9 @@ class Database:
             return
         self._delta_path = FsPath(snapshot.path)
         self._pending_deltas = snapshot.delta_count
+        declared = snapshot.meta.get("value_indexes")
+        if isinstance(declared, list):
+            self._value_indexes = [str(pattern) for pattern in declared]
         catalog_root = snapshot.meta.get("catalog")
         collection = snapshot.meta.get("collection")
         if isinstance(catalog_root, str) and isinstance(collection, str):
@@ -362,6 +383,7 @@ class Database:
             ]
             for snapshot, path in zip(snapshots, bundles.paths):
                 _check_layout(snapshot.meta, path)
+            meta = snapshots[0].meta
             summary = snapshots[0].store.summary
             executor = SerialExecutor(
                 [
@@ -387,13 +409,17 @@ class Database:
             cache=resolve_result_cache(options.cache),
             max_rows=options.max_rows,
         )
-        return cls(
+        database = cls(
             options=options,
             origin=resolved.origin,
             source=source_name,
             load_seconds=time.perf_counter() - started,
             sharded=sharded,
         )
+        declared = meta.get("value_indexes")
+        if isinstance(declared, list):
+            database._value_indexes = [str(pattern) for pattern in declared]
+        return database
 
     @staticmethod
     def _cluster_executor_from_addresses(cluster, shard_count: int):
@@ -638,6 +664,7 @@ class Database:
                         max_rows=self.options.max_rows,
                         backend=self.backend_name,
                         cache=self.result_cache,
+                        value_indexes=tuple(self._value_indexes or ()),
                     )
         return self._processor
 
@@ -679,8 +706,8 @@ class Database:
         return self.result_cache.cache_info()
 
     def metrics(self) -> List[object]:
-        """The typed metric objects this database owns (cache and
-        executor counters), for registration in a server's
+        """The typed metric objects this database owns (cache, executor
+        and planner counters), for registration in a server's
         :class:`~repro.obs.metrics.MetricsRegistry`."""
         objects: List[object] = []
         if self.result_cache is not None:
@@ -691,7 +718,56 @@ class Database:
             )
             if callable(collect):
                 objects.extend(collect())
+        objects.extend(self._planner_metric_objects())
         return objects
+
+    def _planner_metric_objects(self) -> List[object]:
+        """Prepared-statement and plan-cache metrics (built once)."""
+        if self._metric_objects is None:
+            statements = Gauge(
+                "repro_prepared_statements",
+                "Prepared statements currently held by the collection.",
+            ).set_function(lambda: float(len(self._prepared)))
+            hits = Gauge(
+                "repro_planner_plan_cache_hits",
+                "Prepared-plan cache hits (plan reused across executions).",
+            ).set_function(lambda: float(self.plan_cache_info()["hits"]))
+            misses = Gauge(
+                "repro_planner_plan_cache_misses",
+                "Prepared-plan cache misses (plan computed).",
+            ).set_function(lambda: float(self.plan_cache_info()["misses"]))
+            self._metric_objects = [
+                statements,
+                self._prepared_executions,
+                hits,
+                misses,
+            ]
+        return self._metric_objects
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Prepared-plan cache counters, summed across the execution tree.
+
+        Monolithic opens read the query processor's cache; in-process
+        sharded opens sum over the shard services' template memos.
+        Out-of-process executors keep their memos worker-side and
+        report zeros here.
+        """
+        totals = {"hits": 0, "misses": 0, "currsize": 0}
+        processor = self._processor
+        if processor is not None:
+            info = processor.plan_cache_info()
+            for field in totals:
+                totals[field] += info[field]
+        if self.sharded is not None:
+            services = getattr(self.sharded.executor, "services", None)
+            if services:
+                for service in services:
+                    plans = getattr(service, "_plans", None)
+                    if plans is not None:
+                        totals["hits"] += service._plan_hits
+                        totals["misses"] += service._plan_misses
+                        totals["currsize"] += len(plans)
+        return totals
 
     def to_xml(self, oid: int, indent: int = 2) -> str:
         """Serialize one answer subtree, whichever execution layer."""
@@ -709,6 +785,8 @@ class Database:
             "backend": self.backend_name,
             "case_sensitive": self.case_sensitive,
         }
+        if self._value_indexes:
+            meta["value_indexes"] = list(self._value_indexes)
         if self.sharded is not None:
             plan = self.sharded.plan
             meta["path_count"] = plan.path_count
@@ -907,12 +985,19 @@ class Database:
                     stats=self._envelope_stats(),
                 )
             if self.sharded is not None:
-                result: QueryResult = self.sharded.execute(request.text)
+                result: QueryResult = self.sharded.execute(
+                    request.text, bindings=request.params
+                )
             else:
-                result = self.processor.execute(request.text)
+                result = self.processor.execute(
+                    request.text, bindings=request.params
+                )
             rendered = self._render_answer(result) if request.render else None
         elapsed = time.perf_counter() - started
         table = result.to_dict()
+        stats = self._envelope_stats()
+        if result.plan is not None:
+            stats["plan"] = result.plan
         return ResultEnvelope(
             kind=QueryRequest.kind,
             request=request.to_dict(),
@@ -921,7 +1006,7 @@ class Database:
             rendered=rendered,
             count=table["row_count"],
             elapsed_ms=round(elapsed * 1000, 3),
-            stats=self._envelope_stats(),
+            stats=stats,
         )
 
     def _render_answer(self, result: QueryResult) -> str:
@@ -951,6 +1036,88 @@ class Database:
         if self.sharded is not None:
             return self.sharded.explain(text)
         return self.processor.explain(text)
+
+    # -- prepared statements ----------------------------------------------
+    def prepare(
+        self, request: Union[str, PrepareRequest]
+    ) -> Dict[str, object]:
+        """Parse and register a parameterized query; returns its handle.
+
+        The handle is a deterministic digest of the normalized text, so
+        re-preparing the same statement is idempotent and clients can
+        share handles.  Executions bind ``$name`` parameters per call
+        (:meth:`execute`); the schema half of the plan is computed once
+        per store generation and reused across executions.
+        """
+        if isinstance(request, str):
+            request = PrepareRequest(text=request)
+        text = request.text.strip()
+        template = parse_query(text)  # surfaces syntax errors now
+        handle = "q" + hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        with self._prepared_lock:
+            self._prepared[handle] = (text, template)
+        return {
+            "op": "prepare",
+            "handle": handle,
+            "text": text,
+            "parameters": sorted(template.parameters),
+        }
+
+    def execute(
+        self,
+        request: Union[str, ExecuteRequest],
+        params: Optional[Dict[str, str]] = None,
+        render: bool = False,
+    ) -> ResultEnvelope:
+        """Execute a prepared statement with per-call parameter bindings.
+
+        Answers are byte-identical to :meth:`query` over the same text
+        with the same bindings — only the parse/plan work is amortized.
+        """
+        if isinstance(request, str):
+            request = ExecuteRequest(
+                handle=request, params=params, render=render
+            )
+        elif params is not None or render:
+            raise TypeError(
+                "pass either an ExecuteRequest or a handle with inline "
+                "params, not both"
+            )
+        entry = self._prepared.get(request.handle)
+        if entry is None:
+            raise QueryPlanError(
+                f"unknown prepared-statement handle {request.handle!r}; "
+                "prepare the statement first"
+            )
+        text, template = entry
+        started = time.perf_counter()
+        with self._rw.read():
+            if self.sharded is not None:
+                result: QueryResult = self.sharded.execute(
+                    text, bindings=request.params
+                )
+            else:
+                result = self.processor.execute_template(
+                    template, text=text, bindings=request.params
+                )
+            rendered = self._render_answer(result) if request.render else None
+        self._prepared_executions.inc()
+        elapsed = time.perf_counter() - started
+        table = result.to_dict()
+        stats = self._envelope_stats()
+        if result.plan is not None:
+            stats["plan"] = result.plan
+        stats["plan_cache"] = self.plan_cache_info()
+        return ResultEnvelope(
+            kind=ExecuteRequest.kind,
+            request=request.to_dict(),
+            columns=tuple(table["columns"]),
+            rows=tuple(tuple(row) for row in table["rows"]),
+            rendered=rendered,
+            count=table["row_count"],
+            elapsed_ms=round(elapsed * 1000, 3),
+            stats=stats,
+        )
 
     # -- the live write path ---------------------------------------------
     def put(self, name: str, xml: str) -> Dict[str, object]:
@@ -1136,13 +1303,19 @@ class Database:
 
             root, name = self._mutable_catalog
             Catalog(root).build(
-                name, store, case_sensitive=self.case_sensitive
+                name,
+                store,
+                case_sensitive=self.case_sensitive,
+                value_indexes=self._value_indexes,
             )
         else:
             temp = self._delta_path.with_suffix(".snap.tmp")
             try:
                 write_snapshot(
-                    store, temp, case_sensitive=self.case_sensitive
+                    store,
+                    temp,
+                    case_sensitive=self.case_sensitive,
+                    value_indexes=self._value_indexes,
                 )
                 temp.replace(self._delta_path)
             except BaseException:

@@ -35,7 +35,9 @@ __all__ = [
     "CompactRequest",
     "DeleteDocumentRequest",
     "EnvelopeError",
+    "ExecuteRequest",
     "NearestRequest",
+    "PrepareRequest",
     "PutDocumentRequest",
     "QueryRequest",
     "Request",
@@ -81,6 +83,31 @@ def _flag(payload: Dict[str, object], key: str, kind: str) -> bool:
     if not isinstance(value, bool):
         raise EnvelopeError(f"{kind} field {key!r} must be a boolean")
     return value
+
+
+def _opt_params(
+    payload: Dict[str, object], key: str, kind: str
+) -> Optional[Dict[str, str]]:
+    """A parameter-binding map: names to JSON scalars, coerced to str.
+
+    Bindings substitute for query literals, which are strings, so
+    numbers are accepted on the wire but normalized here — one code
+    path downstream, and cache keys see one spelling per value.
+    """
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, dict) or not all(
+        isinstance(name, str)
+        and isinstance(bound, (str, int, float))
+        and not isinstance(bound, bool)
+        for name, bound in value.items()
+    ):
+        raise EnvelopeError(
+            f"{kind} field {key!r} must map parameter names to "
+            "string or number values"
+        )
+    return {name: str(bound) for name, bound in value.items()}
 
 
 def _reject_unknown(
@@ -190,13 +217,18 @@ class NearestRequest:
 
 @dataclass(frozen=True, slots=True)
 class QueryRequest:
-    """One select/from/where query string (optionally explain/render)."""
+    """One select/from/where query string (optionally explain/render).
+
+    ``params`` binds any ``$name`` placeholders in ``text`` for this
+    execution — the ad-hoc sibling of the prepare/execute pair.
+    """
 
     kind: ClassVar[str] = "query"
 
     text: str
     explain: bool = False
     render: bool = False
+    params: Optional[Dict[str, str]] = None
     collection: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
@@ -205,6 +237,7 @@ class QueryRequest:
             "text": self.text,
             "explain": self.explain,
             "render": self.render,
+            "params": None if self.params is None else dict(self.params),
             "collection": self.collection,
         }
 
@@ -212,7 +245,9 @@ class QueryRequest:
     def from_dict(cls, payload: Dict[str, object]) -> "QueryRequest":
         payload = _require(payload, cls.kind)
         _reject_unknown(
-            payload, ("text", "explain", "render", "collection"), cls.kind
+            payload,
+            ("text", "explain", "render", "params", "collection"),
+            cls.kind,
         )
         text = payload.get("text")
         if not isinstance(text, str) or not text.strip():
@@ -220,6 +255,75 @@ class QueryRequest:
         return cls(
             text=text,
             explain=_flag(payload, "explain", cls.kind),
+            render=_flag(payload, "render", cls.kind),
+            params=_opt_params(payload, "params", cls.kind),
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareRequest:
+    """Parse and plan one parameterized query, returning a handle."""
+
+    kind: ClassVar[str] = "prepare"
+
+    text: str
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "text": self.text,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PrepareRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(payload, ("text", "collection"), cls.kind)
+        text = payload.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise EnvelopeError("prepare request needs a non-empty 'text' string")
+        return cls(
+            text=text,
+            collection=_opt_str(payload, "collection", cls.kind),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ExecuteRequest:
+    """Run a prepared statement, binding its parameters for this call."""
+
+    kind: ClassVar[str] = "execute"
+
+    handle: str
+    params: Optional[Dict[str, str]] = None
+    render: bool = False
+    collection: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "handle": self.handle,
+            "params": None if self.params is None else dict(self.params),
+            "render": self.render,
+            "collection": self.collection,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExecuteRequest":
+        payload = _require(payload, cls.kind)
+        _reject_unknown(
+            payload, ("handle", "params", "render", "collection"), cls.kind
+        )
+        handle = payload.get("handle")
+        if not isinstance(handle, str) or not handle:
+            raise EnvelopeError(
+                "execute request needs a non-empty 'handle' string"
+            )
+        return cls(
+            handle=handle,
+            params=_opt_params(payload, "params", cls.kind),
             render=_flag(payload, "render", cls.kind),
             collection=_opt_str(payload, "collection", cls.kind),
         )
@@ -322,6 +426,8 @@ Request = Union[
     SearchRequest,
     NearestRequest,
     QueryRequest,
+    PrepareRequest,
+    ExecuteRequest,
     PutDocumentRequest,
     DeleteDocumentRequest,
     CompactRequest,
@@ -331,6 +437,8 @@ _REQUEST_KINDS: Dict[str, type] = {
     SearchRequest.kind: SearchRequest,
     NearestRequest.kind: NearestRequest,
     QueryRequest.kind: QueryRequest,
+    PrepareRequest.kind: PrepareRequest,
+    ExecuteRequest.kind: ExecuteRequest,
     PutDocumentRequest.kind: PutDocumentRequest,
     DeleteDocumentRequest.kind: DeleteDocumentRequest,
     CompactRequest.kind: CompactRequest,

@@ -13,6 +13,8 @@ Endpoints (all JSON)::
     POST   /v1/search       SearchRequest        → ResultEnvelope
     POST   /v1/nearest      NearestRequest       → ResultEnvelope
     POST   /v1/query        QueryRequest         → ResultEnvelope
+    POST   /v1/prepare      PrepareRequest       → prepared-statement handle
+    POST   /v1/execute      ExecuteRequest       → ResultEnvelope
     PUT    /v1/documents    PutDocumentRequest   → mutation receipt
     DELETE /v1/documents    DeleteDocumentRequest → mutation receipt
     GET    /v1/documents    name → [low, high] OID spans per document
@@ -79,7 +81,9 @@ from .envelopes import (
     CompactRequest,
     DeleteDocumentRequest,
     EnvelopeError,
+    ExecuteRequest,
     NearestRequest,
+    PrepareRequest,
     PutDocumentRequest,
     QueryRequest,
     Request,
@@ -117,6 +121,8 @@ _POST_KINDS = {
     "/v1/search": SearchRequest,
     "/v1/nearest": NearestRequest,
     "/v1/query": QueryRequest,
+    "/v1/prepare": PrepareRequest,
+    "/v1/execute": ExecuteRequest,
     "/v1/compact": CompactRequest,
 }
 
@@ -694,6 +700,10 @@ class ReproServer:
             return database.nearest(request)
         if isinstance(request, QueryRequest):
             return database.query(request)
+        if isinstance(request, PrepareRequest):
+            return database.prepare(request)
+        if isinstance(request, ExecuteRequest):
+            return database.execute(request)
         if isinstance(request, PutDocumentRequest):
             if request.replace:
                 return database.replace(request.name, request.xml)
@@ -731,6 +741,7 @@ class ReproServer:
     def stats(self) -> Dict[str, object]:
         from ..core.lca_index import lca_index_cache_info
         from ..fulltext.index import fulltext_index_cache_info
+        from ..valueindex import value_index_cache_info
 
         # Process-*tree* counters: the serving process plus every
         # worker-pool process of every sharded collection (workers
@@ -741,6 +752,7 @@ class ReproServer:
         # tests assert, and it must hold across the whole tree.
         lca_builds = lca_index_cache_info().builds
         fulltext_builds = fulltext_index_cache_info().builds
+        valueindex_builds = value_index_cache_info().builds
         seen_executors = set()
         workers = 0
         for database in self.databases.values():
@@ -755,6 +767,7 @@ class ReproServer:
             merged = executor_stats.get("index_builds") or {}
             lca_builds += merged.get("lca", 0)
             fulltext_builds += merged.get("fulltext", 0)
+            valueindex_builds += merged.get("valueindex", 0)
         return {
             "default": self.default,
             "collections": {
@@ -764,6 +777,7 @@ class ReproServer:
             "index_builds": {
                 "lca": lca_builds,
                 "fulltext": fulltext_builds,
+                "valueindex": valueindex_builds,
             },
             "admission": self.admission.snapshot(),
             "metrics": self.metrics.snapshot(),

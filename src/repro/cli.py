@@ -203,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         "text", nargs="?", default=None, help="the query string"
     )
     query.add_argument("--explain", action="store_true")
+    query.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="bind $NAME to VALUE before the query runs (repeatable; "
+        "parameter markers appear in the query as $name)",
+    )
     _add_engine_options(query)
     _add_exec_options(query)
     query.add_argument(
@@ -265,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
         "recorded in the catalog (serve with --workers M to scale "
         "past one core)",
     )
+    snap_build.add_argument(
+        "--index",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="declare a typed value index over this path's element "
+        "text or attribute values (repeatable; built into the bundle "
+        "and kept through live writes and compaction)",
+    )
 
     snap_load = snap_sub.add_parser(
         "load", help="load a snapshot (warm-start check) and print its stats"
@@ -280,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     snap_ls = snap_sub.add_parser("ls", help="list catalog collections")
     snap_ls.add_argument("--catalog", metavar="DIR", default=None)
+    snap_ls.add_argument(
+        "--sections",
+        action="store_true",
+        help="also read every bundle and report payload bytes per "
+        "section group (core columns, lca, fulltext, value-index, "
+        "deltas)",
+    )
 
     snap_drop = snap_sub.add_parser("drop", help="remove a catalog collection")
     snap_drop.add_argument("name", help="collection name")
@@ -639,6 +663,20 @@ def _command_search(args) -> int:
     return 0
 
 
+def _parse_params(pairs: Optional[Sequence[str]]) -> Optional[Dict[str, str]]:
+    """``--param NAME=VALUE`` flags → the bindings dict (None if absent)."""
+    if not pairs:
+        return None
+    params: Dict[str, str] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        name = name.strip().lstrip("$")
+        if not sep or not name:
+            raise ReproError(f"--param needs NAME=VALUE, got {pair!r}")
+        params[name] = value
+    return params
+
+
 def _command_query(args) -> int:
     if args.snapshot:
         if args.text is not None:
@@ -665,10 +703,11 @@ def _command_query(args) -> int:
         print(database.explain(args.text))
         return 0
     trace = Trace() if getattr(args, "trace", False) else None
+    params = _parse_params(getattr(args, "param", None))
     with trace_scope(trace):
         with trace_span("db.query"):
             envelope = database.query(
-                QueryRequest(text=args.text, render=True)
+                QueryRequest(text=args.text, render=True, params=params)
             )
     if trace is not None:
         envelope.stats["trace"] = trace.to_dict()
@@ -877,6 +916,7 @@ def _snapshot_build(args) -> int:
         args.source,
         case_sensitive=args.case_sensitive,
         shards=getattr(args, "shards", None),
+        value_indexes=getattr(args, "index", None),
     )
     seconds = time.perf_counter() - started
     shards = meta.get("shards")
@@ -887,10 +927,12 @@ def _snapshot_build(args) -> int:
         )
     else:
         built = f"{catalog.root}/{meta['file']}"
+    declared = getattr(args, "index", None) or ()
+    indexed = f", {len(set(declared))} value index(es)" if declared else ""
     print(
         f"built {built}: {meta['node_count']} nodes, "
-        f"{meta['bytes']} bytes, generation {meta['generation']} "
-        f"({seconds * 1000:.0f} ms)"
+        f"{meta['bytes']} bytes, generation {meta['generation']}"
+        f"{indexed} ({seconds * 1000:.0f} ms)"
     )
     return 0
 
@@ -935,6 +977,33 @@ def _snapshot_load(args) -> int:
     return 0
 
 
+_SECTION_GROUPS = {
+    "lca": "lca",
+    "ft": "fulltext",
+    "vx": "value-index",
+    "delta": "deltas",
+}
+
+
+def _section_breakdown(paths: Sequence[FsPath]) -> Dict[str, int]:
+    """Payload bytes per section group, summed across shard bundles.
+
+    Groups follow the section-name prefixes (``lca/``, ``ft/``,
+    ``vx/``, ``delta/``); everything unprefixed — the dense columns,
+    string tables, path summary and meta — counts as ``core``.
+    """
+    from .snapshot.format import SnapshotReader
+
+    totals: Dict[str, int] = {}
+    for path in paths:
+        reader = SnapshotReader.open(path, tolerate_torn_tail=True)
+        for section, length in reader.section_sizes().items():
+            group = _SECTION_GROUPS.get(section.split("/", 1)[0], "core")
+            totals[group] = totals.get(group, 0) + length
+    order = ["core", "lca", "fulltext", "value-index", "deltas"]
+    return {group: totals[group] for group in order if group in totals}
+
+
 def _snapshot_ls(args) -> int:
     catalog = _open_catalog(args, create=False)
     collections = catalog.collections()
@@ -949,11 +1018,29 @@ def _snapshot_ls(args) -> int:
             if isinstance(shards, dict)
             else ""
         )
+        declared = meta.get("value_indexes")
+        indexes = (
+            f", indexes=[{', '.join(map(str, declared))}]"
+            if isinstance(declared, list) and declared
+            else ""
+        )
         print(
             f"  {name}: {meta.get('node_count')} nodes, "
             f"{meta.get('bytes')} bytes, generation {meta.get('generation')}"
-            f"{layout}, source={meta.get('source') or '-'}"
+            f"{layout}{indexes}, source={meta.get('source') or '-'}"
         )
+        if getattr(args, "sections", False):
+            if isinstance(shards, dict):
+                paths = catalog.shard_files(name)
+            else:
+                paths = [catalog.bundle_path(name)]
+            breakdown = _section_breakdown(
+                [path for path in paths if path.exists()]
+            )
+            detail = "  ".join(
+                f"{group}={size}" for group, size in breakdown.items()
+            )
+            print(f"    sections: {detail or '-'}")
     return 0
 
 

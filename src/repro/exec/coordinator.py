@@ -105,6 +105,7 @@ class ShardedCollection:
         generations: Sequence = (),
         cache: CacheSpec = None,
         max_rows: Optional[int] = 100_000,
+        force_scan: bool = False,
     ):
         if executor.shard_count != plan.shard_count:
             raise ReproError(
@@ -116,6 +117,10 @@ class ShardedCollection:
         self.executor = executor
         self.case_sensitive = bool(case_sensitive)
         self.backend_name = backend_name
+        #: The differential harness's escape hatch, scattered to every
+        #: shard so per-predicate access paths match the monolithic
+        #: ``force_scan`` processor exactly.
+        self.force_scan = bool(force_scan)
         self.generations = tuple(generations)
         self.max_rows = max_rows
         self.result_cache: Optional[ResultCache] = resolve_result_cache(cache)
@@ -480,13 +485,25 @@ class ShardedCollection:
 
     # -- query-language surface ------------------------------------------
     def explain(self, text: str) -> str:
-        return plan_query(parse_query(text), self._shim).explain()
+        return plan_query(
+            parse_query(text),
+            self._shim,
+            force_scan=self.force_scan,
+            case_sensitive=self.case_sensitive,
+        ).explain()
 
-    def execute(self, text: str) -> QueryResult:
+    def execute(
+        self,
+        text: str,
+        bindings: Optional[Dict[str, str]] = None,
+    ) -> QueryResult:
         if not isinstance(text, str):
             raise ReproError(
                 "sharded query execution takes a query string"
             )
+        bindings_key = tuple(
+            sorted((str(k), str(v)) for k, v in (bindings or {}).items())
+        )
         cache = self.result_cache
         key = None
         if cache is not None:
@@ -496,6 +513,8 @@ class ShardedCollection:
                 text.strip(),
                 self.case_sensitive,
                 self.backend_name,
+                self.force_scan,
+                bindings_key,
             )
             with trace_span("cache.lookup"):
                 cached = cache.get(key)
@@ -504,14 +523,31 @@ class ShardedCollection:
                 self._record([], rounds=0)
                 return QueryResult(columns=list(columns), rows=list(rows))
 
-        # Plan locally first: parse/plan errors surface identically to
-        # the monolithic processor, before any scatter happens.
+        # Plan locally first: parse/plan/binding errors surface
+        # identically to the monolithic processor, before any scatter
+        # happens.  Parameters must bind *before* the needle pass —
+        # scan-fallback modes are computed from literal needles.
         with trace_span("parse"):
             parsed = parse_query(text)
+            if bindings or parsed.parameters:
+                try:
+                    parsed = parsed.bind(dict(bindings or {}))
+                except (KeyError, ValueError) as exc:
+                    raise QueryPlanError(str(exc).strip("'\"")) from exc
         with trace_span("plan"):
-            plan = plan_query(parsed, self._shim)
+            plan = plan_query(
+                parsed,
+                self._shim,
+                force_scan=self.force_scan,
+                case_sensitive=self.case_sensitive,
+            )
 
-        params: Dict[str, object] = {"text": text, "scan_needles": ()}
+        params: Dict[str, object] = {
+            "text": text,
+            "scan_needles": (),
+            "params": dict(bindings) if bindings else None,
+            "force_scan": self.force_scan,
+        }
         responses = self._broadcast("query", params)
         rounds = 1
         needles = [
@@ -532,6 +568,7 @@ class ShardedCollection:
                 result = self._merge_aggregate(parsed, responses)
             else:
                 result = self._merge_enumeration(parsed, plan, responses)
+        result.plan = plan.describe()
         if key is not None:
             cache.put(key, (tuple(result.columns), tuple(result.rows)))
         return result

@@ -6,8 +6,11 @@ plain-data responses: every parameter and every response is built from
 JSON/pickle-safe primitives, so the same handler serves the in-process
 :class:`~repro.exec.executors.SerialExecutor` and the process-pool
 workers of :class:`~repro.exec.executors.ParallelExecutor` unchanged.
-Handlers are **stateless and read-only** — one service instance is
-safe under the multi-threaded HTTP server.
+Handlers are **read-only** — one service instance is safe under the
+multi-threaded HTTP server; the only retained state is a
+generation-keyed memo of parsed query templates and their plans
+(prepared statements re-execute without re-parsing), which at worst
+recomputes an equivalent entry under a race.
 
 The contract with the coordinator (:mod:`repro.exec.coordinator`):
 
@@ -176,6 +179,14 @@ class ShardService:
             case_sensitive=self.case_sensitive,
             backend=self.backend_name,
         )
+        #: normalized text → (generation, parsed template, schema plan).
+        #: Keyed per force_scan flag so differential runs never reuse an
+        #: indexed plan.  Races at worst duplicate an equivalent entry.
+        self._plans: Dict[
+            Tuple[str, bool], Tuple[int, Query, object]
+        ] = {}
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     # -- dispatch -------------------------------------------------------
     def handle(self, op: str, params: Dict[str, object]) -> Dict[str, object]:
@@ -370,18 +381,48 @@ class ShardService:
         }
 
     # -- query language --------------------------------------------------
+    def _template_plan(self, text: str, force_scan: bool):
+        """The parsed template and schema plan, memoized per generation."""
+        key = (text.strip(), force_scan)
+        generation = self.store.generation
+        cached = self._plans.get(key)
+        if cached is not None and cached[0] == generation:
+            self._plan_hits += 1
+            return cached[1], cached[2]
+        self._plan_misses += 1
+        template = parse_query(text)
+        plan = plan_query(
+            template,
+            self.store,
+            force_scan=force_scan,
+            case_sensitive=self.case_sensitive,
+        )
+        self._plans[key] = (generation, template, plan)
+        return template, plan
+
     def _op_query(self, params: Dict[str, object]) -> Dict[str, object]:
         text = str(params["text"])
         scan_needles = set(params.get("scan_needles", ()))
+        bindings = params.get("params") or None
+        force_scan = bool(params.get("force_scan", False))
         store = self.store
         root = store.root_oid
-        parsed: Query = parse_query(text)
-        plan = plan_query(parsed, store)
+        template, plan = self._template_plan(text, force_scan)
+        parsed: Query = template
+        if bindings or parsed.parameters:
+            # The coordinator binds first and surfaces errors before the
+            # scatter, so this bind never fails on a well-formed op.
+            parsed = template.bind(dict(bindings or {}))
+            plan = plan.rebound(parsed)
         search = _CoordinatedSearch(
             store, case_sensitive=self.case_sensitive, scan_terms=scan_needles
         )
         processor = QueryProcessor(
-            store, search=search, max_rows=None, backend=self.engine.backend
+            store,
+            search=search,
+            max_rows=None,
+            backend=self.engine.backend,
+            force_scan=force_scan,
         )
 
         index_counts: Dict[str, int] = {}
@@ -417,7 +458,7 @@ class ShardService:
         for variable in needed:
             pattern = processor._pattern_oids(plan, variable)
             closures = [
-                processor._condition_closure(condition)
+                processor._condition_closure(condition, plan)
                 for condition in parsed.conditions_for(variable)
             ]
             bound = set(pattern)

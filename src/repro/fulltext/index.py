@@ -49,6 +49,7 @@ __all__ = [
     "Hits",
     "FullTextIndex",
     "get_fulltext_index",
+    "cached_fulltext_index",
     "seed_fulltext_index",
     "clear_fulltext_index_cache",
     "fulltext_index_cache_info",
@@ -583,6 +584,24 @@ def seed_fulltext_index(store: MonetXML, index: FullTextIndex) -> None:
     if per_store is None:
         per_store = _cache[store] = {}
     per_store[index.case_sensitive] = index
+
+
+def cached_fulltext_index(
+    store: MonetXML, case_sensitive: bool = False
+) -> Optional[FullTextIndex]:
+    """The cached index if it is current for the store, else ``None``.
+
+    A pure peek — never builds, never patches, moves no counters.  The
+    query planner uses it to estimate term fan-out without paying an
+    index construction during planning.
+    """
+    per_store = _cache.get(store)
+    if per_store is None:
+        return None
+    cached = per_store.get(case_sensitive)
+    if cached is not None and cached.generation == getattr(store, "generation", 0):
+        return cached
+    return None
 
 
 def clear_fulltext_index_cache() -> None:

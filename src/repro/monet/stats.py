@@ -37,6 +37,10 @@ class StoreStatistics:
     path_histogram: List[Tuple[Path, int]] = field(default_factory=list)
     #: nodes per depth level (index 0 unused; depth is 1-based).
     depth_histogram: List[int] = field(default_factory=list)
+    #: instance nodes per element pid — the planner's cardinalities.
+    pid_histogram: Dict[int, int] = field(default_factory=dict)
+    #: string associations per attribute pid (planner cardinalities).
+    association_histogram: Dict[int, int] = field(default_factory=dict)
 
     def schema_ratio(self) -> float:
         """Distinct paths per node — the 'loose schema' measure.
@@ -98,9 +102,10 @@ def collect_statistics(store: MonetXML) -> StoreStatistics:
         sum(child_counts.values()) / internal if internal else 0.0
     )
 
-    string_associations = sum(
-        relation.count() for _pid, relation in store.string_relations()
-    )
+    association_histogram: Dict[int, int] = {}
+    for pid, relation in store.string_relations():
+        association_histogram[pid] = relation.count()
+    string_associations = sum(association_histogram.values())
 
     histogram = sorted(
         ((summary.path(pid), count) for pid, count in path_counts.items()),
@@ -121,4 +126,6 @@ def collect_statistics(store: MonetXML) -> StoreStatistics:
         mean_fanout=mean_fanout,
         path_histogram=histogram,
         depth_histogram=depth_histogram,
+        pid_histogram=path_counts,
+        association_histogram=association_histogram,
     )

@@ -10,15 +10,20 @@ operation", §3.2) and carries the §4 restrictions (``within k``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import List, Mapping, Optional, Tuple, Union
 
 from .pathexpr import PathPattern
 
 __all__ = [
     "Binding",
+    "ParamRef",
     "ContainsCondition",
     "EqualsCondition",
+    "RangeCondition",
+    "RANGE_OPS",
+    "compare_values",
+    "numeric_value",
     "VarItem",
     "TagItem",
     "PathItem",
@@ -41,22 +46,101 @@ class Binding:
 
 
 @dataclass(frozen=True, slots=True)
+class ParamRef:
+    """A ``$name`` placeholder on a condition's literal side.
+
+    Prepared queries parse once with placeholders and bind per call
+    (:meth:`Query.bind`); executing with an unbound :class:`ParamRef`
+    is a plan error.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True, slots=True)
 class ContainsCondition:
-    """``$var contains 'text'`` — offspring character data containment."""
+    """``$var contains 'text'`` — offspring character data containment.
+
+    The needle may be a :class:`ParamRef` placeholder awaiting binding.
+    """
 
     variable: str
-    needle: str
+    needle: Union[str, ParamRef]
 
 
 @dataclass(frozen=True, slots=True)
 class EqualsCondition:
-    """``$var = 'text'`` — an association value equals the literal."""
+    """``$var = 'text'`` — an association value equals the literal.
+
+    The value may be a :class:`ParamRef` placeholder awaiting binding.
+    """
 
     variable: str
-    value: str
+    value: Union[str, ParamRef]
 
 
-Condition = Union[ContainsCondition, EqualsCondition]
+#: Range comparison operators accepted in conditions.
+RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def numeric_value(value: str) -> Optional[float]:
+    """The numeric reading of a value, or ``None`` if it has none."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_values(value: str, op: str, literal: str) -> bool:
+    """The range predicate's comparison semantics.
+
+    Typed: when both sides parse as numbers they compare numerically;
+    otherwise lexicographically as strings.  The value index's range
+    probe (:meth:`repro.valueindex.ValueIndex.lookup_cmp`) implements
+    exactly this rule, which is what keeps probe and scan answers
+    byte-identical.
+    """
+    left_num = numeric_value(value)
+    right_num = numeric_value(literal)
+    if left_num is not None and right_num is not None:
+        left, right = left_num, right_num
+    else:
+        left, right = value, literal
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unknown range operator {op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class RangeCondition:
+    """``$var < 'literal'`` (or ``<=``, ``>``, ``>=``) — a typed range test.
+
+    Node-level like ``=``: the node carries an association whose value
+    satisfies the comparison under :func:`compare_values`.  The literal
+    may be a :class:`ParamRef` placeholder awaiting binding.
+    """
+
+    variable: str
+    op: str
+    value: Union[str, ParamRef]
+
+
+Condition = Union[ContainsCondition, EqualsCondition, RangeCondition]
+
+
+def _condition_literal(condition: Condition) -> Union[str, ParamRef]:
+    if isinstance(condition, ContainsCondition):
+        return condition.needle
+    return condition.value
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,3 +222,51 @@ class Query:
             for condition in self.conditions
             if condition.variable == variable
         ]
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        """Unbound ``$param`` placeholder names, in condition order."""
+        names: List[str] = []
+        for condition in self.conditions:
+            literal = _condition_literal(condition)
+            if isinstance(literal, ParamRef) and literal.name not in names:
+                names.append(literal.name)
+        return tuple(names)
+
+    def bind(self, params: Mapping[str, str]) -> "Query":
+        """A copy with every placeholder replaced by its bound literal.
+
+        Raises :class:`KeyError` for a placeholder without a binding and
+        :class:`ValueError` for a binding naming no placeholder — both
+        sides of the contract are checked so a typo'd parameter name
+        fails loudly instead of silently executing the wrong query.
+        """
+        declared = set(self.parameters)
+        unknown = sorted(set(params) - declared)
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {', '.join('$' + name for name in unknown)}"
+            )
+        missing = sorted(declared - set(params))
+        if missing:
+            raise KeyError(
+                f"unbound parameter(s) {', '.join('$' + name for name in missing)}"
+            )
+        if not declared:
+            return self
+        conditions: List[Condition] = []
+        for condition in self.conditions:
+            literal = _condition_literal(condition)
+            if isinstance(literal, ParamRef):
+                value = str(params[literal.name])
+                if isinstance(condition, ContainsCondition):
+                    condition = replace(condition, needle=value)
+                else:
+                    condition = replace(condition, value=value)
+            conditions.append(condition)
+        return Query(
+            select=self.select,
+            bindings=self.bindings,
+            conditions=conditions,
+            distinct=self.distinct,
+        )

@@ -23,7 +23,7 @@ paper's ``<answer><result>…`` blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..core.backends import BackendSpec, MeetBackend, resolve_backend
 from ..core.meet_general import meet_tagged
@@ -39,6 +39,7 @@ from ..datamodel.paths import Path
 from ..fulltext.search import SearchEngine
 from ..monet.engine import MonetXML
 from ..monet.reassembly import object_text
+from ..valueindex import get_value_index
 from .ast import (
     ContainsCondition,
     DistanceItem,
@@ -47,12 +48,14 @@ from .ast import (
     PathItem,
     PathVarItem,
     Query,
+    RangeCondition,
     TagItem,
     TextItem,
     VarItem,
+    compare_values,
 )
 from .parser import parse_query
-from .planner import Plan, plan_query
+from .planner import ACCESS_VALUE_INDEX, Plan, plan_query
 
 __all__ = [
     "QueryResult",
@@ -109,6 +112,10 @@ class QueryResult:
 
     columns: List[str]
     rows: List[Tuple[Cell, ...]] = field(default_factory=list)
+    #: The executed plan's :meth:`~repro.query.planner.Plan.describe`
+    #: payload (chosen access paths, estimated vs actual rows).  Not
+    #: part of the row data: ``to_dict`` omits it, cache hits lack it.
+    plan: Optional[Dict[str, object]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -173,6 +180,8 @@ class QueryProcessor:
         max_rows: Optional[int] = 100_000,
         backend: BackendSpec = None,
         cache: CacheSpec = None,
+        force_scan: bool = False,
+        value_indexes: Sequence[str] = (),
     ):
         self.store = store
         self.search = search or SearchEngine(store)
@@ -182,32 +191,127 @@ class QueryProcessor:
         #: Serving-layer result cache (off by default); keys embed the
         #: store generation, so invalidated stores never serve stale rows.
         self.result_cache: Optional[ResultCache] = resolve_result_cache(cache)
+        #: The differential harness's escape hatch: pin every
+        #: equality/range predicate to the string-relation scan.
+        self.force_scan = force_scan
+        #: Declared value-index path patterns (observability; the
+        #: in-memory index always covers every path).
+        self.value_indexes: Tuple[str, ...] = tuple(value_indexes)
+        #: Prepared-plan cache: normalized text → (generation, Plan).
+        self._plan_cache: Dict[str, Tuple[int, Plan]] = {}
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     # -- public API ---------------------------------------------------------
-    def execute(self, query: Union[str, Query]) -> QueryResult:
+    @staticmethod
+    def _bindings_key(
+        bindings: Optional[Mapping[str, str]]
+    ) -> Tuple[Tuple[str, str], ...]:
+        """Canonical, order-independent form of parameter bindings.
+
+        Part of every result-cache key: two executions of one prepared
+        plan with different bindings must never collide.
+        """
+        if not bindings:
+            return ()
+        return tuple(sorted((str(k), str(v)) for k, v in bindings.items()))
+
+    def execute(
+        self,
+        query: Union[str, Query],
+        bindings: Optional[Mapping[str, str]] = None,
+    ) -> QueryResult:
         cache = self.result_cache
         key = None
         if cache is not None and isinstance(query, str):
             # Normalized query: only *surrounding* whitespace is safe to
             # strip — interior runs can sit inside quoted string
             # literals, where they change `contains` semantics.  The
-            # search case mode and backend are part of the key so a
-            # shared cache never crosses configurations.
+            # search case mode, backend and parameter bindings are part
+            # of the key so a shared cache never crosses configurations
+            # or serves one binding's rows for another.
             cache.sync_generation(self.store.generation)
             key = (
                 self.store.generation,
                 query.strip(),
                 self.search.case_sensitive,
                 self.backend.name,
+                self._bindings_key(bindings),
             )
             cached = cache.get(key)
             if cached is not None:
                 columns, rows = cached
                 return QueryResult(columns=list(columns), rows=list(rows))
-        result = self._execute(query)
+        result = self._execute(query, bindings=bindings)
         if key is not None:
             cache.put(key, (tuple(result.columns), tuple(result.rows)))
         return result
+
+    def execute_template(
+        self,
+        template: Query,
+        *,
+        text: str,
+        bindings: Optional[Mapping[str, str]] = None,
+    ) -> QueryResult:
+        """Execute an already-parsed prepared template with bindings.
+
+        The schema half of the plan is cached per normalized text and
+        store generation — repeated executions of one prepared
+        statement skip lexing, parsing and pattern matching, and only
+        re-plan the predicate access paths for the bound literals.
+        """
+        normalized = text.strip()
+        bindings_key = self._bindings_key(bindings)
+        cache = self.result_cache
+        key = None
+        if cache is not None:
+            cache.sync_generation(self.store.generation)
+            key = (
+                self.store.generation,
+                normalized,
+                self.search.case_sensitive,
+                self.backend.name,
+                bindings_key,
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                columns, rows = cached
+                return QueryResult(columns=list(columns), rows=list(rows))
+        plan = self._template_plan(template, normalized)
+        try:
+            bound_query = template.bind(dict(bindings or {}))
+        except (KeyError, ValueError) as exc:
+            raise QueryPlanError(str(exc).strip("'\"")) from exc
+        result = self._execute_plan(plan.rebound(bound_query))
+        if key is not None:
+            cache.put(key, (tuple(result.columns), tuple(result.rows)))
+        return result
+
+    def _template_plan(self, template: Query, normalized: str) -> Plan:
+        """The generation-keyed schema plan of a prepared template."""
+        generation = self.store.generation
+        cached = self._plan_cache.get(normalized)
+        if cached is not None and cached[0] == generation:
+            self._plan_hits += 1
+            return cached[1]
+        self._plan_misses += 1
+        plan = plan_query(
+            template,
+            self.store,
+            force_scan=self.force_scan,
+            case_sensitive=self.search.case_sensitive,
+        )
+        self._plan_cache[normalized] = (generation, plan)
+        return plan
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Prepared-plan cache counters (for the metrics registry)."""
+        return {
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "currsize": len(self._plan_cache),
+        }
 
     def cache_info(self) -> Optional[ResultCacheInfo]:
         """Result-cache counters, or ``None`` when caching is off."""
@@ -215,16 +319,46 @@ class QueryProcessor:
             return None
         return self.result_cache.cache_info()
 
-    def _execute(self, query: Union[str, Query]) -> QueryResult:
+    def _execute(
+        self,
+        query: Union[str, Query],
+        bindings: Optional[Mapping[str, str]] = None,
+    ) -> QueryResult:
         parsed = parse_query(query) if isinstance(query, str) else query
-        plan = plan_query(parsed, self.store)
+        if bindings or parsed.parameters:
+            try:
+                parsed = parsed.bind(dict(bindings or {}))
+            except (KeyError, ValueError) as exc:
+                raise QueryPlanError(str(exc).strip("'\"")) from exc
+        plan = plan_query(
+            parsed,
+            self.store,
+            force_scan=self.force_scan,
+            case_sensitive=self.search.case_sensitive,
+        )
+        return self._execute_plan(plan)
+
+    def _execute_plan(self, plan: Plan) -> QueryResult:
+        if plan.query.parameters:
+            raise QueryPlanError(
+                "cannot execute a query with unbound parameter(s) "
+                + ", ".join(f"${name}" for name in plan.query.parameters)
+            )
         if plan.aggregate:
-            return self._execute_aggregate(plan)
-        return self._execute_enumeration(plan)
+            result = self._execute_aggregate(plan)
+        else:
+            result = self._execute_enumeration(plan)
+        result.plan = plan.describe()
+        return result
 
     def explain(self, query: Union[str, Query]) -> str:
         parsed = parse_query(query) if isinstance(query, str) else query
-        return plan_query(parsed, self.store).explain()
+        return plan_query(
+            parsed,
+            self.store,
+            force_scan=self.force_scan,
+            case_sensitive=self.search.case_sensitive,
+        ).explain()
 
     # -- binding computation --------------------------------------------
     def _pattern_oids(self, plan: Plan, variable: str) -> Set[int]:
@@ -244,14 +378,28 @@ class QueryProcessor:
             oids.update(self.store.oids_on_pid(pid))
         return oids
 
-    def _condition_closure(self, condition) -> Set[int]:
+    def _condition_closure(self, condition, plan: Optional[Plan] = None) -> Set[int]:
         """Node set satisfying the condition.
 
         ``contains`` has offspring semantics (the intro query: "nodes
         whose offspring contains … the string"), so the witnesses are
-        closed under ancestors.  ``=`` is a node-level test: the node
-        itself carries an association with exactly that value.
+        closed under ancestors.  ``=`` and the range comparisons are
+        node-level tests: the node itself carries an association whose
+        value passes.
+
+        The plan's chosen access path decides *how* the node set is
+        produced — value-index probe vs. string-relation scan — never
+        *what* it contains; the probe structures reproduce the scan
+        semantics exactly.  The observed row count is recorded back
+        onto the plan for estimated-vs-actual reporting.
         """
+        condition_plan = (
+            plan.condition_plan_for(condition) if plan is not None else None
+        )
+        use_index = (
+            condition_plan is not None
+            and condition_plan.access == ACCESS_VALUE_INDEX
+        )
         if isinstance(condition, ContainsCondition):
             witnesses = self.search.find(condition.needle).oids()
             closure: Set[int] = set()
@@ -260,20 +408,39 @@ class QueryProcessor:
                 while current is not None and current not in closure:
                     closure.add(current)
                     current = self.store.parent_of(current)
-            return closure
-        if isinstance(condition, EqualsCondition):
-            witnesses = set()
-            for _pid, relation in self.store.string_relations():
-                for oid, _value in relation.select_eq(condition.value):
-                    witnesses.add(oid)
-            return witnesses
-        raise QueryPlanError(f"unknown condition {condition!r}")  # pragma: no cover
+            result = closure
+        elif isinstance(condition, EqualsCondition):
+            if use_index:
+                result = set(get_value_index(self.store).lookup_eq(condition.value))
+            else:
+                result = set()
+                for _pid, relation in self.store.string_relations():
+                    for oid, _value in relation.select_eq(condition.value):
+                        result.add(oid)
+        elif isinstance(condition, RangeCondition):
+            if use_index:
+                result = set(
+                    get_value_index(self.store).lookup_cmp(
+                        condition.op, condition.value
+                    )
+                )
+            else:
+                result = set()
+                for _pid, relation in self.store.string_relations():
+                    for oid, value in relation:
+                        if compare_values(value, condition.op, condition.value):
+                            result.add(oid)
+        else:  # pragma: no cover - parser only emits the three kinds
+            raise QueryPlanError(f"unknown condition {condition!r}")
+        if condition_plan is not None:
+            condition_plan.actual_rows = len(result)
+        return result
 
     def _bound_nodes(self, plan: Plan, variable: str) -> Set[int]:
         """Closure-semantics binding set of a variable."""
         bound = self._pattern_oids(plan, variable)
         for condition in plan.query.conditions_for(variable):
-            bound &= self._condition_closure(condition)
+            bound &= self._condition_closure(condition, plan)
         return bound
 
     def _minimal(self, bound: Set[int]) -> Set[int]:

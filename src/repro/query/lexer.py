@@ -11,7 +11,8 @@ The paper (footnote 1) queries look like::
 Lexical elements: keywords (case-insensitive), identifiers, node
 variables ``$name``, path variables ``%name``, the schema wildcard
 ``#``, path separators ``/`` and ``@``, string literals in single or
-double quotes, integers, commas, parentheses and ``=``.
+double quotes, integers, commas, parentheses and the comparison
+operators ``=``, ``<``, ``<=``, ``>``, ``>=``.
 """
 
 from __future__ import annotations
@@ -56,7 +57,10 @@ KEYWORDS = frozenset(
     }
 )
 
-_SYMBOLS = ("(", ")", ",", "/", "@", "#", "=", "*")
+_SYMBOLS = ("(", ")", ",", "/", "@", "#", "=", "*", "<", ">")
+
+#: Two-character comparison operators, matched before single symbols.
+_DIGRAPHS = ("<=", ">=")
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,6 +138,10 @@ def tokenize_query(text: str) -> List[Token]:
             else:
                 tokens.append(Token(TokenKind.IDENT, word, position))
             position = end
+            continue
+        if text.startswith(_DIGRAPHS, position):
+            tokens.append(Token(TokenKind.SYMBOL, text[position : position + 2], position))
+            position += 2
             continue
         if ch in _SYMBOLS:
             tokens.append(Token(TokenKind.SYMBOL, ch, position))

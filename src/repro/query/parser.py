@@ -14,7 +14,13 @@ Grammar (keywords case-insensitive)::
     pstep      := IDENT | '%' NAME | '#' | '*'
     astep      := '@' IDENT
     conds      := cond (AND cond)*
-    cond       := $v CONTAINS string | $v '=' string
+    cond       := $v CONTAINS rhs | $v cmp rhs
+    cmp        := '=' | '<' | '<=' | '>' | '>='
+    rhs        := string | int | $param
+
+A ``$param`` on the literal side of a condition is a *parameter
+placeholder* (prepared queries bind it per call); its name must not
+collide with a FROM-bound node variable.
 """
 
 from __future__ import annotations
@@ -23,14 +29,17 @@ from typing import List, Optional, Tuple
 
 from ..datamodel.errors import QuerySyntaxError
 from .ast import (
+    RANGE_OPS,
     Binding,
     ContainsCondition,
     DistanceItem,
     EqualsCondition,
     MeetItem,
+    ParamRef,
     PathItem,
     PathVarItem,
     Query,
+    RangeCondition,
     SelectItem,
     TagItem,
     TextItem,
@@ -153,6 +162,16 @@ class _Parser:
                     raise QuerySyntaxError(f"unbound path variable %{item.name}")
         for condition in query.conditions:
             check(condition.variable)
+            literal = (
+                condition.needle
+                if isinstance(condition, ContainsCondition)
+                else condition.value
+            )
+            if isinstance(literal, ParamRef) and literal.name in bound:
+                raise QuerySyntaxError(
+                    f"parameter ${literal.name} collides with a FROM-bound "
+                    "node variable of the same name"
+                )
 
     def parse_item(self) -> SelectItem:
         token = self.current
@@ -251,14 +270,39 @@ class _Parser:
     def parse_condition(self):
         variable = self.expect_nodevar()
         if self.accept_keyword("contains"):
+            if self.current.kind == TokenKind.NODEVAR:
+                return ContainsCondition(variable, ParamRef(self.advance().value))
             if self.current.kind != TokenKind.STRING:
-                raise self.error("contains expects a string literal")
+                raise self.error(
+                    "contains expects a string literal or $param placeholder"
+                )
             return ContainsCondition(variable, self.advance().value)
         if self.accept_symbol("="):
+            if self.current.kind == TokenKind.NODEVAR:
+                return EqualsCondition(variable, ParamRef(self.advance().value))
             if self.current.kind not in (TokenKind.STRING, TokenKind.INT):
-                raise self.error("'=' expects a string or integer literal")
+                raise self.error(
+                    "'=' expects a string/integer literal or $param placeholder"
+                )
             return EqualsCondition(variable, self.advance().value)
-        raise self.error("expected 'contains' or '=' in condition")
+        for op in RANGE_OPS:
+            if not self.current.is_symbol(op):
+                continue
+            # '<' must not shadow '<=' — the lexer already folds the
+            # two-character operators into single tokens, so a literal
+            # match on the token value is exact.
+            self.advance()
+            if self.current.kind == TokenKind.NODEVAR:
+                return RangeCondition(variable, op, ParamRef(self.advance().value))
+            if self.current.kind not in (TokenKind.STRING, TokenKind.INT):
+                raise self.error(
+                    f"{op!r} expects a string/integer literal or $param "
+                    "placeholder"
+                )
+            return RangeCondition(variable, op, self.advance().value)
+        raise self.error(
+            "expected 'contains', '=' or a range operator in condition"
+        )
 
 
 def parse_query(text: str) -> Query:

@@ -124,13 +124,31 @@ class PathPattern:
         return _match(self.steps, path.steps, 0, 0, {})
 
     def matching_pids(self, summary: PathSummary) -> List[Tuple[int, Dict[str, str]]]:
-        """All (pid, bindings) of summary paths matching the pattern."""
+        """All (pid, bindings) of summary paths matching the pattern.
+
+        Memoized on the summary itself, keyed by the pattern steps and
+        the summary size: paths are only ever *interned* (never removed
+        or rewritten), so a grown summary simply misses and re-matches.
+        Ad-hoc queries re-plan per call, and on wide summaries this
+        match dominated planning.
+        """
+        cache: Optional[Dict] = getattr(summary, "_pattern_match_cache", None)
+        if cache is None:
+            cache = {}
+            summary._pattern_match_cache = cache  # type: ignore[attr-defined]
+        size = len(summary)
+        hit = cache.get(self.steps)
+        if hit is not None and hit[0] == size:
+            return list(hit[1])
         matches: List[Tuple[int, Dict[str, str]]] = []
         for pid in summary.pids():
             bindings = self.match(summary.path(pid))
             if bindings is not None:
                 matches.append((pid, bindings))
-        return matches
+        if len(cache) >= 256:
+            cache.clear()
+        cache[self.steps] = (size, matches)
+        return list(matches)
 
 
 def _match(

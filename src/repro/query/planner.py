@@ -1,32 +1,75 @@
-"""Query planning: resolve patterns against the path summary.
+"""Cost-based query planning: patterns, predicates and access paths.
 
-Planning is the schema-level half of execution: every FROM pattern is
-matched once against the (small) path summary, yielding the candidate
-relation set per variable together with any path-variable bindings.
-The instance-level half (full-text probes, closures, the meet roll-up)
-happens in :mod:`repro.query.executor`.
+Planning has two halves.  The schema-level half is unchanged from the
+original planner: every FROM pattern is matched once against the
+(small) path summary, yielding the candidate relation set per variable
+together with any path-variable bindings.  The predicate half is new:
+each WHERE condition gets an *access path* —
 
-The plan's :meth:`Plan.explain` renders the relation fan-out — useful
-to see how a schema wildcard like ``#`` expands over a real document.
+===============  ====================================================
+predicate        access paths considered
+===============  ====================================================
+``=``            value-index probe  ·  string-relation scan
+``<,<=,>,>=``    value-index range  ·  string-relation scan
+``contains``     fulltext postings  ·  string-relation scan
+===============  ====================================================
+
+The choice is ranked by cost: an equality/range probe into the typed
+value index touches only matching entries, a fulltext posting lookup
+touches one dictionary bucket, and a scan touches every string
+association.  Because the probe structures reproduce the scan
+semantics *exactly* (see :mod:`repro.valueindex` and
+:func:`repro.query.ast.compare_values`), the choice changes cost, not
+answers — which the differential harness asserts byte-for-byte via
+``force_scan``.
+
+The chosen access per predicate is rendered in :meth:`Plan.explain`
+(deterministically — the sharded coordinator plans against a
+summary-only shim and must produce identical text), while
+:meth:`Plan.describe` additionally carries the store-dependent
+estimated and actual row counts from :mod:`repro.monet.stats`
+cardinalities, surfaced as ``ResultEnvelope.stats["plan"]``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from ..datamodel.errors import QueryPlanError
+from ..fulltext.index import cached_fulltext_index
+from ..fulltext.tokenizer import tokenize
 from ..monet.engine import MonetXML
+from ..valueindex import cached_value_index
 from .ast import (
     Binding,
+    Condition,
+    ContainsCondition,
     DistanceItem,
+    EqualsCondition,
     MeetItem,
+    ParamRef,
     PathVarItem,
     Query,
+    RangeCondition,
     SelectItem,
 )
 
-__all__ = ["VariablePlan", "Plan", "plan_query"]
+__all__ = [
+    "VariablePlan",
+    "ConditionPlan",
+    "Plan",
+    "plan_query",
+    "ACCESS_VALUE_INDEX",
+    "ACCESS_FULLTEXT",
+    "ACCESS_SCAN",
+]
+
+#: Access-path names recorded per predicate.
+ACCESS_VALUE_INDEX = "value-index"
+ACCESS_FULLTEXT = "fulltext"
+ACCESS_SCAN = "scan"
 
 
 @dataclass(slots=True)
@@ -37,10 +80,66 @@ class VariablePlan:
     binding: Binding
     #: (pid, path-variable bindings) for every matching summary path.
     matches: List[Tuple[int, Dict[str, str]]] = field(default_factory=list)
+    #: Instance nodes across the matched relations (None without stats).
+    estimated_rows: Optional[int] = None
 
     @property
     def pids(self) -> List[int]:
         return [pid for pid, _ in self.matches]
+
+
+@dataclass(slots=True)
+class ConditionPlan:
+    """The chosen access path for one WHERE predicate."""
+
+    condition: Condition
+    #: One of :data:`ACCESS_VALUE_INDEX` / ``FULLTEXT`` / ``SCAN``.
+    access: str
+    #: Deterministic label shown in explain (no store-dependent numbers).
+    detail: str
+    #: Rows the access path is expected to yield (None when unknowable
+    #: without touching the store, e.g. when planning against a
+    #: summary-only shim or with an unbound parameter).
+    estimated_rows: Optional[int] = None
+    #: Associations a full scan would touch (the rejected alternative).
+    scan_cost: Optional[int] = None
+    #: Rows the access path actually yielded (filled by the executor).
+    actual_rows: Optional[int] = None
+
+    def render(self) -> str:
+        """The predicate with its access path, estimate-free."""
+        return f"where {_render_condition(self.condition)} via {self.detail}"
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "predicate": _render_condition(self.condition),
+            "access": self.access,
+            "detail": self.detail,
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "scan_cost": self.scan_cost,
+        }
+
+
+def _render_literal(literal) -> str:
+    if isinstance(literal, ParamRef):
+        return str(literal)
+    return f"'{literal}'"
+
+
+def _render_condition(condition: Condition) -> str:
+    if isinstance(condition, ContainsCondition):
+        return (
+            f"${condition.variable} contains {_render_literal(condition.needle)}"
+        )
+    if isinstance(condition, EqualsCondition):
+        return f"${condition.variable} = {_render_literal(condition.value)}"
+    if isinstance(condition, RangeCondition):
+        return (
+            f"${condition.variable} {condition.op} "
+            f"{_render_literal(condition.value)}"
+        )
+    raise QueryPlanError(f"unknown condition {condition!r}")  # pragma: no cover
 
 
 @dataclass(slots=True)
@@ -53,9 +152,22 @@ class Plan:
     #: which variable's pattern binds each select-able path variable
     path_variable_owner: Dict[str, str]
     aggregate: bool
+    #: Access-path decision per WHERE condition, in condition order.
+    condition_plans: List[ConditionPlan] = field(default_factory=list)
+    #: The differential harness's escape hatch: every predicate scans.
+    forced_scan: bool = False
+    #: Case mode the executing search engine runs under (estimates only).
+    case_sensitive: bool = False
 
     def explain(self) -> str:
-        """Human-readable relation fan-out of the plan."""
+        """Human-readable relation fan-out and access paths of the plan.
+
+        Deterministic given the query text and planner flags: the
+        sharded coordinator explains against a summary-only shim and
+        its output must match the monolithic processor's byte for byte,
+        so store-dependent row estimates live in :meth:`describe`, not
+        here.
+        """
         lines = [f"plan over {self.store!r}"]
         for plan in self.variables.values():
             lines.append(
@@ -68,22 +180,231 @@ class Plan:
                 lines.append(f"      {path}{suffix}")
             if len(plan.matches) > 8:
                 lines.append(f"      … {len(plan.matches) - 8} more")
+        for condition_plan in self.condition_plans:
+            lines.append(f"  {condition_plan.render()}")
         mode = "aggregate (meet)" if self.aggregate else "enumeration"
         lines.append(f"  mode: {mode}")
         return "\n".join(lines)
+
+    def describe(self) -> Dict[str, object]:
+        """The machine-readable plan: ``ResultEnvelope.stats["plan"]``."""
+        return {
+            "mode": "aggregate" if self.aggregate else "enumeration",
+            "forced_scan": self.forced_scan,
+            "variables": [
+                {
+                    "variable": plan.variable,
+                    "pattern": str(plan.binding.pattern),
+                    "relations": len(plan.matches),
+                    "estimated_rows": plan.estimated_rows,
+                }
+                for plan in self.variables.values()
+            ],
+            "conditions": [
+                condition_plan.describe()
+                for condition_plan in self.condition_plans
+            ],
+        }
+
+    def condition_plan_for(self, condition: Condition) -> Optional[ConditionPlan]:
+        """The access decision of one condition (identity, then equality)."""
+        for condition_plan in self.condition_plans:
+            if condition_plan.condition is condition:
+                return condition_plan
+        for condition_plan in self.condition_plans:
+            if condition_plan.condition == condition:
+                return condition_plan
+        return None
+
+    def rebound(self, bound_query: Query) -> "Plan":
+        """This plan re-targeted at a parameter-bound copy of its query.
+
+        The schema half (pattern matches) is reused as-is — bindings
+        never change which relations a pattern matches — while the
+        predicate half is re-planned so bound literals get real
+        estimates.  This is what lets a prepared statement plan once
+        and execute many times.
+        """
+        return Plan(
+            query=bound_query,
+            store=self.store,
+            variables=self.variables,
+            path_variable_owner=self.path_variable_owner,
+            aggregate=self.aggregate,
+            condition_plans=[
+                _plan_condition(
+                    condition,
+                    self.store,
+                    forced_scan=self.forced_scan,
+                    case_sensitive=self.case_sensitive,
+                )
+                for condition in bound_query.conditions
+            ],
+            forced_scan=self.forced_scan,
+            case_sensitive=self.case_sensitive,
+        )
 
 
 def _is_aggregate_item(item: SelectItem) -> bool:
     return isinstance(item, (MeetItem, DistanceItem))
 
 
-def plan_query(query: Query, store: MonetXML) -> Plan:
-    """Match every binding pattern against the store's path summary.
+# ---------------------------------------------------------------------------
+# Cardinality estimation (store-dependent; absent against the shim).
+# ---------------------------------------------------------------------------
+
+#: store → (generation, pid → node count, attr pid → association count).
+_stats_cache: "WeakKeyDictionary[MonetXML, Tuple[int, Dict[int, int], Dict[int, int]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _cardinalities(
+    store: MonetXML,
+) -> Tuple[Optional[Dict[int, int]], Optional[Dict[int, int]]]:
+    """Per-pid node and association counts, cached per generation.
+
+    ``(None, None)`` when the store cannot answer (the coordinator's
+    summary-only shim) — estimates then stay ``None`` rather than lie.
+    """
+    if not hasattr(store, "iter_oids") or not hasattr(store, "string_relations"):
+        return None, None
+    generation = getattr(store, "generation", 0)
+    cached = _stats_cache.get(store)
+    if cached is not None and cached[0] == generation:
+        return cached[1], cached[2]
+    pid_counts: Dict[int, int] = {}
+    iter_oids = getattr(store, "iter_live_oids", None) or store.iter_oids
+    for oid in iter_oids():
+        pid = store.pid_of(oid)
+        pid_counts[pid] = pid_counts.get(pid, 0) + 1
+    association_counts: Dict[int, int] = {
+        pid: relation.count() for pid, relation in store.string_relations()
+    }
+    _stats_cache[store] = (generation, pid_counts, association_counts)
+    return pid_counts, association_counts
+
+
+def _estimate_variable(
+    plan: VariablePlan,
+    store: MonetXML,
+    pid_counts: Optional[Dict[int, int]],
+    association_counts: Optional[Dict[int, int]],
+) -> Optional[int]:
+    if pid_counts is None or association_counts is None:
+        return None
+    total = 0
+    summary = store.summary
+    for pid in plan.pids:
+        if summary.is_attribute(pid):
+            total += association_counts.get(pid, 0)
+        else:
+            total += pid_counts.get(pid, 0)
+    return total
+
+
+def _plan_condition(
+    condition: Condition,
+    store: MonetXML,
+    *,
+    forced_scan: bool,
+    case_sensitive: bool,
+    scan_cost: Optional[int] = None,
+) -> ConditionPlan:
+    """Choose and annotate the access path of one predicate.
+
+    The *choice* is deterministic given the predicate shape and the
+    ``forced_scan`` flag — explain parity across the sharded shim
+    depends on it.  The *estimates* consult whatever index is already
+    cached for the store (a pure peek; planning never builds one).
+    """
+    literal = (
+        condition.needle
+        if isinstance(condition, ContainsCondition)
+        else condition.value
+    )
+    bound = None if isinstance(literal, ParamRef) else literal
+
+    if isinstance(condition, ContainsCondition):
+        # contains always executes through the search engine; the plan
+        # records which strategy the engine will take for this needle.
+        if bound is None:
+            detail = "fulltext postings (strategy bound per execution)"
+            access = ACCESS_FULLTEXT
+            estimate = None
+        else:
+            tokens = tokenize(bound, case_sensitive)
+            whole = all(ch.isalnum() for ch in bound.strip())
+            if len(tokens) == 1 and whole:
+                access, detail = ACCESS_FULLTEXT, "fulltext token postings"
+            elif len(tokens) > 1:
+                access, detail = (
+                    ACCESS_FULLTEXT,
+                    "fulltext conjunctive postings + substring confirm",
+                )
+            else:
+                access, detail = ACCESS_SCAN, "string-relation scan (substring)"
+            estimate = None
+            index = cached_fulltext_index(store, case_sensitive)
+            if index is not None and len(tokens) == 1 and whole:
+                estimate = index.document_frequency(bound)
+        return ConditionPlan(
+            condition=condition,
+            access=access,
+            detail=detail,
+            estimated_rows=estimate,
+            scan_cost=scan_cost,
+        )
+
+    if forced_scan:
+        return ConditionPlan(
+            condition=condition,
+            access=ACCESS_SCAN,
+            detail="string-relation scan (forced)",
+            scan_cost=scan_cost,
+        )
+
+    # Equality and range prefer the typed value index: a probe touches
+    # only matching entries where a scan touches every association, so
+    # the cost ranking is independent of the literal.  The estimate is
+    # exact when an index is already warm.
+    index = cached_value_index(store)
+    estimate = None
+    if isinstance(condition, EqualsCondition):
+        detail = "value-index probe"
+        if index is not None and bound is not None:
+            estimate = index.estimate_eq(bound)
+    else:
+        detail = f"value-index range ({condition.op})"
+        if index is not None and bound is not None:
+            estimate = index.estimate_cmp(condition.op, bound)
+    return ConditionPlan(
+        condition=condition,
+        access=ACCESS_VALUE_INDEX,
+        detail=detail,
+        estimated_rows=estimate,
+        scan_cost=scan_cost,
+    )
+
+
+def plan_query(
+    query: Query,
+    store: MonetXML,
+    *,
+    force_scan: bool = False,
+    case_sensitive: bool = False,
+) -> Plan:
+    """Match patterns against the path summary and pick access paths.
 
     Raises :class:`QueryPlanError` when aggregation items (``meet``,
     ``distance``) are mixed with row-wise items — the paper treats meet
     as an aggregation over the bound sets, so a mixed select has no
     coherent row semantics.
+
+    ``force_scan`` pins every equality/range predicate to the
+    string-relation scan — the differential harness's reference
+    execution.  Cardinality estimates come from the per-generation
+    pid/association histograms (``None`` against a summary-only shim).
     """
     aggregates = [item for item in query.select if _is_aggregate_item(item)]
     rowwise = [item for item in query.select if not _is_aggregate_item(item)]
@@ -93,11 +414,19 @@ def plan_query(query: Query, store: MonetXML) -> Plan:
             "row-wise select items"
         )
 
+    pid_counts, association_counts = _cardinalities(store)
+    scan_cost = (
+        sum(association_counts.values()) if association_counts else None
+    )
+
     variables: Dict[str, VariablePlan] = {}
     path_variable_owner: Dict[str, str] = {}
     for binding in query.bindings:
         plan = VariablePlan(variable=binding.variable, binding=binding)
         plan.matches = binding.pattern.matching_pids(store.summary)
+        plan.estimated_rows = _estimate_variable(
+            plan, store, pid_counts, association_counts
+        )
         variables[binding.variable] = plan
         for name in binding.pattern.variables:
             path_variable_owner.setdefault(name, binding.variable)
@@ -106,10 +435,24 @@ def plan_query(query: Query, store: MonetXML) -> Plan:
         if isinstance(item, PathVarItem) and item.name not in path_variable_owner:
             raise QueryPlanError(f"path variable %{item.name} is not bound")
 
+    condition_plans = [
+        _plan_condition(
+            condition,
+            store,
+            forced_scan=force_scan,
+            case_sensitive=case_sensitive,
+            scan_cost=scan_cost,
+        )
+        for condition in query.conditions
+    ]
+
     return Plan(
         query=query,
         store=store,
         variables=variables,
         path_variable_owner=path_variable_owner,
         aggregate=bool(aggregates),
+        condition_plans=condition_plans,
+        forced_scan=force_scan,
+        case_sensitive=case_sensitive,
     )

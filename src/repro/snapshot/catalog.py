@@ -26,7 +26,7 @@ import os
 import re
 import time
 from pathlib import Path as FsPath
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..datamodel.errors import StorageError
 from ..monet.engine import MonetXML
@@ -195,6 +195,7 @@ class Catalog:
         source: Optional[Union[str, FsPath]] = None,
         case_sensitive: bool = False,
         shards: Optional[int] = None,
+        value_indexes: Optional[Sequence[str]] = None,
         _source_stat: Optional[os.stat_result] = None,
     ) -> Dict[str, object]:
         """Snapshot ``store`` under ``name``; returns the new metadata.
@@ -207,13 +208,19 @@ class Catalog:
         recorded bundles instead of re-slicing; ``None`` builds the
         classic monolithic bundle.  The manifest records the layout so
         openers can scatter-gather without loading anything first.
-        ``_source_stat`` lets :meth:`ingest` record the fingerprint of
-        the content it actually read (stat'ed *before* reading), so a
-        source modified mid-ingest can never fingerprint as fresh.
+        ``value_indexes`` declares typed value indexes for the
+        collection (path pattern strings): the declarations are
+        recorded in the manifest and the built index is bundled as
+        ``vx/*`` sections (per shard, for sharded layouts), so opens
+        start probe-ready.  ``_source_stat`` lets :meth:`ingest` record
+        the fingerprint of the content it actually read (stat'ed
+        *before* reading), so a source modified mid-ingest can never
+        fingerprint as fresh.
         """
         _check_name(name)
         if shards is not None and shards < 1:
             raise StorageError(f"shard count must be >= 1, got {shards}")
+        declarations = sorted(set(value_indexes)) if value_indexes else None
         collections = self._read_manifest()
         previous = collections.get(name, {})
         try:
@@ -234,6 +241,7 @@ class Catalog:
                 name,
                 shards=shards,
                 case_sensitive=case_sensitive,
+                value_indexes=declarations,
                 extra_meta={
                     "collection": name,
                     "collection_generation": generation,
@@ -248,6 +256,7 @@ class Catalog:
                     store,
                     temp,
                     case_sensitive=case_sensitive,
+                    value_indexes=declarations,
                     extra_meta={
                         "collection": name,
                         "collection_generation": generation,
@@ -278,6 +287,8 @@ class Catalog:
             "case_sensitive": case_sensitive,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         }
+        if declarations:
+            meta["value_indexes"] = declarations
         if shard_meta is not None:
             meta["shards"] = shard_meta
         collections[name] = meta
@@ -314,6 +325,7 @@ class Catalog:
         *,
         case_sensitive: bool = False,
         shards: Optional[int] = None,
+        value_indexes: Optional[Sequence[str]] = None,
     ) -> Dict[str, object]:
         """Parse an XML file (or legacy ``.json`` image) and snapshot it."""
         from ..datamodel.parser import parse_document
@@ -338,6 +350,7 @@ class Catalog:
             source=source,
             case_sensitive=case_sensitive,
             shards=shards,
+            value_indexes=value_indexes,
             _source_stat=source_stat,
         )
 
@@ -436,11 +449,13 @@ class Catalog:
 
         snapshot = self.open(name, use_mmap=use_mmap, tolerate_torn_tail=True)
         store, _ = compact_store(snapshot.store)
+        declared = meta.get("value_indexes")
         return self.build(
             name,
             store,
             case_sensitive=bool(meta.get("case_sensitive", False)),
             shards=shards,
+            value_indexes=declared if isinstance(declared, list) else None,
         )
 
     def drop(self, name: str) -> None:

@@ -18,6 +18,8 @@ tokenization.  Section layout (all framed by
 ``strings/*``           pid list, run lengths, OID column, packed values
 ``lca/*``               Euler tour, depths, first/last, log, sparse table
 ``ft/*``                term dictionary, run lengths, pid/oid columns
+``vx/*``                typed value index: pid list, run lengths, OID
+                        column, packed values (only when declared)
 ======================  ==================================================
 
 :func:`read_snapshot` returns a :class:`Snapshot` whose store has the
@@ -46,6 +48,7 @@ from ..fulltext.index import (
 from ..monet.bat import BAT
 from ..monet.engine import MonetXML
 from ..monet.pathsummary import ColumnarPathSummary, PathSummary
+from ..valueindex import ValueIndex, get_value_index, seed_value_index
 from .deltas import apply_delta_ops, read_delta_ops
 from .format import SnapshotReader, SnapshotWriter
 
@@ -68,6 +71,8 @@ class Snapshot:
     path: Optional[FsPath] = None
     #: Mutations replayed from the bundle's delta tail on load.
     delta_count: int = 0
+    #: Present only for bundles written with declared value indexes.
+    value_index: Optional[ValueIndex] = None
 
     def engine(self, **options):
         """A warm :class:`~repro.core.engine.NearestConceptEngine`."""
@@ -105,6 +110,7 @@ def write_snapshot(
     path: Union[str, FsPath],
     *,
     case_sensitive: bool = False,
+    value_indexes: Optional[Sequence[str]] = None,
     extra_meta: Optional[Dict[str, object]] = None,
     _writer_byteorder: Optional[int] = None,
 ) -> int:
@@ -114,6 +120,9 @@ def write_snapshot(
     generation-keyed caches (building them here if the store is cold),
     so snapshotting a warm server costs only serialization.
     ``case_sensitive`` selects which full-text variant is bundled.
+    A non-empty ``value_indexes`` declaration list additionally bundles
+    the typed value index as ``vx/*`` sections; readers that predate
+    those sections ignore them and fall back to scans.
     """
     if getattr(store, "dead_count", 0):
         raise StorageError(
@@ -153,6 +162,14 @@ def write_snapshot(
         "indexed_associations": fulltext.indexed_associations,
         "vocabulary_size": fulltext.vocabulary_size,
     }
+    value_index: Optional[ValueIndex] = None
+    if value_indexes:
+        # The cache may hand back an index built under other (or no)
+        # declarations — coverage is identical, so only the recorded
+        # declaration list must come from this call's arguments.
+        value_index = get_value_index(store, declared=tuple(value_indexes))
+        meta["value_indexes"] = sorted(set(value_indexes))
+        meta["value_index_entries"] = value_index.entry_count
     documents = getattr(store, "documents", None)
     if documents:
         # Persist the live-write registry so a reloaded collection can
@@ -225,6 +242,21 @@ def write_snapshot(
     writer.add_array("ft/lens", term_lengths)
     writer.add_array("ft/pids", term_pids)
     writer.add_array("ft/oids", term_oids)
+
+    if value_index is not None:
+        vx_pids: List[int] = []
+        vx_lengths: List[int] = []
+        vx_oids = array("q")
+        vx_values: List[str] = []
+        for pid, oids, values in value_index.iter_path_columns():
+            vx_pids.append(pid)
+            vx_lengths.append(len(oids))
+            vx_oids.extend(oids)
+            vx_values.extend(values)
+        writer.add_array("vx/pids", vx_pids)
+        writer.add_array("vx/lens", vx_lengths)
+        writer.add_array("vx/oids", vx_oids)
+        writer.add_strings("vx/values", vx_values)
 
     return writer.write(path)
 
@@ -481,6 +513,37 @@ def _rebuild_fulltext_index(
     )
 
 
+def _rebuild_value_index(
+    reader: SnapshotReader, store: MonetXML, meta: Dict[str, object]
+) -> Optional[ValueIndex]:
+    """The bundled ``vx/*`` value index, or ``None`` for older bundles.
+
+    Pre-PR-9 bundles simply lack the sections — their absence is the
+    backward-compat path, not an error — and declared-but-missing
+    columns never arise because the writer emits both or neither.
+    """
+    if "vx/pids" not in reader:
+        return None
+    pids = reader.tolist("vx/pids")
+    lengths = reader.tolist("vx/lens")
+    if len(pids) != len(lengths):
+        raise StorageError("value-index pid and length columns disagree")
+    oid_runs = _slice_runs(reader.array("vx/oids"), lengths, "vx/oids")
+    value_runs = _slice_runs(reader.strings("vx/values"), lengths, "vx/values")
+    declared = meta.get("value_indexes", [])
+    if not isinstance(declared, list) or not all(
+        isinstance(pattern, str) for pattern in declared
+    ):
+        raise StorageError(
+            "snapshot meta field 'value_indexes' is not a list of strings"
+        )
+    return ValueIndex.from_path_columns(
+        store,
+        zip(pids, oid_runs, value_runs),
+        declared=declared,
+    )
+
+
 def read_snapshot(
     source: Union[str, FsPath, bytes, bytearray, memoryview],
     *,
@@ -518,8 +581,11 @@ def read_snapshot(
     _restore_registry(store, meta)
     lca = _rebuild_lca_index(reader, store, meta)
     fulltext = _rebuild_fulltext_index(reader, store, meta)
+    value_index = _rebuild_value_index(reader, store, meta)
     seed_lca_index(store, lca)
     seed_fulltext_index(store, fulltext)
+    if value_index is not None:
+        seed_value_index(store, value_index)
     deltas = read_delta_ops(reader)
     if deltas:
         apply_delta_ops(store, deltas)
@@ -530,4 +596,5 @@ def read_snapshot(
         meta=meta,
         path=path,
         delta_count=len(deltas),
+        value_index=value_index,
     )

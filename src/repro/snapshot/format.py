@@ -310,6 +310,10 @@ class SnapshotReader:
     def section_names(self) -> List[str]:
         return list(self._sections)
 
+    def section_sizes(self) -> Dict[str, int]:
+        """Payload bytes per section, in file order (framing excluded)."""
+        return {name: length for name, (_, length) in self._sections.items()}
+
     def __contains__(self, name: object) -> bool:
         return name in self._sections
 

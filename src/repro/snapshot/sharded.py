@@ -43,6 +43,7 @@ def write_shard_bundles(
     *,
     shards: int,
     case_sensitive: bool = False,
+    value_indexes: Optional[List[str]] = None,
     extra_meta: Optional[Dict[str, object]] = None,
 ) -> Tuple[ShardPlan, List[FsPath], int]:
     """Slice ``store`` and write one bundle per shard into ``directory``.
@@ -72,7 +73,7 @@ def write_shard_bundles(
                 meta.update(extra_meta)
             total += write_snapshot(
                 shard_store, temp, case_sensitive=case_sensitive,
-                extra_meta=meta,
+                value_indexes=value_indexes, extra_meta=meta,
             )
             written.append(temp)
             paths.append(bundle)

@@ -81,7 +81,7 @@ class TestRoutes:
         row = body["collections"]["figure1"]
         assert row["backend"] == "indexed"
         # Index-build counters are process-wide, reported once.
-        assert set(body["index_builds"]) == {"lca", "fulltext"}
+        assert set(body["index_builds"]) == {"lca", "fulltext", "valueindex"}
 
     def test_nearest(self, server):
         status, body = http_json(
@@ -238,7 +238,8 @@ class TestConcurrency:
         _, stats_after = http_json(server.url("/v1/stats"))
         cache_row = stats_after["collections"]["figure1"]["cache"]
         assert cache_row["hits"] > hits_before
-        assert stats_after["index_builds"] == {
-            "lca": lca_index_cache_info().builds,
-            "fulltext": fulltext_index_cache_info().builds,
-        }
+        assert stats_after["index_builds"]["lca"] == lca_index_cache_info().builds
+        assert (
+            stats_after["index_builds"]["fulltext"]
+            == fulltext_index_cache_info().builds
+        )

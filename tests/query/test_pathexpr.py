@@ -106,6 +106,34 @@ class TestMatchingPids:
         assert [b["T"] for _, b in matches] == ["article"]
 
 
+class TestMatchMemo:
+    def test_repeat_calls_return_equal_fresh_lists(self, figure1_store):
+        p = pattern(SequenceWildcard(), LiteralStep("year"))
+        first = p.matching_pids(figure1_store.summary)
+        second = p.matching_pids(figure1_store.summary)
+        assert first == second
+        assert first is not second  # callers may mutate their copy
+        first.append((999, {}))
+        assert p.matching_pids(figure1_store.summary) == second
+
+    def test_equal_pattern_shares_memo(self, figure1_store):
+        summary = figure1_store.summary
+        pattern(SequenceWildcard(), LiteralStep("year")).matching_pids(summary)
+        cache = summary._pattern_match_cache
+        size_before = len(cache)
+        pattern(SequenceWildcard(), LiteralStep("year")).matching_pids(summary)
+        assert len(cache) == size_before
+
+    def test_interning_a_new_path_invalidates(self, figure1_doc):
+        from repro.monet import monet_transform
+
+        summary = monet_transform(figure1_doc).summary
+        p = pattern(SequenceWildcard(), LiteralStep("epilogue"))
+        assert p.matching_pids(summary) == []
+        new_pid = summary.intern(Path.of("bibliography", "epilogue"))
+        assert [pid for pid, _ in p.matching_pids(summary)] == [new_pid]
+
+
 class TestStructure:
     def test_attribute_must_be_last(self):
         with pytest.raises(ValueError):

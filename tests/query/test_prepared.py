@@ -1,0 +1,127 @@
+"""Parameterized queries: parsing, binding, plan memo, result cache.
+
+The satellite regression lives here too: the result-cache key must
+include the bindings, so two executions of the same template with
+different parameters can never serve each other's rows.
+"""
+
+import pytest
+
+from repro.datamodel.errors import QueryPlanError
+from repro.query.ast import ParamRef
+from repro.query.executor import QueryProcessor
+from repro.query.parser import parse_query
+
+TEMPLATE = "select $a from # $a where $a = $v"
+
+
+class TestParsingAndBinding:
+    def test_parameter_marker_parses_as_paramref(self):
+        query = parse_query(TEMPLATE)
+        assert isinstance(query.conditions[0].value, ParamRef)
+        assert query.parameters == ("v",)
+
+    def test_parameters_in_condition_order(self):
+        query = parse_query(
+            "select $a from # $a where $a >= $low and $a <= $high"
+        )
+        assert query.parameters == ("low", "high")
+
+    def test_bind_substitutes_literals(self):
+        bound = parse_query(TEMPLATE).bind({"v": "Bit"})
+        assert bound.conditions[0].value == "Bit"
+        assert bound.parameters == ()
+
+    def test_bind_missing_parameter_raises(self):
+        with pytest.raises(KeyError):
+            parse_query(TEMPLATE).bind({})
+
+    def test_bind_unknown_parameter_raises(self):
+        with pytest.raises(ValueError):
+            parse_query(TEMPLATE).bind({"v": "Bit", "w": "stray"})
+
+
+class TestProcessorBindings:
+    def test_bound_execution_matches_literal_query(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        bound = processor.execute(TEMPLATE, bindings={"v": "Bit"})
+        literal = processor.execute("select $a from # $a where $a = 'Bit'")
+        assert bound.rows == literal.rows and bound.rows
+
+    def test_unbound_execution_is_a_plan_error(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        with pytest.raises(QueryPlanError):
+            processor.execute(TEMPLATE)
+
+    def test_unknown_binding_is_a_plan_error(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        with pytest.raises(QueryPlanError):
+            processor.execute(TEMPLATE, bindings={"v": "Bit", "w": "x"})
+
+    def test_result_cache_key_includes_bindings(self, figure1_store):
+        # The regression: with a shared template text, different
+        # bindings MUST miss each other's result-cache entries.
+        processor = QueryProcessor(figure1_store, None, cache=16)
+        bit = processor.execute(TEMPLATE, bindings={"v": "Bit"})
+        ben = processor.execute(TEMPLATE, bindings={"v": "Ben"})
+        assert bit.rows != ben.rows
+        assert processor.cache_info().hits == 0
+        assert processor.cache_info().misses == 2
+        # Same bindings do hit — and return the identical rows.
+        again = processor.execute(TEMPLATE, bindings={"v": "Bit"})
+        assert again.rows == bit.rows
+        assert processor.cache_info().hits == 1
+
+    def test_binding_order_does_not_split_cache_entries(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None, cache=16)
+        text = "select $a from # $a where $a >= $low and $a <= $high"
+        processor.execute(text, bindings={"low": "1999", "high": "2000"})
+        processor.execute(text, bindings={"high": "2000", "low": "1999"})
+        assert processor.cache_info().hits == 1
+
+
+class TestTemplateExecution:
+    def test_plan_cached_across_distinct_bindings(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        template = parse_query(TEMPLATE)
+        first = processor.execute_template(
+            template, text=TEMPLATE, bindings={"v": "Bit"}
+        )
+        second = processor.execute_template(
+            template, text=TEMPLATE, bindings={"v": "Ben"}
+        )
+        info = processor.plan_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["currsize"] == 1
+        assert first.rows != second.rows
+
+    def test_template_answers_match_adhoc(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        template = parse_query(TEMPLATE)
+        for value in ("Bit", "Ben", "1999", "absent"):
+            prepared = processor.execute_template(
+                template, text=TEMPLATE, bindings={"v": value}
+            )
+            adhoc = QueryProcessor(figure1_store, None).execute(
+                TEMPLATE, bindings={"v": value}
+            )
+            assert prepared.columns == adhoc.columns
+            assert prepared.rows == adhoc.rows, value
+
+    def test_template_bind_errors_surface_as_plan_errors(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        template = parse_query(TEMPLATE)
+        with pytest.raises(QueryPlanError):
+            processor.execute_template(template, text=TEMPLATE, bindings={})
+        with pytest.raises(QueryPlanError):
+            processor.execute_template(
+                template, text=TEMPLATE, bindings={"v": "x", "stray": "y"}
+            )
+
+    def test_result_plan_reports_actual_rows(self, figure1_store):
+        processor = QueryProcessor(figure1_store, None)
+        result = processor.execute(TEMPLATE, bindings={"v": "Bit"})
+        (cond,) = result.plan["conditions"]
+        assert cond["access"] == "value-index"
+        assert cond["actual_rows"] == 1

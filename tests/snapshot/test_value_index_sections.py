@@ -1,0 +1,137 @@
+"""Value-index snapshot sections: round trip and two-way compatibility.
+
+Backward: a bundle written *without* declarations — byte-wise what a
+pre-value-index writer produced — opens unchanged and answers every
+query (the index is simply built on demand).  Forward: a reader that
+ignores the ``vx/*`` sections (simulated by dropping the seeded cache)
+degrades to the same answers, never an error.
+"""
+
+import pytest
+
+from repro.datasets import figure1_document
+from repro.monet.transform import monet_transform
+from repro.query.executor import QueryProcessor
+from repro.snapshot import read_snapshot, write_snapshot
+from repro.snapshot.format import SnapshotReader
+from repro.valueindex import (
+    cached_value_index,
+    clear_value_index_cache,
+    value_index_cache_info,
+)
+
+QUERIES = [
+    "select $a from # $a where $a = 'Bit'",
+    "select $a from # $a where $a >= '1999'",
+]
+
+
+@pytest.fixture()
+def store():
+    return monet_transform(figure1_document())
+
+
+def test_declared_index_persists_vx_sections(tmp_path, store):
+    path = tmp_path / "indexed.snap"
+    write_snapshot(store, path, value_indexes=["#"])
+    reader = SnapshotReader.open(path)
+    for section in ("vx/pids", "vx/lens", "vx/oids", "vx/values"):
+        assert section in reader, section
+    meta = reader.json("meta")
+    assert meta["value_indexes"] == ["#"]
+    assert meta["value_index_entries"] > 0
+    sizes = reader.section_sizes()
+    assert sizes["vx/values"] > 0
+    assert set(sizes) == set(reader.section_names())
+
+
+def test_open_seeds_index_with_zero_builds(tmp_path, store):
+    path = tmp_path / "indexed.snap"
+    write_snapshot(store, path, value_indexes=["#"])
+    clear_value_index_cache()
+    snapshot = read_snapshot(path)
+    assert value_index_cache_info().builds == 0
+    seeded = cached_value_index(snapshot.store)
+    assert seeded is not None
+    assert seeded.declared == ("#",)
+    assert seeded.lookup_eq("Bit")
+
+
+def test_undeclared_bundle_has_no_vx_sections(tmp_path, store):
+    # Exactly the bytes an older writer produced: no sections, no keys.
+    path = tmp_path / "plain.snap"
+    write_snapshot(store, path)
+    reader = SnapshotReader.open(path)
+    assert "vx/pids" not in reader
+    meta = reader.json("meta")
+    assert "value_indexes" not in meta
+    assert "value_index_entries" not in meta
+
+
+def test_backward_compat_plain_bundle_answers_unchanged(tmp_path, store):
+    """A pre-value-index bundle opens and answers — no section, no seed."""
+    path = tmp_path / "plain.snap"
+    write_snapshot(store, path)
+    clear_value_index_cache()
+    snapshot = read_snapshot(path)
+    assert cached_value_index(snapshot.store) is None
+    processor = QueryProcessor(snapshot.store, None)
+    reference = QueryProcessor(store, None)
+    for text in QUERIES:
+        assert processor.execute(text).rows == reference.execute(text).rows
+
+
+def test_forward_compat_ignoring_reader_degrades_to_scan(tmp_path, store):
+    """Dropping the deserialized index must change cost only, not rows."""
+    path = tmp_path / "indexed.snap"
+    write_snapshot(store, path, value_indexes=["#"])
+    snapshot = read_snapshot(path)
+    warm = {
+        text: QueryProcessor(snapshot.store, None).execute(text).rows
+        for text in QUERIES
+    }
+    # Now the ignoring reader: same bundle, seeded index discarded.
+    clear_value_index_cache()
+    cold_processor = QueryProcessor(snapshot.store, None)
+    for text in QUERIES:
+        assert cold_processor.execute(text).rows == warm[text], text
+
+
+def test_declarations_survive_mutation_and_rewrite(tmp_path, store):
+    """The Database write path re-records declarations on rewrite."""
+    from repro.snapshot import Catalog
+
+    catalog = Catalog(tmp_path / "cat", create=True)
+    catalog.build("docs", store, value_indexes=["#"])
+    assert catalog.info("docs")["value_indexes"] == ["#"]
+
+    from repro.api import Database, DatabaseOptions
+
+    db = Database.open(
+        options=DatabaseOptions(catalog=tmp_path / "cat"), snapshot="docs"
+    )
+    try:
+        db.put("memo", "<memo><title>Bit Shift</title></memo>")
+    finally:
+        db.close()
+
+    reader = SnapshotReader.open(catalog.bundle_path("docs"))
+    meta = reader.json("meta")
+    assert meta["value_indexes"] == ["#"]
+
+    # Re-open: deltas replay over the seeded index; probe sees the put.
+    clear_value_index_cache()
+    db = Database.open(
+        options=DatabaseOptions(catalog=tmp_path / "cat"), snapshot="docs"
+    )
+    try:
+        hit = db.query('select $a from # $a where $a = \'Bit Shift\'')
+        assert hit.count == 1
+    finally:
+        db.close()
+
+    # Compaction folds the delta tail and must keep the declaration.
+    catalog.compact("docs")
+    assert catalog.info("docs")["value_indexes"] == ["#"]
+    reader = SnapshotReader.open(catalog.bundle_path("docs"))
+    assert "vx/pids" in reader

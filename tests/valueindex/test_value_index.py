@@ -1,0 +1,217 @@
+"""The typed value index: probes reproduce scan semantics exactly.
+
+Every probe (equality, comparison, range) is checked against a brute
+force over ``store.string_relations()`` evaluated with the very
+``compare_values`` rule the ``=``/range predicates scan with — the
+index is only allowed to change cost, never answers.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.monet.transform import monet_transform
+from repro.datasets import PlaysConfig, plays_document
+from repro.query.ast import compare_values
+from repro.valueindex import (
+    ValueIndex,
+    cached_value_index,
+    clear_value_index_cache,
+    get_value_index,
+    seed_value_index,
+    value_index_cache_info,
+)
+
+
+@pytest.fixture()
+def plays_store():
+    return monet_transform(
+        plays_document(PlaysConfig(plays=2, acts_per_play=2, scenes_per_act=2))
+    )
+
+
+def scan_associations(store):
+    """(pid, oid, value) for every string association — the oracle."""
+    for pid, relation in store.string_relations():
+        for oid, value in relation:
+            yield pid, oid, value
+
+
+class TestProbesMatchScan:
+    def test_build_covers_every_association(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        assert index.entry_count == sum(
+            1 for _ in scan_associations(figure1_store)
+        )
+        assert index.path_count == len(
+            {pid for pid, _oid, _v in scan_associations(figure1_store)}
+        )
+
+    def test_equality_probe_equals_scan_for_every_value(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        values = {v for _p, _o, v in scan_associations(figure1_store)}
+        for value in values | {"no-such-value"}:
+            expected = {
+                oid
+                for _pid, oid, v in scan_associations(figure1_store)
+                if v == value
+            }
+            assert index.lookup_eq(value) == expected, value
+            assert index.estimate_eq(value) == len(expected), value
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    @pytest.mark.parametrize("literal", ["1999", "Bit", "Bob Byte", "0"])
+    def test_comparison_probe_equals_scan(self, figure1_store, op, literal):
+        index = ValueIndex(figure1_store)
+        expected = {
+            oid
+            for _pid, oid, value in scan_associations(figure1_store)
+            if compare_values(value, op, literal)
+        }
+        actual = index.lookup_cmp(op, literal)
+        assert actual == expected, (op, literal)
+        # The entry-count estimate is an upper bound on distinct OIDs.
+        assert index.estimate_cmp(op, literal) >= len(actual)
+
+    def test_comparison_probe_on_larger_store(self, plays_store):
+        index = ValueIndex(plays_store)
+        for op in ("<", ">="):
+            for literal in ("crown", "5"):
+                expected = {
+                    oid
+                    for _pid, oid, value in scan_associations(plays_store)
+                    if compare_values(value, op, literal)
+                }
+                assert index.lookup_cmp(op, literal) == expected, (op, literal)
+
+    def test_pid_restricted_probe(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        (pid,) = {
+            pid
+            for pid, _oid, value in scan_associations(figure1_store)
+            if value == "Bit"
+        }
+        assert index.lookup_eq("Bit", pids=[pid]) == index.lookup_eq("Bit")
+        assert index.lookup_eq("Bit", pids=[pid + 999]) == frozenset()
+
+    def test_string_and_numeric_range(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        lexical = index.lookup_range("A", "C")
+        expected = {
+            oid
+            for _pid, oid, value in scan_associations(figure1_store)
+            if "A" <= value <= "C"
+        }
+        assert lexical == expected
+        numeric = index.lookup_range("1998", "2000", numeric=True)
+        expected_numeric = set()
+        for _pid, oid, value in scan_associations(figure1_store):
+            try:
+                if 1998.0 <= float(value) <= 2000.0:
+                    expected_numeric.add(oid)
+            except ValueError:
+                pass
+        assert numeric == expected_numeric
+        with pytest.raises(ValueError):
+            index.lookup_range("low", None, numeric=True)
+
+    def test_unknown_operator_rejected(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        with pytest.raises(ValueError):
+            index.lookup_cmp("!=", "x")
+        with pytest.raises(ValueError):
+            index.estimate_cmp("~", "x")
+
+
+class TestPersistenceColumns:
+    def test_round_trip_through_path_columns(self, figure1_store):
+        built = ValueIndex(figure1_store)
+        columns = [
+            (pid, list(oids), list(values))
+            for pid, oids, values in built.iter_path_columns()
+        ]
+        clear_value_index_cache()
+        restored = ValueIndex.from_path_columns(
+            figure1_store, columns, declared=["#"]
+        )
+        # from_path_columns never scans a relation: no build counted.
+        assert value_index_cache_info().builds == 0
+        assert restored.declared == ("#",)
+        assert restored.entry_count == built.entry_count
+        for value in {v for _p, _o, v in scan_associations(figure1_store)}:
+            assert restored.lookup_eq(value) == built.lookup_eq(value)
+        assert restored.lookup_cmp(">=", "1999") == built.lookup_cmp(
+            ">=", "1999"
+        )
+
+
+class TestPatchedMaintenance:
+    def _record_put(self, added, to_generation):
+        return SimpleNamespace(
+            kind="put", added_strings=added, to_generation=to_generation
+        )
+
+    def _record_delete(self, span, to_generation):
+        return SimpleNamespace(
+            kind="delete", span=span, to_generation=to_generation
+        )
+
+    def test_put_adds_and_delete_prunes(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        pid = next(iter(p for p, _o, _v in scan_associations(figure1_store)))
+        patched = index.patched(
+            [self._record_put([(pid, 900, "Patchwork")], index.generation + 1)]
+        )
+        assert patched.lookup_eq("Patchwork") == {900}
+        assert index.lookup_eq("Patchwork") == frozenset()  # copy-on-write
+        assert patched.generation == index.generation + 1
+        assert patched.entry_count == index.entry_count + 1
+
+        pruned = patched.patched(
+            [self._record_delete((900, 900), patched.generation + 1)]
+        )
+        assert pruned.lookup_eq("Patchwork") == frozenset()
+        assert pruned.entry_count == index.entry_count
+
+    def test_delete_spanning_existing_oids(self, figure1_store):
+        index = ValueIndex(figure1_store)
+        victims = {
+            oid
+            for _pid, oid, value in scan_associations(figure1_store)
+            if value == "Bit"
+        }
+        low = high = next(iter(victims))
+        pruned = index.patched(
+            [self._record_delete((low, high), index.generation + 1)]
+        )
+        assert pruned.lookup_eq("Bit") == frozenset()
+
+
+class TestCacheSuite:
+    def test_get_builds_once_then_hits(self, figure1_store):
+        clear_value_index_cache()
+        first = get_value_index(figure1_store)
+        info = value_index_cache_info()
+        assert (info.builds, info.hits) == (1, 0)
+        assert get_value_index(figure1_store) is first
+        info = value_index_cache_info()
+        assert (info.builds, info.hits) == (1, 1)
+        assert info.currsize == 1
+
+    def test_seed_installs_without_build(self, figure1_store):
+        clear_value_index_cache()
+        index = ValueIndex.from_path_columns(figure1_store, [])
+        seed_value_index(figure1_store, index)
+        assert value_index_cache_info().builds == 0
+        assert cached_value_index(figure1_store) is index
+        assert get_value_index(figure1_store) is index
+
+    def test_seed_rejects_foreign_store(self, figure1_store, plays_store):
+        index = ValueIndex.from_path_columns(plays_store, [])
+        with pytest.raises(ValueError):
+            seed_value_index(figure1_store, index)
+
+    def test_cached_peek_never_builds(self, plays_store):
+        clear_value_index_cache()
+        assert cached_value_index(plays_store) is None
+        assert value_index_cache_info().builds == 0
