@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Bench: NumPy batch kernels vs the per-pair python hot path.
+
+Head-to-head of the ``vector`` backend (NumPy batch kernels over the
+generation-keyed flat columns) against the ``indexed`` backend (the
+same Euler-RMQ index walked pair by pair in python) on the single-core
+uncached serving path — warm indexes, no result cache, a stream of
+distinct ``nearest_concepts`` queries.  Before anything is timed the
+two backends must return byte-identical ranked answers for the whole
+stream, and the timed region must perform **zero** index (re)builds:
+the kernels bind views over the already-cached columns.
+
+Also reports micro-kernel rows (batched LCA, Fig. 5 roll-up, postings
+intersection) so a regression localizes without a bisect.
+
+Output: ``benchmarks/out/bench_kernels.txt`` plus the machine-readable
+``BENCH_kernels.json`` artefact at the repo root (CI smoke:
+``--quick`` on the with-numpy leg).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import kernels
+from repro.bench.report import render_table, write_json_report
+from repro.core.engine import NearestConceptEngine
+from repro.core.lca_index import get_lca_index, lca_index_cache_info
+from repro.datasets.randomtree import random_document
+from repro.datasets.textpool import TECH_NOUNS
+from repro.fulltext.search import SearchEngine
+from repro.monet.transform import monet_transform
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = Path(__file__).parent / "out" / "bench_kernels.txt"
+JSON_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+LIMIT = 5
+
+
+def _time(task: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def _best_of(task: Callable[[], object], repeat: int) -> float:
+    return min(_time(task) for _ in range(repeat))
+
+
+def _serving_row(
+    name: str,
+    store,
+    queries: List[Tuple[str, str]],
+    repeat: int,
+) -> Dict[str, object]:
+    """Uncached nearest-concept qps, vector vs indexed, same answers."""
+    engines = {
+        backend: NearestConceptEngine(store, backend=backend)
+        for backend in ("indexed", "vector")
+    }
+    assert engines["vector"].backend.name == "vector", (
+        "NumPy kernels unavailable: run the python leg via "
+        "bench_query_serving.py instead"
+    )
+
+    # Differential first: the speedup is meaningless unless the
+    # answers (and their order) are byte-identical.
+    for terms in queries:
+        expected = engines["indexed"].nearest_concepts(*terms, limit=LIMIT)
+        actual = engines["vector"].nearest_concepts(*terms, limit=LIMIT)
+        assert actual == expected, f"backends disagree on {terms!r}"
+
+    def stream(engine: NearestConceptEngine) -> Callable[[], None]:
+        def run() -> None:
+            for terms in queries:
+                engine.nearest_concepts(*terms, limit=LIMIT)
+
+        return run
+
+    # Everything derived is warm; the timed region must not build.
+    builds_before = lca_index_cache_info().builds
+    indexed_seconds = _best_of(stream(engines["indexed"]), repeat)
+    vector_seconds = _best_of(stream(engines["vector"]), repeat)
+    assert lca_index_cache_info().builds == builds_before, (
+        "the timed region rebuilt an index"
+    )
+    return {
+        "dataset": name,
+        "workload": "uncached-serving",
+        "queries": len(queries),
+        "indexed_seconds": round(indexed_seconds, 6),
+        "vector_seconds": round(vector_seconds, 6),
+        "indexed_qps": round(len(queries) / indexed_seconds, 2),
+        "vector_qps": round(len(queries) / vector_seconds, 2),
+        "speedup": round(indexed_seconds / vector_seconds, 2),
+    }
+
+
+def _micro_rows(store, repeat: int, batch: int) -> List[Dict[str, object]]:
+    """Micro-kernels: batched LCA, Fig. 5 roll-up, postings intersect."""
+    from repro.kernels.lca import get_kernels
+
+    rows: List[Dict[str, object]] = []
+    rng = random.Random(5)
+    index = get_lca_index(store)
+    batch_kernels = get_kernels(index)
+    np = kernels.numpy()
+
+    low = store.first_oid
+    high = low + store.node_count - 1
+    pairs = [(rng.randint(low, high), rng.randint(low, high))
+             for _ in range(batch)]
+    table = np.asarray(pairs, dtype=np.int64)
+
+    def python_lca() -> None:
+        lca = index.lca
+        for oid1, oid2 in pairs:
+            lca(oid1, oid2)
+
+    python_seconds = _best_of(python_lca, repeat)
+    vector_seconds = _best_of(
+        lambda: batch_kernels.lca_many(table[:, 0], table[:, 1]), repeat
+    )
+    rows.append(
+        {
+            "dataset": "random",
+            "workload": f"lca_many[{batch}]",
+            "python_seconds": round(python_seconds, 6),
+            "vector_seconds": round(vector_seconds, 6),
+            "speedup": round(python_seconds / vector_seconds, 2),
+        }
+    )
+
+    tagged = [
+        (rng.choice("abc"), rng.randint(low, high)) for _ in range(batch)
+    ]
+    indexed = NearestConceptEngine(store, backend="indexed").backend
+    vector = NearestConceptEngine(store, backend="vector").backend
+    assert indexed.meet_tagged(tagged) == vector.meet_tagged(tagged)
+    python_seconds = _best_of(lambda: indexed.meet_tagged(tagged), repeat)
+    vector_seconds = _best_of(lambda: vector.meet_tagged(tagged), repeat)
+    rows.append(
+        {
+            "dataset": "random",
+            "workload": f"meet_tagged[{batch}]",
+            "python_seconds": round(python_seconds, 6),
+            "vector_seconds": round(vector_seconds, 6),
+            "speedup": round(python_seconds / vector_seconds, 2),
+        }
+    )
+
+    search = SearchEngine(store).index
+    words = list(TECH_NOUNS)[:2]
+    python_env = {"REPRO_KERNELS": "python"}
+
+    def conjunctive() -> None:
+        search.search_conjunctive(words)
+
+    import os
+
+    vector_seconds = _best_of(conjunctive, repeat)
+    os.environ.update(python_env)
+    try:
+        python_seconds = _best_of(conjunctive, repeat)
+    finally:
+        os.environ.pop("REPRO_KERNELS", None)
+    rows.append(
+        {
+            "dataset": "random",
+            "workload": "search_conjunctive",
+            "python_seconds": round(python_seconds, 6),
+            "vector_seconds": round(vector_seconds, 6),
+            "speedup": round(python_seconds / vector_seconds, 2),
+        }
+    )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny sizes, 1 repeat"
+    )
+    parser.add_argument("--nodes", type=int, default=84_000,
+                        help="random-tree size (the headline dataset)")
+    parser.add_argument("--queries", type=int, default=150)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--batch", type=int, default=20_000,
+                        help="micro-kernel batch size")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the headline uncached-serving "
+                        "speedup reaches this factor")
+    parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
+                        help=f"JSON artefact path (default: {JSON_PATH.name})")
+    args = parser.parse_args(argv)
+
+    if not kernels.available():
+        print(
+            "NumPy kernels unavailable (no numpy or REPRO_KERNELS=python); "
+            "nothing to measure",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.quick:
+        args.nodes, args.queries, args.repeat = 4_000, 25, 1
+        args.batch = 2_000
+
+    rng = random.Random(17)
+    store = monet_transform(
+        random_document(42, nodes=args.nodes, max_children=3)
+    )
+    print(f"random: {store.node_count} nodes", file=sys.stderr)
+    words = list(TECH_NOUNS)
+    queries = [tuple(rng.sample(words[:12], 2)) for _ in range(args.queries)]
+
+    rows = [_serving_row("random", store, queries, args.repeat)]
+    rows += _micro_rows(store, args.repeat, args.batch)
+
+    headline = rows[0]
+    table = render_table(
+        ["dataset", "workload", "vector", "python/indexed", "speedup"],
+        [
+            [
+                row["dataset"],
+                row["workload"],
+                f"{row.get('vector_qps', '')} qps"
+                if "vector_qps" in row
+                else f"{row['vector_seconds']:.4f}s",
+                f"{row.get('indexed_qps', '')} qps"
+                if "indexed_qps" in row
+                else f"{row['python_seconds']:.4f}s",
+                f"{row['speedup']:.2f}x",
+            ]
+            for row in rows
+        ],
+        title="batch kernels: vector tier vs per-pair python",
+    )
+    print(table)
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(table + "\n", encoding="utf-8")
+    written = write_json_report(
+        args.json,
+        "kernels",
+        {
+            "quick": args.quick,
+            "nodes": args.nodes,
+            "queries": args.queries,
+            "repeat": args.repeat,
+            "batch": args.batch,
+            "kernel_tier": kernels.tier(),
+            "limit": LIMIT,
+        },
+        rows,
+    )
+    print(f"[report written to {OUT_PATH} and {written}]")
+    if headline["speedup"] < args.min_speedup:
+        print(
+            f"headline speedup {headline['speedup']}x below the "
+            f"--min-speedup {args.min_speedup}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,9 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import kernels
 from repro.bench.report import render_table, write_json_report
+from repro.core.backends import BACKEND_NAMES
 from repro.core.engine import NearestConcept, NearestConceptEngine
 from repro.core.lca_index import clear_lca_index_cache
 from repro.datasets import (
@@ -116,10 +118,12 @@ def baseline_batch(
 LIMIT = 5
 
 
-def _check_differential(store, queries, case_sensitive: bool) -> None:
+def _check_differential(
+    store, queries, case_sensitive: bool, backend: str
+) -> None:
     """Baseline and optimized pipelines must agree before timing."""
     optimized = NearestConceptEngine(
-        store, case_sensitive=case_sensitive, backend="indexed"
+        store, case_sensitive=case_sensitive, backend=backend
     )
     reference = NearestConceptEngine(
         store, case_sensitive=case_sensitive, backend="indexed"
@@ -140,15 +144,18 @@ def bench_dataset(
     queries: List[Tuple[str, str]],
     repeat: int,
     case_sensitive: bool = False,
+    backend: str = "indexed",
 ) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
-    _check_differential(store, queries[: min(len(queries), 25)], case_sensitive)
+    _check_differential(
+        store, queries[: min(len(queries), 25)], case_sensitive, backend
+    )
 
     def fresh_engine(cache=None) -> NearestConceptEngine:
         return NearestConceptEngine(
             store,
             case_sensitive=case_sensitive,
-            backend="indexed",
+            backend=backend,
             cache=cache,
         )
 
@@ -221,6 +228,9 @@ def main(argv=None) -> int:
                         help="random-tree size (the largest dataset)")
     parser.add_argument("--queries", type=int, default=200)
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default="indexed",
+                        help="meet backend serving the optimized pipeline "
+                        "(vector = the NumPy batch-kernel tier)")
     parser.add_argument("--json", type=Path, default=JSON_PATH, metavar="PATH",
                         help=f"JSON artefact path (default: {JSON_PATH.name})")
     args = parser.parse_args(argv)
@@ -236,7 +246,11 @@ def main(argv=None) -> int:
         ("Bit", "1999"), ("Bob", "Byte"), ("Hack", "1999"), ("Ben", "Bit"),
     ] * max(1, args.queries // 4)
     rows += bench_dataset(
-        "figure1", figure1_store, figure1_queries[: args.queries], args.repeat
+        "figure1",
+        figure1_store,
+        figure1_queries[: args.queries],
+        args.repeat,
+        backend=args.backend,
     )
 
     dblp_config = (
@@ -252,7 +266,12 @@ def main(argv=None) -> int:
         for _ in range(args.queries)
     ]
     rows += bench_dataset(
-        "dblp", dblp_store, dblp_queries, args.repeat, case_sensitive=True
+        "dblp",
+        dblp_store,
+        dblp_queries,
+        args.repeat,
+        case_sensitive=True,
+        backend=args.backend,
     )
 
     multimedia_store = monet_transform(
@@ -264,7 +283,11 @@ def main(argv=None) -> int:
         tuple(rng.sample(words, 2)) for _ in range(args.queries)
     ]
     rows += bench_dataset(
-        "multimedia", multimedia_store, multimedia_queries, args.repeat
+        "multimedia",
+        multimedia_store,
+        multimedia_queries,
+        args.repeat,
+        backend=args.backend,
     )
 
     random_store = monet_transform(
@@ -277,7 +300,13 @@ def main(argv=None) -> int:
     random_queries = [
         tuple(rng.sample(words[:12], 2)) for _ in range(args.queries)
     ]
-    rows += bench_dataset("random", random_store, random_queries, args.repeat)
+    rows += bench_dataset(
+        "random",
+        random_store,
+        random_queries,
+        args.repeat,
+        backend=args.backend,
+    )
 
     table = render_table(
         ["dataset", "workload", "queries", "qps", "baseline qps", "speedup"],
@@ -305,7 +334,8 @@ def main(argv=None) -> int:
             "nodes": args.nodes,
             "queries": args.queries,
             "repeat": args.repeat,
-            "backend": "indexed",
+            "backend": args.backend,
+            "kernel_tier": kernels.active_tier(args.backend),
             "limit": LIMIT,
         },
         rows,

@@ -87,7 +87,7 @@ from .fulltext import FullTextIndex, SearchEngine
 from .monet import MonetXML, PathSummary, monet_transform
 from .query import QueryProcessor, parse_query, run_query
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "Database",

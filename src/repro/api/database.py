@@ -60,6 +60,8 @@ from contextlib import contextmanager
 from pathlib import Path as FsPath
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import kernels
+from ..core.backends import snapshot_default_backend
 from ..core.engine import NearestConceptEngine
 from ..core.result_cache import ResultCache, resolve_result_cache
 from ..datamodel.errors import (
@@ -83,7 +85,7 @@ from ..monet.mutate import (
     put_document,
     replace_document,
 )
-from ..obs.metrics import Counter, Gauge
+from ..obs.metrics import CallbackGauge, Counter, Gauge
 from ..query.ast import Query
 from ..query.executor import QueryProcessor, QueryResult
 from ..query.parser import parse_query
@@ -335,7 +337,7 @@ class Database:
             if options.case_sensitive is None
             else bool(options.case_sensitive)
         )
-        backend_name = options.backend or "indexed"
+        backend_name = options.backend or snapshot_default_backend()
 
         def _check_layout(meta: Dict[str, object], path) -> None:
             # A crash mid-rebuild can leave bundles of one generation
@@ -683,7 +685,10 @@ class Database:
                 self.sharded.warm_up()
                 return
             _ = self.engine.index
-            _ = self.engine.backend
+            backend = self.engine.backend
+            # The vector backend additionally binds its NumPy column
+            # views here, so the first query pays no view setup.
+            _ = getattr(backend, "kernels", None)
             _ = self.processor.search.index
 
     # -- introspection --------------------------------------------------
@@ -736,11 +741,21 @@ class Database:
                 "repro_planner_plan_cache_misses",
                 "Prepared-plan cache misses (plan computed).",
             ).set_function(lambda: float(self.plan_cache_info()["misses"]))
+            tier = CallbackGauge(
+                "repro_kernel_tier_info",
+                "Active batch-kernel tier (info-style: the labelled "
+                "sample with value 1 names the tier in use).",
+                ("tier",),
+                lambda: [
+                    ({"tier": kernels.active_tier(self.backend_name)}, 1.0)
+                ],
+            )
             self._metric_objects = [
                 statements,
                 self._prepared_executions,
                 hits,
                 misses,
+                tier,
             ]
         return self._metric_objects
 
@@ -783,6 +798,7 @@ class Database:
             "source": self.source,
             "node_count": self.node_count,
             "backend": self.backend_name,
+            "kernel_tier": kernels.active_tier(self.backend_name),
             "case_sensitive": self.case_sensitive,
         }
         if self._value_indexes:
@@ -816,6 +832,7 @@ class Database:
         stats: Dict[str, object] = {
             "origin": self.origin,
             "backend": self.backend_name,
+            "kernel_tier": kernels.active_tier(self.backend_name),
             "case_sensitive": self.case_sensitive,
             "generation": self.generation,
             "node_count": self.node_count,

@@ -139,9 +139,10 @@ class DatabaseOptions:
         """``(case_sensitive, backend)`` honouring snapshot defaults.
 
         ``None`` means "not chosen": serving from a snapshot bundle
-        then inherits the bundle's case mode and the ``indexed``
-        backend (whose index the bundle already carries), keeping the
-        warm start rebuild-free.
+        then inherits the bundle's case mode and the fastest backend
+        that consumes the bundle's seeded LCA index without a rebuild
+        — ``vector`` when the NumPy kernels are importable, else
+        ``indexed`` — keeping the warm start rebuild-free.
         """
         case_sensitive = self.case_sensitive
         backend = self.backend
@@ -149,5 +150,7 @@ class DatabaseOptions:
             if case_sensitive is None:
                 case_sensitive = snapshot.fulltext_index.case_sensitive
             if backend is None:
-                backend = "indexed"
+                from ..core.backends import snapshot_default_backend
+
+                backend = snapshot_default_backend()
         return bool(case_sensitive), backend or "steered"

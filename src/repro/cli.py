@@ -45,6 +45,7 @@ N, and ``--stats`` reports timing and cache counters on stderr (see
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path as FsPath
@@ -64,7 +65,13 @@ from .core.backends import BACKEND_NAMES
 from .datamodel.errors import ReproError
 from .monet import storage
 from .monet.stats import collect_statistics
-from .obs import Trace, configure_logging, span as trace_span, trace_scope
+from .obs import (
+    Trace,
+    configure_logging,
+    log_event,
+    span as trace_span,
+    trace_scope,
+)
 from .snapshot import Catalog
 
 __all__ = ["main", "build_parser"]
@@ -484,9 +491,9 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
 
     Both default to ``None`` so :meth:`DatabaseOptions.effective` can
     tell "not given" from an explicit choice: serving from a snapshot
-    bundle then inherits the bundle's case mode and the ``indexed``
-    backend (whose index the bundle already carries), keeping the warm
-    start rebuild-free.
+    bundle then inherits the bundle's case mode and the fastest
+    rebuild-free backend (``vector`` when NumPy is importable, else
+    ``indexed`` — both consume the index the bundle already carries).
     """
     command.add_argument(
         "--case-sensitive",
@@ -500,7 +507,7 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
         choices=BACKEND_NAMES,
         default=None,
         help="meet execution strategy (default: steered; with --snapshot "
-        "or a .snap source, indexed)",
+        "or a .snap source, vector when NumPy is available else indexed)",
     )
 
 
@@ -763,6 +770,15 @@ def _command_serve(args) -> int:
         slow_query_ms=args.slow_query_ms,
     )
     server.warm_up()
+    from . import kernels
+
+    log_event(
+        logging.getLogger("repro.serve"),
+        logging.INFO,
+        "kernels ready",
+        tier=kernels.tier(),
+        numpy=kernels.available(),
+    )
     for name in server.names():
         database = server.databases[name]
         if database.sharded is not None:

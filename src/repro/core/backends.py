@@ -39,6 +39,7 @@ functions (``meet2``, ``meet_sets``, ``meet_general``, ``graph_meet``,
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import (
     Dict,
     Hashable,
@@ -72,13 +73,15 @@ __all__ = [
     "MeetBackend",
     "SteeredBackend",
     "IndexedBackend",
+    "VectorBackend",
     "BACKEND_NAMES",
     "BackendSpec",
     "resolve_backend",
+    "snapshot_default_backend",
 ]
 
 #: CLI / engine spellings of the built-in backends.
-BACKEND_NAMES: Tuple[str, ...] = ("steered", "indexed")
+BACKEND_NAMES: Tuple[str, ...] = ("steered", "indexed", "vector")
 
 BackendSpec = Union[str, "MeetBackend", None]
 
@@ -406,12 +409,388 @@ class IndexedBackend:
         return meets
 
 
+class _TermPairs:
+    """Pair table of the column fast path: index → ``(term, OID)``.
+
+    Stands in for the python pair list :meth:`VectorBackend.meet_tagged`
+    interns: pair ``i`` lives in the column whose offset range covers
+    ``i``.  Built O(#terms); each lookup is one bisect plus one array
+    read, so only the pairs a consumer actually touches (the winners'
+    token sets) ever become python objects.
+    """
+
+    __slots__ = ("_terms", "_columns", "_offsets")
+
+    def __init__(self, terms, columns):
+        self._terms = terms
+        self._columns = columns
+        offsets = [0]
+        for column in columns:
+            offsets.append(offsets[-1] + len(column))
+        self._offsets = offsets
+
+    def __getitem__(self, index):
+        slot = bisect_right(self._offsets, index) - 1
+        return (
+            self._terms[slot],
+            int(self._columns[slot][index - self._offsets[slot]]),
+        )
+
+
+class TaggedBatch:
+    """A lazy ``Sequence[TaggedMeet]`` with precomputed ranking keys.
+
+    The vector roll-up's result, kept in flat-array form: indexing
+    materializes one real :class:`TaggedMeet` (so any element compares
+    equal to the python backends' output), while :attr:`rank_keys`
+    carries the engine's §4 sort key per meet, computed array-wise by
+    :meth:`VectorBackend._rank_key_rows`.  A top-k consumer therefore
+    ranks on the keys and only ever touches the winners — the losers'
+    token frozensets are never built.
+    """
+
+    __slots__ = (
+        "_pairs", "_order", "_emitted", "_group_pairs", "_starts",
+        "_ends", "rank_keys",
+    )
+
+    def __init__(self, pairs, order, emitted, group_pairs, starts, ends,
+                 rank_keys):
+        self._pairs = pairs
+        self._order = order
+        self._emitted = emitted
+        self._group_pairs = group_pairs
+        self._starts = starts
+        self._ends = ends
+        #: ``(joins, spread, -depth, oid)`` per meet — exactly
+        #: :meth:`NearestConceptEngine._rank_keys`, index-aligned.
+        self.rank_keys: List[Tuple[int, int, int, int]] = rank_keys
+
+    @classmethod
+    def empty(cls) -> "TaggedBatch":
+        return cls([], [], [], [], [], [], [])
+
+    def __len__(self) -> int:
+        return len(self._emitted)
+
+    def __bool__(self) -> bool:
+        return len(self._emitted) > 0
+
+    def __iter__(self) -> Iterator[TaggedMeet]:
+        for position in range(len(self._emitted)):
+            yield self[position]
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [
+                self[index]
+                for index in range(*position.indices(len(self._emitted)))
+            ]
+        if position < 0:
+            position += len(self._emitted)
+        if not 0 <= position < len(self._emitted):
+            raise IndexError(position)
+        pairs = self._pairs
+        return TaggedMeet(
+            oid=int(self._order[self._emitted[position]]),
+            tokens=frozenset(
+                pairs[index]
+                for index in self._group_pairs[
+                    self._starts[position]:self._ends[position]
+                ].tolist()
+            ),
+        )
+
+
+class VectorBackend(IndexedBackend):
+    """NumPy batch kernels over the same Euler-RMQ columns.
+
+    Identical answer sets, ranking keys and emission order as
+    :class:`IndexedBackend` — the differential suite holds them
+    byte-identical — but every batched operation (``meet_many``, the
+    Fig. 4/5 roll-ups) runs as whole-array passes over zero-copy
+    ``int64`` views of the index columns (:mod:`repro.kernels`)
+    instead of python-level per-element loops.  Only instantiate via
+    :func:`resolve_backend`, which silently degrades a ``"vector"``
+    request to :class:`IndexedBackend` when NumPy is missing; scalar
+    operations (``meet``, ``distance``) inherit the O(1) python
+    kernels, which beat a one-element array round-trip.
+    """
+
+    name = "vector"
+
+    @property
+    def kernels(self):
+        """The memoized batch kernels of the current-generation index."""
+        from ..kernels.lca import get_kernels
+
+        return get_kernels(self.index)
+
+    def meet_many(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[PairMeet]:
+        import numpy as np
+
+        materialized = list(pairs)
+        if not materialized:
+            return []
+        table = np.asarray(materialized, dtype=np.int64).reshape(-1, 2)
+        left, right = table[:, 0], table[:, 1]
+        meets = left.copy()
+        distances = np.zeros(len(meets), dtype=np.int64)
+        # Equal pairs answer without index validation, like the
+        # scalar short-circuit in IndexedBackend.meet_many.
+        unequal = left != right
+        if unequal.any():
+            meets[unequal], distances[unequal] = self.kernels.lca_many(
+                left[unequal], right[unequal]
+            )
+        return [
+            PairMeet(meet, distance)
+            for meet, distance in zip(meets.tolist(), distances.tolist())
+        ]
+
+    def meet_tagged(
+        self, tagged: Iterable[Tuple[Token, int]]
+    ) -> List[TaggedMeet]:
+        """Fig. 5 as level-wise array passes over the auxiliary tree.
+
+        The (token, OID) pairs are interned exactly like the python
+        roll-up; from there propagation is
+        :func:`repro.kernels.rollup.rollup_tagged`.
+        """
+        pairs: List[Tuple[Token, int]] = list(dict.fromkeys(
+            (token, oid) for token, oid in tagged
+        ))
+        if not pairs:
+            return []
+        import numpy as np
+
+        pair_oids = np.fromiter(
+            (oid for _, oid in pairs), dtype=np.int64, count=len(pairs)
+        )
+        return list(self._materialize_tagged(pairs, pair_oids))
+
+    def meet_term_hits(self, term_hits) -> "TaggedBatch":
+        """The engine's batched fast path: (term, Hits) straight in.
+
+        Each term contributes its cached distinct-OID column
+        (:meth:`repro.fulltext.index.Hits.oid_column`).  The result is
+        a :class:`TaggedBatch`: a lazy ``Sequence[TaggedMeet]`` whose
+        ranking keys are already computed array-wise — consumers that
+        only rank and keep the top-k never pay for materializing the
+        losers' token frozensets.
+        """
+        import numpy as np
+
+        terms: List[Token] = []
+        columns: List[np.ndarray] = []
+        for term, hits in term_hits:
+            column = np.asarray(hits.oid_column(), dtype=np.int64)
+            if len(column):
+                terms.append(term)
+                columns.append(column)
+        if not columns:
+            return TaggedBatch.empty()
+        pair_oids = columns[0] if len(columns) == 1 else np.concatenate(columns)
+        return self._materialize_tagged(_TermPairs(terms, columns), pair_oids)
+
+    def _materialize_tagged(self, pairs, pair_oids) -> "TaggedBatch":
+        import numpy as np
+
+        from ..kernels.rollup import rollup_tagged
+
+        order, emitted, group_pairs, boundaries = rollup_tagged(
+            self.kernels, pair_oids
+        )
+        if not len(emitted):
+            return TaggedBatch.empty()
+        keys = self._rank_key_rows(order, emitted, pair_oids, group_pairs,
+                                   boundaries)
+        return TaggedBatch(
+            pairs,
+            order,
+            emitted.tolist(),
+            group_pairs,
+            np.concatenate(([0], boundaries)).tolist(),
+            np.concatenate((boundaries, [len(group_pairs)])).tolist(),
+            keys,
+        )
+
+    def _rank_key_rows(self, order, emitted, pair_oids, group_pairs,
+                       boundaries) -> List[Tuple[int, int, int, int]]:
+        """The engine's §4 sort keys for every emitted meet, array-wise.
+
+        Byte-identical to :meth:`NearestConceptEngine._rank_keys` —
+        ``(joins, spread, -depth, oid)`` with summary depths and
+        live-node spreads — but computed with five whole-array passes
+        while the roll-up's flat arrays are still in hand, instead of
+        one python loop per meet over its origin frozenset.
+        """
+        import numpy as np
+
+        from ..kernels.lca import sorted_unique
+
+        store = self.store
+        first = store.first_oid
+        pid_column, depth_by_pid = self._rank_columns()
+
+        # Distinct origin OIDs per emitted meet: one combined
+        # (group, OID) key, uniqued — groups stay contiguous and the
+        # origins inside a group come out sorted ascending.
+        group_count = len(emitted)
+        lengths = np.diff(
+            np.concatenate(([0], boundaries, [len(group_pairs)]))
+        )
+        group_of = np.repeat(
+            np.arange(group_count, dtype=np.int64), lengths
+        )
+        span = np.int64(store.node_count)
+        origin_keys = sorted_unique(
+            group_of * span + (pair_oids[group_pairs] - first)
+        )
+        origin_groups = origin_keys // span
+        origin_oids = origin_keys % span  # still OID - first_oid
+        starts = np.concatenate(
+            ([0], np.nonzero(np.diff(origin_groups))[0] + 1)
+        )
+        counts = np.diff(np.concatenate((starts, [len(origin_keys)])))
+
+        meet_oids = order[emitted]
+        meet_depths = depth_by_pid[pid_column[meet_oids - first]]
+        origin_depths = depth_by_pid[pid_column[origin_oids]]
+        joins = np.add.reduceat(origin_depths, starts) - meet_depths * counts
+
+        # Spread = live distance between the outermost origins (§4);
+        # origins are sorted within a group, so they sit at the group
+        # edges.  With tombstones, dead nodes below each endpoint are
+        # subtracted via the store's prefix table (live_position).
+        lows = origin_oids[starts] + first
+        highs = origin_oids[starts + counts - 1] + first
+        tomb_starts, dead_prefix = store.tombstone_table()
+        if tomb_starts:
+            tomb = np.asarray(tomb_starts, dtype=np.int64)
+            dead = np.asarray(dead_prefix, dtype=np.int64)
+            spreads = (
+                highs - dead[np.searchsorted(tomb, highs, side="right")]
+            ) - (lows - dead[np.searchsorted(tomb, lows, side="right")])
+        else:
+            spreads = highs - lows
+
+        rows = np.empty((group_count, 4), dtype=np.int64)
+        rows[:, 0] = joins
+        rows[:, 1] = spreads
+        rows[:, 2] = -meet_depths
+        rows[:, 3] = meet_oids
+        return list(map(tuple, rows.tolist()))
+
+    def _rank_columns(self):
+        """(pid column, depth-by-pid) as int64 arrays, generation-keyed.
+
+        The store's dense pid column is a plain python list; copying it
+        into an array once per generation keeps the per-query key pass
+        free of per-element conversions.  Tombstones are *not* cached
+        here — deletes may add them without touching these columns —
+        so :meth:`_rank_key_rows` reads the prefix table fresh.
+        """
+        import numpy as np
+
+        store = self.store
+        cached = getattr(self, "_rank_columns_cache", None)
+        if cached is not None and cached[0] == store.generation:
+            return cached[1], cached[2]
+        pid_column = np.asarray(store.dense_columns()[0], dtype=np.int64)
+        summary = store.summary
+        depth_by_pid = np.fromiter(
+            (summary.depth(pid) for pid in range(len(summary))),
+            dtype=np.int64,
+            count=len(summary),
+        )
+        self._rank_columns_cache = (store.generation, pid_column, depth_by_pid)
+        return pid_column, depth_by_pid
+
+    def meet_sets(
+        self, left: Iterable[int], right: Iterable[int]
+    ) -> List[SetMeet]:
+        import numpy as np
+
+        from ..kernels.rollup import rollup_sets
+
+        left_set, right_set = set(left), set(right)
+        # Same homogeneity contract (and error message) as Fig. 4.
+        _common_pid(self.store, left_set, "left")
+        _common_pid(self.store, right_set, "right")
+        if not left_set or not right_set:
+            return []
+        inputs = np.fromiter(
+            sorted(left_set | right_set),
+            dtype=np.int64,
+            count=len(left_set | right_set),
+        )
+        in_left = np.isin(
+            inputs,
+            np.fromiter(left_set, dtype=np.int64, count=len(left_set)),
+        )
+        in_right = np.isin(
+            inputs,
+            np.fromiter(right_set, dtype=np.int64, count=len(right_set)),
+        )
+        order, emitted, origin_indexes, boundaries = rollup_sets(
+            self.kernels, inputs, in_left, in_right
+        )
+        order_list = order.tolist()
+        input_list = inputs.tolist()
+        origins = origin_indexes.tolist()
+        left_flags = in_left[origin_indexes].tolist()
+        right_flags = in_right[origin_indexes].tolist()
+        bounds = boundaries.tolist()
+        meets: List[SetMeet] = []
+        for position, start, end in zip(
+            emitted.tolist(), [0, *bounds], [*bounds, len(origins)]
+        ):
+            meets.append(
+                SetMeet(
+                    oid=order_list[position],
+                    left_origins=tuple(
+                        input_list[i]
+                        for i, flag in zip(
+                            origins[start:end], left_flags[start:end]
+                        )
+                        if flag
+                    ),
+                    right_origins=tuple(
+                        input_list[i]
+                        for i, flag in zip(
+                            origins[start:end], right_flags[start:end]
+                        )
+                        if flag
+                    ),
+                )
+            )
+        return meets
+
+
+def snapshot_default_backend() -> str:
+    """The backend snapshot serving defaults to.
+
+    ``vector`` when the NumPy kernels are importable, else ``indexed``
+    — both answer from the bundle's seeded LCA index without a
+    rebuild, and the vector tier is answer-identical, so preferring it
+    whenever it can run is free.
+    """
+    from .. import kernels
+
+    return "vector" if kernels.available() else "indexed"
+
+
 def resolve_backend(store: MonetXML, spec: BackendSpec = None) -> "MeetBackend":
     """Normalize a backend spec: name, instance, or ``None`` (steered).
 
-    An instance is returned as-is when it is bound to ``store``;
-    binding it to a different store is almost certainly a bug and
-    raises.
+    ``"vector"`` degrades silently to :class:`IndexedBackend` when
+    NumPy is not importable — the kernels are an optional extra, and
+    both backends are answer-identical.  An instance is returned
+    as-is when it is bound to ``store``; binding it to a different
+    store is almost certainly a bug and raises.
     """
     if spec is None:
         return SteeredBackend(store)
@@ -419,6 +798,12 @@ def resolve_backend(store: MonetXML, spec: BackendSpec = None) -> "MeetBackend":
         if spec == "steered":
             return SteeredBackend(store)
         if spec == "indexed":
+            return IndexedBackend(store)
+        if spec == "vector":
+            from .. import kernels
+
+            if kernels.available():
+                return VectorBackend(store)
             return IndexedBackend(store)
         raise ValueError(
             f"unknown meet backend {spec!r}; expected one of {BACKEND_NAMES}"

@@ -143,11 +143,15 @@ class NearestConceptEngine:
         ``snapshot`` is a :class:`repro.snapshot.codec.Snapshot`: its
         loader has already seeded the generation-keyed LCA and
         full-text caches, so this engine's first query performs zero
-        index constructions.  Defaults follow the bundle (``indexed``
-        backend — the index is already paid for — and the bundled
-        case mode); any keyword accepted by the constructor overrides.
+        index constructions.  Defaults follow the bundle (the
+        ``vector`` backend when NumPy is importable, else ``indexed``
+        — either way the seeded index is already paid for — and the
+        bundled case mode); any keyword accepted by the constructor
+        overrides.
         """
-        options.setdefault("backend", "indexed")
+        from .backends import snapshot_default_backend
+
+        options.setdefault("backend", snapshot_default_backend())
         options.setdefault(
             "case_sensitive", snapshot.fulltext_index.case_sensitive
         )
@@ -273,29 +277,70 @@ class NearestConceptEngine:
             if cached is not None:
                 return list(cached)
 
-        tagged: List[Tuple[str, int]] = []
-        for term in terms:
-            for oid in self.term_hits(term).oids():
-                tagged.append((term, oid))
-
-        results = self.backend.meet_tagged(tagged)
+        batched = getattr(self.backend, "meet_term_hits", None)
+        if batched is not None:
+            # Vector fast path: hand each term's cached distinct-OID
+            # column to the backend whole — no python pair list.
+            # Duplicate terms dedupe here exactly as duplicate
+            # (term, OID) pairs dedupe inside meet_tagged.
+            results = batched(
+                (term, self.term_hits(term))
+                for term in dict.fromkeys(terms)
+            )
+        else:
+            tagged: List[Tuple[str, int]] = []
+            for term in terms:
+                for oid in self.term_hits(term).oids():
+                    tagged.append((term, oid))
+            results = self.backend.meet_tagged(tagged)
+        # A TaggedBatch arrives with the §4 sort keys already computed
+        # array-wise; filters below keep the two sequences aligned.
+        keys = getattr(results, "rank_keys", None)
         if excluded:
             pid_of = self.store.pid_of
-            results = [r for r in results if pid_of(r.oid) not in excluded]
+            if keys is not None:
+                kept = [
+                    i for i, key in enumerate(keys)
+                    if pid_of(key[3]) not in excluded  # key[3] == oid
+                ]
+                results = [results[i] for i in kept]
+                keys = [keys[i] for i in kept]
+            else:
+                results = [
+                    r for r in results if pid_of(r.oid) not in excluded
+                ]
         if require_all_terms:
             wanted = set(terms)
-            results = [r for r in results if set(r.tags) >= wanted]
+            if keys is not None:
+                kept = [
+                    i for i, r in enumerate(results)
+                    if set(r.tags) >= wanted
+                ]
+                results = [results[i] for i in kept]
+                keys = [keys[i] for i in kept]
+            else:
+                results = [r for r in results if set(r.tags) >= wanted]
 
         if limit is not None and len(results) > limit:
             # Serving fast path: rank on the cheap key ingredients and
             # fully annotate (paths, sorted term tuples) only the top-k.
             # sort_key is a strict total order (the OID tiebreak), so
             # the selection equals sort-then-truncate exactly.
-            keyed = self._rank_keys(results)
-            if within is not None:
-                keyed = [(k, r) for k, r in keyed if k[0] <= within]
-            winners = heapq.nsmallest(limit, keyed, key=_key_of)
-            concepts = [self._annotate(result) for _, result in winners]
+            if keys is not None:
+                candidates: Iterable[int] = range(len(results))
+                if within is not None:
+                    candidates = [
+                        i for i in candidates if keys[i][0] <= within
+                    ]
+                top = heapq.nsmallest(limit, candidates,
+                                      key=keys.__getitem__)
+                concepts = [self._annotate(results[i]) for i in top]
+            else:
+                keyed = self._rank_keys(results)
+                if within is not None:
+                    keyed = [(k, r) for k, r in keyed if k[0] <= within]
+                winners = heapq.nsmallest(limit, keyed, key=_key_of)
+                concepts = [self._annotate(result) for _, result in winners]
         else:
             concepts = [self._annotate(result) for result in results]
             concepts.sort(key=NearestConcept.sort_key)

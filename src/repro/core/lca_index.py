@@ -62,6 +62,10 @@ class LcaIndex:
         self._tour_depth: List[int] = []    # depth per Euler step
         self._first: Dict[int, int] = {}    # OID → first tour position
         self._last: Dict[int, int] = {}     # OID → last tour position
+        # Dense (oid − first_oid)-indexed first/last columns, built
+        # lazily for the vector kernels (snapshot loads carry them in).
+        self._first_column = None
+        self._last_column = None
         self._build_tour()
         self._build_sparse_table()
 
@@ -171,7 +175,15 @@ class LcaIndex:
         return first <= self.euler_position(descendant_oid) <= self._last[ancestor_oid]
 
     def lca_many(self, pairs: Iterable[Tuple[int, int]]) -> List[int]:
-        """Batched LCA: one Python-level loop over the O(1) kernel."""
+        """Batched LCA — one vectorized sparse-table pass when NumPy is
+        importable (:mod:`repro.kernels`), else a python loop over the
+        O(1) scalar kernel.  Answers are identical either way."""
+        from .. import kernels
+
+        if kernels.available():
+            from ..kernels.lca import get_kernels
+
+            return get_kernels(self).lca_pairs(pairs)
         return [self.lca(oid1, oid2) for oid1, oid2 in pairs]
 
     def auxiliary_tree(
@@ -263,6 +275,40 @@ class LcaIndex:
             stack_last.append(last[oid])
         return order, parent_index
 
+    # -- flat columns (the vector kernels' contract) --------------------
+    def kernel_columns(self) -> Dict[str, object]:
+        """The raw index state as flat columns for the batch kernels.
+
+        ``first``/``last`` are dense ``(oid − first_oid)``-indexed
+        columns with ``-1`` marking OIDs absent from the tour
+        (tombstones); snapshot-loaded indexes return the deserialized
+        columns as-is (zero-copy for the kernels' buffer views), while
+        freshly built indexes densify their dicts once and memoize.
+        Unlike :meth:`to_arrays` this never assumes a compacted store.
+        """
+        if self._first_column is None:
+            from array import array
+
+            base = self.store.first_oid
+            count = self.store.node_count
+            first_of = self._first.get
+            last_of = self._last.get
+            self._first_column = array(
+                "q", (first_of(base + i, -1) for i in range(count))
+            )
+            self._last_column = array(
+                "q", (last_of(base + i, -1) for i in range(count))
+            )
+        return {
+            "base": self.store.first_oid,
+            "tour": self._tour,
+            "depth": self._tour_depth,
+            "first": self._first_column,
+            "last": self._last_column,
+            "log": self._log,
+            "table": self._table,
+        }
+
     # -- persistence (the snapshot store's contract) --------------------
     def to_arrays(self) -> Dict[str, object]:
         """The raw index state as flat int columns, for serialization.
@@ -314,6 +360,11 @@ class LcaIndex:
         oids = range(base, base + store.node_count)
         self._first = dict(zip(oids, first))
         self._last = dict(zip(oids, last))
+        # Keep the dense columns as loaded: the vector kernels view
+        # them zero-copy (they may be memoryview casts over an mmap'd
+        # snapshot) instead of re-densifying the dicts above.
+        self._first_column = first
+        self._last_column = last
         self._log = log
         # Row 0 of the sparse table is position→position; ``range`` is
         # an O(1) stand-in with identical indexing behaviour.

@@ -35,6 +35,7 @@ import time
 from operator import itemgetter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .. import kernels
 from ..core.engine import NearestConceptEngine
 from ..core.restrictions import resolve_pids
 from ..datamodel.document import CDATA_LABEL, STRING_ATTRIBUTE
@@ -224,12 +225,17 @@ class ShardService:
         # Touching the indexes here is the warm-up: on snapshot-loaded
         # shards both come from the seeded caches (zero builds).
         _ = self.engine.index
-        if self.backend_name == "indexed":
-            _ = self.engine.backend.index
+        backend = self.engine.backend
+        if self.backend_name in ("indexed", "vector"):
+            _ = backend.index
+        # Vector shards additionally bind their NumPy column views so
+        # the first query pays no view setup.
+        _ = getattr(backend, "kernels", None)
         return {
             "pid": os.getpid(),
             "nodes": self.store.node_count,
             "backend": self.backend_name,
+            "kernel_tier": kernels.active_tier(backend.name),
             "case_sensitive": self.case_sensitive,
         }
 
@@ -282,7 +288,14 @@ class ShardService:
 
         store = self.store
         engine = self.engine
-        results = engine.backend.meet_tagged(tagged)
+        batched = getattr(engine.backend, "meet_term_hits", None)
+        if batched is not None:
+            # Column fast path: hand the backend whole postings columns
+            # instead of the flattened pair list.  ``tagged`` is still
+            # needed below — the residue is defined over input pairs.
+            results = batched(hits.items())
+        else:
+            results = engine.backend.meet_tagged(tagged)
         local, residue = dissolve_stand_in_root(store, tagged, results)
 
         if exclude_pids:

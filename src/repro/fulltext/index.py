@@ -41,6 +41,7 @@ from typing import (
 )
 from weakref import WeakKeyDictionary
 
+from .. import kernels as _kernels
 from ..monet.engine import MonetXML
 from .tokenizer import normalize, tokenize
 
@@ -68,6 +69,31 @@ class Posting:
 _EMPTY_COLUMN = array("q")
 
 
+def _unique_oid_column(oids: Sequence[int]):
+    """Distinct OIDs of a column, ascending, as one flat column.
+
+    NumPy tier: a zero-copy buffer view plus ``np.unique``; python
+    tier: a sorted set.  Both return ``array('q')`` — iterating the
+    column must yield plain python ints (``np.int64`` is *not* an
+    ``int`` subclass and would fail downstream OID validation).
+    """
+    if _kernels.available():
+        np = _kernels.numpy()
+        try:
+            column = np.frombuffer(oids, dtype=np.int64)
+        except (TypeError, ValueError, BufferError):
+            column = np.asarray(oids, dtype=np.int64)
+        return _as_q_column(np.unique(column))
+    return array("q", sorted(set(oids)))
+
+
+def _as_q_column(np_column) -> array:
+    """An ``array('q')`` copy of an int64 NumPy column (one memcpy)."""
+    out = array("q")
+    out.frombytes(np_column.tobytes())
+    return out
+
+
 class Hits:
     """Result of one term search; groups postings for the meet operator.
 
@@ -78,7 +104,15 @@ class Hits:
     those consumers should pay a rebuild.
     """
 
-    __slots__ = ("term", "_pids", "_oids", "_postings", "_grouped", "_oid_set")
+    __slots__ = (
+        "term",
+        "_pids",
+        "_oids",
+        "_postings",
+        "_grouped",
+        "_oid_set",
+        "_oid_column",
+    )
 
     def __init__(
         self,
@@ -88,11 +122,13 @@ class Hits:
         columns: Optional[Tuple[Sequence[int], Sequence[int]]] = None,
         grouped: Optional[Mapping[int, Sequence[int]]] = None,
         oid_set: Optional[FrozenSet[int]] = None,
+        oid_column: Optional[Sequence[int]] = None,
     ):
         self.term = term
         self._postings: Optional[List[Posting]] = None
         self._grouped = grouped
         self._oid_set = oid_set
+        self._oid_column = oid_column
         if columns is not None:
             self._pids, self._oids = columns
         else:
@@ -115,6 +151,28 @@ class Hits:
         if self._oid_set is None:
             self._oid_set = frozenset(self._oids)
         return self._oid_set
+
+    @property
+    def columns(self) -> Tuple[Sequence[int], Sequence[int]]:
+        """The raw parallel (pid, oid) columns — zero-copy views.
+
+        The batched path reads these instead of ``postings`` so no
+        python :class:`Posting` tuple is materialized per element.
+        """
+        return self._pids, self._oids
+
+    def oid_column(self) -> Sequence[int]:
+        """Distinct hit OIDs as one sorted flat column (memoized).
+
+        Index-backed hits share the column cached per term on the
+        index itself, so repeated queries of a term pay the dedup
+        once per index generation; the vector kernels consume the
+        column directly without round-tripping through the
+        ``oids()`` frozenset.
+        """
+        if self._oid_column is None:
+            self._oid_column = _unique_oid_column(self._oids)
+        return self._oid_column
 
     def by_pid(self) -> Mapping[int, Sequence[int]]:
         """pid → OID sequence: the typed relations handed to meet (Fig. 5).
@@ -156,13 +214,14 @@ class _TermPostings:
     roll-ups lazily on first use, keeping warm starts O(bytes).
     """
 
-    __slots__ = ("pids", "oids", "_grouped", "_oid_set")
+    __slots__ = ("pids", "oids", "_grouped", "_oid_set", "_unique_oids")
 
     def __init__(self, pids: Sequence[int], oids: Sequence[int]):
         self.pids = pids
         self.oids = oids
         self._grouped: Optional[Mapping[int, Sequence[int]]] = None
         self._oid_set: Optional[FrozenSet[int]] = None
+        self._unique_oids: Optional[Sequence[int]] = None
         # Touch the properties so build-time postings stay precomputed.
         self.grouped
         self.oid_set
@@ -177,7 +236,20 @@ class _TermPostings:
         self.oids = oids
         self._grouped = None
         self._oid_set = None
+        self._unique_oids = None
         return self
+
+    @property
+    def unique_oids(self) -> Sequence[int]:
+        """Distinct OIDs as one sorted flat column (lazy, memoized).
+
+        Shared by every :class:`Hits` view of the term across queries
+        — the batched serving path's input column.
+        """
+        cached = self._unique_oids
+        if cached is None:
+            cached = self._unique_oids = _unique_oid_column(self.oids)
+        return cached
 
     @property
     def grouped(self) -> Mapping[int, Sequence[int]]:
@@ -405,12 +477,14 @@ class FullTextIndex:
                 columns=(_EMPTY_COLUMN, _EMPTY_COLUMN),
                 grouped={},
                 oid_set=frozenset(),
+                oid_column=_EMPTY_COLUMN,
             )
         return Hits(
             term=term,
             columns=(entry.pids, entry.oids),
             grouped=entry.grouped,
             oid_set=entry.oid_set,
+            oid_column=entry.unique_oids,
         )
 
     def search_prefix(self, prefix: str) -> Hits:
@@ -419,45 +493,62 @@ class FullTextIndex:
         Linear in vocabulary size; fine for the interactive use-case.
         """
         needle = normalize(prefix, self.case_sensitive)
+        matching = [
+            entry
+            for token, entry in self._terms.items()
+            if token.startswith(needle)
+        ]
+        return Hits(
+            term=prefix + "*", columns=self._merge_columns(matching)
+        )
+
+    @staticmethod
+    def _merge_columns(
+        entries: Sequence[_TermPostings],
+    ) -> Tuple[Sequence[int], Sequence[int]]:
+        """Deduplicating union of posting columns, first-seen order.
+
+        Vector tier: one combined-key pass
+        (:func:`repro.kernels.postings.union_columns`); python tier:
+        the historical seen-set merge loop.  Identical output order.
+        """
+        if _kernels.available():
+            from ..kernels import postings as postings_kernels
+
+            pids, oids = postings_kernels.union_columns(
+                (entry.pids, entry.oids) for entry in entries
+            )
+            return _as_q_column(pids), _as_q_column(oids)
         merged_pids = array("q")
         merged_oids = array("q")
         seen: Set[Tuple[int, int]] = set()
-        for token, entry in self._terms.items():
-            if not token.startswith(needle):
-                continue
+        for entry in entries:
             for pid, oid in zip(entry.pids, entry.oids):
                 key = (pid, oid)
                 if key not in seen:
                     seen.add(key)
                     merged_pids.append(pid)
                     merged_oids.append(oid)
-        return Hits(term=prefix + "*", columns=(merged_pids, merged_oids))
+        return merged_pids, merged_oids
 
     def search_any(self, terms: Iterable[str]) -> Hits:
         """Union of single-term searches (duplicate postings removed)."""
-        merged_pids = array("q")
-        merged_oids = array("q")
-        seen: Set[Tuple[int, int]] = set()
         label: List[str] = []
+        entries: List[_TermPostings] = []
         for term in terms:
             label.append(term)
             entry = self._terms.get(normalize(term, self.case_sensitive))
-            if entry is None:
-                continue
-            for pid, oid in zip(entry.pids, entry.oids):
-                key = (pid, oid)
-                if key not in seen:
-                    seen.add(key)
-                    merged_pids.append(pid)
-                    merged_oids.append(oid)
-        return Hits(term="|".join(label), columns=(merged_pids, merged_oids))
+            if entry is not None:
+                entries.append(entry)
+        return Hits(term="|".join(label), columns=self._merge_columns(entries))
 
     def search_conjunctive(self, terms: Iterable[str]) -> Hits:
         """Associations whose string contains *all* the terms.
 
         This matches "Bob Byte" when searching for Bob *and* Byte — the
         paper's second §3.1 example where the meet is the cdata node
-        itself.
+        itself.  The intersection runs as a sorted-array kernel when
+        NumPy is importable; either tier emits (pid, oid) ascending.
         """
         term_list = list(terms)
         if not term_list:
@@ -468,6 +559,16 @@ class FullTextIndex:
         ]
         if any(entry is None for entry in entries):
             return Hits(term="&".join(term_list))
+        if _kernels.available():
+            from ..kernels import postings as postings_kernels
+
+            pids, oids = postings_kernels.intersect_columns(
+                (entry.pids, entry.oids) for entry in entries
+            )
+            return Hits(
+                term="&".join(term_list),
+                columns=(_as_q_column(pids), _as_q_column(oids)),
+            )
         result = {(pid, oid) for pid, oid in zip(entries[0].pids, entries[0].oids)}
         for entry in entries[1:]:
             result &= {(pid, oid) for pid, oid in zip(entry.pids, entry.oids)}

@@ -1,0 +1,221 @@
+"""Batched Euler-RMQ LCA and auxiliary-tree kernels (NumPy tier).
+
+This module is only imported once :func:`repro.kernels.available` has
+confirmed NumPy; it binds zero-copy ``int64`` views over an
+:class:`~repro.core.lca_index.LcaIndex`'s flat columns (the Euler
+tour, its depths, the dense first/last columns and the sparse-table
+rows) and answers *batches* of LCA/distance queries and whole
+auxiliary-tree constructions without a python-level loop per element.
+
+Two vectorization facts carry the module:
+
+* the sparse-table RMQ groups naturally by the block exponent ``k``:
+  a batch of (low, high) ranges decomposes into at most ``log₂ tour``
+  groups, each answered by two fancy-indexed row gathers and one
+  elementwise depth compare;
+* for a candidate set closed under pairwise LCA and sorted in
+  pre-order, the auxiliary-tree parent of ``c_i`` is exactly
+  ``lca(c_{i-1}, c_i)`` — so the stack walk of
+  :meth:`LcaIndex.auxiliary_tree_arrays` becomes one more batched RMQ
+  plus a ``searchsorted`` to turn parent OIDs into positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..datamodel.errors import UnknownOIDError
+
+__all__ = ["LcaKernels", "get_kernels", "sorted_unique", "tree_depths"]
+
+_INT64 = np.int64
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` by sort + neighbour compare.
+
+    For the small-to-medium int64 batches the kernels see, sorting
+    beats NumPy's hash-table unique kernel by several times — and the
+    callers all want the sorted order anyway.
+    """
+    values = np.sort(values)
+    if len(values) < 2:
+        return values
+    keep = np.empty(len(values), dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def _as_int64(column) -> np.ndarray:
+    """A zero-copy ``int64`` view of a flat column where possible.
+
+    ``array('q')`` columns and mmap'd snapshot memoryviews go through
+    the buffer protocol; python lists (freshly built indexes) and
+    ``range`` (sparse-table row 0) fall back to a one-time copy.
+    """
+    if isinstance(column, np.ndarray):
+        return column if column.dtype == _INT64 else column.astype(_INT64)
+    try:
+        return np.frombuffer(column, dtype=_INT64)
+    except (TypeError, ValueError, BufferError):
+        return np.asarray(column, dtype=_INT64)
+
+
+def tree_depths(parent_index: np.ndarray) -> np.ndarray:
+    """Depth of every node given parent *positions* (−1 at roots).
+
+    Pointer doubling: roots self-loop contributing zero, so after
+    O(log depth) rounds of ``depth += depth[jump]; jump = jump[jump]``
+    every chain has collapsed.  Whole-array gathers only — no
+    sequential python walk.
+    """
+    size = len(parent_index)
+    depth = (parent_index >= 0).astype(_INT64)
+    jump = np.where(parent_index >= 0, parent_index, np.arange(size))
+    while True:
+        advanced = depth + depth[jump]
+        if np.array_equal(advanced, depth):
+            return depth
+        depth = advanced
+        jump = jump[jump]
+
+
+class LcaKernels:
+    """Vector views + batch kernels bound to one :class:`LcaIndex`.
+
+    Instances are cached per index (:func:`get_kernels`), and indexes
+    are themselves generation-cached per store, so the view binding —
+    and the one-time densification of a freshly built index's
+    first/last dicts — amortizes over every query of a generation.
+    """
+
+    __slots__ = (
+        "index",
+        "base",
+        "tour",
+        "depth",
+        "first",
+        "last",
+        "log",
+        "table",
+    )
+
+    def __init__(self, index):
+        columns = index.kernel_columns()
+        self.index = index
+        self.base = int(columns["base"])
+        self.tour = _as_int64(columns["tour"])
+        self.depth = _as_int64(columns["depth"])
+        self.first = _as_int64(columns["first"])
+        self.last = _as_int64(columns["last"])
+        self.log = _as_int64(columns["log"])
+        # The sparse-table rows consolidated into one (log, tour)
+        # matrix (row k right-padded; the pad is never gathered), so a
+        # whole RMQ batch is two 2-D fancy indexes with no python loop
+        # over exponents.
+        rows = [_as_int64(row) for row in columns["table"]]
+        width = len(rows[0]) if rows else 0
+        table = np.zeros((max(len(rows), 1), width), dtype=_INT64)
+        for exponent, row in enumerate(rows):
+            table[exponent, : len(row)] = row
+        self.table = table
+
+    # -- primitives ------------------------------------------------------
+    def first_positions(self, oids: np.ndarray) -> np.ndarray:
+        """First Euler positions of a batch of OIDs, validated.
+
+        Out-of-span OIDs and tombstoned OIDs (``-1`` in the dense
+        first column) raise :class:`UnknownOIDError` naming the first
+        offender, matching the scalar kernels' contract.
+        """
+        oids = np.asarray(oids, dtype=_INT64)
+        slots = oids - self.base
+        bad = (slots < 0) | (slots >= len(self.first))
+        if bad.any():
+            raise UnknownOIDError(int(oids[int(bad.argmax())]))
+        firsts = self.first[slots]
+        dead = firsts < 0
+        if dead.any():
+            raise UnknownOIDError(int(oids[int(dead.argmax())]))
+        return firsts
+
+    def rmq_positions(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """Position of the min-depth tour entry in each ``[low, high]``.
+
+        Each query reads its sparse-table exponent ``k`` and gathers
+        the two covering blocks straight out of the consolidated table
+        matrix; ties break to the left entry exactly like the scalar
+        RMQ.
+        """
+        exponents = self.log[high - low + 1]
+        depth = self.depth
+        left = self.table[exponents, low]
+        right = self.table[
+            exponents, high - (np.int64(1) << exponents) + 1
+        ]
+        return np.where(depth[left] <= depth[right], left, right)
+
+    # -- batched LCA -----------------------------------------------------
+    def lca_many(
+        self, oids_a: np.ndarray, oids_b: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(meet OIDs, distances) for parallel OID arrays — one pass."""
+        first_a = self.first_positions(oids_a)
+        first_b = self.first_positions(oids_b)
+        low = np.minimum(first_a, first_b)
+        high = np.maximum(first_a, first_b)
+        positions = self.rmq_positions(low, high)
+        depth = self.depth
+        distances = depth[first_a] + depth[first_b] - 2 * depth[positions]
+        return self.tour[positions], distances
+
+    def lca_pairs(self, pairs: Iterable[Tuple[int, int]]) -> List[int]:
+        """Batched LCA over an iterable of pairs, as plain python ints."""
+        materialized = pairs if isinstance(pairs, np.ndarray) else list(pairs)
+        if len(materialized) == 0:
+            return []
+        table = np.asarray(materialized, dtype=_INT64).reshape(-1, 2)
+        meets, _ = self.lca_many(table[:, 0], table[:, 1])
+        return meets.tolist()
+
+    # -- auxiliary (virtual) tree ---------------------------------------
+    def auxiliary_tree(
+        self, oids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`LcaIndex.auxiliary_tree_arrays`.
+
+        Returns ``(order, order_firsts, parent_index)``: the candidate
+        OIDs (inputs plus LCAs of pre-order neighbours) in pre-order,
+        their first Euler positions, and each candidate's parent
+        *position* (−1 at the root).  Candidate-set closure under LCA
+        makes ``parent(c_i) = lca(c_{i-1}, c_i)``, so parents come
+        from one more batched RMQ instead of a python stack walk.
+        """
+        input_firsts = sorted_unique(self.first_positions(oids))
+        if len(input_firsts) > 1:
+            neighbour_pos = self.rmq_positions(input_firsts[:-1], input_firsts[1:])
+            neighbour_firsts = self.first[self.tour[neighbour_pos] - self.base]
+            order_firsts = sorted_unique(
+                np.concatenate([input_firsts, neighbour_firsts])
+            )
+        else:
+            order_firsts = input_firsts
+        order = self.tour[order_firsts]
+        parent_index = np.full(len(order), -1, dtype=_INT64)
+        if len(order_firsts) > 1:
+            parent_pos = self.rmq_positions(order_firsts[:-1], order_firsts[1:])
+            parent_firsts = self.first[self.tour[parent_pos] - self.base]
+            parent_index[1:] = np.searchsorted(order_firsts, parent_firsts)
+        return order, order_firsts, parent_index
+
+
+def get_kernels(index) -> LcaKernels:
+    """The memoized :class:`LcaKernels` of an index (built on first use)."""
+    kernels = getattr(index, "_vector_kernels", None)
+    if kernels is None:
+        kernels = LcaKernels(index)
+        index._vector_kernels = kernels
+    return kernels

@@ -1,0 +1,59 @@
+"""Build stub for a compiled (cffi/Cython) kernel tier.
+
+The vector tier already removes the per-element python loops; the next
+rung — a compiled RMQ/roll-up core — slots in behind the *same* seam:
+:func:`load` returns a module exposing the :class:`LcaKernels` batch
+surface (``lca_many``, ``rmq_positions``, ``auxiliary_tree``) or
+``None``, and :mod:`repro.core.backends` would prefer it over the
+NumPy implementations exactly like NumPy is preferred over python.
+
+Nothing here compiles by default: the repository ships no C sources
+and the container may lack a toolchain, so :func:`load` only probes
+for a previously built extension module (``repro._native_kernels``)
+and reports its absence quietly.  :func:`build` documents the cffi
+route for environments that do carry a compiler.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Optional
+
+__all__ = ["load", "build"]
+
+#: Import name a compiled extension must register under to be picked up.
+EXTENSION_MODULE = "repro._native_kernels"
+
+_probe = False
+_module = None
+
+
+def load() -> Optional[object]:
+    """The compiled kernel module, or ``None`` when not built.
+
+    The probe runs once per process; absence is the expected state and
+    is never an error (the vector tier covers the gap).
+    """
+    global _probe, _module
+    if not _probe:
+        _probe = True
+        try:
+            _module = importlib.import_module(EXTENSION_MODULE)
+        except ImportError:
+            _module = None
+    return _module
+
+
+def build() -> None:  # pragma: no cover - requires a C toolchain
+    """Compile the native kernels with cffi (opt-in, never automatic).
+
+    Sketch of the contract a build must satisfy: an extension module
+    named :data:`EXTENSION_MODULE` exporting ``lca_many(tour, depth,
+    first, log, table, oids_a, oids_b) -> (meets, distances)`` over
+    int64 buffers, mirroring :class:`repro.kernels.lca.LcaKernels`.
+    Until sources ship, this raises to make the stub's status explicit.
+    """
+    raise NotImplementedError(
+        "the native kernel tier is a build seam, not yet an implementation; "
+        "the vector (NumPy) tier is the fastest shipped path"
+    )

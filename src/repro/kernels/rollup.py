@@ -1,0 +1,186 @@
+"""Vectorized Fig. 4/5 roll-ups over the auxiliary tree (NumPy tier).
+
+The pure-python roll-ups (:meth:`IndexedBackend.meet_tagged`,
+:meth:`IndexedBackend.meet_sets`) walk the auxiliary tree in reverse
+pre-order, one node at a time.  Both walks are really level-wise
+dataflow on the auxiliary tree — a node's state depends only on its
+(strictly deeper) auxiliary children — so they vectorize as a handful
+of whole-array passes per auxiliary *level* (tree depth, not node
+count, bounds the python-level loop):
+
+* tagged roll-up (Fig. 5): a node accumulating ≥ 2 (token, OID) pairs
+  emits and stops propagating, so everything travelling upward is a
+  singleton.  ``count`` is an integer column, the pending singleton an
+  index column, and each level is one boolean mask, one
+  ``np.add.at`` scatter and one assignment scatter;
+* set roll-up (Fig. 4): a node emits when both sides reach it; counts
+  propagate like above, and origin sets are recovered afterwards by
+  assigning every input to its nearest emitting ancestor-or-self
+  (one top-down pass), avoiding per-node set unions entirely.
+
+Both kernels reproduce the python walks' emission order (reverse
+pre-order over auxiliary positions) and origin/token sets exactly —
+the differential suite holds them byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .lca import LcaKernels, tree_depths
+
+__all__ = ["rollup_tagged", "rollup_sets"]
+
+_INT64 = np.int64
+
+
+def _levels(depth: np.ndarray):
+    """Positions grouped by depth: (sorted positions, sorted depths)."""
+    by_depth = np.argsort(depth, kind="stable")
+    return by_depth, depth[by_depth]
+
+
+def rollup_tagged(
+    kernels: LcaKernels, pair_oids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The Fig. 5 roll-up over one flat (token, OID)-pair OID column.
+
+    ``pair_oids[i]`` is the OID of distinct pair ``i`` (token identity
+    is irrelevant to propagation — only pair multiplicity per node
+    matters).  Returns ``(order, emitted_positions, group_pairs,
+    boundaries)``: the auxiliary pre-order OIDs, the emitting
+    positions in reverse pre-order, one flat column of covered pair
+    indexes, and the start offsets splitting it per emitting position
+    — flat + boundaries instead of ``np.split`` so no per-group
+    subarray is ever created.
+    """
+    order, order_firsts, parent_index = kernels.auxiliary_tree(pair_oids)
+    size = len(order)
+    pair_positions = np.searchsorted(
+        order_firsts, kernels.first_positions(pair_oids)
+    )
+    own_count = np.bincount(pair_positions, minlength=size)
+    count = own_count.astype(_INT64)
+    # The lone pending pair per position; positions holding ≥ 2 own
+    # pairs emit regardless, so their clobbered slot is never read.
+    pending = np.full(size, -1, dtype=_INT64)
+    pending[pair_positions] = np.arange(len(pair_oids))
+
+    contribution_targets: List[np.ndarray] = [pair_positions]
+    contribution_pairs: List[np.ndarray] = [np.arange(len(pair_oids))]
+
+    depth = tree_depths(parent_index)
+    by_depth, sorted_depths = _levels(depth)
+    for level in range(int(depth.max(initial=0)), 0, -1):
+        lo = np.searchsorted(sorted_depths, level, "left")
+        hi = np.searchsorted(sorted_depths, level, "right")
+        positions = by_depth[lo:hi]
+        # Exactly the nodes whose accumulated pair is a singleton
+        # propagate (emitted nodes stop; empty nodes have nothing).
+        senders = positions[count[positions] == 1]
+        if not len(senders):
+            continue
+        targets = parent_index[senders]
+        np.add.at(count, targets, 1)
+        contribution_targets.append(targets)
+        contribution_pairs.append(pending[senders])
+        pending[targets] = pending[senders]
+
+    emit_mask = count >= 2
+    all_targets = np.concatenate(contribution_targets)
+    all_pairs = np.concatenate(contribution_pairs)
+    keep = emit_mask[all_targets]
+    kept_targets = all_targets[keep]
+    if not len(kept_targets):
+        empty = np.empty(0, dtype=_INT64)
+        return order, empty, empty, empty
+    # A pair reaches any given target at most once, so one combined
+    # key sorts by target and keeps groups contiguous in a single
+    # pass; reversing the ascending keys yields the python walk's
+    # reverse pre-order emission (pair order within a group is
+    # irrelevant — the pairs become a frozenset).
+    span = np.int64(len(pair_oids))
+    keys = np.sort(kept_targets * span + all_pairs[keep])[::-1]
+    group_targets = keys // span
+    group_pairs = keys % span
+    boundaries = np.nonzero(np.diff(group_targets))[0] + 1
+    emitted = group_targets[np.concatenate(([0], boundaries))]
+    return order, emitted, group_pairs, boundaries
+
+
+def rollup_sets(
+    kernels: LcaKernels,
+    inputs: np.ndarray,
+    in_left: np.ndarray,
+    in_right: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The Fig. 4 set roll-up over sorted distinct input OIDs.
+
+    ``in_left`` / ``in_right`` flag each input's side membership (an
+    OID may carry both).  Returns ``(order, emitted_positions,
+    origin_indexes, boundaries)``: emitting positions in reverse
+    pre-order and one flat column of origin indexes (into ``inputs``)
+    split per position by the boundary offsets — within a position the
+    indexes ascend, i.e. the python walk's bit order.
+    """
+    order, order_firsts, parent_index = kernels.auxiliary_tree(inputs)
+    size = len(order)
+    input_positions = np.searchsorted(
+        order_firsts, kernels.first_positions(inputs)
+    )
+    left_count = np.bincount(input_positions[in_left], minlength=size)
+    right_count = np.bincount(input_positions[in_right], minlength=size)
+
+    depth = tree_depths(parent_index)
+    by_depth, sorted_depths = _levels(depth)
+    max_level = int(depth.max(initial=0))
+    # Bottom-up: non-emitting nodes forward both side counts upward.
+    for level in range(max_level, 0, -1):
+        lo = np.searchsorted(sorted_depths, level, "left")
+        hi = np.searchsorted(sorted_depths, level, "right")
+        positions = by_depth[lo:hi]
+        lefts = left_count[positions]
+        rights = right_count[positions]
+        forwarding = positions[
+            ((lefts == 0) | (rights == 0)) & ((lefts + rights) > 0)
+        ]
+        if not len(forwarding):
+            continue
+        targets = parent_index[forwarding]
+        np.add.at(left_count, targets, left_count[forwarding])
+        np.add.at(right_count, targets, right_count[forwarding])
+
+    emit_mask = (left_count > 0) & (right_count > 0)
+    # Top-down: every position's nearest emitting ancestor-or-self —
+    # exactly where an input's origin bit comes to rest.
+    nearest_emitter = np.full(size, -1, dtype=_INT64)
+    for level in range(0, max_level + 1):
+        lo = np.searchsorted(sorted_depths, level, "left")
+        hi = np.searchsorted(sorted_depths, level, "right")
+        positions = by_depth[lo:hi]
+        parents = parent_index[positions]
+        inherited = np.where(parents >= 0, nearest_emitter[parents], -1)
+        nearest_emitter[positions] = np.where(
+            emit_mask[positions], positions, inherited
+        )
+
+    targets = nearest_emitter[input_positions]
+    keep = targets >= 0
+    kept_targets = targets[keep]
+    if not len(kept_targets):
+        empty = np.empty(0, dtype=_INT64)
+        return order, empty, empty, empty
+    kept_inputs = np.arange(len(inputs), dtype=_INT64)[keep]
+    # Input indexes are distinct, so one combined key both sorts by
+    # descending target and keeps indexes ascending within a group
+    # (the reversal flips targets to reverse pre-order; negating the
+    # index part restores its ascending order).
+    span = np.int64(len(inputs))
+    keys = np.sort(kept_targets * span + (span - 1 - kept_inputs))[::-1]
+    group_targets = keys // span
+    origin_indexes = span - 1 - keys % span
+    boundaries = np.nonzero(np.diff(group_targets))[0] + 1
+    emitted = group_targets[np.concatenate(([0], boundaries))]
+    return order, emitted, origin_indexes, boundaries

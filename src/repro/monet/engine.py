@@ -299,6 +299,18 @@ class MonetXML:
             return high_oid - low_oid
         return self.live_position(high_oid) - self.live_position(low_oid)
 
+    def tombstone_table(self) -> Tuple[List[int], List[int]]:
+        """The vectorizable core of :meth:`live_position`.
+
+        Returns ``(starts, dead_prefix)``: the sorted tombstone-range
+        start OIDs and the dead-node counts *including* each range, so
+        for a live OID the dead count strictly below it is
+        ``dead_prefix[bisect_right(starts, oid)]`` (a live OID never
+        equals a range start).  Both lists are empty-tombstone safe:
+        ``([], [0])`` means every OID is live.
+        """
+        return [start for start, _ in self._tombstones], self._dead_prefix
+
     def iter_live_oids(self) -> Iterator[int]:
         if not self._tombstones:
             yield from self.iter_oids()

@@ -16,6 +16,7 @@ import repro
 from repro.api import Database, DatabaseOptions
 from repro.api.envelopes import NearestRequest, QueryRequest, ResultEnvelope
 from repro.cli import main as cli_main
+from repro.core.backends import snapshot_default_backend
 from repro.core.engine import NearestConceptEngine
 from repro.datamodel.errors import ReproError
 from repro.datamodel.serializer import serialize
@@ -76,8 +77,10 @@ class TestOpenResolution:
         db = Database.open(bundle)
         assert db.origin == f"snapshot {bundle}"
         assert db.snapshot is not None
-        # Bundle defaults: indexed backend, the bundle's case mode.
-        assert db.backend_name == "indexed"
+        # Bundle defaults: the fastest rebuild-free backend (vector
+        # when NumPy is importable, else indexed), the bundle's case
+        # mode.
+        assert db.backend_name == snapshot_default_backend()
 
     def test_catalog_collection_by_bare_name(self, built_catalog):
         db = Database.open("bib", catalog=built_catalog)
@@ -153,7 +156,10 @@ class TestOptions:
         bundle = tmp_path / "b.snap"
         write_snapshot(store, bundle, case_sensitive=True)
         snapshot = read_snapshot(bundle)
-        assert DatabaseOptions().effective(snapshot) == (True, "indexed")
+        assert DatabaseOptions().effective(snapshot) == (
+            True,
+            snapshot_default_backend(),
+        )
         explicit = DatabaseOptions(case_sensitive=False, backend="steered")
         assert explicit.effective(snapshot) == (False, "steered")
 
@@ -338,7 +344,8 @@ class TestEnvelopeSurface:
         db = Database.open("bib", catalog=built_catalog, cache=8)
         stats = db.stats()
         assert stats["origin"].startswith("snapshot")
-        assert stats["backend"] == "indexed"
+        assert stats["backend"] == snapshot_default_backend()
+        assert stats["kernel_tier"] in ("python", "vector", "native")
         assert stats["cache"]["maxsize"] == 8
         describe = db.describe()
         assert describe["node_count"] == 19

@@ -239,10 +239,16 @@ class TestEnginePipeline:
 
 class TestResolution:
     def test_names(self, figure1_store):
-        assert set(BACKEND_NAMES) == {"steered", "indexed"}
+        assert set(BACKEND_NAMES) == {"steered", "indexed", "vector"}
         assert resolve_backend(figure1_store, None).name == "steered"
         assert resolve_backend(figure1_store, "steered").name == "steered"
         assert resolve_backend(figure1_store, "indexed").name == "indexed"
+        # "vector" resolves to the vector backend when NumPy is
+        # importable and silently degrades to indexed otherwise.
+        assert resolve_backend(figure1_store, "vector").name in (
+            "vector",
+            "indexed",
+        )
 
     def test_instance_passthrough(self, figure1_store):
         backend = IndexedBackend(figure1_store)
